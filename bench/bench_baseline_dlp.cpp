@@ -1,0 +1,153 @@
+// Baseline comparison: browser-level imprecise tracking vs network-level
+// DLP (paper S2.2).
+//
+// The paper argues qualitatively that network DLP appliances — exact
+// content matching (application firewalls) or similarity matching on
+// network streams (MyDLP-style) — fall short of browser-level tracking.
+// This bench quantifies that on a shared workload: N sensitive paragraphs
+// leaked under increasing modification, plus the structural case the paper
+// calls out in S5.2: the appliance sits outside the browser, so encrypted
+// (TLS) traffic is opaque to it while BrowserFlow intercepts pre-encryption.
+//
+// Expected shape: exact-chunk DLP collapses at the first light edit;
+// fingerprint DLP tracks BrowserFlow on plaintext but reports 0% under
+// TLS; every content-based detector (BrowserFlow included) misses full
+// rephrasings — the paper's own stated limitation (S4.4).
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cloud/dlp_appliance.h"
+#include "corpus/text_generator.h"
+#include "flow/tracker.h"
+#include "util/clock.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace bf;
+
+/// A variant of `text` with roughly `fraction` of its words replaced.
+std::string editWords(const std::string& text, double fraction,
+                      corpus::TextGenerator& gen, util::Rng& rng) {
+  std::string out;
+  for (const auto word : util::splitWords(text)) {
+    if (!out.empty()) out += ' ';
+    out += rng.chance(fraction) ? gen.word() : std::string(word);
+  }
+  return out;
+}
+
+struct Scenario {
+  std::string name;
+  std::vector<std::string> leaks;  // one per sensitive paragraph
+  bool tls = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Baseline", "browser-level tracking vs network DLP");
+
+  const std::size_t n = bench::paperScale() ? 200 : 60;
+  util::Rng rng(2024);
+  corpus::TextGenerator gen(&rng);
+
+  // The sensitive corpus. Every document carries the organisation's
+  // standard boilerplate (header/disclaimer) — as real internal documents
+  // do — which is exactly what trips chunk-matching appliances.
+  const std::string boilerplate = gen.sentence(14, 16);
+  std::vector<std::string> sensitive;
+  for (std::size_t i = 0; i < n; ++i) {
+    sensitive.push_back(boilerplate + " " + gen.paragraph(6, 9));
+  }
+
+  // Detectors, all registered with the same corpus.
+  cloud::DlpAppliance::Config exactCfg;
+  exactCfg.mode = cloud::DlpAppliance::Mode::kExactChunks;
+  cloud::DlpAppliance exactDlp(nullptr, exactCfg);
+
+  cloud::DlpAppliance::Config fpCfg;
+  fpCfg.mode = cloud::DlpAppliance::Mode::kFingerprint;
+  cloud::DlpAppliance fingerprintDlp(nullptr, fpCfg);
+
+  util::LogicalClock clock;
+  flow::FlowTracker tracker(flow::TrackerConfig{}, &clock);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    exactDlp.registerSensitiveDocument(sensitive[i]);
+    fingerprintDlp.registerSensitiveDocument(sensitive[i]);
+    tracker.observeSegment(flow::SegmentKind::kParagraph,
+                           "s" + std::to_string(i) + "#p0",
+                           "s" + std::to_string(i), "internal", sensitive[i]);
+  }
+
+  // Scenarios: each leaks every sensitive paragraph once.
+  std::vector<Scenario> scenarios;
+  auto makeLeaks = [&](double editFraction) {
+    std::vector<std::string> leaks;
+    for (const auto& s : sensitive) {
+      leaks.push_back(editWords(s, editFraction, gen, rng));
+    }
+    return leaks;
+  };
+  scenarios.push_back({"verbatim copy", makeLeaks(0.0), false});
+  scenarios.push_back({"light edit (5% words)", makeLeaks(0.05), false});
+  scenarios.push_back({"moderate edit (15% words)", makeLeaks(0.15), false});
+  scenarios.push_back({"heavy edit (40% words)", makeLeaks(0.40), false});
+  {
+    // Full rephrase: same ideas, none of the words (fresh text stands in).
+    std::vector<std::string> leaks;
+    for (std::size_t i = 0; i < n; ++i) leaks.push_back(gen.paragraph(6, 9));
+    scenarios.push_back({"full rephrase", std::move(leaks), false});
+  }
+  {
+    // Benign text that merely carries the org-wide boilerplate: flagging
+    // it is a FALSE POSITIVE (the paper's "decreased information
+    // disclosure" requirement, S1 challenge (ii)).
+    std::vector<std::string> leaks;
+    for (std::size_t i = 0; i < n; ++i) {
+      leaks.push_back(boilerplate + " " + gen.paragraph(6, 9));
+    }
+    scenarios.push_back(
+        {"benign + boilerplate (FP!)", std::move(leaks), false});
+  }
+  scenarios.push_back({"verbatim copy over TLS", makeLeaks(0.0), true});
+
+  std::printf("\nsensitive paragraphs: %zu — detection rate (%%)\n\n", n);
+  std::printf("%-28s %14s %16s %13s\n", "scenario", "exact-chunk",
+              "fingerprint", "BrowserFlow");
+  for (const auto& scenario : scenarios) {
+    std::size_t exactHits = 0, fpHits = 0, bfHits = 0;
+    for (const auto& leak : scenario.leaks) {
+      if (scenario.tls) {
+        // The appliance sees ciphertext: nothing to inspect. BrowserFlow
+        // runs inside the browser, before encryption (paper S5.2).
+        if (!tracker.checkText(leak, "leak-doc").empty()) ++bfHits;
+        continue;
+      }
+      if (exactDlp.inspectText(leak)) ++exactHits;
+      if (fingerprintDlp.inspectText(leak)) ++fpHits;
+      if (!tracker.checkText(leak, "leak-doc").empty()) ++bfHits;
+    }
+    const double total = static_cast<double>(scenario.leaks.size());
+    std::printf("%-28s %14.1f %16.1f %13.1f\n", scenario.name.c_str(),
+                100.0 * static_cast<double>(exactHits) / total,
+                100.0 * static_cast<double>(fpHits) / total,
+                100.0 * static_cast<double>(bfHits) / total);
+  }
+
+  std::printf(
+      "\nreadings: any-chunk exact matching is edit-robust but fires on "
+      "every document sharing org boilerplate (false positives: it has no "
+      "disclosure threshold, no authoritative source, no declassification); "
+      "stream-level similarity tracks BrowserFlow on plaintext but both "
+      "appliances are blind to encrypted traffic, which BrowserFlow "
+      "intercepts inside the browser (paper S5.2); nothing content-based "
+      "survives a full rephrase (paper S4.4). BrowserFlow trades a little "
+      "edited-copy recall for that FP immunity: authoritative fingerprints "
+      "discount the boilerplate every document shares, so only the "
+      "document-specific remainder counts toward its threshold.\n");
+  return 0;
+}

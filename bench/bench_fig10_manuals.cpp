@@ -1,0 +1,47 @@
+// Figures 10a-10d: "Paragraph disclosure (Manuals dataset)" —
+// BrowserFlow's disclosure decisions against ground truth for four manual
+// chapters across four versions each.
+//
+// Paper shapes: both iPhone chapters decay steeply (iOS7 discloses almost
+// nothing from iOS3); "MySQL New Features" shows reduced disclosure after
+// 4.1; "What's MySQL" stays ~100%. BrowserFlow should track ground truth
+// closely, with a small systematic false-negative gap from extensively
+// rephrased paragraphs (concepts survive, words do not).
+
+#include "bench_util.h"
+#include "corpus/datasets.h"
+#include "disclosure_eval.h"
+
+int main() {
+  using namespace bf;
+  bench::printHeader("Figure 10", "paragraph disclosure vs ground truth "
+                                  "(manuals)");
+
+  const auto ds = corpus::buildManuals();
+  const flow::TrackerConfig trackerCfg;  // T_par = 0.5
+
+  const char* figs[] = {"10a", "10b", "10c", "10d"};
+  double worstGap = 0.0;
+  for (std::size_t c = 0; c < ds.chapters.size(); ++c) {
+    const auto& ch = ds.chapters[c];
+    std::printf("\n--- Fig. %s: %s ---\n", figs[c], ch.name.c_str());
+    std::printf("%-8s %28s %15s\n", "Version", "Ground truth (%)",
+                "BrowserFlow (%)");
+    for (std::size_t v = 0; v < ch.versions.size(); ++v) {
+      const auto eval = bench::evaluateDisclosure(
+          ch.versions.front(), ch.versions[v], trackerCfg, 0.5);
+      const double gt = eval.groundTruthFraction() * 100.0;
+      const double bf = eval.browserFlowFraction() * 100.0;
+      std::printf("%-8s %28.1f %15.1f\n", ch.versionNames[v].c_str(), gt, bf);
+      worstGap = std::max(worstGap, std::abs(gt - bf));
+    }
+  }
+
+  std::printf("\nlargest |ground truth - BrowserFlow| gap: %.1f%%\n",
+              worstGap);
+  std::printf(
+      "expected shape (paper Fig. 10): BrowserFlow matches the expert for "
+      "each version; where they differ, BrowserFlow under-reports "
+      "(rephrased paragraphs keep the concept but lose the words).\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Figure 12: "Distribution of response times for disclosure decisions".
+//
+// Preloads the e-books corpus into the tracker, then measures the time per
+// disclosure decision while a user edits a Google-Docs-style document under
+// the paper's three workflows:
+//   W1 Creation-with-overlap    — typing a page from an existing e-book
+//   W2 Creation-without-overlap — typing fresh text
+//   W3 Modification             — editing a modified e-book page back
+//                                 towards the original
+//
+// Expected shape (paper S6.2): a bimodal distribution — most keystrokes are
+// answered from the fingerprint cache (fast mode), fingerprint-changing
+// keystrokes trigger a real disclosure calculation (slow mode); overlap-
+// heavy workflows (W1/W3) sit above the no-overlap workflow (W2).
+
+#include <string>
+
+#include "bench_util.h"
+#include "core/decision_engine.h"
+#include "corpus/datasets.h"
+#include "text/segmenter.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace bf;
+
+/// Types `text` into `segment` one keystroke at a time, running the full
+/// decision pipeline per keystroke (the paper's trigger model).
+void typeText(core::DecisionEngine& engine, const std::string& segment,
+              const std::string& doc, const std::string& text) {
+  std::string typed;
+  typed.reserve(text.size());
+  for (char c : text) {
+    typed += c;
+    engine.decide({segment, doc, "https://docs.google.com", typed,
+                   flow::SegmentKind::kParagraph});
+  }
+}
+
+void printCdf(const char* name, const std::vector<double>& timesMs) {
+  std::vector<std::pair<double, double>> series;
+  for (double p : {1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 85.0, 90.0, 95.0, 99.0,
+                   99.9}) {
+    series.emplace_back(util::percentile(timesMs, p), p / 100.0);
+  }
+  bench::printSeries(name, series, "response time (ms)",
+                     "fraction of samples");
+  std::size_t under30 = 0, under200 = 0;
+  for (double t : timesMs) {
+    if (t < 30.0) ++under30;
+    if (t < 200.0) ++under200;
+  }
+  std::printf("samples: %zu, <30ms: %.1f%%, <200ms: %.1f%%\n", timesMs.size(),
+              100.0 * static_cast<double>(under30) /
+                  static_cast<double>(timesMs.size()),
+              100.0 * static_cast<double>(under200) /
+                  static_cast<double>(timesMs.size()));
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Figure 12", "response-time distribution per workflow");
+
+  util::LogicalClock clock;
+  flow::FlowTracker tracker(flow::TrackerConfig{}, &clock);
+  tdm::TdmPolicy policy(&clock);
+  core::BrowserFlowConfig config;
+  core::DecisionEngine engine(config, &tracker, &policy);
+
+  // Preload the e-books corpus (paper: 90 MB / 10 M distinct hashes).
+  const auto ebookCfg = bench::paperScale()
+                            ? corpus::EbooksConfig::paperScale()
+                            : corpus::EbooksConfig::quickScale();
+  const auto ebooks = corpus::buildEbooks(ebookCfg);
+  for (const auto& book : ebooks.books) {
+    tracker.observeDocument(book.id, "https://books.corp", book.render());
+  }
+  std::printf("preloaded %zu books, %.1f MB, %zu distinct paragraph "
+              "hashes\n",
+              ebooks.books.size(),
+              static_cast<double>(ebooks.totalBytes) / (1024.0 * 1024.0),
+              tracker.hashDb().distinctHashCount());
+
+  // A "page": a few consecutive paragraphs of a book.
+  auto pageOf = [](const corpus::VersionedDoc& book, std::size_t start,
+                   std::size_t count) {
+    std::string out;
+    for (std::size_t i = start; i < start + count && i < book.paragraphs.size();
+         ++i) {
+      if (!out.empty()) out += "\n\n";
+      out += book.paragraphs[i].render();
+    }
+    return out;
+  };
+  const std::size_t pageParagraphs = 3;
+
+  // W1: creation with overlap — type a page from book 0.
+  engine.clearResponseTimes();
+  {
+    const std::string page = pageOf(ebooks.books[0], 10, pageParagraphs);
+    std::size_t p = 0;
+    for (const auto& para : text::segmentParagraphs(page)) {
+      typeText(engine, "w1doc#p" + std::to_string(p++), "w1doc", para.text);
+    }
+  }
+  const auto w1 = engine.responseTimesMs();
+
+  // W2: creation without overlap — type fresh text of the same length.
+  engine.clearResponseTimes();
+  {
+    util::Rng rng(4242);
+    corpus::TextGenerator gen(&rng);
+    for (std::size_t p = 0; p < pageParagraphs; ++p) {
+      typeText(engine, "w2doc#p" + std::to_string(p), "w2doc",
+               gen.paragraph(5, 7));
+    }
+  }
+  const auto w2 = engine.responseTimesMs();
+
+  // W3: modification — a previously-modified page is edited back to match
+  // the original (growing-prefix morph, one keystroke per step).
+  engine.clearResponseTimes();
+  {
+    util::Rng rng(77);
+    corpus::TextGenerator gen(&rng);
+    corpus::RevisionModel model(&gen, &rng);
+    corpus::VersionedDoc modified = ebooks.books[1];
+    model.evolve(modified, corpus::volatileProfile(), 150);
+    // Morph a paragraph that actually changed between the versions.
+    std::size_t paraIdx = 0;
+    while (paraIdx + 1 < modified.paragraphs.size() &&
+           (paraIdx >= ebooks.books[1].paragraphs.size() ||
+            modified.paragraphs[paraIdx].render() ==
+                ebooks.books[1].paragraphs[paraIdx].render())) {
+      ++paraIdx;
+    }
+    const std::string original = pageOf(ebooks.books[1], paraIdx, 1);
+    const std::string edited = pageOf(modified, paraIdx, 1);
+    for (std::size_t k = 1; k <= original.size(); k += 1) {
+      const std::string text =
+          original.substr(0, k) +
+          (k < edited.size() ? edited.substr(k) : std::string{});
+      engine.decide({"w3doc#p0", "w3doc", "https://docs.google.com", text,
+                     flow::SegmentKind::kParagraph});
+    }
+  }
+  const auto w3 = engine.responseTimesMs();
+
+  printCdf("W1 Creation-with-overlap", w1);
+  printCdf("W2 Creation-without-overlap", w2);
+  printCdf("W3 Modification", w3);
+
+  std::printf(
+      "\nexpected shape (paper Fig. 12): bimodal — cache-served keystrokes "
+      "fast, recomputations slower; W1/W3 (overlapping text) slower than "
+      "W2. Absolute numbers differ from the paper's browser setup.\n");
+  return 0;
+}

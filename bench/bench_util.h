@@ -1,0 +1,41 @@
+// Shared helpers for the bench harnesses that regenerate the paper's
+// tables and figures.
+//
+// Every bench supports two scales selected by the BF_SCALE environment
+// variable:
+//   BF_SCALE=quick (default)  reduced datasets, minutes of total runtime
+//   BF_SCALE=paper            the paper's dataset sizes (Table 1)
+// Output is plain text: one block per figure/table, with the series the
+// paper plots, so results can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace bf::bench {
+
+inline bool paperScale() {
+  const char* env = std::getenv("BF_SCALE");
+  return env != nullptr && std::string(env) == "paper";
+}
+
+inline void printHeader(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s  [scale: %s]\n", id, title,
+              paperScale() ? "paper" : "quick");
+  std::printf("================================================================\n");
+}
+
+/// Prints a (x, y) series in a gnuplot-friendly two-column block.
+inline void printSeries(const char* name,
+                        const std::vector<std::pair<double, double>>& points,
+                        const char* xLabel, const char* yLabel) {
+  std::printf("\n# series: %s  (%s vs %s)\n", name, yLabel, xLabel);
+  for (const auto& [x, y] : points) {
+    std::printf("%12.4f  %12.4f\n", x, y);
+  }
+}
+
+}  // namespace bf::bench

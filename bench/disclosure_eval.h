@@ -1,0 +1,89 @@
+// Shared effectiveness-measurement logic for the Fig. 9/10/11 harnesses:
+// given a base document version and a later revision, compute the fraction
+// of base paragraphs that (a) BrowserFlow reports as disclosed by the
+// revision and (b) the lineage ground truth says are disclosed.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "corpus/revision_model.h"
+#include "flow/tracker.h"
+#include "util/clock.h"
+
+namespace bf::bench {
+
+struct DisclosureEvalResult {
+  std::size_t baseParagraphs = 0;       ///< denominator (see skipEmpty)
+  std::size_t detectedByBrowserFlow = 0;
+  std::size_t detectedByGroundTruth = 0;
+
+  [[nodiscard]] double browserFlowFraction() const {
+    return baseParagraphs == 0
+               ? 0.0
+               : static_cast<double>(detectedByBrowserFlow) /
+                     static_cast<double>(baseParagraphs);
+  }
+  [[nodiscard]] double groundTruthFraction() const {
+    return baseParagraphs == 0
+               ? 0.0
+               : static_cast<double>(detectedByGroundTruth) /
+                     static_cast<double>(baseParagraphs);
+  }
+};
+
+/// Replays the paper's measurement: the base version's paragraphs are the
+/// tracked sources; the revision's full text is the disclosing document.
+/// `tpar` is the paragraph disclosure threshold; `skipEmptyFingerprints`
+/// removes paragraphs too short to fingerprint from the denominator (the
+/// paper does this for the Fig. 11 threshold study).
+inline DisclosureEvalResult evaluateDisclosure(
+    const corpus::VersionedDoc& base, const corpus::VersionedDoc& revision,
+    const flow::TrackerConfig& trackerConfig, double tpar,
+    bool skipEmptyFingerprints = false) {
+  util::LogicalClock clock;
+  flow::TrackerConfig config = trackerConfig;
+  config.defaultParagraphThreshold = tpar;
+  flow::FlowTracker tracker(config, &clock);
+
+  DisclosureEvalResult result;
+
+  // Observe base paragraphs as the sensitive sources.
+  std::vector<std::string> names;
+  std::vector<const corpus::Paragraph*> counted;
+  for (std::size_t i = 0; i < base.paragraphs.size(); ++i) {
+    const std::string name = "base#p" + std::to_string(i);
+    const flow::SegmentId id = tracker.observeSegment(
+        flow::SegmentKind::kParagraph, name, "base", "src",
+        base.paragraphs[i].render());
+    if (skipEmptyFingerprints && tracker.segment(id)->fingerprint.empty()) {
+      continue;
+    }
+    names.push_back(name);
+    counted.push_back(&base.paragraphs[i]);
+  }
+  result.baseParagraphs = names.size();
+
+  // BrowserFlow: which base paragraphs does the revision disclose?
+  const text::Fingerprint revisionFp =
+      tracker.fingerprintOf(revision.render());
+  std::unordered_set<std::string> detected;
+  for (const auto& hit :
+       tracker.disclosedSources(revisionFp, flow::SegmentKind::kParagraph,
+                                flow::kInvalidSegment, "revision")) {
+    detected.insert(hit.sourceName);
+  }
+  for (const auto& name : names) {
+    if (detected.count(name) != 0) ++result.detectedByBrowserFlow;
+  }
+
+  // Ground truth: concept lineage (the mechanised human expert).
+  for (const corpus::Paragraph* p : counted) {
+    if (corpus::groundTruthDiscloses(*p, revision, 0.5)) {
+      ++result.detectedByGroundTruth;
+    }
+  }
+  return result;
+}
+
+}  // namespace bf::bench

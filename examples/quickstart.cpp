@@ -1,0 +1,92 @@
+// Quickstart: the smallest useful BrowserFlow setup.
+//
+// Creates the policy of the paper's running example, registers a sensitive
+// document, and asks BrowserFlow whether two candidate texts may be
+// uploaded to an untrusted service. No browser simulation — just the flow
+// tracker + TDM, which is what you embed if you only need the engine.
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/decision_engine.h"
+#include "flow/tracker.h"
+#include "tdm/policy.h"
+#include "util/clock.h"
+
+int main() {
+  using namespace bf;
+
+  // One clock drives observation timestamps and audit records.
+  util::LogicalClock clock;
+
+  // 1. The flow tracker: winnowing fingerprints with the paper's defaults
+  //    (32-bit hashes, 15-char n-grams, 30-char windows, T_par = 0.5).
+  flow::FlowTracker tracker(flow::TrackerConfig{}, &clock);
+
+  // 2. The TDM policy: the Interview Tool is trusted with tag "ti";
+  //    Google Docs is external and untrusted (no privilege tags).
+  tdm::TdmPolicy policy(&clock);
+  policy.services().upsert({"itool", "Interview Tool", tdm::TagSet{"ti"},
+                            tdm::TagSet{"ti"}});
+  policy.services().upsert({"gdocs", "Google Docs", tdm::TagSet{},
+                            tdm::TagSet{}});
+
+  // 3. The decision engine glues them together.
+  core::BrowserFlowConfig config;  // advisory (warn) mode
+  core::DecisionEngine engine(config, &tracker, &policy);
+
+  // A confidential candidate evaluation lives in the Interview Tool.
+  const std::string evaluation =
+      "The candidate showed outstanding systems design depth, walking "
+      "through a replicated log design with clear failure-mode reasoning, "
+      "and gave the strongest whiteboard performance of this cycle.";
+  tracker.observeSegment(flow::SegmentKind::kParagraph, "itool/eval-42#p0",
+                         "itool/eval-42", "itool", evaluation);
+  policy.onSegmentObserved("itool/eval-42#p0", "itool");
+
+  // Scenario A: the user pastes a lightly edited copy into Google Docs.
+  const std::string pasted =
+      "the candidate showed outstanding systems design depth, walking "
+      "through a replicated log design with clear failure-mode reasoning.";
+  core::Decision d1 = engine.decide({"gdocs/doc1#p0", "gdocs/doc1", "gdocs",
+                                     pasted, flow::SegmentKind::kParagraph});
+  std::printf("paste of evaluation into Google Docs:\n");
+  std::printf("  violation = %s\n", d1.violation() ? "YES" : "no");
+  for (const auto& hit : d1.hits) {
+    std::printf("  disclosed source: %s (D = %.2f, threshold %.2f)\n",
+                hit.sourceName.c_str(), hit.score, hit.threshold);
+    // Attribution (paper S4.1): which source passage caused the report?
+    const auto ranges = tracker.attributeDisclosure(
+        hit.source, tracker.fingerprintOf(pasted));
+    for (const auto& [begin, end] : ranges) {
+      const std::size_t len = std::min(end, evaluation.size()) - begin;
+      std::printf("  implicated passage: \"%.60s%s\"\n",
+                  evaluation.substr(begin, len).c_str(),
+                  len > 60 ? "..." : "");
+    }
+  }
+  for (const auto& tag : d1.violatingTags) {
+    std::printf("  violating tag: %s\n", tag.c_str());
+  }
+
+  // Scenario B: an unrelated note is free to go anywhere.
+  core::Decision d2 = engine.decide(
+      {"gdocs/doc1#p1", "gdocs/doc1", "gdocs",
+       "Lunch options near the Trento conference venue include three "
+       "trattorias, two pizzerias, and an excellent gelato place.",
+       flow::SegmentKind::kParagraph});
+  std::printf("unrelated note into Google Docs:\n  violation = %s\n",
+              d2.violation() ? "YES" : "no");
+
+  // Scenario C: the user declassifies the copy (audited), then re-checks.
+  policy.suppressTag("alice", "gdocs/doc1#p0", "ti",
+                     "anonymised before sharing with the panel");
+  core::Decision d3 = engine.decide({"gdocs/doc1#p0", "gdocs/doc1", "gdocs",
+                                     pasted, flow::SegmentKind::kParagraph});
+  std::printf("after tag suppression:\n  violation = %s\n",
+              d3.violation() ? "YES" : "no");
+  std::printf("audit records: %zu\n", policy.audit().size());
+
+  return (d1.violation() && !d2.violation() && !d3.violation()) ? 0 : 1;
+}

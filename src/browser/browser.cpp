@@ -1,0 +1,23 @@
+#include "browser/browser.h"
+
+#include <algorithm>
+
+namespace bf::browser {
+
+Page& Browser::openTab(const std::string& url) {
+  tabs_.push_back(std::make_unique<Page>(url, network_));
+  Page& page = *tabs_.back();
+  for (Extension* ext : extensions_) ext->onPageCreated(page);
+  return page;
+}
+
+void Browser::closeTab(Page& page) {
+  for (Extension* ext : extensions_) ext->onPageClosing(page);
+  tabs_.erase(std::remove_if(tabs_.begin(), tabs_.end(),
+                             [&](const std::unique_ptr<Page>& p) {
+                               return p.get() == &page;
+                             }),
+              tabs_.end());
+}
+
+}  // namespace bf::browser

@@ -1,0 +1,51 @@
+// Browser: tabs plus the extension hook a plug-in installs into.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/page.h"
+
+namespace bf::browser {
+
+/// A browser extension ("plug-in"). BrowserFlow's core module implements
+/// this to install its interception into every tab as it opens.
+class Extension {
+ public:
+  virtual ~Extension() = default;
+  /// Called after a tab's Page exists but before any service script runs —
+  /// the moment a Chrome content script would inject.
+  virtual void onPageCreated(Page& page) = 0;
+  /// Called when a tab closes, before the Page is destroyed.
+  virtual void onPageClosing(Page& page) { (void)page; }
+};
+
+class Browser {
+ public:
+  /// `network` receives all un-intercepted traffic; not owned.
+  explicit Browser(RequestSink* network) : network_(network) {}
+
+  /// Installs an extension (not owned); applies to tabs opened afterwards.
+  void addExtension(Extension* extension) {
+    extensions_.push_back(extension);
+  }
+
+  /// Opens a tab at `url` and notifies extensions.
+  Page& openTab(const std::string& url);
+
+  /// Closes a tab (notifying extensions first).
+  void closeTab(Page& page);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Page>>& tabs()
+      const noexcept {
+    return tabs_;
+  }
+
+ private:
+  RequestSink* network_;
+  std::vector<Extension*> extensions_;
+  std::vector<std::unique_ptr<Page>> tabs_;
+};
+
+}  // namespace bf::browser

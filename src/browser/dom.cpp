@@ -1,0 +1,141 @@
+#include "browser/dom.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace bf::browser {
+
+Node::Node(Document* document, NodeType type, std::string tagOrText)
+    : document_(document), type_(type) {
+  if (type_ == NodeType::kElement) {
+    tag_ = util::toLower(tagOrText);
+  } else {
+    text_ = std::move(tagOrText);
+  }
+}
+
+void Node::setText(std::string text) {
+  assert(isText());
+  MutationRecord rec;
+  rec.type = MutationType::kCharacterData;
+  rec.target = this;
+  rec.oldText = std::move(text_);
+  text_ = std::move(text);
+  document_->dispatchMutation(rec);
+}
+
+void Node::setAttribute(std::string name, std::string value) {
+  attributes_[util::toLower(name)] = std::move(value);
+}
+
+std::string Node::attribute(std::string_view name) const {
+  auto it = attributes_.find(util::toLower(name));
+  return it == attributes_.end() ? std::string{} : it->second;
+}
+
+bool Node::hasAttribute(std::string_view name) const {
+  return attributes_.find(util::toLower(name)) != attributes_.end();
+}
+
+Node* Node::appendChild(std::unique_ptr<Node> child) {
+  return insertChild(std::move(child), children_.size());
+}
+
+Node* Node::insertChild(std::unique_ptr<Node> child, std::size_t index) {
+  assert(isElement());
+  assert(child->parent_ == nullptr);
+  index = std::min(index, children_.size());
+  child->parent_ = this;
+  Node* raw = child.get();
+  children_.insert(children_.begin() + static_cast<std::ptrdiff_t>(index),
+                   std::move(child));
+  MutationRecord rec;
+  rec.type = MutationType::kChildList;
+  rec.target = this;
+  rec.addedNodes.push_back(raw);
+  document_->dispatchMutation(rec);
+  return raw;
+}
+
+std::unique_ptr<Node> Node::removeChild(Node* child) {
+  auto it = std::find_if(
+      children_.begin(), children_.end(),
+      [child](const std::unique_ptr<Node>& c) { return c.get() == child; });
+  if (it == children_.end()) return nullptr;
+  std::unique_ptr<Node> out = std::move(*it);
+  children_.erase(it);
+  out->parent_ = nullptr;
+  MutationRecord rec;
+  rec.type = MutationType::kChildList;
+  rec.target = this;
+  rec.removedNodes.push_back(out.get());
+  document_->dispatchMutation(rec);
+  return out;
+}
+
+std::string Node::textContent() const {
+  if (isText()) return text_;
+  std::string out;
+  for (const auto& c : children_) {
+    const std::string t = c->textContent();
+    if (!out.empty() && !t.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+std::vector<Node*> Node::elementsByTag(std::string_view tag) {
+  std::vector<Node*> out;
+  const std::string lowered = util::toLower(tag);
+  forEachNode([&](Node& n) {
+    if (n.isElement() && n.tag() == lowered && &n != this) out.push_back(&n);
+  });
+  return out;
+}
+
+Node* Node::byId(std::string_view id) {
+  Node* found = nullptr;
+  forEachNode([&](Node& n) {
+    if (found == nullptr && n.isElement() && n.id() == id) found = &n;
+  });
+  return found;
+}
+
+void Node::forEachNode(const std::function<void(Node&)>& fn) {
+  fn(*this);
+  for (const auto& c : children_) c->forEachNode(fn);
+}
+
+Document::Document() {
+  root_ = std::make_unique<Node>(this, NodeType::kElement, "html");
+}
+
+std::unique_ptr<Node> Document::createElement(std::string tag) {
+  return std::make_unique<Node>(this, NodeType::kElement, std::move(tag));
+}
+
+std::unique_ptr<Node> Document::createTextNode(std::string text) {
+  return std::make_unique<Node>(this, NodeType::kText, std::move(text));
+}
+
+std::size_t Document::addMutationSink(MutationSink sink) {
+  const std::size_t id = nextSinkId_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void Document::removeMutationSink(std::size_t id) {
+  sinks_.erase(std::remove_if(sinks_.begin(), sinks_.end(),
+                              [id](const auto& p) { return p.first == id; }),
+               sinks_.end());
+}
+
+void Document::dispatchMutation(const MutationRecord& record) {
+  // Copy: a sink may subscribe/unsubscribe while handling a record.
+  const auto sinks = sinks_;
+  for (const auto& [id, sink] : sinks) sink(record);
+}
+
+}  // namespace bf::browser

@@ -1,0 +1,128 @@
+// Simulated DOM tree.
+//
+// BrowserFlow's interception mechanisms (paper S5) operate entirely at the
+// DOM/JS level: mutation observers watch paragraph elements, form submit
+// listeners inspect <input> values, and the Readability-style extractor
+// walks element subtrees. This DOM provides exactly those observable
+// behaviours — element/text nodes, attributes, tree mutation with
+// notifications — without a rendering engine.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bf::browser {
+
+class Document;
+class Node;
+
+enum class NodeType { kElement, kText };
+
+/// Kinds of DOM mutation, mirroring the W3C MutationRecord types the paper
+/// relies on ("childList" and "characterData").
+enum class MutationType { kChildList, kCharacterData };
+
+struct MutationRecord {
+  MutationType type;
+  /// For kChildList: the parent whose children changed.
+  /// For kCharacterData: the text node whose data changed.
+  Node* target = nullptr;
+  std::vector<Node*> addedNodes;
+  std::vector<Node*> removedNodes;
+  std::string oldText;
+};
+
+class Node {
+ public:
+  /// Nodes are created through Document::createElement/createTextNode.
+  Node(Document* document, NodeType type, std::string tagOrText);
+
+  [[nodiscard]] NodeType type() const noexcept { return type_; }
+  [[nodiscard]] bool isElement() const noexcept {
+    return type_ == NodeType::kElement;
+  }
+  [[nodiscard]] bool isText() const noexcept {
+    return type_ == NodeType::kText;
+  }
+
+  /// Lowercase tag name; empty for text nodes.
+  [[nodiscard]] const std::string& tag() const noexcept { return tag_; }
+
+  /// Text data of a text node; empty for elements.
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  /// Mutates a text node's data; fires a characterData mutation.
+  void setText(std::string text);
+
+  // ---- Attributes ----
+  void setAttribute(std::string name, std::string value);
+  [[nodiscard]] std::string attribute(std::string_view name) const;
+  [[nodiscard]] bool hasAttribute(std::string_view name) const;
+  [[nodiscard]] std::string id() const { return attribute("id"); }
+  [[nodiscard]] std::string className() const { return attribute("class"); }
+
+  // ---- Tree ----
+  [[nodiscard]] Node* parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& children()
+      const noexcept {
+    return children_;
+  }
+  [[nodiscard]] Document* document() const noexcept { return document_; }
+
+  /// Appends `child` (takes ownership); fires a childList mutation.
+  Node* appendChild(std::unique_ptr<Node> child);
+  /// Inserts before children()[index]; fires a childList mutation.
+  Node* insertChild(std::unique_ptr<Node> child, std::size_t index);
+  /// Removes and returns the child; fires a childList mutation.
+  std::unique_ptr<Node> removeChild(Node* child);
+
+  // ---- Queries ----
+  /// Concatenated text of all descendant text nodes.
+  [[nodiscard]] std::string textContent() const;
+  /// All descendant elements with the given tag (depth-first order).
+  [[nodiscard]] std::vector<Node*> elementsByTag(std::string_view tag);
+  /// First descendant (or self) with the given id, else nullptr.
+  [[nodiscard]] Node* byId(std::string_view id);
+  /// Applies fn to self and every descendant (pre-order).
+  void forEachNode(const std::function<void(Node&)>& fn);
+
+ private:
+  Document* document_;
+  NodeType type_;
+  std::string tag_;   // element only
+  std::string text_;  // text node only
+  std::map<std::string, std::string, std::less<>> attributes_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// A document: owns the tree root and routes mutation records to observers.
+class Document {
+ public:
+  Document();
+
+  [[nodiscard]] Node* root() noexcept { return root_.get(); }
+  [[nodiscard]] const Node* root() const noexcept { return root_.get(); }
+
+  [[nodiscard]] std::unique_ptr<Node> createElement(std::string tag);
+  [[nodiscard]] std::unique_ptr<Node> createTextNode(std::string text);
+
+  /// Used by MutationObserver to subscribe; see mutation_observer.h.
+  using MutationSink = std::function<void(const MutationRecord&)>;
+  /// Returns a subscription id for unsubscribe.
+  std::size_t addMutationSink(MutationSink sink);
+  void removeMutationSink(std::size_t id);
+
+  /// Called by Node mutators.
+  void dispatchMutation(const MutationRecord& record);
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::vector<std::pair<std::size_t, MutationSink>> sinks_;
+  std::size_t nextSinkId_ = 1;
+};
+
+}  // namespace bf::browser

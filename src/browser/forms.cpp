@@ -1,0 +1,129 @@
+#include "browser/forms.h"
+
+#include "util/strings.h"
+
+namespace bf::browser {
+
+std::vector<Node*> formInputs(Node* form) {
+  std::vector<Node*> out;
+  form->forEachNode([&](Node& n) {
+    if (n.isElement() && (n.tag() == "input" || n.tag() == "textarea")) {
+      out.push_back(&n);
+    }
+  });
+  return out;
+}
+
+std::vector<Node*> nonHiddenInputs(Node* form) {
+  std::vector<Node*> out;
+  for (Node* input : formInputs(form)) {
+    if (util::toLower(input->attribute("type")) != "hidden") {
+      out.push_back(input);
+    }
+  }
+  return out;
+}
+
+std::string urlEncodeComponent(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.') {
+      out.push_back(c);
+    } else if (c == ' ') {
+      out.push_back('+');
+    } else {
+      static const char* kHex = "0123456789ABCDEF";
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::string urlDecodeComponent(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = nibble(s[i + 1]);
+      const int lo = nibble(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parseFormBody(std::string_view body) {
+  std::map<std::string, std::string> out;
+  for (std::string_view pair : util::split(body, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      out[urlDecodeComponent(pair)] = "";
+    } else {
+      out[urlDecodeComponent(pair.substr(0, eq))] =
+          urlDecodeComponent(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+std::string encodeFormPairs(const std::map<std::string, std::string>& pairs) {
+  std::string out;
+  for (const auto& [k, v] : pairs) {
+    if (!out.empty()) out += '&';
+    out += urlEncodeComponent(k);
+    out += '=';
+    out += urlEncodeComponent(v);
+  }
+  return out;
+}
+
+std::string encodeFormBody(Node* form) {
+  std::string out;
+  for (Node* input : formInputs(form)) {
+    const std::string name = input->attribute("name");
+    if (name.empty()) continue;
+    if (!out.empty()) out += '&';
+    out += urlEncodeComponent(name);
+    out += '=';
+    out += urlEncodeComponent(input->attribute("value"));
+  }
+  return out;
+}
+
+HttpRequest buildFormRequest(Node* form, const std::string& pageOrigin) {
+  HttpRequest req;
+  std::string method = util::toLower(form->attribute("method"));
+  req.method = method == "get" ? "GET" : "POST";
+  std::string action = form->attribute("action");
+  if (action.empty()) {
+    req.url = pageOrigin + "/";
+  } else if (action.find("://") != std::string::npos) {
+    req.url = action;
+  } else {
+    req.url = pageOrigin + (action.front() == '/' ? "" : "/") + action;
+  }
+  req.headers["content-type"] = "application/x-www-form-urlencoded";
+  req.body = encodeFormBody(form);
+  return req;
+}
+
+}  // namespace bf::browser

@@ -1,0 +1,68 @@
+// HTML form submission (paper S5.1, "Form-based interception").
+//
+// The plug-in "adds an event listener for the submit event of the <form>
+// elements of web pages. When a user submits a form, the listener
+// suppresses the outgoing web request, inspects all non-hidden <input>
+// elements in the form and extracts their value attributes. If the action
+// is not found to leak sensitive data according to the TDM, the listener
+// allows the submit event to trigger the form submission."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "browser/dom.h"
+#include "browser/http.h"
+
+namespace bf::browser {
+
+/// Cancellable submit event, dispatched to listeners before the request.
+class SubmitEvent {
+ public:
+  explicit SubmitEvent(Node* form) : form_(form) {}
+  [[nodiscard]] Node* form() const noexcept { return form_; }
+  /// Suppresses the outgoing web request.
+  void preventDefault() noexcept { prevented_ = true; }
+  [[nodiscard]] bool defaultPrevented() const noexcept { return prevented_; }
+
+ private:
+  Node* form_;
+  bool prevented_ = false;
+};
+
+using SubmitListener = std::function<void(SubmitEvent&)>;
+
+/// All <input> and <textarea> descendants of `form`.
+[[nodiscard]] std::vector<Node*> formInputs(Node* form);
+
+/// Inputs whose type attribute is not "hidden" (the elements the plug-in
+/// inspects).
+[[nodiscard]] std::vector<Node*> nonHiddenInputs(Node* form);
+
+/// application/x-www-form-urlencoded body built from the form's inputs
+/// (name=value pairs; unnamed inputs are skipped; minimal escaping).
+[[nodiscard]] std::string encodeFormBody(Node* form);
+
+/// The request a submission of `form` on a page with base origin
+/// `pageOrigin` produces. Uses the form's `action` attribute (absolute, or
+/// resolved against the origin) and `method` (default POST).
+[[nodiscard]] HttpRequest buildFormRequest(Node* form,
+                                           const std::string& pageOrigin);
+
+/// Percent-encodes one application/x-www-form-urlencoded value.
+[[nodiscard]] std::string urlEncodeComponent(std::string_view s);
+
+/// Percent-decodes an application/x-www-form-urlencoded value.
+[[nodiscard]] std::string urlDecodeComponent(std::string_view s);
+
+/// Parses an urlencoded body into key/value pairs (later keys overwrite).
+[[nodiscard]] std::map<std::string, std::string> parseFormBody(
+    std::string_view body);
+
+/// Re-encodes pairs from parseFormBody into a body (sorted key order).
+[[nodiscard]] std::string encodeFormPairs(
+    const std::map<std::string, std::string>& pairs);
+
+}  // namespace bf::browser

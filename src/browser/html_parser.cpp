@@ -1,0 +1,258 @@
+#include "browser/html_parser.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace bf::browser {
+
+namespace {
+
+bool isVoidElement(std::string_view tag) {
+  static constexpr std::string_view kVoid[] = {
+      "area", "base", "br",    "col",   "embed",  "hr",
+      "img",  "input", "link", "meta",  "source", "track", "wbr"};
+  for (auto v : kVoid) {
+    if (tag == v) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  Parser(Document& doc, std::string_view html) : doc_(doc), html_(html) {}
+
+  void run(Node* root) {
+    stack_.push_back(root);
+    while (pos_ < html_.size()) {
+      if (html_[pos_] == '<') {
+        if (peekStartsWith("<!--")) {
+          skipComment();
+        } else if (peekStartsWith("</")) {
+          closeTag();
+        } else if (peekStartsWith("<!")) {
+          skipDeclaration();
+        } else {
+          openTag();
+        }
+      } else {
+        textRun();
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] bool peekStartsWith(std::string_view s) const {
+    return html_.substr(pos_, s.size()) == s;
+  }
+
+  void skipComment() {
+    const std::size_t end = html_.find("-->", pos_);
+    pos_ = end == std::string_view::npos ? html_.size() : end + 3;
+  }
+
+  void skipDeclaration() {
+    const std::size_t end = html_.find('>', pos_);
+    pos_ = end == std::string_view::npos ? html_.size() : end + 1;
+  }
+
+  void textRun() {
+    const std::size_t end = html_.find('<', pos_);
+    const std::size_t stop = end == std::string_view::npos ? html_.size() : end;
+    std::string_view raw = html_.substr(pos_, stop - pos_);
+    pos_ = stop;
+    const std::string_view trimmed = util::trim(raw);
+    if (!trimmed.empty()) {
+      stack_.back()->appendChild(
+          doc_.createTextNode(decodeHtmlEntities(trimmed)));
+    }
+  }
+
+  void closeTag() {
+    pos_ += 2;  // "</"
+    const std::size_t end = html_.find('>', pos_);
+    std::string tag = util::toLower(std::string(
+        util::trim(html_.substr(pos_, end == std::string_view::npos
+                                          ? html_.size() - pos_
+                                          : end - pos_))));
+    pos_ = end == std::string_view::npos ? html_.size() : end + 1;
+    // Pop to the matching open element, tolerating misnesting.
+    for (std::size_t i = stack_.size(); i-- > 1;) {
+      if (stack_[i]->tag() == tag) {
+        stack_.resize(i);
+        return;
+      }
+    }
+  }
+
+  void openTag() {
+    ++pos_;  // "<"
+    // Tag name.
+    std::size_t start = pos_;
+    while (pos_ < html_.size() && (std::isalnum(static_cast<unsigned char>(
+                                       html_[pos_])) != 0 ||
+                                   html_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string tag = util::toLower(std::string(html_.substr(start, pos_ - start)));
+    if (tag.empty()) {  // stray "<": treat as text
+      stack_.back()->appendChild(doc_.createTextNode("<"));
+      return;
+    }
+    auto element = doc_.createElement(tag);
+
+    // Attributes.
+    bool selfClosing = false;
+    while (pos_ < html_.size() && html_[pos_] != '>') {
+      if (peekStartsWith("/>")) {
+        selfClosing = true;
+        pos_ += 2;
+        break;
+      }
+      if (std::isspace(static_cast<unsigned char>(html_[pos_])) != 0) {
+        ++pos_;
+        continue;
+      }
+      // Attribute name.
+      start = pos_;
+      while (pos_ < html_.size() && html_[pos_] != '=' && html_[pos_] != '>' &&
+             html_[pos_] != '/' &&
+             std::isspace(static_cast<unsigned char>(html_[pos_])) == 0) {
+        ++pos_;
+      }
+      std::string name(html_.substr(start, pos_ - start));
+      std::string value;
+      if (pos_ < html_.size() && html_[pos_] == '=') {
+        ++pos_;
+        if (pos_ < html_.size() && (html_[pos_] == '"' || html_[pos_] == '\'')) {
+          const char quote = html_[pos_++];
+          start = pos_;
+          while (pos_ < html_.size() && html_[pos_] != quote) ++pos_;
+          value = std::string(html_.substr(start, pos_ - start));
+          if (pos_ < html_.size()) ++pos_;  // closing quote
+        } else {
+          start = pos_;
+          while (pos_ < html_.size() && html_[pos_] != '>' &&
+                 std::isspace(static_cast<unsigned char>(html_[pos_])) == 0) {
+            ++pos_;
+          }
+          value = std::string(html_.substr(start, pos_ - start));
+        }
+      } else if (name.empty()) {
+        // A byte the attribute grammar cannot consume (e.g. a bare '/' not
+        // followed by '>'): skip it, or the loop would never advance.
+        ++pos_;
+        continue;
+      }
+      if (!name.empty()) element->setAttribute(std::move(name), std::move(value));
+    }
+    if (pos_ < html_.size() && html_[pos_] == '>') ++pos_;
+
+    Node* raw = stack_.back()->appendChild(std::move(element));
+    if (!selfClosing && !isVoidElement(tag)) stack_.push_back(raw);
+  }
+
+  Document& doc_;
+  std::string_view html_;
+  std::size_t pos_ = 0;
+  std::vector<Node*> stack_;
+};
+
+}  // namespace
+
+std::string decodeHtmlEntities(std::string_view text) {
+  struct Entity {
+    std::string_view name;
+    std::string_view utf8;
+  };
+  static constexpr Entity kEntities[] = {
+      {"amp", "&"},          {"lt", "<"},           {"gt", ">"},
+      {"quot", "\""},        {"apos", "'"},         {"nbsp", "\xc2\xa0"},
+      {"mdash", "\xe2\x80\x94"}, {"ndash", "\xe2\x80\x93"},
+      {"hellip", "\xe2\x80\xa6"}, {"rsquo", "\xe2\x80\x99"},
+      {"lsquo", "\xe2\x80\x98"}, {"rdquo", "\xe2\x80\x9d"},
+      {"ldquo", "\xe2\x80\x9c"},
+  };
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const std::size_t semi = text.find(';', i + 1);
+    // Entities are short; a distant or missing ';' means a literal '&'.
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const std::string_view body = text.substr(i + 1, semi - i - 1);
+    if (!body.empty() && body[0] == '#') {
+      // Numeric reference: decimal "#39" or hex "#x27".
+      unsigned cp = 0;
+      bool ok = body.size() > 1;
+      if (body.size() > 2 && (body[1] == 'x' || body[1] == 'X')) {
+        for (std::size_t k = 2; k < body.size() && ok; ++k) {
+          const char c = body[k];
+          cp <<= 4;
+          if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+          else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+          else ok = false;
+        }
+      } else {
+        for (std::size_t k = 1; k < body.size() && ok; ++k) {
+          const char c = body[k];
+          if (c < '0' || c > '9') { ok = false; break; }
+          cp = cp * 10 + static_cast<unsigned>(c - '0');
+        }
+      }
+      if (ok && cp > 0 && cp <= 0x10FFFF) {
+        // Encode the code point as UTF-8.
+        if (cp < 0x80) {
+          out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+        i = semi + 1;
+        continue;
+      }
+    } else {
+      bool matched = false;
+      for (const auto& entity : kEntities) {
+        if (body == entity.name) {
+          out.append(entity.utf8);
+          i = semi + 1;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    out.push_back(text[i++]);  // unknown entity: keep the '&' literally
+  }
+  return out;
+}
+
+Node* parseHtml(Document& document, std::string_view html) {
+  Node* root = document.root();
+  while (!root->children().empty()) {
+    root->removeChild(root->children().back().get());
+  }
+  Parser parser(document, html);
+  parser.run(root);
+  return root;
+}
+
+}  // namespace bf::browser

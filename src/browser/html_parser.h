@@ -1,0 +1,27 @@
+// Minimal HTML parser.
+//
+// Static pages (paper S5.1) arrive as HTML; the plug-in inspects the DOM
+// tree "after loading". The parser covers the subset real CMS output uses:
+// nested elements, attributes (quoted and bare), void elements, comments,
+// and character data. It is not a spec-grade HTML5 parser — unknown
+// constructs degrade to text rather than erroring.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "browser/dom.h"
+
+namespace bf::browser {
+
+/// Parses `html` into `document`'s tree, replacing any children of the
+/// root. Returns the root node.
+Node* parseHtml(Document& document, std::string_view html);
+
+/// Decodes HTML character references in text data: the named entities CMS
+/// output actually uses (&amp; &lt; &gt; &quot; &apos; &nbsp; &mdash;
+/// &ndash; &hellip; &rsquo; &lsquo; &rdquo; &ldquo;) plus numeric forms
+/// (&#39; &#x27;). Unknown entities pass through verbatim.
+[[nodiscard]] std::string decodeHtmlEntities(std::string_view text);
+
+}  // namespace bf::browser

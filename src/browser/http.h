@@ -1,0 +1,38 @@
+// HTTP types shared between the simulated browser and the simulated cloud.
+//
+// The browser module defines the interface; the cloud module's SimNetwork
+// implements RequestSink. This mirrors the real layering: the plug-in sees
+// requests leave the browser without knowing what network serves them.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace bf::browser {
+
+struct HttpRequest {
+  std::string method = "POST";
+  /// Absolute URL, e.g. "https://docs.google.com/save".
+  std::string url;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+};
+
+/// Where outgoing requests go once the browser (and any interceptors) let
+/// them through.
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+  virtual HttpResponse handle(const HttpRequest& request) = 0;
+};
+
+/// Extracts the origin ("scheme://host") from a URL; the TDM identifies
+/// services by origin.
+[[nodiscard]] std::string originOf(const std::string& url);
+
+}  // namespace bf::browser

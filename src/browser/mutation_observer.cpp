@@ -1,0 +1,56 @@
+#include "browser/mutation_observer.h"
+
+#include <algorithm>
+
+namespace bf::browser {
+
+MutationObserver::MutationObserver(Callback callback)
+    : callback_(std::move(callback)) {}
+
+MutationObserver::~MutationObserver() { disconnect(); }
+
+void MutationObserver::observe(Node* target) {
+  targets_.push_back(target);
+  Document* doc = target->document();
+  // One sink per document is enough; it filters by subtree membership.
+  const bool alreadySubscribed =
+      std::any_of(subscriptions_.begin(), subscriptions_.end(),
+                  [doc](const auto& s) { return s.first == doc; });
+  if (!alreadySubscribed) {
+    const std::size_t id = doc->addMutationSink([this](const MutationRecord& r) {
+      if (inObservedSubtree(r.target)) queue_.push_back(r);
+    });
+    subscriptions_.emplace_back(doc, id);
+  }
+}
+
+void MutationObserver::disconnect() {
+  for (const auto& [doc, id] : subscriptions_) doc->removeMutationSink(id);
+  subscriptions_.clear();
+  targets_.clear();
+  queue_.clear();
+}
+
+std::vector<MutationRecord> MutationObserver::takeRecords() {
+  std::vector<MutationRecord> out;
+  out.swap(queue_);
+  return out;
+}
+
+void MutationObserver::flush() {
+  if (queue_.empty() || !callback_) return;
+  std::vector<MutationRecord> batch;
+  batch.swap(queue_);
+  callback_(batch);
+}
+
+bool MutationObserver::inObservedSubtree(const Node* node) const {
+  for (const Node* n = node; n != nullptr; n = n->parent()) {
+    if (std::find(targets_.begin(), targets_.end(), n) != targets_.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bf::browser

@@ -1,0 +1,59 @@
+// MutationObserver — the W3C DOM4 observer the paper uses for dynamic
+// services (S5.2):
+//
+// "A mutation observer is an object that can be attached to an element in
+//  the DOM tree and receives notifications when any change occurs in the
+//  subtree rooted at that element."
+//
+// Records are queued and delivered in batches via takeRecords() or a
+// callback flushed by Page::flushObservers(), modelling the microtask-based
+// delivery of real browsers (observers never run in the middle of a DOM
+// mutation).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "browser/dom.h"
+
+namespace bf::browser {
+
+class MutationObserver {
+ public:
+  using Callback = std::function<void(const std::vector<MutationRecord>&)>;
+
+  /// `callback` may be null if the owner prefers polling via takeRecords().
+  explicit MutationObserver(Callback callback = nullptr);
+  ~MutationObserver();
+
+  MutationObserver(const MutationObserver&) = delete;
+  MutationObserver& operator=(const MutationObserver&) = delete;
+
+  /// Starts observing mutations in the subtree rooted at `target`
+  /// (including `target` itself). Multiple targets may be observed.
+  void observe(Node* target);
+
+  /// Stops all observation.
+  void disconnect();
+
+  /// Returns queued records and clears the queue.
+  [[nodiscard]] std::vector<MutationRecord> takeRecords();
+
+  /// Delivers queued records to the callback (no-op when the queue is
+  /// empty or there is no callback). Called by Page::flushObservers().
+  void flush();
+
+  [[nodiscard]] bool hasPendingRecords() const noexcept {
+    return !queue_.empty();
+  }
+
+ private:
+  [[nodiscard]] bool inObservedSubtree(const Node* node) const;
+
+  Callback callback_;
+  std::vector<std::pair<Document*, std::size_t>> subscriptions_;
+  std::vector<Node*> targets_;
+  std::vector<MutationRecord> queue_;
+};
+
+}  // namespace bf::browser

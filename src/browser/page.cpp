@@ -1,0 +1,72 @@
+#include "browser/page.h"
+
+#include <algorithm>
+
+#include "browser/html_parser.h"
+
+namespace bf::browser {
+
+std::string originOf(const std::string& url) {
+  const std::size_t scheme = url.find("://");
+  if (scheme == std::string::npos) return url;
+  const std::size_t host = url.find('/', scheme + 3);
+  return host == std::string::npos ? url : url.substr(0, host);
+}
+
+Page::Page(std::string url, RequestSink* sink)
+    : url_(std::move(url)), origin_(originOf(url_)), sink_(sink) {
+  xhrProto_.send = [this](Xhr&, const HttpRequest& req) -> HttpResponse {
+    return sink_ != nullptr ? sink_->handle(req)
+                            : HttpResponse{0, "no network"};
+  };
+}
+
+void Page::loadHtml(std::string_view html) {
+  parseHtml(document_, html);
+  // The load is complete: deliver the parse mutations, as a browser would
+  // before running extension content scripts.
+  flushObservers();
+}
+
+void Page::addSubmitListener(Node* form, SubmitListener listener) {
+  for (auto& [node, listeners] : submitListeners_) {
+    if (node == form) {
+      listeners.push_back(std::move(listener));
+      return;
+    }
+  }
+  submitListeners_.push_back({form, {std::move(listener)}});
+}
+
+HttpResponse Page::submitForm(Node* form) {
+  SubmitEvent event(form);
+  for (auto& [node, listeners] : submitListeners_) {
+    if (node != form) continue;
+    for (auto& l : listeners) {
+      l(event);
+      if (event.defaultPrevented()) return HttpResponse{0, "suppressed"};
+    }
+  }
+  return submitFormBypassingListeners(form);
+}
+
+HttpResponse Page::submitFormBypassingListeners(Node* form) {
+  const HttpRequest req = buildFormRequest(form, origin_);
+  return sink_ != nullptr ? sink_->handle(req)
+                          : HttpResponse{0, "no network"};
+}
+
+void Page::registerObserver(MutationObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Page::unregisterObserver(MutationObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void Page::flushObservers() {
+  for (MutationObserver* o : observers_) o->flush();
+}
+
+}  // namespace bf::browser

@@ -1,0 +1,74 @@
+// Page: one browser tab's world — a Document, the XHR prototype, form
+// submission dispatch, and observer flushing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/dom.h"
+#include "browser/forms.h"
+#include "browser/http.h"
+#include "browser/mutation_observer.h"
+#include "browser/xhr.h"
+
+namespace bf::browser {
+
+class Page {
+ public:
+  /// `sink` is where un-intercepted traffic goes (the simulated network);
+  /// not owned.
+  Page(std::string url, RequestSink* sink);
+
+  [[nodiscard]] const std::string& url() const noexcept { return url_; }
+  /// "scheme://host" — the TDM's service identity for this tab.
+  [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
+
+  [[nodiscard]] Document& document() noexcept { return document_; }
+
+  /// Parses `html` into the document (a navigation/render).
+  void loadHtml(std::string_view html);
+
+  // ---- XHR -------------------------------------------------------------
+  /// The page-wide prototype; extensions patch `prototype().send`.
+  [[nodiscard]] XhrPrototype& xhrPrototype() noexcept { return xhrProto_; }
+  /// Creates an XHR bound to this page's prototype.
+  [[nodiscard]] Xhr newXhr() { return Xhr(&xhrProto_, origin_); }
+
+  // ---- Forms -----------------------------------------------------------
+  /// Registers a submit listener for `form` (earliest registered runs
+  /// first, as with addEventListener).
+  void addSubmitListener(Node* form, SubmitListener listener);
+
+  /// Dispatches the submit event for `form`. If no listener prevents the
+  /// default, performs the submission (builds the request and sends it to
+  /// the sink). Returns the response, or status 0 if suppressed.
+  HttpResponse submitForm(Node* form);
+
+  /// Performs the submission without re-dispatching listeners — how an
+  /// interceptor "allows the submit event to trigger the form submission"
+  /// after its checks pass.
+  HttpResponse submitFormBypassingListeners(Node* form);
+
+  // ---- Observers ---------------------------------------------------------
+  /// Observers registered here get their queued records delivered by
+  /// flushObservers() — the page's microtask checkpoint.
+  void registerObserver(MutationObserver* observer);
+  void unregisterObserver(MutationObserver* observer);
+  /// Delivers pending mutation records to all registered observers.
+  void flushObservers();
+
+  /// Direct access to the sink for service simulations (e.g. initial GET).
+  [[nodiscard]] RequestSink* sink() const noexcept { return sink_; }
+
+ private:
+  std::string url_;
+  std::string origin_;
+  RequestSink* sink_;
+  Document document_;
+  XhrPrototype xhrProto_;
+  std::vector<std::pair<Node*, std::vector<SubmitListener>>> submitListeners_;
+  std::vector<MutationObserver*> observers_;
+};
+
+}  // namespace bf::browser

@@ -1,0 +1,124 @@
+#include "browser/readability.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace bf::browser {
+
+namespace {
+
+constexpr std::string_view kGoodNames[] = {"article", "content", "main",
+                                           "post", "body", "entry", "text"};
+constexpr std::string_view kBadNames[] = {"footer",  "meta",    "nav",
+                                          "sidebar", "comment", "menu",
+                                          "header",  "ad"};
+
+bool nameMatchesAny(const std::string& value,
+                    const std::string_view* names, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (util::containsIgnoreCase(value, names[i])) return true;
+  }
+  return false;
+}
+
+/// Total text length under `n` and the portion inside <a> elements.
+/// Script/style bodies are invisible to readers and never count.
+void linkAndTextLength(Node& n, std::size_t& total, std::size_t& inLinks,
+                       bool insideLink) {
+  if (n.isText()) {
+    total += n.text().size();
+    if (insideLink) inLinks += n.text().size();
+    return;
+  }
+  if (n.tag() == "script" || n.tag() == "style") return;
+  const bool link = insideLink || n.tag() == "a";
+  for (const auto& c : n.children()) {
+    linkAndTextLength(*c, total, inLinks, link);
+  }
+}
+
+/// Reader-visible text under `n` (script/style excluded).
+void collectProse(Node& n, std::string& out) {
+  if (n.isText()) {
+    if (!out.empty()) out += ' ';
+    out += n.text();
+    return;
+  }
+  if (n.tag() == "script" || n.tag() == "style") return;
+  for (const auto& c : n.children()) collectProse(*c, out);
+}
+
+}  // namespace
+
+double scoreElement(Node& element) {
+  if (!element.isElement()) return 0.0;
+  // Containers the main text never lives in directly.
+  if (element.tag() == "a" || element.tag() == "script" ||
+      element.tag() == "style") {
+    return 0.0;
+  }
+
+  double score = 0.0;
+  std::string text;
+  collectProse(element, text);
+  if (text.size() < 25) return 0.0;  // too little text to be the article
+
+  // Reward <p> descendants.
+  score += 25.0 * static_cast<double>(element.elementsByTag("p").size());
+
+  // Reward commas (prose indicator).
+  score += static_cast<double>(std::count(text.begin(), text.end(), ','));
+
+  // Reward raw text mass, capped so one giant blob cannot dominate ids.
+  score += std::min<double>(static_cast<double>(text.size()) / 100.0, 30.0);
+
+  // Id/class name priors.
+  const std::string id = element.id();
+  const std::string cls = element.className();
+  if (nameMatchesAny(id, kGoodNames, std::size(kGoodNames))) score += 50.0;
+  if (nameMatchesAny(cls, kGoodNames, std::size(kGoodNames))) score += 25.0;
+  if (nameMatchesAny(id, kBadNames, std::size(kBadNames))) score -= 50.0;
+  if (nameMatchesAny(cls, kBadNames, std::size(kBadNames))) score -= 25.0;
+
+  // Penalise link-heavy elements (navigation, boilerplate).
+  std::size_t total = 0, inLinks = 0;
+  linkAndTextLength(element, total, inLinks, false);
+  if (total > 0) {
+    const double linkDensity =
+        static_cast<double>(inLinks) / static_cast<double>(total);
+    score *= (1.0 - linkDensity);
+  }
+  return score;
+}
+
+ExtractionResult extractMainText(Node& pageRoot) {
+  ExtractionResult best;
+  pageRoot.forEachNode([&](Node& n) {
+    if (!n.isElement()) return;
+    const double s = scoreElement(n);
+    // ">=" prefers the deepest element among ties (pre-order traversal
+    // visits ancestors first): the tightest container around the text.
+    if (s >= best.score && s > 0.0) {
+      best.score = s;
+      best.element = &n;
+    }
+  });
+  if (best.element != nullptr) {
+    // "BrowserFlow extracts the text from them by removing all HTML tags."
+    // Paragraph boundaries are preserved as blank lines so the segmenter
+    // sees the same structure a reader would.
+    std::string out;
+    for (const auto& child : best.element->children()) {
+      const std::string t = child->textContent();
+      if (util::trim(t).empty()) continue;
+      if (!out.empty()) out += "\n\n";
+      out += std::string(util::trim(t));
+    }
+    if (out.empty()) out = best.element->textContent();
+    best.text = std::move(out);
+  }
+  return best;
+}
+
+}  // namespace bf::browser

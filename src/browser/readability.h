@@ -1,0 +1,34 @@
+// Readability-style text extraction (paper S5.1).
+//
+// "The BrowserFlow plug-in inspects the DOM tree of each page after
+//  loading, searching for HTML elements with significant text. We apply a
+//  set of heuristics to rank elements according to how much 'interesting'
+//  text they contain and select the element with the highest score. These
+//  heuristics reward the existence of <p> tags, text that contains commas,
+//  and id attributes which have known representative values such as
+//  article. Similarly, they penalise bad class attribute names such as
+//  footer or meta and high number of links over text length."
+#pragma once
+
+#include <string>
+
+#include "browser/dom.h"
+
+namespace bf::browser {
+
+struct ExtractionResult {
+  /// The highest-scoring element, or nullptr if the page has no candidate.
+  Node* element = nullptr;
+  double score = 0.0;
+  /// Plain text of the winning element with all HTML structure removed.
+  std::string text;
+};
+
+/// Score of a single element under the Readability-style heuristics.
+/// Exposed for tests; extractMainText() picks the max over the tree.
+[[nodiscard]] double scoreElement(Node& element);
+
+/// Finds the element carrying the page's main text.
+[[nodiscard]] ExtractionResult extractMainText(Node& pageRoot);
+
+}  // namespace bf::browser

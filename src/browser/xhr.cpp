@@ -1,0 +1,25 @@
+#include "browser/xhr.h"
+
+namespace bf::browser {
+
+void Xhr::open(std::string method, std::string url) {
+  method_ = std::move(method);
+  url_ = std::move(url);
+}
+
+void Xhr::setRequestHeader(std::string name, std::string value) {
+  headers_[std::move(name)] = std::move(value);
+}
+
+HttpResponse Xhr::send(std::string body) {
+  HttpRequest req;
+  req.method = method_;
+  req.url = url_;
+  req.headers = headers_;
+  req.body = std::move(body);
+  response_ = prototype_->send ? prototype_->send(*this, req)
+                               : HttpResponse{0, "no transport"};
+  return response_;
+}
+
+}  // namespace bf::browser

@@ -1,0 +1,60 @@
+// XMLHttpRequest simulation with a patchable prototype (paper S5.2).
+//
+// "BrowserFlow intercepts communication to the remote back-end servers by
+//  redefining the send method in JavaScript's XMLHttpRequest object. ...
+//  BrowserFlow sets a custom XMLHttpRequest.prototype.send method,
+//  exposing an interception point to observe all HTTP requests."
+//
+// Xhr instances dispatch send() through their page's shared XhrPrototype —
+// exactly the dynamic-dispatch structure the paper exploits. An extension
+// swaps prototype.send for a wrapper that may inspect, rewrite, block, or
+// forward to the original.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "browser/http.h"
+
+namespace bf::browser {
+
+class Xhr;
+
+/// The shared prototype: pages create one; extensions may replace `send`.
+struct XhrPrototype {
+  /// Receives the request an Xhr built; returns the response the page
+  /// script sees. The default implementation forwards to the page's
+  /// RequestSink.
+  std::function<HttpResponse(Xhr&, const HttpRequest&)> send;
+};
+
+class Xhr {
+ public:
+  Xhr(XhrPrototype* prototype, std::string pageOrigin)
+      : prototype_(prototype), pageOrigin_(std::move(pageOrigin)) {}
+
+  void open(std::string method, std::string url);
+  void setRequestHeader(std::string name, std::string value);
+
+  /// Dispatches through the prototype (the interception point) and stores
+  /// the response.
+  HttpResponse send(std::string body);
+
+  [[nodiscard]] const HttpResponse& response() const noexcept {
+    return response_;
+  }
+  [[nodiscard]] const std::string& pageOrigin() const noexcept {
+    return pageOrigin_;
+  }
+
+ private:
+  XhrPrototype* prototype_;
+  std::string pageOrigin_;
+  std::string method_ = "GET";
+  std::string url_;
+  std::map<std::string, std::string> headers_;
+  HttpResponse response_;
+};
+
+}  // namespace bf::browser

@@ -1,0 +1,68 @@
+#include "cloud/dlp_appliance.h"
+
+#include "browser/forms.h"
+#include "text/normalizer.h"
+#include "util/hashing.h"
+
+namespace bf::cloud {
+
+DlpAppliance::DlpAppliance(browser::RequestSink* upstream, Config config)
+    : upstream_(upstream), config_(config) {}
+
+void DlpAppliance::registerSensitiveDocument(std::string_view text) {
+  if (config_.mode == Mode::kExactChunks) {
+    const text::NormalizedText norm = text::normalize(text);
+    if (norm.size() < config_.chunkChars) return;
+    for (std::size_t i = 0; i + config_.chunkChars <= norm.size();
+         i += config_.chunkStride) {
+      chunkHashes_.insert(util::fnv1a64(
+          std::string_view(norm.text).substr(i, config_.chunkChars)));
+    }
+  } else {
+    fingerprints_.push_back(text::fingerprintText(text, fingerprintConfig_));
+  }
+}
+
+bool DlpAppliance::inspectText(std::string_view text) const {
+  if (config_.mode == Mode::kExactChunks) {
+    const text::NormalizedText norm = text::normalize(text);
+    if (norm.size() < config_.chunkChars) return false;
+    // Check every alignment: an appliance cannot assume chunk boundaries
+    // survive the copy.
+    for (std::size_t i = 0; i + config_.chunkChars <= norm.size(); ++i) {
+      if (chunkHashes_.count(util::fnv1a64(std::string_view(norm.text)
+                                               .substr(i, config_.chunkChars)))
+          != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+  const text::Fingerprint bodyFp =
+      text::fingerprintText(text, fingerprintConfig_);
+  for (const auto& docFp : fingerprints_) {
+    if (docFp.empty()) continue;
+    const double containment =
+        static_cast<double>(text::Fingerprint::intersectionSize(docFp, bodyFp)) /
+        static_cast<double>(docFp.size());
+    if (containment >= config_.threshold) return true;
+  }
+  return false;
+}
+
+browser::HttpResponse DlpAppliance::handle(const browser::HttpRequest& req) {
+  ++inspected_;
+  if (!config_.trafficEncrypted) {
+    // The appliance sees wire bytes; decode the urlencoded form body the
+    // way commercial DLP reverse-engineers wire formats (paper S2.2).
+    std::string decoded;
+    for (const auto& [key, value] : browser::parseFormBody(req.body)) {
+      decoded += value;
+      decoded += '\n';
+    }
+    if (inspectText(decoded) || inspectText(req.body)) ++flagged_;
+  }
+  return upstream_->handle(req);
+}
+
+}  // namespace bf::cloud

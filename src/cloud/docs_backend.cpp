@@ -1,0 +1,57 @@
+#include "cloud/docs_backend.h"
+
+#include "util/strings.h"
+
+namespace bf::cloud {
+
+browser::HttpResponse DocsBackend::handle(const browser::HttpRequest& req) {
+  const auto fields = parseFormBody(req.body);
+  auto get = [&](const char* k) -> std::string {
+    auto it = fields.find(k);
+    return it == fields.end() ? std::string{} : it->second;
+  };
+  const std::string docId = get("doc");
+  if (docId.empty()) return {400, "missing doc id"};
+  const std::string op = get("op");
+  auto& paras = docs_[docId];
+  const std::size_t index =
+      static_cast<std::size_t>(std::strtoull(get("para").c_str(), nullptr, 10));
+  ++mutations_;
+  if (op == "set") {
+    if (index >= paras.size()) paras.resize(index + 1);
+    paras[index] = get("text");
+    return {200, "ok"};
+  }
+  if (op == "insert") {
+    const std::size_t at = std::min(index, paras.size());
+    paras.insert(paras.begin() + static_cast<std::ptrdiff_t>(at), get("text"));
+    return {200, "ok"};
+  }
+  if (op == "delete") {
+    if (index < paras.size()) {
+      paras.erase(paras.begin() + static_cast<std::ptrdiff_t>(index));
+      return {200, "ok"};
+    }
+    return {400, "bad index"};
+  }
+  return {400, "unknown op: " + op};
+}
+
+std::vector<std::string> DocsBackend::paragraphsOf(
+    const std::string& docId) const {
+  auto it = docs_.find(docId);
+  return it == docs_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::string DocsBackend::textOf(const std::string& docId) const {
+  auto it = docs_.find(docId);
+  if (it == docs_.end()) return {};
+  std::string out;
+  for (const auto& p : it->second) {
+    if (!out.empty()) out += "\n\n";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace bf::cloud

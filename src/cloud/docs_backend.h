@@ -1,0 +1,38 @@
+// DocsBackend: the server side of the Google-Docs-like AJAX service.
+//
+// The client "communicates document mutations via AJAX requests each time a
+// character is added or deleted" (paper S5.2). Mutations arrive as
+// urlencoded POSTs to /mutate:
+//   doc=<id>&op=set|insert|delete&para=<index>[&text=<paragraph text>]
+// The backend keeps each document as an ordered list of paragraphs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/network.h"
+
+namespace bf::cloud {
+
+class DocsBackend final : public Backend {
+ public:
+  browser::HttpResponse handle(const browser::HttpRequest& req) override;
+
+  /// Current paragraphs of a document (empty if unknown).
+  [[nodiscard]] std::vector<std::string> paragraphsOf(
+      const std::string& docId) const;
+
+  /// Full rendered document text (paragraphs joined by blank lines).
+  [[nodiscard]] std::string textOf(const std::string& docId) const;
+
+  [[nodiscard]] std::size_t mutationCount() const noexcept {
+    return mutations_;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> docs_;
+  std::size_t mutations_ = 0;
+};
+
+}  // namespace bf::cloud

@@ -1,0 +1,32 @@
+#include "cloud/form_backend.h"
+
+namespace bf::cloud {
+
+browser::HttpResponse FormBackend::handle(const browser::HttpRequest& req) {
+  if (req.method == "GET") {
+    // Path after the origin is the document key.
+    const std::string origin = browser::originOf(req.url);
+    std::string key = req.url.substr(origin.size());
+    if (!key.empty() && key.front() == '/') key.erase(key.begin());
+    return {200, contentOf(key)};
+  }
+  const auto fields = parseFormBody(req.body);
+  const std::string origin = browser::originOf(req.url);
+  std::string path = req.url.substr(origin.size());
+  if (!path.empty() && path.front() == '/') path.erase(path.begin());
+  std::string key = path;
+  if (auto it = fields.find("title"); it != fields.end() && !it->second.empty()) {
+    key += key.empty() ? it->second : "/" + it->second;
+  }
+  auto content = fields.find("content");
+  documents_[key] = content == fields.end() ? req.body : content->second;
+  ++posts_;
+  return {200, "ok"};
+}
+
+std::string FormBackend::contentOf(const std::string& key) const {
+  auto it = documents_.find(key);
+  return it == documents_.end() ? std::string{} : it->second;
+}
+
+}  // namespace bf::cloud

@@ -1,0 +1,37 @@
+// FormBackend: a form-based cloud service's server side.
+//
+// Covers the paper's form-based service family — "the Facebook composer,
+// forums based on vBulletin and the comments system in WordPress" as well
+// as the internal Wiki of the running example. Content arrives as
+// urlencoded form posts; each post's "title"/"content" fields are stored
+// under the post's path.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cloud/network.h"
+
+namespace bf::cloud {
+
+class FormBackend final : public Backend {
+ public:
+  browser::HttpResponse handle(const browser::HttpRequest& req) override;
+
+  /// Stored content by key "path/title" (or "path" when untitled).
+  [[nodiscard]] const std::map<std::string, std::string>& documents()
+      const noexcept {
+    return documents_;
+  }
+
+  /// Latest stored content for a key, or empty.
+  [[nodiscard]] std::string contentOf(const std::string& key) const;
+
+  [[nodiscard]] std::size_t postCount() const noexcept { return posts_; }
+
+ private:
+  std::map<std::string, std::string> documents_;
+  std::size_t posts_ = 0;
+};
+
+}  // namespace bf::cloud

@@ -1,0 +1,56 @@
+#include "cloud/network.h"
+
+#include <algorithm>
+
+#include "browser/forms.h"
+#include "util/strings.h"
+
+namespace bf::cloud {
+
+SimNetwork::SimNetwork(util::Rng* rng, double baseLatencyMs, double jitterMs)
+    : rng_(rng), baseLatencyMs_(baseLatencyMs), jitterMs_(jitterMs) {}
+
+void SimNetwork::registerService(std::string origin, Backend* backend) {
+  services_[std::move(origin)] = backend;
+}
+
+browser::HttpResponse SimNetwork::handle(const browser::HttpRequest& req) {
+  browser::HttpResponse resp;
+  const std::string origin = browser::originOf(req.url);
+  auto it = services_.find(origin);
+  if (it == services_.end()) {
+    resp.status = 502;
+    resp.body = "no such service: " + origin;
+  } else {
+    resp = it->second->handle(req);
+  }
+  LogEntry entry;
+  entry.request = req;
+  entry.response = resp;
+  entry.simulatedLatencyMs =
+      std::max(0.0, rng_->gaussian(baseLatencyMs_, jitterMs_));
+  log_.push_back(std::move(entry));
+  return resp;
+}
+
+std::vector<const SimNetwork::LogEntry*> SimNetwork::requestsTo(
+    const std::string& origin) const {
+  std::vector<const LogEntry*> out;
+  for (const auto& e : log_) {
+    if (util::startsWith(e.request.url, origin)) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string urlDecode(std::string_view s) {
+  return browser::urlDecodeComponent(s);
+}
+
+std::unordered_map<std::string, std::string> parseFormBody(
+    std::string_view body) {
+  std::unordered_map<std::string, std::string> out;
+  for (const auto& [k, v] : browser::parseFormBody(body)) out[k] = v;
+  return out;
+}
+
+}  // namespace bf::cloud

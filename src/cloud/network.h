@@ -1,0 +1,67 @@
+// SimNetwork: routes browser traffic to simulated cloud backends.
+//
+// Stands in for the Internet between the user's browser and the cloud
+// services' servers. Latency is *modelled* (drawn from a seeded Gaussian
+// and recorded per request) rather than slept, so benches can account for
+// network time without wall-clock waste. The request log doubles as the
+// experiment's ground truth of "what actually left the browser" — tests
+// assert on it to show that blocked uploads never reach a backend.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "browser/http.h"
+#include "util/rng.h"
+
+namespace bf::cloud {
+
+/// A cloud service's server side.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual browser::HttpResponse handle(const browser::HttpRequest& req) = 0;
+};
+
+class SimNetwork final : public browser::RequestSink {
+ public:
+  /// `rng` drives latency jitter; not owned.
+  explicit SimNetwork(util::Rng* rng, double baseLatencyMs = 20.0,
+                      double jitterMs = 6.0);
+
+  /// Registers `backend` (not owned) for all requests whose origin matches.
+  void registerService(std::string origin, Backend* backend);
+
+  browser::HttpResponse handle(const browser::HttpRequest& req) override;
+
+  struct LogEntry {
+    browser::HttpRequest request;
+    browser::HttpResponse response;
+    double simulatedLatencyMs = 0.0;
+  };
+  [[nodiscard]] const std::vector<LogEntry>& log() const noexcept {
+    return log_;
+  }
+  /// Requests whose URL starts with `origin`, in send order.
+  [[nodiscard]] std::vector<const LogEntry*> requestsTo(
+      const std::string& origin) const;
+  void clearLog() { log_.clear(); }
+
+ private:
+  util::Rng* rng_;
+  double baseLatencyMs_;
+  double jitterMs_;
+  std::unordered_map<std::string, Backend*> services_;
+  std::vector<LogEntry> log_;
+};
+
+/// Percent-decodes an application/x-www-form-urlencoded value.
+[[nodiscard]] std::string urlDecode(std::string_view s);
+
+/// Parses an urlencoded body into key/value pairs (later keys overwrite).
+[[nodiscard]] std::unordered_map<std::string, std::string> parseFormBody(
+    std::string_view body);
+
+}  // namespace bf::cloud

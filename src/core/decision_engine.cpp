@@ -1,0 +1,154 @@
+#include "core/decision_engine.h"
+
+#include "util/stopwatch.h"
+
+namespace bf::core {
+
+DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
+                               flow::FlowTracker* tracker,
+                               tdm::TdmPolicy* policy)
+    : config_(config), tracker_(tracker), policy_(policy) {}
+
+DecisionEngine::~DecisionEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    stopping_ = true;
+  }
+  queueCv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+Decision DecisionEngine::decide(const DecisionRequest& request) {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  return decideLocked(request);
+}
+
+Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
+  util::Stopwatch watch;
+  Decision decision;
+
+  // ---- Policy lookup module -------------------------------------------------
+  // 1. The text now exists in this segment of this service: observe it.
+  //    First observation assigns the service's Lc as explicit tags.
+  const flow::SegmentId id = tracker_->observeSegment(
+      request.kind, request.segmentName, request.documentName,
+      request.serviceId, request.text);
+  policy_->onSegmentObserved(request.segmentName, request.serviceId);
+
+  // 2. Find the sources this text discloses (cached when the fingerprint
+  //    is unchanged — the per-keystroke fast path).
+  decision.hits = tracker_->sourcesForSegment(id);
+
+  // 3. The segment's implicit tags become exactly the explicit tags of its
+  //    CURRENT disclosing sources (paper S3.2): new disclosure attaches
+  //    taint, and edits that removed all resemblance shed it.
+  std::vector<std::string> sourceNames;
+  sourceNames.reserve(decision.hits.size());
+  for (const auto& hit : decision.hits) sourceNames.push_back(hit.sourceName);
+  policy_->refreshImplicitTags(request.segmentName, sourceNames);
+
+  // 3b. Exact-match pass for short secrets (S4.4): each hit attaches the
+  //     secret's tag as an implicit tag, sharing the refresh lifecycle —
+  //     deleting the secret from the text sheds the tag on the next edit.
+  if (guard_ != nullptr) {
+    for (const auto& hit : guard_->scan(request.text)) {
+      policy_->addImplicitTag(request.segmentName, hit.tag);
+      decision.secretHits.push_back(hit.name);
+    }
+  }
+
+  // ---- Policy enforcement module ---------------------------------------------
+  const tdm::UploadDecision check =
+      policy_->checkUpload(request.segmentName, request.serviceId);
+  if (check.allowed) {
+    decision.action = Decision::Action::kAllow;
+  } else {
+    decision.violatingTags = check.violatingTags;
+    switch (config_.mode) {
+      case EnforcementMode::kWarn:
+        decision.action = Decision::Action::kWarn;
+        break;
+      case EnforcementMode::kBlock:
+        decision.action = Decision::Action::kBlock;
+        break;
+      case EnforcementMode::kEncrypt:
+        decision.action = Decision::Action::kEncrypt;
+        break;
+    }
+  }
+
+  decision.responseTimeMs = watch.elapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(timesMutex_);
+    responseTimesMs_.push_back(decision.responseTimeMs);
+  }
+  return decision;
+}
+
+std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
+  std::promise<Decision> promise;
+  std::future<Decision> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    queue_.emplace_back(std::move(request), std::move(promise));
+    ++inFlight_;
+    if (!workerStarted_) {
+      worker_ = std::thread([this] { workerLoop(); });
+      workerStarted_ = true;
+    }
+  }
+  queueCv_.notify_one();
+  return future;
+}
+
+void DecisionEngine::drain() {
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void DecisionEngine::workerLoop() {
+  for (;;) {
+    std::pair<DecisionRequest, std::promise<Decision>> item;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Decision d;
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      d = decideLocked(item.first);
+    }
+    item.second.set_value(std::move(d));
+    {
+      std::lock_guard<std::mutex> lock(queueMutex_);
+      --inFlight_;
+    }
+    idleCv_.notify_all();
+  }
+}
+
+tdm::Label DecisionEngine::lookupLabelForText(
+    const std::string& text, const std::string& excludeDocument) const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  tdm::Label label;
+  for (const auto& hit : tracker_->checkText(text, excludeDocument)) {
+    const tdm::Label* src = policy_->labelOf(hit.sourceName);
+    if (src != nullptr) label.addImplicitAll(src->propagatableTags());
+  }
+  return label;
+}
+
+std::vector<double> DecisionEngine::responseTimesMs() const {
+  std::lock_guard<std::mutex> lock(timesMutex_);
+  return responseTimesMs_;
+}
+
+void DecisionEngine::clearResponseTimes() {
+  std::lock_guard<std::mutex> lock(timesMutex_);
+  responseTimesMs_.clear();
+}
+
+}  // namespace bf::core

@@ -1,0 +1,135 @@
+// DecisionEngine — BrowserFlow's two in-plugin modules (paper Fig. 1):
+//
+//  - the POLICY LOOKUP module "extracts the security label associated with
+//    the text segment being uploaded": it observes the text in the flow
+//    tracker, finds disclosing sources by similarity, and folds their
+//    explicit tags into the segment's label as implicit tags;
+//  - the POLICY ENFORCEMENT module "uses the security label to reason about
+//    the compliance of the data propagation": the Li ⊆ Lp check plus the
+//    configured action (warn / block / encrypt).
+//
+// Decisions can run synchronously or on a worker thread; either way each
+// decision's response time is recorded, which is what Figs. 12/13 measure.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/secret_guard.h"
+#include "flow/tracker.h"
+#include "tdm/policy.h"
+
+namespace bf::core {
+
+/// One unit of work: "this text now exists in segment X of service Y; may
+/// it be uploaded there?"
+struct DecisionRequest {
+  /// Stable segment name, e.g. "https://docs.google.com/d/1#n4".
+  std::string segmentName;
+  /// Containing document identity (usually the tab URL).
+  std::string documentName;
+  /// Destination service id (the tab's origin).
+  std::string serviceId;
+  std::string text;
+  flow::SegmentKind kind = flow::SegmentKind::kParagraph;
+};
+
+struct Decision {
+  enum class Action { kAllow, kWarn, kBlock, kEncrypt };
+  Action action = Action::kAllow;
+  [[nodiscard]] bool violation() const noexcept {
+    return action != Action::kAllow;
+  }
+  /// Disclosing sources found by the lookup module.
+  std::vector<flow::DisclosureHit> hits;
+  /// Tags that made the Li ⊆ Lp check fail.
+  std::vector<tdm::Tag> violatingTags;
+  /// Names of registered short secrets found verbatim in the text
+  /// (paper S4.4's data-equality case).
+  std::vector<std::string> secretHits;
+  /// Wall-clock time from request to decision.
+  double responseTimeMs = 0.0;
+};
+
+class DecisionEngine {
+ public:
+  /// `tracker` and `policy` are shared with the plug-in; not owned.
+  DecisionEngine(const BrowserFlowConfig& config, flow::FlowTracker* tracker,
+                 tdm::TdmPolicy* policy);
+  ~DecisionEngine();
+
+  DecisionEngine(const DecisionEngine&) = delete;
+  DecisionEngine& operator=(const DecisionEngine&) = delete;
+
+  /// Runs the full lookup + enforcement pipeline inline.
+  Decision decide(const DecisionRequest& request);
+
+  /// Queues the request for the worker thread (started lazily).
+  std::future<Decision> decideAsync(DecisionRequest request);
+
+  /// Blocks until the worker queue is empty (test/bench synchronisation).
+  void drain();
+
+  /// Lookup-only path for text that is not (yet) hosted anywhere: builds
+  /// the label similarity implies, without registering any segment. Used
+  /// for form submissions where the text only exists in an <input>.
+  [[nodiscard]] tdm::Label lookupLabelForText(
+      const std::string& text, const std::string& excludeDocument = {}) const;
+
+  /// Response times of every decision made so far, in ms (append order).
+  [[nodiscard]] std::vector<double> responseTimesMs() const;
+  void clearResponseTimes();
+
+  /// Switches the enforcement action for future violations (advisory
+  /// deployments often start in warn mode and move to block).
+  void setMode(EnforcementMode mode) noexcept { config_.mode = mode; }
+  [[nodiscard]] EnforcementMode mode() const noexcept { return config_.mode; }
+
+  /// Installs the exact-match guard for short secrets (not owned; may be
+  /// null). A secret hit attaches the secret's tag to the segment as an
+  /// implicit tag, so the normal Li ⊆ Lp check — and per-copy suppression
+  /// — applies.
+  void setSecretGuard(SecretGuard* guard) noexcept { guard_ = guard; }
+
+  /// Serialises direct tracker/policy access with the engine's worker
+  /// thread. Any caller that touches the shared stores WITHOUT going
+  /// through decide()/decideAsync() must hold this while doing so.
+  /// Never hold it across a decide() call — that deadlocks.
+  [[nodiscard]] std::unique_lock<std::mutex> lockState() const {
+    return std::unique_lock<std::mutex>(stateMutex_);
+  }
+
+ private:
+  void workerLoop();
+  Decision decideLocked(const DecisionRequest& request);
+
+  BrowserFlowConfig config_;
+  flow::FlowTracker* tracker_;
+  tdm::TdmPolicy* policy_;
+  SecretGuard* guard_ = nullptr;
+
+  // One mutex serialises tracker/policy access between the caller thread
+  // and the worker; the paper's engine likewise processes decisions one at
+  // a time in the extension's background page.
+  mutable std::mutex stateMutex_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<std::pair<DecisionRequest, std::promise<Decision>>> queue_;
+  std::thread worker_;
+  bool workerStarted_ = false;
+  bool stopping_ = false;
+  std::size_t inFlight_ = 0;
+  std::condition_variable idleCv_;
+
+  mutable std::mutex timesMutex_;
+  std::vector<double> responseTimesMs_;
+};
+
+}  // namespace bf::core

@@ -1,0 +1,27 @@
+// Deployment persistence: one encrypted file holding the full BrowserFlow
+// state — fingerprint stores (flow/snapshot.h) AND policy state
+// (tdm/policy_snapshot.h) — so an enterprise install survives restarts
+// with labels, suppressions, custom tags and the audit trail intact.
+#pragma once
+
+#include <string>
+
+#include "core/plugin.h"
+#include "util/result.h"
+
+namespace bf::core {
+
+/// Writes the plug-in's tracker + policy state to `path`. With a non-empty
+/// `secret` the payload is ChaCha20-encrypted at rest (paper S4.4).
+[[nodiscard]] util::Status saveDeployment(BrowserFlowPlugin& plugin,
+                                          const std::string& path,
+                                          std::string_view secret);
+
+/// Restores a file written by saveDeployment() into a freshly constructed
+/// plug-in (empty tracker and policy). Returns the largest timestamp in
+/// the snapshot; the caller must advance the plug-in's clock past it.
+[[nodiscard]] util::Result<util::Timestamp> loadDeployment(
+    BrowserFlowPlugin& plugin, const std::string& path,
+    std::string_view secret);
+
+}  // namespace bf::core

@@ -1,0 +1,536 @@
+#include "core/plugin.h"
+
+#include <algorithm>
+
+#include "browser/forms.h"
+#include "browser/readability.h"
+#include "text/segmenter.h"
+#include "util/json_text.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace bf::core {
+
+BrowserFlowPlugin::BrowserFlowPlugin(BrowserFlowConfig config,
+                                     util::Clock* clock)
+    : config_(std::move(config)),
+      clock_(clock),
+      tracker_(config_.tracker, clock_),
+      policy_(clock_),
+      engine_(config_, &tracker_, &policy_),
+      sealer_(config_.orgSecret) {
+  engine_.setSecretGuard(&secretGuard_);
+}
+
+BrowserFlowPlugin::~BrowserFlowPlugin() = default;
+
+void BrowserFlowPlugin::onPageCreated(browser::Page& page) {
+  auto hooks = std::make_unique<PageHooks>();
+  hooks->page = &page;
+  PageHooks* raw = hooks.get();
+  hooks->observer = std::make_unique<browser::MutationObserver>(
+      [this, raw](const std::vector<browser::MutationRecord>& records) {
+        handleMutations(*raw, records);
+      });
+  hooks->observer->observe(page.document().root());
+  page.registerObserver(hooks->observer.get());
+  installXhrInterceptor(page);
+  hooks_.push_back(std::move(hooks));
+}
+
+void BrowserFlowPlugin::onPageClosing(browser::Page& page) {
+  auto it = std::find_if(
+      hooks_.begin(), hooks_.end(),
+      [&](const std::unique_ptr<PageHooks>& h) { return h->page == &page; });
+  if (it == hooks_.end()) return;
+  page.unregisterObserver((*it)->observer.get());
+  // Tracked segments persist — the document still exists in the cloud
+  // service; only the tab closed.
+  hooks_.erase(it);
+}
+
+browser::Node* BrowserFlowPlugin::paragraphContainerOf(browser::Node* node) {
+  for (browser::Node* n = node; n != nullptr; n = n->parent()) {
+    if (!n->isElement()) continue;
+    if (n->tag() == "p") return n;
+    if (util::containsIgnoreCase(n->className(), "docs-paragraph")) return n;
+  }
+  return nullptr;
+}
+
+void BrowserFlowPlugin::handleMutations(
+    PageHooks& hooks, const std::vector<browser::MutationRecord>& records) {
+  hookNewForms(hooks);
+
+  std::vector<browser::Node*> dirty;
+  bool removedTracked = false;
+  auto markDirty = [&](browser::Node* p) {
+    if (p != nullptr && std::find(dirty.begin(), dirty.end(), p) == dirty.end()) {
+      dirty.push_back(p);
+    }
+  };
+
+  for (const auto& rec : records) {
+    if (rec.type == browser::MutationType::kCharacterData) {
+      markDirty(paragraphContainerOf(rec.target));
+      continue;
+    }
+    for (browser::Node* added : rec.addedNodes) {
+      // The added subtree may itself contain paragraph containers.
+      if (!added->isElement()) {
+        markDirty(paragraphContainerOf(added));
+        continue;
+      }
+      added->forEachNode([&](browser::Node& n) {
+        if (n.isElement() && paragraphContainerOf(&n) == &n) markDirty(&n);
+      });
+    }
+    for (browser::Node* removed : rec.removedNodes) {
+      // NOTE: removed pointers are used only as map keys — the node may
+      // already be destroyed by the time records are flushed.
+      auto it = hooks.paragraphNames.find(removed);
+      if (it != hooks.paragraphNames.end()) {
+        const auto removalLock = engine_.lockState();
+        tracker_.removeSegmentByName(it->second);
+        policy_.forgetSegment(it->second);
+        hooks.paragraphNames.erase(it);
+        removedTracked = true;
+      }
+    }
+  }
+
+  // Removals also change the document's content, so they refresh the
+  // document segment below even with no dirty paragraphs.
+  if (dirty.empty() && !removedTracked) return;
+  for (browser::Node* p : dirty) checkParagraphNode(hooks, p);
+
+  // Refresh the document-granularity segment (paper S4.1 tracks both) and
+  // run the document-level disclosure check: individually innocuous
+  // paragraphs can cumulatively disclose a whole document ("one sentence
+  // from each paragraph").
+  std::string docText;
+  hooks.page->document().root()->forEachNode([&](browser::Node& n) {
+    if (n.isElement() && paragraphContainerOf(&n) == &n) {
+      if (!docText.empty()) docText += "\n\n";
+      docText += n.textContent();
+    }
+  });
+  const std::string& url = hooks.page->url();
+  DecisionRequest docReq;
+  docReq.segmentName = url;
+  docReq.documentName = url;
+  docReq.serviceId = hooks.page->origin();
+  docReq.text = std::move(docText);
+  docReq.kind = flow::SegmentKind::kDocument;
+  if (config_.asyncParagraphChecks) {
+    hooks.pendingDocs.push_back(engine_.decideAsync(std::move(docReq)));
+  } else {
+    const Decision d = engine_.decide(docReq);
+    if (d.violation()) recordViolation(url, docReq.serviceId, d);
+  }
+}
+
+Decision BrowserFlowPlugin::checkParagraphNode(PageHooks& hooks,
+                                               browser::Node* paragraph) {
+  auto it = hooks.paragraphNames.find(paragraph);
+  if (it == hooks.paragraphNames.end()) {
+    std::string name =
+        hooks.page->url() + "#n" + std::to_string(hooks.nextNodeId++);
+    it = hooks.paragraphNames.emplace(paragraph, std::move(name)).first;
+  }
+  DecisionRequest req;
+  req.segmentName = it->second;
+  req.documentName = hooks.page->url();
+  req.serviceId = hooks.page->origin();
+  req.text = paragraph->textContent();
+
+  if (config_.asyncParagraphChecks) {
+    // Paper S6.2: the user keeps typing; the decision arrives off the main
+    // path and the highlight is applied at the next idle point.
+    hooks.pending.emplace_back(paragraph, engine_.decideAsync(req));
+    return Decision{};
+  }
+  const Decision d = engine_.decide(req);
+  applyParagraphDecision(paragraph, req.segmentName, req.serviceId, d);
+  return d;
+}
+
+void BrowserFlowPlugin::applyParagraphDecision(browser::Node* paragraph,
+                                               const std::string& segmentName,
+                                               const std::string& serviceId,
+                                               const Decision& d) {
+  // Surface the result the way the paper's plug-in does: by changing the
+  // paragraph's background colour while it discloses sensitive data.
+  paragraph->setAttribute(kStateAttr, d.violation() ? kViolation : kClean);
+  paragraph->setAttribute(
+      "style", d.violation() ? "background-color:#ffd6d6" : "");
+  if (d.violation()) recordViolation(segmentName, serviceId, d);
+}
+
+void BrowserFlowPlugin::drainPendingDecisions() {
+  engine_.drain();
+  for (auto& hooks : hooks_) {
+    for (auto& [paragraph, future] : hooks->pending) {
+      // The node may have been deleted while the decision was in flight.
+      auto it = hooks->paragraphNames.find(paragraph);
+      if (it == hooks->paragraphNames.end()) {
+        (void)future.get();
+        continue;
+      }
+      applyParagraphDecision(paragraph, it->second, hooks->page->origin(),
+                             future.get());
+    }
+    hooks->pending.clear();
+    for (auto& future : hooks->pendingDocs) {
+      const Decision d = future.get();
+      if (d.violation()) {
+        recordViolation(hooks->page->url(), hooks->page->origin(), d);
+      }
+    }
+    hooks->pendingDocs.clear();
+  }
+}
+
+void BrowserFlowPlugin::hookNewForms(PageHooks& hooks) {
+  std::vector<browser::Node*> forms =
+      hooks.page->document().root()->elementsByTag("form");
+  for (browser::Node* form : forms) {
+    if (hooks.hookedForms.insert(form).second) {
+      installFormListener(hooks, form);
+    }
+  }
+}
+
+void BrowserFlowPlugin::installFormListener(PageHooks& hooks,
+                                            browser::Node* form) {
+  PageHooks* raw = &hooks;
+  raw->page->addSubmitListener(form, [this, raw, form](
+                                         browser::SubmitEvent& event) {
+    browser::Page& page = *raw->page;
+    // "inspects all non-hidden <input> elements in the form and extracts
+    //  their value attributes" (S5.1).
+    const std::vector<browser::Node*> inputs = browser::nonHiddenInputs(form);
+    std::string combined;
+    for (browser::Node* input : inputs) {
+      const std::string v = input->attribute("value");
+      if (v.empty()) continue;
+      if (!combined.empty()) combined += "\n\n";
+      combined += v;
+    }
+    if (combined.empty()) return;  // nothing to check
+
+    const Decision d = decideFormDraft(page, combined);
+    if (!d.violation()) {
+      return;  // default submission proceeds; drafts are already tracked
+    }
+
+    recordViolation(page.url() + "/draft", page.origin(), d);
+    switch (config_.mode) {
+      case EnforcementMode::kWarn:
+        // Advisory model: surface the warning, let the upload proceed.
+        break;
+      case EnforcementMode::kBlock:
+        event.preventDefault();
+        policy_.audit().append(
+            {tdm::AuditRecord::Kind::kUploadBlocked, clock_->now(), "",
+             tdm::Tag{}, page.url() + "/form", page.origin(), ""});
+        break;
+      case EnforcementMode::kEncrypt:
+        // Seal every non-hidden value; the default submission then carries
+        // ciphertext only.
+        for (browser::Node* input : inputs) {
+          const std::string v = input->attribute("value");
+          if (!v.empty()) input->setAttribute("value", sealer_.seal(v));
+        }
+        policy_.audit().append(
+            {tdm::AuditRecord::Kind::kUploadEncrypted, clock_->now(), "",
+             tdm::Tag{}, page.url() + "/form", page.origin(), ""});
+        break;
+    }
+  });
+}
+
+void BrowserFlowPlugin::registerServiceAdapter(
+    const std::string& origin, std::unique_ptr<ServiceAdapter> adapter) {
+  adapters_[origin] = std::move(adapter);
+}
+
+const ServiceAdapter& BrowserFlowPlugin::adapterFor(
+    const std::string& origin, const browser::HttpRequest& request) const {
+  auto it = adapters_.find(origin);
+  if (it != adapters_.end()) return *it->second;
+  if (util::looksLikeJson(request.body)) return jsonAdapter_;
+  return formAdapter_;
+}
+
+void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
+  // "BrowserFlow sets a custom XMLHttpRequest.prototype.send method,
+  //  exposing an interception point to observe all HTTP requests" (S5.2).
+  auto original = page.xhrPrototype().send;
+  browser::Page* pagePtr = &page;
+  page.xhrPrototype().send =
+      [this, pagePtr, original](browser::Xhr& xhr,
+                                const browser::HttpRequest& req)
+      -> browser::HttpResponse {
+    const ServiceAdapter& adapter = adapterFor(pagePtr->origin(), req);
+    std::vector<UploadField> fields = adapter.extractUploadText(req);
+    if (fields.empty()) return original(xhr, req);  // no user text
+
+    bool anyViolation = false;
+    std::vector<bool> violates(fields.size(), false);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      Decision d =
+          decideUploadText(fields[i].text, pagePtr->url(), pagePtr->origin());
+      if (d.violation()) {
+        anyViolation = true;
+        violates[i] = true;
+        recordViolation(pagePtr->url() + "/xhr", pagePtr->origin(), d);
+      }
+    }
+    // Cumulative document-level check: the page's document segment (kept
+    // fresh by the mutation path) may violate even when the single
+    // uploaded paragraph does not.
+    if (!anyViolation &&
+        policy_.labelOf(pagePtr->url()) != nullptr) {
+      const auto stateLock = engine_.lockState();
+      const tdm::UploadDecision docCheck =
+          policy_.checkUpload(pagePtr->url(), pagePtr->origin());
+      if (!docCheck.allowed) {
+        anyViolation = true;
+        Decision d;
+        d.violatingTags = docCheck.violatingTags;
+        d.action = config_.mode == EnforcementMode::kBlock
+                       ? Decision::Action::kBlock
+                   : config_.mode == EnforcementMode::kEncrypt
+                       ? Decision::Action::kEncrypt
+                       : Decision::Action::kWarn;
+        recordViolation(pagePtr->url() + "/xhr(document)", pagePtr->origin(),
+                        d);
+      }
+    }
+    if (!anyViolation) return original(xhr, req);
+
+    switch (config_.mode) {
+      case EnforcementMode::kWarn:
+        return original(xhr, req);
+      case EnforcementMode::kBlock:
+        policy_.audit().append(
+            {tdm::AuditRecord::Kind::kUploadBlocked, clock_->now(), "",
+             tdm::Tag{}, pagePtr->url() + "/xhr", pagePtr->origin(), ""});
+        return {403, "BrowserFlow: upload blocked by data disclosure policy"};
+      case EnforcementMode::kEncrypt: {
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+          if (violates[i]) fields[i].text = sealer_.seal(fields[i].text);
+        }
+        browser::HttpRequest sealed = req;
+        sealed.body = adapter.rebuildBody(req, fields);
+        policy_.audit().append(
+            {tdm::AuditRecord::Kind::kUploadEncrypted, clock_->now(), "",
+             tdm::Tag{}, pagePtr->url() + "/xhr", pagePtr->origin(), ""});
+        return original(xhr, sealed);
+      }
+    }
+    return original(xhr, req);
+  };
+}
+
+namespace {
+
+/// Merges hits/tags of a sub-check into the aggregate decision.
+void mergeInto(Decision& total, std::vector<flow::DisclosureHit> hits,
+               std::vector<tdm::Tag> tags, bool violated) {
+  for (auto& h : hits) total.hits.push_back(std::move(h));
+  if (violated) {
+    for (auto& t : tags) {
+      if (std::find(total.violatingTags.begin(), total.violatingTags.end(),
+                    t) == total.violatingTags.end()) {
+        total.violatingTags.push_back(std::move(t));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
+                                             const std::string& documentName,
+                                             const std::string& serviceId) {
+  // This path reads the tracker/policy directly (no engine_.decide call),
+  // so it must serialise with the async decision worker.
+  const auto stateLock = engine_.lockState();
+  Decision decision;
+  bool violated = false;
+
+  // Checks one granularity of one text unit.
+  auto checkUnit = [&](const std::string& unit, flow::SegmentKind kind) {
+    const text::Fingerprint fp = tracker_.fingerprintOf(unit);
+    std::vector<flow::DisclosureHit> hits = tracker_.disclosedSources(
+        fp, kind, flow::kInvalidSegment, documentName);
+
+    tdm::UploadDecision check;
+    if (const flow::SegmentRecord* seg =
+            tracker_.findSegmentWithFingerprint(documentName, fp, kind)) {
+      // The outgoing text is a tracked segment of this document: its
+      // registered label (implicit tags, user suppressions) decides.
+      check = policy_.checkUpload(seg->name, serviceId);
+    } else {
+      // Unregistered text: synthesize the label — the disclosing sources'
+      // explicit tags as implicit, plus the destination's Lc for text
+      // being created there.
+      tdm::Label label;
+      for (const auto& hit : hits) {
+        const tdm::Label* src = policy_.labelOf(hit.sourceName);
+        if (src != nullptr) label.addImplicitAll(src->propagatableTags());
+      }
+      if (const tdm::ServiceInfo* svc = policy_.services().find(serviceId)) {
+        for (const tdm::Tag& t : svc->confidentiality) label.addExplicit(t);
+      }
+      // Exact-match pass for short secrets (S4.4).
+      for (const auto& secretHit : secretGuard_.scan(unit)) {
+        label.addImplicit(secretHit.tag);
+        decision.secretHits.push_back(secretHit.name);
+      }
+      check = policy_.checkLabel(label, serviceId);
+    }
+    if (!check.allowed) violated = true;
+    mergeInto(decision, std::move(hits), std::move(check.violatingTags),
+              !check.allowed);
+  };
+
+  // Paragraph granularity: each paragraph of the upload individually.
+  const auto paragraphs = text::segmentParagraphs(text);
+  for (const auto& para : paragraphs) {
+    checkUnit(para.text, flow::SegmentKind::kParagraph);
+  }
+  // Document granularity for multi-paragraph uploads: catches "one
+  // sentence from each paragraph" aggregation leaks (paper S4.1).
+  if (paragraphs.size() > 1) {
+    checkUnit(text, flow::SegmentKind::kDocument);
+  }
+
+  decision.action =
+      !violated ? Decision::Action::kAllow
+      : config_.mode == EnforcementMode::kBlock   ? Decision::Action::kBlock
+      : config_.mode == EnforcementMode::kEncrypt ? Decision::Action::kEncrypt
+                                                  : Decision::Action::kWarn;
+  return decision;
+}
+
+Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
+                                            const std::string& text) {
+  const std::string draftDoc = page.url() + "/draft";
+  const std::string service = page.origin();
+  Decision decision;
+  bool violated = false;
+
+  // Each paragraph of the draft runs the full engine pipeline: it is
+  // observed as a segment of this service (Lc assignment), disclosure is
+  // looked up, implicit tags refresh, and the flow rule is checked.
+  const auto paragraphs = text::segmentParagraphs(text);
+  for (const auto& para : paragraphs) {
+    DecisionRequest req;
+    req.segmentName = draftDoc + "#p" + std::to_string(para.index);
+    req.documentName = draftDoc;
+    req.serviceId = service;
+    req.text = para.text;
+    req.kind = flow::SegmentKind::kParagraph;
+    Decision d = engine_.decide(req);
+    if (d.violation()) violated = true;
+    mergeInto(decision, std::move(d.hits), std::move(d.violatingTags),
+              d.violation());
+  }
+
+  // Prune paragraphs left over from an earlier, longer draft.
+  for (std::size_t i = paragraphs.size();; ++i) {
+    const std::string name = draftDoc + "#p" + std::to_string(i);
+    if (tracker_.segmentByName(name) == nullptr) break;
+    tracker_.removeSegmentByName(name);
+    policy_.forgetSegment(name);
+  }
+
+  // Document granularity.
+  if (paragraphs.size() > 1) {
+    DecisionRequest req;
+    req.segmentName = draftDoc;
+    req.documentName = draftDoc;
+    req.serviceId = service;
+    req.text = text;
+    req.kind = flow::SegmentKind::kDocument;
+    Decision d = engine_.decide(req);
+    if (d.violation()) violated = true;
+    mergeInto(decision, std::move(d.hits), std::move(d.violatingTags),
+              d.violation());
+  }
+
+  decision.action =
+      !violated ? Decision::Action::kAllow
+      : config_.mode == EnforcementMode::kBlock   ? Decision::Action::kBlock
+      : config_.mode == EnforcementMode::kEncrypt ? Decision::Action::kEncrypt
+                                                  : Decision::Action::kWarn;
+  return decision;
+}
+
+void BrowserFlowPlugin::recordViolation(const std::string& segmentName,
+                                        const std::string& serviceId,
+                                        const Decision& d) {
+  policy_.audit().append({tdm::AuditRecord::Kind::kViolationWarned,
+                          clock_->now(), "", tdm::Tag{}, segmentName,
+                          serviceId, ""});
+  warnings_.push_back(Warning{segmentName, serviceId, d});
+  BF_LOG(util::LogLevel::kInfo, "browserflow")
+      << "violation: segment " << segmentName << " -> " << serviceId;
+}
+
+void BrowserFlowPlugin::scanPage(browser::Page& page) {
+  const browser::ExtractionResult extracted =
+      browser::extractMainText(*page.document().root());
+  if (extracted.text.empty()) return;
+  observeServiceDocument(page.origin(), page.url(), extracted.text);
+}
+
+void BrowserFlowPlugin::observeServiceDocument(
+    const std::string& serviceId, const std::string& docName,
+    const std::string& text, std::optional<double> paragraphThreshold,
+    std::optional<double> documentThreshold) {
+  const auto stateLock = engine_.lockState();
+  auto obs = tracker_.observeDocument(docName, serviceId, text,
+                                      paragraphThreshold, documentThreshold);
+  policy_.onSegmentObserved(docName, serviceId);
+  for (flow::SegmentId pid : obs.paragraphs) {
+    const flow::SegmentRecord* rec = tracker_.segment(pid);
+    if (rec != nullptr) policy_.onSegmentObserved(rec->name, serviceId);
+  }
+}
+
+util::Status BrowserFlowPlugin::suppressTag(const std::string& user,
+                                            const std::string& segmentName,
+                                            const tdm::Tag& tag,
+                                            const std::string& justification) {
+  const auto stateLock = engine_.lockState();
+  util::Status status =
+      policy_.suppressTag(user, segmentName, tag, justification);
+  if (!status.ok()) return status;
+  // Both granularities are checked on upload (paper S4.1); a paragraph
+  // declassification extends to the containing document segment so the
+  // document-level check does not silently re-block the same tag.
+  const std::size_t hash = segmentName.rfind('#');
+  if (hash != std::string::npos) {
+    const std::string docName = segmentName.substr(0, hash);
+    if (policy_.labelOf(docName) != nullptr) {
+      // Best-effort: the tag may not be active at document level.
+      (void)policy_.suppressTag(user, docName, tag,
+                                justification + " (document granularity)");
+    }
+  }
+  return status;
+}
+
+std::string BrowserFlowPlugin::segmentNameOf(browser::Node* paragraph) const {
+  for (const auto& hooks : hooks_) {
+    auto it = hooks->paragraphNames.find(paragraph);
+    if (it != hooks->paragraphNames.end()) return it->second;
+  }
+  return {};
+}
+
+}  // namespace bf::core

@@ -1,0 +1,52 @@
+// Policy configuration loader.
+//
+// "Administrators specify an enterprise-wide data disclosure policy"
+// (paper S1) — in a deployable system that policy lives in a config file,
+// not in C++ code. The loader understands an INI-style dialect:
+//
+//   # comments and blank lines are ignored
+//   [defaults]
+//   mode = warn | block | encrypt
+//
+//   [service https://itool.corp]
+//   name = Interview Tool
+//   privilege = ti, tw          # Lp
+//   confidentiality = ti        # Lc
+//   adapter = json: note_text, subject   # optional upload adapter
+//
+//   [secret prod-api-key]
+//   tag = api-key
+//   value = sk-live-9A7xQ2Lm44
+//
+// Every [service] becomes a ServiceRegistry entry (and optionally a JSON
+// adapter registration); every [secret] feeds the SecretGuard. Unknown
+// sections/keys are collected as warnings rather than hard errors, so a
+// newer config degrades gracefully on an older client.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/plugin.h"
+#include "util/result.h"
+
+namespace bf::core {
+
+struct PolicyConfigSummary {
+  std::size_t services = 0;
+  std::size_t secrets = 0;
+  bool modeSet = false;
+  /// Non-fatal issues: unknown keys, rejected secrets, etc.
+  std::vector<std::string> warnings;
+};
+
+/// Applies a config text to the plug-in. Returns the summary, or an error
+/// for structurally invalid input (bad section headers, bad mode values).
+[[nodiscard]] util::Result<PolicyConfigSummary> loadPolicyConfig(
+    BrowserFlowPlugin& plugin, std::string_view configText);
+
+/// File variant.
+[[nodiscard]] util::Result<PolicyConfigSummary> loadPolicyConfigFile(
+    BrowserFlowPlugin& plugin, const std::string& path);
+
+}  // namespace bf::core

@@ -1,0 +1,37 @@
+#include "core/secret_guard.h"
+
+#include <algorithm>
+
+#include "text/normalizer.h"
+
+namespace bf::core {
+
+bool SecretGuard::addSecret(std::string name, std::string_view value,
+                            tdm::Tag tag) {
+  const text::NormalizedText normalized = text::normalize(value);
+  if (normalized.size() < kMinLength) return false;
+  automaton_.addPattern(normalized.text, secrets_.size());
+  secrets_.push_back(Secret{std::move(name), std::move(tag)});
+  return true;
+}
+
+std::vector<SecretGuard::Hit> SecretGuard::scan(std::string_view text) {
+  std::vector<Hit> out;
+  if (secrets_.empty()) return out;
+  const text::NormalizedText normalized = text::normalize(text);
+  std::vector<bool> seen(secrets_.size(), false);
+  for (const auto& match : automaton_.findAll(normalized.text)) {
+    if (match.id < seen.size() && !seen[match.id]) {
+      seen[match.id] = true;
+      out.push_back(Hit{secrets_[match.id].name, secrets_[match.id].tag});
+    }
+  }
+  return out;
+}
+
+bool SecretGuard::containsSecret(std::string_view text) {
+  if (secrets_.empty()) return false;
+  return automaton_.containsAny(text::normalize(text).text);
+}
+
+}  // namespace bf::core

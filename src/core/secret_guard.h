@@ -1,0 +1,65 @@
+// SecretGuard — exact-match protection for short sensitive strings.
+//
+// The paper concedes that imprecise tracking cannot protect text shorter
+// than a fingerprinting window: "Short but sensitive text ... is typically
+// only relevant ... in specific scenarios, e.g. when the text is used as a
+// password. For such specific use cases, for example password reuse
+// prevention, specialised systems which rely on data equality only are
+// more effective." (S4.4)
+//
+// SecretGuard is that specialised system, integrated: administrators
+// register short secrets (passwords, API keys, account numbers); every
+// outgoing text is scanned with one Aho-Corasick pass over its normalized
+// form, so matching is insensitive to case, spacing and punctuation and
+// costs O(text) regardless of how many secrets are registered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tdm/tag_set.h"
+#include "text/aho_corasick.h"
+
+namespace bf::core {
+
+class SecretGuard {
+ public:
+  /// One registered secret.
+  struct Secret {
+    std::string name;  ///< human-readable label for warnings/audit
+    tdm::Tag tag;      ///< TDM tag attached to uploads containing it
+  };
+
+  /// Registers a secret. `value` is normalized before indexing, so
+  /// "Hunter-2 42" and "hunter242" are the same secret. Values whose
+  /// normalized form is shorter than `minLength` (default 6) are rejected
+  /// to avoid false positives on trivial strings. Returns false if
+  /// rejected.
+  bool addSecret(std::string name, std::string_view value, tdm::Tag tag);
+
+  /// One hit in a scanned text.
+  struct Hit {
+    std::string name;
+    tdm::Tag tag;
+  };
+
+  /// Scans `text` (normalized internally) for all registered secrets.
+  /// Distinct secrets are reported once each.
+  [[nodiscard]] std::vector<Hit> scan(std::string_view text);
+
+  /// True if any secret occurs in `text`.
+  [[nodiscard]] bool containsSecret(std::string_view text);
+
+  [[nodiscard]] std::size_t size() const noexcept { return secrets_.size(); }
+
+  /// Minimum normalized secret length (guards against trivial patterns).
+  static constexpr std::size_t kMinLength = 6;
+
+ private:
+  text::AhoCorasick automaton_;
+  std::vector<Secret> secrets_;
+};
+
+}  // namespace bf::core

@@ -1,0 +1,76 @@
+#include "core/service_adapter.h"
+
+#include <algorithm>
+
+#include "browser/forms.h"
+#include "util/json_text.h"
+
+namespace bf::core {
+
+bool isConventionalTextField(const std::string& key) {
+  static constexpr const char* kTextFields[] = {"text",    "content", "body",
+                                                "message", "comment", "value"};
+  return std::any_of(std::begin(kTextFields), std::end(kTextFields),
+                     [&](const char* f) { return key == f; });
+}
+
+// ---- FormEncodedAdapter -----------------------------------------------------
+
+std::vector<UploadField> FormEncodedAdapter::extractUploadText(
+    const browser::HttpRequest& request) const {
+  std::vector<UploadField> out;
+  for (const auto& [key, value] : browser::parseFormBody(request.body)) {
+    if (isConventionalTextField(key) && !value.empty()) {
+      out.push_back({key, value});
+    }
+  }
+  return out;
+}
+
+std::string FormEncodedAdapter::rebuildBody(
+    const browser::HttpRequest& request,
+    const std::vector<UploadField>& fields) const {
+  auto pairs = browser::parseFormBody(request.body);
+  for (const auto& f : fields) pairs[f.key] = f.text;
+  return browser::encodeFormPairs(pairs);
+}
+
+// ---- JsonFieldAdapter ---------------------------------------------------------
+
+JsonFieldAdapter::JsonFieldAdapter(std::vector<std::string> textKeys)
+    : textKeys_(std::move(textKeys)) {}
+
+bool JsonFieldAdapter::isTextKey(const std::string& key) const {
+  if (textKeys_.empty()) return isConventionalTextField(key);
+  return std::find(textKeys_.begin(), textKeys_.end(), key) !=
+         textKeys_.end();
+}
+
+std::vector<UploadField> JsonFieldAdapter::extractUploadText(
+    const browser::HttpRequest& request) const {
+  std::vector<UploadField> out;
+  if (!util::looksLikeJson(request.body)) return out;
+  for (const auto& field : util::scanJsonStringFields(request.body)) {
+    if (isTextKey(field.key) && !field.value.empty()) {
+      out.push_back({field.key, field.value});
+    }
+  }
+  return out;
+}
+
+std::string JsonFieldAdapter::rebuildBody(
+    const browser::HttpRequest& request,
+    const std::vector<UploadField>& fields) const {
+  const auto scanned = util::scanJsonStringFields(request.body);
+  std::vector<std::pair<std::size_t, std::string>> replacements;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < scanned.size() && next < fields.size(); ++i) {
+    if (isTextKey(scanned[i].key) && !scanned[i].value.empty()) {
+      replacements.emplace_back(i, fields[next].text);
+      ++next;
+    }
+  }
+  return util::replaceJsonStringValues(request.body, scanned, replacements);
+}
+
+}  // namespace bf::core

@@ -1,0 +1,81 @@
+// Service adapters — per-service transformation of upload payloads to text
+// segments (paper S4.4):
+//
+// "While many services used for document editing ... have the concept of
+//  documents and paragraphs, some services do not. They may be supported
+//  by BrowserFlow if there is a service-specific transformation of the
+//  service's data to text segments."
+//
+// An adapter knows how to pull user text out of an outgoing request body
+// and how to write (possibly rewritten, e.g. sealed) text back into it.
+// The plug-in ships two generic adapters — urlencoded form bodies and JSON
+// bodies — and services with bespoke wire formats register their own.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/http.h"
+
+namespace bf::core {
+
+/// One user-text unit extracted from a request.
+struct UploadField {
+  /// Identifier within the body (form key, JSON key, ...).
+  std::string key;
+  std::string text;
+};
+
+class ServiceAdapter {
+ public:
+  virtual ~ServiceAdapter() = default;
+
+  /// Extracts the user-text fields from an outgoing request. Returning an
+  /// empty vector means "no user text here" and the request passes
+  /// untouched.
+  [[nodiscard]] virtual std::vector<UploadField> extractUploadText(
+      const browser::HttpRequest& request) const = 0;
+
+  /// Rebuilds the request body with the given (rewritten) fields. Fields
+  /// must be those returned by extractUploadText, in order, with only
+  /// their `text` changed.
+  [[nodiscard]] virtual std::string rebuildBody(
+      const browser::HttpRequest& request,
+      const std::vector<UploadField>& fields) const = 0;
+};
+
+/// application/x-www-form-urlencoded bodies; text is taken from the
+/// conventional user-content keys (text, content, body, message, comment,
+/// value).
+class FormEncodedAdapter final : public ServiceAdapter {
+ public:
+  [[nodiscard]] std::vector<UploadField> extractUploadText(
+      const browser::HttpRequest& request) const override;
+  [[nodiscard]] std::string rebuildBody(
+      const browser::HttpRequest& request,
+      const std::vector<UploadField>& fields) const override;
+};
+
+/// JSON bodies: string values of the configured keys (at any nesting
+/// depth) are user text. With no keys configured, the same conventional
+/// user-content keys as the form adapter apply.
+class JsonFieldAdapter final : public ServiceAdapter {
+ public:
+  explicit JsonFieldAdapter(std::vector<std::string> textKeys = {});
+  [[nodiscard]] std::vector<UploadField> extractUploadText(
+      const browser::HttpRequest& request) const override;
+  [[nodiscard]] std::string rebuildBody(
+      const browser::HttpRequest& request,
+      const std::vector<UploadField>& fields) const override;
+
+ private:
+  [[nodiscard]] bool isTextKey(const std::string& key) const;
+  std::vector<std::string> textKeys_;
+};
+
+/// True for the conventional user-content field names shared by the
+/// generic adapters.
+[[nodiscard]] bool isConventionalTextField(const std::string& key);
+
+}  // namespace bf::core

@@ -1,0 +1,234 @@
+#include "corpus/datasets.h"
+
+#include <cassert>
+
+namespace bf::corpus {
+
+namespace {
+
+/// Per-transition profile for manual chapters: probabilities applied once
+/// per version transition (one evolve step), so values are large compared
+/// to the per-revision Wikipedia profiles. Change is dominated by
+/// block-coherent paragraph rewrites (`rewrite`), with light sentence-level
+/// noise: small deletions/insertions both metrics see, plus a small
+/// rephrase component that only the concept-level expert sees.
+VolatilityProfile transitionProfile(double rewrite, double del,
+                                    double insert, double rephrase = 0.04) {
+  VolatilityProfile p;
+  p.minorEditProb = 0.005;
+  p.rephraseProb = rephrase;
+  p.rewriteParagraphProb = rewrite;
+  p.deleteSentenceProb = del;
+  p.insertSentenceProb = insert;
+  p.moveParagraphProb = 0.1;
+  return p;
+}
+
+}  // namespace
+
+WikipediaDataset buildWikipedia(const WikipediaConfig& config) {
+  WikipediaDataset ds;
+  ds.config = config;
+  util::Rng rng(config.seed);
+  TextGenerator gen(&rng);
+  RevisionModel model(&gen, &rng);
+
+  ds.articles.reserve(config.articles);
+  for (std::size_t a = 0; a < config.articles; ++a) {
+    WikipediaArticle art;
+    art.title = "article-" + std::to_string(a);
+    art.isVolatile = rng.uniform01() < config.volatileFraction;
+    const VolatilityProfile profile =
+        art.isVolatile ? volatileProfile() : stableProfile();
+
+    const std::size_t paragraphs =
+        rng.uniform(config.minParagraphs, config.maxParagraphs);
+    VersionedDoc doc = model.createDocument(art.title, paragraphs);
+    art.checkpoints.push_back(doc);
+    art.checkpointRevision.push_back(0);
+
+    std::size_t done = 0;
+    while (done < config.revisions) {
+      const std::size_t step =
+          std::min(config.checkpointInterval, config.revisions - done);
+      model.evolve(doc, profile, step);
+      done += step;
+      art.checkpoints.push_back(doc);
+      art.checkpointRevision.push_back(done);
+    }
+    ds.articles.push_back(std::move(art));
+  }
+  return ds;
+}
+
+ManualsDataset buildManuals(std::uint64_t seed) {
+  ManualsDataset ds;
+  util::Rng rng(seed);
+  TextGenerator gen(&rng);
+  RevisionModel model(&gen, &rng);
+
+  struct ChapterSpec {
+    const char* name;
+    std::size_t paragraphs;
+    std::vector<std::string> versionNames;
+    /// One profile per transition versionNames[i] -> versionNames[i+1].
+    std::vector<VolatilityProfile> transitions;
+  };
+
+  // Change dynamics shaped like Fig. 10: both iPhone chapters "change
+  // significantly over time" (the latest version disclosing almost nothing
+  // from the base); "New Features" shows reduced disclosure after its
+  // second version; "What's MySQL" remains unchanged across versions.
+  // Edits are dominated by content replacement (delete + insert), which
+  // both the expert and the fingerprint see, with a small rephrase
+  // component that only the expert sees — producing the paper's small
+  // systematic BrowserFlow-under-expert gap.
+  const std::vector<ChapterSpec> specs = {
+      {"IPhone Camera",
+       40,
+       {"iOS3", "iOS4", "iOS5", "iOS7"},
+       {transitionProfile(0.40, 0.01, 0.012),
+        transitionProfile(0.50, 0.01, 0.012),
+        transitionProfile(0.83, 0.012, 0.015)}},
+      {"IPhone Message",
+       20,
+       {"iOS3", "iOS4", "iOS5", "iOS7"},
+       {transitionProfile(0.45, 0.01, 0.012),
+        transitionProfile(0.55, 0.01, 0.012),
+        transitionProfile(0.90, 0.012, 0.015)}},
+      {"MySQL New Features",
+       28,
+       {"4.0", "4.1", "5.0", "5.1"},
+       {transitionProfile(0.0, 0.01, 0.02),
+        transitionProfile(0.45, 0.01, 0.012),
+        transitionProfile(0.35, 0.01, 0.012)}},
+      {"MySQL What's MySQL",
+       8,
+       {"4.0", "4.1", "5.0", "5.1"},
+       {transitionProfile(0.0, 0.0, 0.0, 0.005),
+        transitionProfile(0.0, 0.0, 0.0, 0.005),
+        transitionProfile(0.0, 0.0, 0.0, 0.005)}},
+  };
+
+  for (const auto& spec : specs) {
+    ManualChapter ch;
+    ch.name = spec.name;
+    ch.versionNames = spec.versionNames;
+    VersionedDoc doc = model.createDocument(spec.name, spec.paragraphs);
+    ch.versions.push_back(doc);
+    for (const auto& profile : spec.transitions) {
+      model.evolve(doc, profile);
+      ch.versions.push_back(doc);
+    }
+    assert(ch.versions.size() == spec.versionNames.size());
+    ds.chapters.push_back(std::move(ch));
+  }
+  return ds;
+}
+
+NewsDataset buildNews(std::uint64_t seed) {
+  NewsDataset ds;
+  util::Rng rng(seed);
+  TextGenerator gen(&rng);
+  RevisionModel model(&gen, &rng);
+  ds.articles.push_back(model.createDocument("news-0", 27));
+  ds.articles.push_back(model.createDocument("news-1", 27));
+  return ds;
+}
+
+EbooksDataset buildEbooks(const EbooksConfig& config) {
+  EbooksDataset ds;
+  ds.config = config;
+  util::Rng rng(config.seed);
+  TextGenerator gen(&rng);
+  RevisionModel model(&gen, &rng);
+  ds.books.reserve(config.books);
+  for (std::size_t b = 0; b < config.books; ++b) {
+    const std::size_t paragraphs =
+        rng.uniform(config.minParagraphsPerBook, config.maxParagraphsPerBook);
+    VersionedDoc book =
+        model.createDocument("book-" + std::to_string(b), paragraphs);
+    ds.totalBytes += book.renderedSize();
+    ds.books.push_back(std::move(book));
+  }
+  return ds;
+}
+
+DatasetStats statsOf(const WikipediaDataset& ds) {
+  DatasetStats s;
+  s.name = "Wikipedia Articles";
+  s.documents = ds.articles.size();
+  s.versions = ds.config.revisions;
+  double paragraphs = 0, bytes = 0;
+  std::size_t count = 0;
+  for (const auto& a : ds.articles) {
+    for (const auto& v : a.checkpoints) {
+      paragraphs += static_cast<double>(v.paragraphs.size());
+      bytes += static_cast<double>(v.renderedSize());
+      ++count;
+    }
+  }
+  if (count > 0) {
+    s.avgParagraphs = paragraphs / static_cast<double>(count);
+    s.avgSizeKb = bytes / static_cast<double>(count) / 1024.0;
+  }
+  return s;
+}
+
+std::vector<DatasetStats> statsOf(const ManualsDataset& ds) {
+  std::vector<DatasetStats> out;
+  for (const auto& ch : ds.chapters) {
+    DatasetStats s;
+    s.name = ch.name;
+    s.documents = 1;
+    s.versions = ch.versions.size();
+    double paragraphs = 0, bytes = 0;
+    for (const auto& v : ch.versions) {
+      paragraphs += static_cast<double>(v.paragraphs.size());
+      bytes += static_cast<double>(v.renderedSize());
+    }
+    const double n = static_cast<double>(ch.versions.size());
+    s.avgParagraphs = paragraphs / n;
+    s.avgSizeKb = bytes / n / 1024.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+DatasetStats statsOf(const NewsDataset& ds) {
+  DatasetStats s;
+  s.name = "News Articles";
+  s.documents = ds.articles.size();
+  s.versions = 1;
+  double paragraphs = 0, bytes = 0;
+  for (const auto& a : ds.articles) {
+    paragraphs += static_cast<double>(a.paragraphs.size());
+    bytes += static_cast<double>(a.renderedSize());
+  }
+  const double n = static_cast<double>(ds.articles.size());
+  if (n > 0) {
+    s.avgParagraphs = paragraphs / n;
+    s.avgSizeKb = bytes / n / 1024.0;
+  }
+  return s;
+}
+
+DatasetStats statsOf(const EbooksDataset& ds) {
+  DatasetStats s;
+  s.name = "Ebooks";
+  s.documents = ds.books.size();
+  s.versions = 1;
+  double paragraphs = 0, bytes = 0;
+  for (const auto& b : ds.books) {
+    paragraphs += static_cast<double>(b.paragraphs.size());
+    bytes += static_cast<double>(b.renderedSize());
+  }
+  const double n = static_cast<double>(ds.books.size());
+  if (n > 0) {
+    s.avgParagraphs = paragraphs / n;
+    s.avgSizeKb = bytes / n / 1024.0;
+  }
+  return s;
+}
+
+}  // namespace bf::corpus

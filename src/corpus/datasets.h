@@ -1,0 +1,138 @@
+// Dataset builders mirroring the paper's Table 1.
+//
+//   Dataset    Documents  Versions  Paragraphs  Size(KB)
+//   Wikipedia  100        1000      60          30
+//   Manuals    4 chapters 4         8-40        3.3-6.1
+//   News       2          -         27          5.5
+//   Ebooks     180        1         1500        470 (90 MB total)
+//
+// Every builder is a deterministic function of its config (including the
+// seed). Paper-scale configs regenerate the full sizes; quick-scale configs
+// keep unit tests and default bench runs fast on one core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/revision_model.h"
+
+namespace bf::corpus {
+
+// ---- Wikipedia-like revision corpus (Figs. 8, 9) ----------------------------
+
+struct WikipediaConfig {
+  std::uint64_t seed = 42;
+  std::size_t articles = 100;
+  std::size_t revisions = 1000;
+  /// Store a document snapshot every `checkpointInterval` revisions
+  /// (the oldest revision is always checkpoint 0).
+  std::size_t checkpointInterval = 50;
+  /// Fraction of articles that follow the volatile profile ("controversial
+  /// or less mature topics"); the rest are stable ("Chicago", "C++").
+  double volatileFraction = 0.5;
+  std::size_t minParagraphs = 40;
+  std::size_t maxParagraphs = 80;
+
+  /// Paper-scale corpus (Table 1 row 1).
+  [[nodiscard]] static WikipediaConfig paperScale() { return {}; }
+  /// Reduced corpus for tests and default bench runs.
+  [[nodiscard]] static WikipediaConfig quickScale() {
+    WikipediaConfig c;
+    c.articles = 12;
+    c.revisions = 200;
+    c.checkpointInterval = 20;
+    c.minParagraphs = 12;
+    c.maxParagraphs = 24;
+    return c;
+  }
+};
+
+struct WikipediaArticle {
+  std::string title;
+  bool isVolatile = false;
+  /// Snapshots of the article; checkpoints[0] is the base (oldest) version.
+  std::vector<VersionedDoc> checkpoints;
+  /// checkpointRevision[i] = how many revisions checkpoints[i] is away from
+  /// the base version (the x-axis of Fig. 9).
+  std::vector<std::size_t> checkpointRevision;
+};
+
+struct WikipediaDataset {
+  WikipediaConfig config;
+  std::vector<WikipediaArticle> articles;
+};
+
+[[nodiscard]] WikipediaDataset buildWikipedia(const WikipediaConfig& config);
+
+// ---- Manuals-like versioned chapters (Figs. 10, 11) -------------------------
+
+struct ManualChapter {
+  /// e.g. "IPhone Camera".
+  std::string name;
+  /// Version labels, e.g. {"iOS3", "iOS4", "iOS5", "iOS7"}.
+  std::vector<std::string> versionNames;
+  /// versions[0] is the base; versions[i] evolved from versions[i-1].
+  std::vector<VersionedDoc> versions;
+};
+
+struct ManualsDataset {
+  std::vector<ManualChapter> chapters;
+};
+
+/// Builds the four chapters of Table 1 with change dynamics shaped like
+/// Fig. 10: both iPhone chapters change significantly version over version;
+/// "MySQL New Features" drops after its second version; "What's MySQL"
+/// stays essentially unchanged.
+[[nodiscard]] ManualsDataset buildManuals(std::uint64_t seed = 43);
+
+// ---- News articles (Table 1 only) -------------------------------------------
+
+struct NewsDataset {
+  std::vector<VersionedDoc> articles;
+};
+
+[[nodiscard]] NewsDataset buildNews(std::uint64_t seed = 44);
+
+// ---- E-books (Figs. 12, 13) --------------------------------------------------
+
+struct EbooksConfig {
+  std::uint64_t seed = 45;
+  std::size_t books = 180;
+  std::size_t minParagraphsPerBook = 450;
+  std::size_t maxParagraphsPerBook = 1000;
+
+  [[nodiscard]] static EbooksConfig paperScale() { return {}; }
+  [[nodiscard]] static EbooksConfig quickScale() {
+    EbooksConfig c;
+    c.books = 12;
+    c.minParagraphsPerBook = 120;
+    c.maxParagraphsPerBook = 260;
+    return c;
+  }
+};
+
+struct EbooksDataset {
+  EbooksConfig config;
+  std::vector<VersionedDoc> books;
+  std::size_t totalBytes = 0;
+};
+
+[[nodiscard]] EbooksDataset buildEbooks(const EbooksConfig& config);
+
+// ---- Table 1 statistics -------------------------------------------------------
+
+struct DatasetStats {
+  std::string name;
+  std::size_t documents = 0;
+  std::size_t versions = 0;
+  double avgParagraphs = 0.0;
+  double avgSizeKb = 0.0;
+};
+
+[[nodiscard]] DatasetStats statsOf(const WikipediaDataset& ds);
+[[nodiscard]] std::vector<DatasetStats> statsOf(const ManualsDataset& ds);
+[[nodiscard]] DatasetStats statsOf(const NewsDataset& ds);
+[[nodiscard]] DatasetStats statsOf(const EbooksDataset& ds);
+
+}  // namespace bf::corpus

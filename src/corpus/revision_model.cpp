@@ -1,0 +1,192 @@
+#include "corpus/revision_model.h"
+
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace bf::corpus {
+
+std::string Paragraph::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += sentences[i].text;
+  }
+  return out;
+}
+
+std::string VersionedDoc::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < paragraphs.size(); ++i) {
+    if (i > 0) out += "\n\n";
+    out += paragraphs[i].render();
+  }
+  return out;
+}
+
+std::size_t VersionedDoc::renderedSize() const {
+  std::size_t n = 0;
+  for (const auto& p : paragraphs) {
+    if (n > 0) n += 2;
+    n += p.render().size();
+  }
+  return n;
+}
+
+VolatilityProfile stableProfile() noexcept {
+  // Mature articles ("Chicago", "C++"): most revisions are vandalism
+  // reverts, link fixes and appends — existing sentences are almost never
+  // touched, so the base version stays discoverable for hundreds of
+  // revisions (paper Fig. 9a).
+  VolatilityProfile p;
+  p.minorEditProb = 0.0005;
+  p.rephraseProb = 0.0002;
+  p.deleteSentenceProb = 0.0002;
+  p.insertSentenceProb = 0.0004;
+  p.moveParagraphProb = 0.002;
+  p.appendParagraphProb = 0.002;
+  return p;
+}
+
+VolatilityProfile volatileProfile() noexcept {
+  // Controversial / immature topics ("Dow Jones", "Dementia"): sections are
+  // rewritten outright and the article grows and shrinks, so base-version
+  // text erodes steadily (paper Fig. 9b).
+  VolatilityProfile p;
+  p.minorEditProb = 0.004;
+  p.rephraseProb = 0.001;
+  p.deleteSentenceProb = 0.002;
+  p.insertSentenceProb = 0.004;
+  p.rewriteParagraphProb = 0.002;
+  p.moveParagraphProb = 0.01;
+  p.appendParagraphProb = 0.03;
+  p.deleteParagraphProb = 0.004;
+  return p;
+}
+
+RevisionModel::RevisionModel(TextGenerator* gen, util::Rng* rng)
+    : gen_(gen), rng_(rng) {}
+
+Sentence RevisionModel::newSentence() {
+  return Sentence{nextConcept_++, gen_->sentence()};
+}
+
+VersionedDoc RevisionModel::createDocument(std::string id,
+                                           std::size_t paragraphs) {
+  VersionedDoc doc;
+  doc.id = std::move(id);
+  doc.paragraphs.resize(paragraphs);
+  for (auto& p : doc.paragraphs) {
+    const std::size_t n = rng_->uniform(3, 7);
+    p.sentences.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) p.sentences.push_back(newSentence());
+  }
+  return doc;
+}
+
+void RevisionModel::evolve(VersionedDoc& doc,
+                           const VolatilityProfile& profile) {
+  // Paragraph-wholesale rewrites (coherent block churn).
+  for (auto& para : doc.paragraphs) {
+    if (rng_->chance(profile.rewriteParagraphProb)) {
+      const std::size_t n = rng_->uniform(3, 7);
+      para.sentences.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        para.sentences.push_back(newSentence());
+      }
+    }
+  }
+
+  // Sentence-level operations.
+  for (auto& para : doc.paragraphs) {
+    for (std::size_t i = 0; i < para.sentences.size();) {
+      Sentence& s = para.sentences[i];
+      if (rng_->chance(profile.deleteSentenceProb) &&
+          para.sentences.size() > 1) {
+        para.sentences.erase(para.sentences.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        continue;  // do not ++i
+      }
+      if (rng_->chance(profile.rephraseProb)) {
+        // Same concept, entirely new words: the human expert still sees the
+        // idea; the fingerprint does not.
+        s.text = gen_->sentence();
+      } else if (rng_->chance(profile.minorEditProb)) {
+        // Replace one word in place (typo fix / small copy-edit).
+        auto words = util::splitWords(s.text);
+        if (!words.empty()) {
+          const std::size_t k =
+              static_cast<std::size_t>(rng_->uniform(0, words.size() - 1));
+          std::string rebuilt;
+          for (std::size_t w = 0; w < words.size(); ++w) {
+            if (w > 0) rebuilt += ' ';
+            rebuilt += (w == k) ? gen_->word() : std::string(words[w]);
+          }
+          s.text = rebuilt;
+        }
+      }
+      if (rng_->chance(profile.insertSentenceProb)) {
+        para.sentences.insert(
+            para.sentences.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+            newSentence());
+        ++i;  // skip over the inserted sentence
+      }
+      ++i;
+    }
+  }
+
+  // Paragraph-level operations.
+  if (doc.paragraphs.size() > 1 && rng_->chance(profile.moveParagraphProb)) {
+    const std::size_t from =
+        static_cast<std::size_t>(rng_->uniform(0, doc.paragraphs.size() - 1));
+    const std::size_t to =
+        static_cast<std::size_t>(rng_->uniform(0, doc.paragraphs.size() - 1));
+    if (from != to) {
+      Paragraph moved = std::move(doc.paragraphs[from]);
+      doc.paragraphs.erase(doc.paragraphs.begin() +
+                           static_cast<std::ptrdiff_t>(from));
+      doc.paragraphs.insert(
+          doc.paragraphs.begin() + static_cast<std::ptrdiff_t>(to),
+          std::move(moved));
+    }
+  }
+  if (rng_->chance(profile.appendParagraphProb)) {
+    Paragraph p;
+    const std::size_t n = rng_->uniform(3, 7);
+    for (std::size_t i = 0; i < n; ++i) p.sentences.push_back(newSentence());
+    doc.paragraphs.push_back(std::move(p));
+  }
+  if (doc.paragraphs.size() > 2 && rng_->chance(profile.deleteParagraphProb)) {
+    const std::size_t k =
+        static_cast<std::size_t>(rng_->uniform(0, doc.paragraphs.size() - 1));
+    doc.paragraphs.erase(doc.paragraphs.begin() +
+                         static_cast<std::ptrdiff_t>(k));
+  }
+}
+
+void RevisionModel::evolve(VersionedDoc& doc, const VolatilityProfile& profile,
+                           std::size_t steps) {
+  for (std::size_t i = 0; i < steps; ++i) evolve(doc, profile);
+}
+
+double conceptSurvival(const Paragraph& base, const VersionedDoc& current) {
+  if (base.sentences.empty()) return 0.0;
+  std::unordered_set<std::uint64_t> live;
+  for (const auto& para : current.paragraphs) {
+    for (const auto& s : para.sentences) live.insert(s.conceptId);
+  }
+  std::size_t survived = 0;
+  for (const auto& s : base.sentences) {
+    if (live.count(s.conceptId) != 0) ++survived;
+  }
+  return static_cast<double>(survived) /
+         static_cast<double>(base.sentences.size());
+}
+
+bool groundTruthDiscloses(const Paragraph& base, const VersionedDoc& current,
+                          double survivalThreshold) {
+  const double s = conceptSurvival(base, current);
+  return s > 0.0 && s >= survivalThreshold;
+}
+
+}  // namespace bf::corpus

@@ -1,0 +1,109 @@
+// Revision model with ground-truth lineage.
+//
+// The effectiveness experiments (paper S6.1, Figs. 8-11) need "a corpus of
+// documents that evolves over time while maintaining overlap between
+// revisions" plus ground truth about which base paragraphs each revision
+// still discloses. We model a document as paragraphs of sentences, where
+// every sentence carries an immutable *concept id*. Edit operations either
+// preserve the concept id (minor edit, rephrase, move) or create/destroy
+// concepts (insert, delete). Ground truth is computed over concept ids —
+// the mechanisable analogue of the paper's human expert, who "reports
+// disclosure when similar content or concepts are mentioned, regardless of
+// the actual words used". In particular a REPHRASED sentence keeps its
+// concept (expert still sees disclosure) while its text changes completely
+// (the fingerprint no longer matches) — reproducing the false-negative
+// class the paper reports for extensively rephrased paragraphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/text_generator.h"
+#include "util/rng.h"
+
+namespace bf::corpus {
+
+/// A sentence with provenance.
+struct Sentence {
+  /// Immutable identity of the idea the sentence expresses.
+  std::uint64_t conceptId = 0;
+  std::string text;
+};
+
+/// A paragraph: ordered sentences.
+struct Paragraph {
+  std::vector<Sentence> sentences;
+  /// Plain-text rendering (sentences joined by spaces).
+  [[nodiscard]] std::string render() const;
+};
+
+/// A document version.
+struct VersionedDoc {
+  std::string id;
+  std::vector<Paragraph> paragraphs;
+  /// Plain-text rendering (paragraphs separated by blank lines).
+  [[nodiscard]] std::string render() const;
+  /// Total rendered size in bytes.
+  [[nodiscard]] std::size_t renderedSize() const;
+};
+
+/// Per-revision edit intensity. Probabilities are per sentence / paragraph
+/// per revision step.
+struct VolatilityProfile {
+  double minorEditProb = 0.02;   ///< tweak one word, concept kept
+  double rephraseProb = 0.0;     ///< rewrite sentence, concept kept
+  double deleteSentenceProb = 0.0;
+  double insertSentenceProb = 0.0;  ///< brand-new concept
+  /// Replace a paragraph's entire content with new concepts — the
+  /// block-coherent churn real documentation shows (a section is either
+  /// rewritten for a release or left alone).
+  double rewriteParagraphProb = 0.0;
+  double moveParagraphProb = 0.0;   ///< reorder paragraphs
+  double appendParagraphProb = 0.0; ///< grow the document
+  double deleteParagraphProb = 0.0; ///< shrink the document
+};
+
+/// Canned profiles matching the two Wikipedia article classes of Fig. 9.
+[[nodiscard]] VolatilityProfile stableProfile() noexcept;
+[[nodiscard]] VolatilityProfile volatileProfile() noexcept;
+
+class RevisionModel {
+ public:
+  /// Neither pointer is owned; both must outlive the model.
+  RevisionModel(TextGenerator* gen, util::Rng* rng);
+
+  /// A fresh base document with `paragraphs` paragraphs.
+  [[nodiscard]] VersionedDoc createDocument(std::string id,
+                                            std::size_t paragraphs);
+
+  /// One revision step under `profile` (in place).
+  void evolve(VersionedDoc& doc, const VolatilityProfile& profile);
+
+  /// Applies `steps` revisions.
+  void evolve(VersionedDoc& doc, const VolatilityProfile& profile,
+              std::size_t steps);
+
+ private:
+  [[nodiscard]] Sentence newSentence();
+
+  TextGenerator* gen_;
+  util::Rng* rng_;
+  std::uint64_t nextConcept_ = 1;
+};
+
+// ---- Ground truth ----------------------------------------------------------
+
+/// Fraction of `base`'s concepts still present anywhere in `current`
+/// (0 when `base` has no sentences).
+[[nodiscard]] double conceptSurvival(const Paragraph& base,
+                                     const VersionedDoc& current);
+
+/// Ground-truth disclosure: the revision still discloses the base paragraph
+/// if at least `survivalThreshold` of its concepts survive. 0.5 mirrors the
+/// paper's default T_par of 0.5.
+[[nodiscard]] bool groundTruthDiscloses(const Paragraph& base,
+                                        const VersionedDoc& current,
+                                        double survivalThreshold = 0.5);
+
+}  // namespace bf::corpus

@@ -1,0 +1,83 @@
+#include "corpus/text_generator.h"
+
+#include "util/hashing.h"
+
+namespace bf::corpus {
+
+namespace {
+// Syllable inventory chosen so 2-4 syllable compositions look like words.
+constexpr const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "l",
+                                   "m",  "n",  "p",  "r",  "s",  "t",  "v",
+                                   "st", "tr", "ch", "sh", "pl", "gr"};
+constexpr const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+constexpr const char* kCodas[] = {"",  "",  "n", "r", "s", "t",
+                                  "l", "m", "nd", "st"};
+}  // namespace
+
+std::string TextGenerator::makeWord(std::uint64_t index) {
+  // Deterministic word per vocabulary rank, independent of the Rng stream.
+  std::uint64_t h = util::mix64(index + 0x5eedULL);
+  const std::size_t syllables = 2 + (h % 3);
+  std::string w;
+  for (std::size_t s = 0; s < syllables; ++s) {
+    h = util::mix64(h);
+    w += kOnsets[h % (sizeof(kOnsets) / sizeof(kOnsets[0]))];
+    h = util::mix64(h);
+    w += kNuclei[h % (sizeof(kNuclei) / sizeof(kNuclei[0]))];
+    h = util::mix64(h);
+    w += kCodas[h % (sizeof(kCodas) / sizeof(kCodas[0]))];
+  }
+  return w;
+}
+
+TextGenerator::TextGenerator(util::Rng* rng, std::size_t vocabularySize)
+    : rng_(rng) {
+  vocab_.reserve(vocabularySize);
+  for (std::size_t i = 0; i < vocabularySize; ++i) {
+    vocab_.push_back(makeWord(i));
+  }
+}
+
+std::string TextGenerator::word() {
+  return vocab_[rng_->zipf(vocab_.size(), 1.07)];
+}
+
+std::string TextGenerator::sentence(std::size_t minWords,
+                                    std::size_t maxWords) {
+  const std::size_t n = rng_->uniform(minWords, maxWords);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string w = word();
+    if (i == 0 && !w.empty()) {
+      w[0] = static_cast<char>(w[0] - 'a' + 'A');
+    }
+    if (i > 0) out += ' ';
+    out += w;
+    // Occasional comma, as the Readability heuristics reward them.
+    if (i + 1 < n && rng_->chance(0.08)) out += ',';
+  }
+  out += '.';
+  return out;
+}
+
+std::string TextGenerator::paragraph(std::size_t minSentences,
+                                     std::size_t maxSentences) {
+  const std::size_t n = rng_->uniform(minSentences, maxSentences);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += sentence();
+  }
+  return out;
+}
+
+std::string TextGenerator::document(std::size_t paragraphs) {
+  std::string out;
+  for (std::size_t i = 0; i < paragraphs; ++i) {
+    if (i > 0) out += "\n\n";
+    out += paragraph();
+  }
+  return out;
+}
+
+}  // namespace bf::corpus

@@ -1,0 +1,49 @@
+// Synthetic text generation.
+//
+// The paper evaluates on Wikipedia dumps, vendor manuals and Project
+// Gutenberg e-books, none of which are available offline. The generator
+// produces English-shaped prose from a seeded pseudo-word vocabulary with a
+// Zipf rank-frequency distribution (like natural language), so fingerprint
+// density, n-gram collision rates and paragraph lengths behave like real
+// text. All output is a deterministic function of the Rng seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bf::corpus {
+
+class TextGenerator {
+ public:
+  /// `rng` is not owned and must outlive the generator.
+  explicit TextGenerator(util::Rng* rng, std::size_t vocabularySize = 20000);
+
+  /// One vocabulary word, Zipf-sampled (common words repeat often).
+  [[nodiscard]] std::string word();
+
+  /// A sentence of `minWords`..`maxWords` words, capitalised, full stop.
+  [[nodiscard]] std::string sentence(std::size_t minWords = 8,
+                                     std::size_t maxWords = 18);
+
+  /// A paragraph of `minSentences`..`maxSentences` sentences.
+  [[nodiscard]] std::string paragraph(std::size_t minSentences = 3,
+                                      std::size_t maxSentences = 7);
+
+  /// A document of `paragraphs` paragraphs separated by blank lines.
+  [[nodiscard]] std::string document(std::size_t paragraphs);
+
+  [[nodiscard]] std::size_t vocabularySize() const noexcept {
+    return vocab_.size();
+  }
+
+ private:
+  [[nodiscard]] static std::string makeWord(std::uint64_t index);
+
+  util::Rng* rng_;
+  std::vector<std::string> vocab_;
+};
+
+}  // namespace bf::corpus

@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439 block function and counter mode).
+//
+// BrowserFlow's enforcement module "can also encrypt confidential data
+// before upload" (paper S5); this provides that primitive for the simulated
+// middleware. Implemented from the RFC; verified against the RFC 8439 test
+// vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bf::crypto {
+
+using Key256 = std::array<std::uint8_t, 32>;
+using Nonce96 = std::array<std::uint8_t, 12>;
+
+/// Encrypts or decrypts `data` (the cipher is its own inverse) with the
+/// given key, nonce and initial block counter.
+[[nodiscard]] std::string chacha20Xor(std::string_view data, const Key256& key,
+                                      const Nonce96& nonce,
+                                      std::uint32_t counter = 1);
+
+/// One 64-byte keystream block; exposed for the RFC test vectors.
+[[nodiscard]] std::array<std::uint8_t, 64> chacha20Block(const Key256& key,
+                                                         const Nonce96& nonce,
+                                                         std::uint32_t counter);
+
+}  // namespace bf::crypto

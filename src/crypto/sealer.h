@@ -1,0 +1,43 @@
+// Sealer: the encrypt-before-upload enforcement primitive.
+//
+// When the policy enforcement module decides a text segment must not reach
+// a service in plain text, it can "encrypt the data before transmission"
+// (paper S3). The Sealer wraps ChaCha20 with per-organisation keys and a
+// deterministic nonce schedule, producing a printable envelope
+// "BFENC1:<nonce-hex>:<ciphertext-hex>" that survives transport through
+// text-only channels (form fields, JSON bodies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "crypto/chacha20.h"
+
+namespace bf::crypto {
+
+class Sealer {
+ public:
+  /// Derives a 256-bit key from an organisation secret (hash expansion —
+  /// the simulated deployment has no KMS).
+  explicit Sealer(std::string_view orgSecret);
+
+  /// Encrypts `plaintext` into a printable envelope. Each call uses a fresh
+  /// nonce from an internal counter.
+  [[nodiscard]] std::string seal(std::string_view plaintext);
+
+  /// Decrypts an envelope produced by seal(). Returns nullopt if the input
+  /// is not a well-formed envelope.
+  [[nodiscard]] std::optional<std::string> unseal(
+      std::string_view envelope) const;
+
+  /// True if `s` looks like a sealed envelope.
+  [[nodiscard]] static bool isSealed(std::string_view s) noexcept;
+
+ private:
+  Key256 key_{};
+  std::uint64_t nonceCounter_ = 0;
+};
+
+}  // namespace bf::crypto

@@ -1,0 +1,88 @@
+#include "flow/hash_db.h"
+
+#include <algorithm>
+
+namespace bf::flow {
+
+void HashDb::recordObservation(std::uint64_t hash, SegmentId segment,
+                               util::Timestamp ts) {
+  Entry& e = table_[hash];
+  for (const Association& a : e.history) {
+    if (a.segment == segment) return;  // keep original first-seen timestamp
+  }
+  // Timestamps come from a monotonic clock, so appends keep the history
+  // sorted; guard anyway against out-of-order callers.
+  Association assoc{segment, ts};
+  if (!e.history.empty() && e.history.back().firstSeen > ts) {
+    auto it = std::upper_bound(
+        e.history.begin(), e.history.end(), ts,
+        [](util::Timestamp t, const Association& a) { return t < a.firstSeen; });
+    e.history.insert(it, assoc);
+  } else {
+    e.history.push_back(assoc);
+  }
+  ++liveAssociations_;
+}
+
+std::optional<SegmentId> HashDb::oldestSegmentWith(std::uint64_t hash) const {
+  auto it = table_.find(hash);
+  if (it == table_.end()) return std::nullopt;
+  for (const Association& a : it->second.history) {
+    if (!isDead(a.segment)) return a.segment;
+  }
+  return std::nullopt;
+}
+
+std::vector<SegmentId> HashDb::segmentsWith(std::uint64_t hash) const {
+  std::vector<SegmentId> out;
+  auto it = table_.find(hash);
+  if (it == table_.end()) return out;
+  out.reserve(it->second.history.size());
+  for (const Association& a : it->second.history) {
+    if (!isDead(a.segment)) out.push_back(a.segment);
+  }
+  return out;
+}
+
+std::optional<util::Timestamp> HashDb::firstSeen(std::uint64_t hash,
+                                                 SegmentId segment) const {
+  auto it = table_.find(hash);
+  if (it == table_.end()) return std::nullopt;
+  for (const Association& a : it->second.history) {
+    if (a.segment == segment && !isDead(segment)) return a.firstSeen;
+  }
+  return std::nullopt;
+}
+
+void HashDb::removeSegment(SegmentId segment) {
+  dead_.emplace(segment, 0);
+  ++removalGeneration_;
+}
+
+std::size_t HashDb::evictOlderThan(util::Timestamp cutoff) {
+  std::size_t dropped = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& hist = it->second.history;
+    const std::size_t before = hist.size();
+    hist.erase(std::remove_if(hist.begin(), hist.end(),
+                              [&](const Association& a) {
+                                return a.firstSeen < cutoff || isDead(a.segment);
+                              }),
+               hist.end());
+    dropped += before - hist.size();
+    if (hist.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (liveAssociations_ >= dropped) {
+    liveAssociations_ -= dropped;
+  } else {
+    liveAssociations_ = 0;
+  }
+  ++removalGeneration_;
+  return dropped;
+}
+
+}  // namespace bf::flow

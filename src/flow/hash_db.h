@@ -1,0 +1,106 @@
+// HashDb — the paper's "DBhash" (S4.3):
+//
+// "The first data structure (DBhash) stores associations of fingerprint
+//  hashes to paragraphs that have been found to contain those hashes along
+//  with timestamps."
+//
+// For every fingerprint hash we keep the history of segments that were
+// observed to contain it, ordered by first-seen timestamp. The front of the
+// list answers oldestSegmentWith(h) in O(1) amortised, which both the
+// authoritative-fingerprint computation and Algorithm 1 rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/ids.h"
+#include "util/clock.h"
+
+namespace bf::flow {
+
+class HashDb {
+ public:
+  /// One observation: `segment` was first seen containing a hash at
+  /// `firstSeen`.
+  struct Association {
+    SegmentId segment;
+    util::Timestamp firstSeen;
+  };
+
+  /// Records that `segment` contains `hash`, first observed at `ts`.
+  /// Idempotent per (hash, segment): re-observing keeps the original
+  /// timestamp, so provenance ordering never changes retroactively.
+  void recordObservation(std::uint64_t hash, SegmentId segment,
+                         util::Timestamp ts);
+
+  /// The oldest live segment associated with `hash`, or nullopt.
+  /// This is "oldestParagraphWith(h, DBhash)" from Algorithm 1.
+  [[nodiscard]] std::optional<SegmentId> oldestSegmentWith(
+      std::uint64_t hash) const;
+
+  /// All live segments associated with `hash`, oldest first.
+  [[nodiscard]] std::vector<SegmentId> segmentsWith(std::uint64_t hash) const;
+
+  /// First-seen timestamp of (hash, segment), or nullopt if unrecorded.
+  [[nodiscard]] std::optional<util::Timestamp> firstSeen(
+      std::uint64_t hash, SegmentId segment) const;
+
+  /// Marks a segment dead: its associations are skipped by lookups and
+  /// physically removed lazily. Increments the removal generation (used by
+  /// callers to invalidate authoritative-fingerprint caches).
+  void removeSegment(SegmentId segment);
+
+  /// Drops all associations whose firstSeen < cutoff. Implements the
+  /// paper's "periodic removal of old fingerprints" recommendation (S4.4).
+  /// Returns the number of associations dropped.
+  std::size_t evictOlderThan(util::Timestamp cutoff);
+
+  /// Number of distinct hashes with at least one (possibly dead)
+  /// association. Benches use this to size the store (paper Fig. 13).
+  [[nodiscard]] std::size_t distinctHashCount() const noexcept {
+    return table_.size();
+  }
+
+  /// Number of stored associations (for memory accounting in benches).
+  /// Associations of removed segments are counted until physically purged
+  /// by evictOlderThan — removal is lazy.
+  [[nodiscard]] std::size_t associationCount() const noexcept {
+    return liveAssociations_;
+  }
+
+  /// Monotone counter bumped by removeSegment/evictOlderThan. Callers cache
+  /// authoritative fingerprints keyed by this generation.
+  [[nodiscard]] std::uint64_t removalGeneration() const noexcept {
+    return removalGeneration_;
+  }
+
+  /// Applies fn(hash, segment, firstSeen) to every LIVE association, in
+  /// per-hash oldest-first order. Used by snapshot export.
+  template <typename Fn>
+  void forEachAssociation(Fn&& fn) const {
+    for (const auto& [hash, entry] : table_) {
+      for (const Association& a : entry.history) {
+        if (!isDead(a.segment)) fn(hash, a.segment, a.firstSeen);
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    std::vector<Association> history;  // ordered by firstSeen ascending
+  };
+
+  // Segments marked dead. Associations are purged lazily on lookup.
+  [[nodiscard]] bool isDead(SegmentId s) const {
+    return dead_.count(s) != 0;
+  }
+
+  std::unordered_map<std::uint64_t, Entry> table_;
+  std::unordered_map<SegmentId, char> dead_;
+  std::size_t liveAssociations_ = 0;
+  std::uint64_t removalGeneration_ = 0;
+};
+
+}  // namespace bf::flow

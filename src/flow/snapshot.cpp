@@ -1,0 +1,204 @@
+#include "flow/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "util/binary_io.h"
+#include "util/hashing.h"
+
+namespace bf::flow {
+
+namespace {
+
+constexpr std::string_view kPlainMagic = "BFSNAPP1";
+constexpr std::string_view kEncMagic = "BFSNAPE1";
+
+crypto::Key256 deriveKey(std::string_view secret) {
+  crypto::Key256 key{};
+  std::uint64_t h = util::fnv1a64(secret);
+  for (int i = 0; i < 4; ++i) {
+    h = util::mix64(h + static_cast<std::uint64_t>(i) + 0xB0F1ULL);
+    for (int b = 0; b < 8; ++b) {
+      key[static_cast<std::size_t>(i * 8 + b)] =
+          static_cast<std::uint8_t>(h >> (8 * b));
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string exportState(const FlowTracker& tracker) {
+  std::string out;
+  out.append(kPlainMagic);
+
+  // Segments, ordered by id for determinism.
+  std::vector<const SegmentRecord*> segments;
+  tracker.segmentDb().forEach(
+      [&](const SegmentRecord& rec) { segments.push_back(&rec); });
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentRecord* a, const SegmentRecord* b) {
+              return a->id < b->id;
+            });
+  util::putU64(out, segments.size());
+  for (const SegmentRecord* rec : segments) {
+    util::putU64(out, rec->id);
+    util::putU8(out, static_cast<std::uint8_t>(rec->kind));
+    util::putStr(out, rec->name);
+    util::putStr(out, rec->document);
+    util::putStr(out, rec->service);
+    util::putF64(out, rec->threshold);
+    util::putU64(out, rec->createdAt);
+    util::putU64(out, rec->updatedAt);
+    const auto& grams = rec->fingerprint.grams();
+    util::putU64(out, grams.size());
+    for (const auto& g : grams) {
+      util::putU64(out, g.hash);
+      util::putU32(out, g.pos);
+    }
+  }
+
+  // Associations per granularity, sorted for determinism.
+  for (SegmentKind kind :
+       {SegmentKind::kParagraph, SegmentKind::kDocument}) {
+    struct Assoc {
+      std::uint64_t hash;
+      SegmentId segment;
+      util::Timestamp ts;
+    };
+    std::vector<Assoc> assocs;
+    tracker.hashDb(kind).forEachAssociation(
+        [&](std::uint64_t hash, SegmentId segment, util::Timestamp ts) {
+          assocs.push_back({hash, segment, ts});
+        });
+    std::sort(assocs.begin(), assocs.end(), [](const Assoc& a, const Assoc& b) {
+      if (a.hash != b.hash) return a.hash < b.hash;
+      return a.ts < b.ts;
+    });
+    util::putU64(out, assocs.size());
+    for (const auto& a : assocs) {
+      util::putU64(out, a.hash);
+      util::putU64(out, a.segment);
+      util::putU64(out, a.ts);
+    }
+  }
+  return out;
+}
+
+util::Result<util::Timestamp> importState(FlowTracker& tracker,
+                                          std::string_view blob) {
+  using R = util::Result<util::Timestamp>;
+  if (tracker.segmentDb().size() != 0) {
+    return R::error("importState requires an empty tracker");
+  }
+  if (blob.substr(0, kPlainMagic.size()) != kPlainMagic) {
+    return R::error("not a BrowserFlow snapshot (bad magic)");
+  }
+  util::BinaryReader r(blob.substr(kPlainMagic.size()));
+  util::Timestamp maxTs = 0;
+
+  const std::uint64_t segmentCount = r.u64();
+  for (std::uint64_t i = 0; i < segmentCount && r.ok(); ++i) {
+    SegmentRecord rec;
+    rec.id = r.u64();
+    rec.kind = static_cast<SegmentKind>(r.u8());
+    rec.name = r.str();
+    rec.document = r.str();
+    rec.service = r.str();
+    rec.threshold = r.f64();
+    rec.createdAt = r.u64();
+    rec.updatedAt = r.u64();
+    maxTs = std::max({maxTs, rec.createdAt, rec.updatedAt});
+    const std::uint64_t gramCount = r.u64();
+    std::vector<text::HashedGram> grams;
+    grams.reserve(gramCount);
+    for (std::uint64_t g = 0; g < gramCount && r.ok(); ++g) {
+      const std::uint64_t hash = r.u64();
+      const std::uint32_t pos = r.u32();
+      grams.push_back({hash, pos});
+    }
+    rec.fingerprint = text::Fingerprint::fromSelected(std::move(grams));
+    if (!r.ok()) break;
+    tracker.restoreSegment(std::move(rec));
+  }
+
+  for (SegmentKind kind :
+       {SegmentKind::kParagraph, SegmentKind::kDocument}) {
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint64_t hash = r.u64();
+      const SegmentId segment = r.u64();
+      const util::Timestamp ts = r.u64();
+      maxTs = std::max(maxTs, ts);
+      tracker.restoreAssociation(kind, hash, segment, ts);
+    }
+  }
+
+  if (!r.ok() || !r.atEnd()) {
+    return R::error("snapshot truncated or corrupt");
+  }
+  return maxTs;
+}
+
+util::Status saveSnapshot(const FlowTracker& tracker, const std::string& path,
+                          std::string_view secret) {
+  std::string blob = exportState(tracker);
+  std::string fileData;
+  if (secret.empty()) {
+    fileData = std::move(blob);
+  } else {
+    fileData.append(kEncMagic);
+    // Nonce derived from content + secret: snapshots are whole-file
+    // rewrites, so nonce reuse would require identical (content, secret) —
+    // which produces identical ciphertext, leaking nothing new.
+    crypto::Nonce96 nonce{};
+    const std::uint64_t n1 = util::fnv1a64(blob);
+    const std::uint64_t n2 =
+        util::mix64(n1 ^ util::fnv1a64(secret));
+    for (int i = 0; i < 8; ++i) {
+      nonce[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(n1 >> (8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+      nonce[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(n2 >> (8 * i));
+    }
+    fileData.append(reinterpret_cast<const char*>(nonce.data()), nonce.size());
+    fileData += crypto::chacha20Xor(blob, deriveKey(secret), nonce);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::error("cannot open for writing: " + path);
+  out.write(fileData.data(), static_cast<std::streamsize>(fileData.size()));
+  if (!out) return util::Status::error("write failed: " + path);
+  return {};
+}
+
+util::Result<util::Timestamp> loadSnapshot(FlowTracker& tracker,
+                                           const std::string& path,
+                                           std::string_view secret) {
+  using R = util::Result<util::Timestamp>;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return R::error("cannot open: " + path);
+  std::string fileData((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+
+  if (fileData.substr(0, kEncMagic.size()) == kEncMagic) {
+    if (secret.empty()) return R::error("snapshot is encrypted; secret needed");
+    const std::size_t header = kEncMagic.size();
+    if (fileData.size() < header + 12) return R::error("snapshot truncated");
+    crypto::Nonce96 nonce{};
+    for (std::size_t i = 0; i < 12; ++i) {
+      nonce[i] = static_cast<std::uint8_t>(fileData[header + i]);
+    }
+    const std::string blob = crypto::chacha20Xor(
+        std::string_view(fileData).substr(header + 12), deriveKey(secret),
+        nonce);
+    return importState(tracker, blob);
+  }
+  return importState(tracker, fileData);
+}
+
+}  // namespace bf::flow

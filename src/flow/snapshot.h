@@ -1,0 +1,46 @@
+// Snapshot: persistence for the fingerprint stores.
+//
+// The paper recommends protecting the long-lived fingerprint database:
+// "Storing fingerprints long-term ... can introduce an additional attack
+//  target if a device gets compromised. To mitigate this we recommend
+//  encrypting all fingerprint data at rest and performing periodic removal
+//  of old fingerprints." (S4.4)
+//
+// exportState()/importState() serialise the tracker's segments (with their
+// fingerprints, thresholds and metadata) and all hash associations (with
+// first-seen timestamps, preserving authority ordering) into a portable
+// little-endian binary blob. saveSnapshot()/loadSnapshot() add the at-rest
+// ChaCha20 encryption layer and file I/O.
+#pragma once
+
+#include <string>
+
+#include "flow/tracker.h"
+#include "util/result.h"
+
+namespace bf::flow {
+
+/// Serialises the tracker's full state. Deterministic ordering (segments by
+/// id, associations by hash within kind), so equal states produce equal
+/// blobs.
+[[nodiscard]] std::string exportState(const FlowTracker& tracker);
+
+/// Restores state exported by exportState() into `tracker`, which must be
+/// EMPTY (freshly constructed). Returns the largest timestamp contained in
+/// the snapshot: the caller must advance the tracker's clock past it so
+/// that new observations sort after restored ones (LogicalClock::advanceTo).
+[[nodiscard]] util::Result<util::Timestamp> importState(FlowTracker& tracker,
+                                                        std::string_view blob);
+
+/// Writes the tracker state to `path`, encrypted with a key derived from
+/// `secret` (empty secret = plaintext snapshot).
+[[nodiscard]] util::Status saveSnapshot(const FlowTracker& tracker,
+                                        const std::string& path,
+                                        std::string_view secret);
+
+/// Loads a snapshot written by saveSnapshot() into an empty tracker.
+/// Returns the largest restored timestamp (see importState).
+[[nodiscard]] util::Result<util::Timestamp> loadSnapshot(
+    FlowTracker& tracker, const std::string& path, std::string_view secret);
+
+}  // namespace bf::flow

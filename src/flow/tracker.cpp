@@ -1,0 +1,293 @@
+#include "flow/tracker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/segmenter.h"
+#include "util/hashing.h"
+
+namespace bf::flow {
+
+FlowTracker::FlowTracker(TrackerConfig config, util::Clock* clock)
+    : config_(config), clock_(clock) {}
+
+std::uint64_t FlowTracker::digestOf(const text::Fingerprint& fp) {
+  // Order-independent-enough digest: hashes() is sorted, so a sequential
+  // combine is deterministic for a given hash set.
+  std::uint64_t d = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t h : fp.hashes()) d = util::hashCombine(d, h);
+  return d ^ fp.size();
+}
+
+SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
+                                      std::string_view document,
+                                      std::string_view service,
+                                      std::string_view text,
+                                      std::optional<double> threshold) {
+  const double defaultThreshold = kind == SegmentKind::kParagraph
+                                      ? config_.defaultParagraphThreshold
+                                      : config_.defaultDocumentThreshold;
+  text::Fingerprint fp = text::fingerprintText(text, config_.fingerprint);
+  ++stats_.fingerprintsComputed;
+
+  const SegmentRecord* existing = segments_.findByName(name);
+  SegmentId id;
+  if (existing == nullptr) {
+    id = segments_.create(kind, std::string(name), std::string(document),
+                          std::string(service),
+                          threshold.value_or(defaultThreshold), clock_->now());
+  } else {
+    id = existing->id;
+    if (threshold) segments_.setThreshold(id, *threshold);
+    // Unchanged fingerprint: nothing to record and the cached disclosure
+    // answer stays valid (the per-keystroke fast path of S6.2).
+    if (existing->fingerprint.sameHashes(fp)) return id;
+  }
+
+  const util::Timestamp now = clock_->now();
+  HashDb& db = hashDbFor(kind);
+  for (std::uint64_t h : fp.hashes()) {
+    db.recordObservation(h, id, now);
+  }
+  segments_.updateFingerprint(id, std::move(fp), now);
+  if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
+  return id;
+}
+
+FlowTracker::DocumentObservation FlowTracker::observeDocument(
+    std::string_view docName, std::string_view service,
+    std::string_view fullText, std::optional<double> paragraphThreshold,
+    std::optional<double> documentThreshold) {
+  DocumentObservation out;
+  out.document =
+      observeSegment(SegmentKind::kDocument, docName, docName, service,
+                     fullText, documentThreshold);
+  const auto paras = text::segmentParagraphs(fullText);
+  out.paragraphs.reserve(paras.size());
+  for (const auto& p : paras) {
+    std::string pname = std::string(docName) + "#p" + std::to_string(p.index);
+    out.paragraphs.push_back(observeSegment(SegmentKind::kParagraph, pname,
+                                            docName, service, p.text,
+                                            paragraphThreshold));
+  }
+  return out;
+}
+
+void FlowTracker::removeSegmentByName(std::string_view name) {
+  const SegmentRecord* rec = segments_.findByName(name);
+  if (rec != nullptr) removeSegment(rec->id);
+}
+
+void FlowTracker::removeSegment(SegmentId id) {
+  const SegmentRecord* rec = segments_.find(id);
+  if (rec != nullptr) {
+    hashDbFor(rec->kind).removeSegment(id);
+  } else {
+    hashDbFor(SegmentKind::kParagraph).removeSegment(id);
+    hashDbFor(SegmentKind::kDocument).removeSegment(id);
+  }
+  segments_.remove(id);
+  cache_.erase(id);
+}
+
+std::vector<DisclosureHit> FlowTracker::disclosedSources(
+    const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
+    std::string_view selfDocument) const {
+  ++stats_.queries;
+  std::vector<DisclosureHit> hits;
+  if (target.empty()) return hits;
+
+  // Candidate discovery (Algorithm 1's main loop over fpar). With
+  // authoritative fingerprints only the OLDEST owner of each shared hash
+  // can score a non-zero overlap — "p <- oldestParagraphWith(h, DBhash)" —
+  // so the candidate set is bounded by |F(target)| regardless of database
+  // size. This is what makes response time scale sub-linearly with the
+  // hash count (paper Fig. 13).
+  const HashDb& db = hashDb(sourceKind);
+  std::unordered_set<SegmentId> candidates;
+  if (config_.useAuthoritative) {
+    for (std::uint64_t h : target.hashes()) {
+      if (const auto owner = db.oldestSegmentWith(h)) {
+        candidates.insert(*owner);
+      }
+    }
+  } else {
+    // Naive containment (ablation): every segment sharing a hash competes.
+    for (std::uint64_t h : target.hashes()) {
+      for (SegmentId s : db.segmentsWith(h)) candidates.insert(s);
+    }
+  }
+
+  for (SegmentId c : candidates) {
+    if (c == self) continue;  // "if p = P then continue"
+    const SegmentRecord* rec = segments_.find(c);
+    if (rec == nullptr || rec->kind != sourceKind) continue;
+    if (config_.excludeSameDocument && !selfDocument.empty() &&
+        rec->document == selfDocument) {
+      continue;
+    }
+    ++stats_.candidatesInspected;
+    const std::size_t sourceSize = rec->fingerprint.size();
+    if (sourceSize == 0) continue;
+    // Early discard (Algorithm 1): a source needing more overlapping hashes
+    // than the target has cannot meet its threshold.
+    if (static_cast<double>(sourceSize) * rec->threshold >
+        static_cast<double>(target.size())) {
+      continue;
+    }
+    std::size_t overlap;
+    if (config_.useAuthoritative) {
+      overlap = authoritativeOverlap(*rec, target, db);
+    } else {
+      overlap = text::Fingerprint::intersectionSize(rec->fingerprint, target);
+    }
+    const double score =
+        static_cast<double>(overlap) / static_cast<double>(sourceSize);
+    if (isDisclosed(score, overlap, rec->threshold)) {
+      hits.push_back(makeHit(*rec, score, overlap));
+    }
+  }
+
+  std::sort(hits.begin(), hits.end(),
+            [](const DisclosureHit& a, const DisclosureHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.source < b.source;
+            });
+  return hits;
+}
+
+std::vector<DisclosureHit> FlowTracker::checkText(
+    std::string_view text, std::string_view excludeDocument) const {
+  const text::Fingerprint fp =
+      text::fingerprintText(text, config_.fingerprint);
+  ++stats_.fingerprintsComputed;
+  return disclosedSources(fp, SegmentKind::kParagraph, kInvalidSegment,
+                          excludeDocument);
+}
+
+const std::vector<DisclosureHit>& FlowTracker::sourcesForSegment(
+    SegmentId id) {
+  static const std::vector<DisclosureHit> kEmpty;
+  const SegmentRecord* rec = segments_.find(id);
+  if (rec == nullptr) return kEmpty;
+
+  CacheEntry& entry = cache_[id];
+  const std::uint64_t digest = digestOf(rec->fingerprint);
+  const std::uint64_t removalGen = hashDb(rec->kind).removalGeneration();
+  if (config_.enableCache && entry.valid &&
+      entry.fingerprintDigest == digest &&
+      entry.removalGeneration == removalGen) {
+    ++stats_.cacheHits;
+    return entry.hits;
+  }
+  entry.hits =
+      disclosedSources(rec->fingerprint, rec->kind, id, rec->document);
+  entry.fingerprintDigest = digest;
+  entry.removalGeneration = removalGen;
+  entry.valid = true;
+  return entry.hits;
+}
+
+double FlowTracker::pairwiseDisclosure(SegmentId source,
+                                       SegmentId target) const {
+  const SegmentRecord* src = segments_.find(source);
+  const SegmentRecord* tgt = segments_.find(target);
+  if (src == nullptr || tgt == nullptr) return 0.0;
+  if (config_.useAuthoritative) {
+    return disclosureScore(*src, tgt->fingerprint, hashDb(src->kind));
+  }
+  const std::size_t total = src->fingerprint.size();
+  if (total == 0) return 0.0;
+  return static_cast<double>(text::Fingerprint::intersectionSize(
+             src->fingerprint, tgt->fingerprint)) /
+         static_cast<double>(total);
+}
+
+bool FlowTracker::setSegmentThreshold(std::string_view name,
+                                      double threshold) {
+  const SegmentRecord* rec = segments_.findByName(name);
+  if (rec == nullptr) return false;
+  segments_.setThreshold(rec->id, threshold);
+  // A source's threshold changes every other segment's query outcome.
+  cache_.clear();
+  return true;
+}
+
+std::size_t FlowTracker::evictAssociationsOlderThan(util::Timestamp cutoff) {
+  std::size_t dropped = 0;
+  dropped += hashDbFor(SegmentKind::kParagraph).evictOlderThan(cutoff);
+  dropped += hashDbFor(SegmentKind::kDocument).evictOlderThan(cutoff);
+  cache_.clear();  // authority may have shifted wholesale
+  return dropped;
+}
+
+void FlowTracker::restoreSegment(SegmentRecord record) {
+  segments_.restore(std::move(record));
+}
+
+void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
+                                     SegmentId segment,
+                                     util::Timestamp firstSeen) {
+  hashDbFor(kind).recordObservation(hash, segment, firstSeen);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+FlowTracker::attributeDisclosure(SegmentId source,
+                                 const text::Fingerprint& target) const {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  const SegmentRecord* rec = segments_.find(source);
+  if (rec == nullptr || target.empty()) return ranges;
+  const HashDb& db = hashDb(rec->kind);
+  // Each matched gram covers roughly one n-gram of source text; adjacent
+  // matches merge into readable passages. The window guarantee means a
+  // copied passage of >= windowChars yields at least one gram here.
+  const std::size_t span = config_.fingerprint.ngramChars;
+  for (const auto& gram : rec->fingerprint.grams()) {
+    if (!target.contains(gram.hash)) continue;
+    if (config_.useAuthoritative) {
+      const auto oldest = db.oldestSegmentWith(gram.hash);
+      if (!oldest || *oldest != source) continue;
+    }
+    const std::size_t begin = gram.pos;
+    const std::size_t end = gram.pos + span;
+    if (!ranges.empty() && begin <= ranges.back().second + span) {
+      // Merge with the previous range when close (within one n-gram —
+      // winnowing only samples, so small gaps are the same passage).
+      ranges.back().second = std::max(ranges.back().second, end);
+    } else {
+      ranges.emplace_back(begin, end);
+    }
+  }
+  return ranges;
+}
+
+const SegmentRecord* FlowTracker::findSegmentWithFingerprint(
+    std::string_view document, const text::Fingerprint& fp,
+    SegmentKind kind) const {
+  if (fp.empty()) return nullptr;
+  const SegmentRecord* found = nullptr;
+  segments_.forEach([&](const SegmentRecord& rec) {
+    if (found == nullptr && rec.kind == kind && rec.document == document &&
+        rec.fingerprint.sameHashes(fp)) {
+      found = &rec;
+    }
+  });
+  return found;
+}
+
+DisclosureHit FlowTracker::makeHit(const SegmentRecord& source, double score,
+                                   std::size_t overlap) const {
+  DisclosureHit hit;
+  hit.source = source.id;
+  hit.kind = source.kind;
+  hit.sourceName = source.name;
+  hit.sourceDocument = source.document;
+  hit.sourceService = source.service;
+  hit.score = score;
+  hit.overlap = overlap;
+  hit.sourceFingerprintSize = source.fingerprint.size();
+  hit.threshold = source.threshold;
+  return hit;
+}
+
+}  // namespace bf::flow

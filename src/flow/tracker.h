@@ -1,0 +1,221 @@
+// FlowTracker — imprecise data flow tracking facade (paper S4).
+//
+// Owns the two stores of S4.3 (HashDb = "DBhash", SegmentDb = "DBpar"),
+// fingerprints observed text, and answers the information disclosure
+// question: "what is the set of the original sources s in db that t
+// discloses significant information from currently?" via Algorithm 1.
+//
+// Performance behaviour mirrors the paper (S6.2):
+//  - observing an edit re-fingerprints only the edited segment;
+//  - if the fingerprint is unchanged (the common case for one keystroke)
+//    the previous disclosure answer is served from a per-segment cache;
+//  - candidate sources are discovered only through shared hashes, so cost
+//    is linear in the number of segments sharing at least one hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/disclosure.h"
+#include "flow/hash_db.h"
+#include "flow/ids.h"
+#include "flow/segment_db.h"
+#include "text/winnower.h"
+#include "util/clock.h"
+
+namespace bf::flow {
+
+/// Tracker configuration. Fingerprint defaults follow the paper's
+/// evaluation setup (S6.1): 32-bit hashes, 15-char n-grams, 30-char
+/// windows, T_par = T_doc = 0.5.
+struct TrackerConfig {
+  text::FingerprintConfig fingerprint;
+  double defaultParagraphThreshold = 0.5;
+  double defaultDocumentThreshold = 0.5;
+  /// Skip sources living in the same document as the queried segment.
+  bool excludeSameDocument = true;
+  /// Use authoritative fingerprints (S4.3). Off only for ablation benches.
+  bool useAuthoritative = true;
+  /// Reuse the previous answer when a segment's fingerprint is unchanged.
+  bool enableCache = true;
+};
+
+/// One disclosing source found by a query.
+struct DisclosureHit {
+  SegmentId source = kInvalidSegment;
+  SegmentKind kind = SegmentKind::kParagraph;
+  std::string sourceName;
+  std::string sourceDocument;
+  std::string sourceService;
+  /// D(source, target) in [0, 1].
+  double score = 0.0;
+  /// |F_auth(source) ∩ F(target)|.
+  std::size_t overlap = 0;
+  /// |F(source)|.
+  std::size_t sourceFingerprintSize = 0;
+  /// The source's threshold that `score` met.
+  double threshold = 0.0;
+};
+
+/// Counters exposed for tests and benches.
+struct TrackerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t candidatesInspected = 0;
+  std::uint64_t fingerprintsComputed = 0;
+};
+
+class FlowTracker {
+ public:
+  /// `clock` provides observation timestamps; not owned, must outlive the
+  /// tracker.
+  FlowTracker(TrackerConfig config, util::Clock* clock);
+
+  // ---- Observation (feeding the tracker) ----------------------------------
+
+  /// Creates or updates a segment identified by its unique `name` with the
+  /// given text. Fingerprints the text, records new hashes in DBhash, and
+  /// stores the fingerprint in DBpar. Returns the segment id.
+  SegmentId observeSegment(SegmentKind kind, std::string_view name,
+                           std::string_view document,
+                           std::string_view service, std::string_view text,
+                           std::optional<double> threshold = std::nullopt);
+
+  /// Observes a whole document: one document-kind segment named `docName`
+  /// plus one paragraph-kind segment "docName#p<i>" per paragraph.
+  struct DocumentObservation {
+    SegmentId document = kInvalidSegment;
+    std::vector<SegmentId> paragraphs;
+  };
+  DocumentObservation observeDocument(
+      std::string_view docName, std::string_view service,
+      std::string_view fullText,
+      std::optional<double> paragraphThreshold = std::nullopt,
+      std::optional<double> documentThreshold = std::nullopt);
+
+  /// Removes a segment (and its hash associations, lazily).
+  void removeSegmentByName(std::string_view name);
+  void removeSegment(SegmentId id);
+
+  /// Updates a segment's disclosure threshold (paper S4.2: authors adjust
+  /// T_par/T_doc "according to their requirements and the confidentiality
+  /// of the text"). Invalidates cached decisions, since thresholds change
+  /// which sources report. Returns false for unknown names.
+  bool setSegmentThreshold(std::string_view name, double threshold);
+
+  // ---- Queries (Algorithm 1) ----------------------------------------------
+
+  /// Disclosing sources of kind `sourceKind` for an arbitrary fingerprint.
+  /// `self` / `selfDocument` exclude the queried segment (Algorithm 1's
+  /// "if p = P then continue") and, if configured, its document.
+  [[nodiscard]] std::vector<DisclosureHit> disclosedSources(
+      const text::Fingerprint& target, SegmentKind sourceKind,
+      SegmentId self = kInvalidSegment,
+      std::string_view selfDocument = {}) const;
+
+  /// Fingerprints `text` and queries paragraph-kind sources without
+  /// registering anything — the "would uploading this leak?" path.
+  [[nodiscard]] std::vector<DisclosureHit> checkText(
+      std::string_view text, std::string_view excludeDocument = {}) const;
+
+  /// Cached per-segment query: disclosing sources of the segment's current
+  /// fingerprint. Serves the cached answer when the fingerprint is
+  /// unchanged since the last call.
+  const std::vector<DisclosureHit>& sourcesForSegment(SegmentId id);
+
+  /// Pairwise disclosure score D(source, target) between two registered
+  /// segments (used by effectiveness benches).
+  [[nodiscard]] double pairwiseDisclosure(SegmentId source,
+                                          SegmentId target) const;
+
+  /// Attribution (paper S4.1): which passages of the SOURCE segment does
+  /// `target` disclose? Returns merged [begin, end) byte ranges into the
+  /// source's original text, covering every authoritative source hash that
+  /// also appears in the target. Empty if either side is unknown/empty.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  attributeDisclosure(SegmentId source, const text::Fingerprint& target) const;
+
+  /// The registered segment of `document` whose fingerprint has exactly the
+  /// same hash set as `fp` (nullptr if none, or if fp is empty). Lets the
+  /// upload path recognise "this outgoing text IS that tracked paragraph"
+  /// and reuse its label — including user suppressions.
+  [[nodiscard]] const SegmentRecord* findSegmentWithFingerprint(
+      std::string_view document, const text::Fingerprint& fp,
+      SegmentKind kind = SegmentKind::kParagraph) const;
+
+  // ---- Introspection -------------------------------------------------------
+
+  [[nodiscard]] const SegmentRecord* segment(SegmentId id) const {
+    return segments_.find(id);
+  }
+  [[nodiscard]] const SegmentRecord* segmentByName(
+      std::string_view name) const {
+    return segments_.findByName(name);
+  }
+  /// The hash store for one tracking granularity. Paragraphs and documents
+  /// are tracked independently (paper S4.1), so provenance ("oldest segment
+  /// with hash h") is kind-local: a document fingerprint never steals
+  /// authority from its own paragraphs.
+  [[nodiscard]] const HashDb& hashDb(
+      SegmentKind kind = SegmentKind::kParagraph) const noexcept {
+    return hashes_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const SegmentDb& segmentDb() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] const TrackerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const TrackerStats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = TrackerStats{}; }
+
+  /// Fingerprint helper using this tracker's configuration.
+  [[nodiscard]] text::Fingerprint fingerprintOf(std::string_view text) const {
+    return text::fingerprintText(text, config_.fingerprint);
+  }
+
+  // ---- Maintenance & snapshot support ---------------------------------------
+
+  /// Drops all hash associations first seen before `cutoff` (the paper's
+  /// "periodic removal of old fingerprints", S4.4). Segments themselves
+  /// stay; they regain associations when next observed. Returns the number
+  /// of associations dropped.
+  std::size_t evictAssociationsOlderThan(util::Timestamp cutoff);
+
+  /// Restores a segment exported by flow::exportState(). The id and name
+  /// must be unused.
+  void restoreSegment(SegmentRecord record);
+
+  /// Restores one hash association with its original first-seen timestamp.
+  void restoreAssociation(SegmentKind kind, std::uint64_t hash,
+                          SegmentId segment, util::Timestamp firstSeen);
+
+ private:
+  struct CacheEntry {
+    std::uint64_t fingerprintDigest = 0;
+    std::uint64_t removalGeneration = 0;
+    std::vector<DisclosureHit> hits;
+    bool valid = false;
+  };
+
+  [[nodiscard]] static std::uint64_t digestOf(const text::Fingerprint& fp);
+  [[nodiscard]] DisclosureHit makeHit(const SegmentRecord& source,
+                                      double score, std::size_t overlap) const;
+
+  [[nodiscard]] HashDb& hashDbFor(SegmentKind kind) noexcept {
+    return hashes_[static_cast<std::size_t>(kind)];
+  }
+
+  TrackerConfig config_;
+  util::Clock* clock_;
+  HashDb hashes_[2];  // indexed by SegmentKind
+  SegmentDb segments_;
+  std::unordered_map<SegmentId, CacheEntry> cache_;
+  mutable TrackerStats stats_;
+};
+
+}  // namespace bf::flow

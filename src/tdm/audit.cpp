@@ -1,0 +1,21 @@
+#include "tdm/audit.h"
+
+namespace bf::tdm {
+
+std::vector<AuditRecord> AuditLog::byKind(AuditRecord::Kind kind) const {
+  std::vector<AuditRecord> out;
+  for (const auto& r : records_) {
+    if (r.kind == kind) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AuditRecord> AuditLog::byUser(std::string_view user) const {
+  std::vector<AuditRecord> out;
+  for (const auto& r : records_) {
+    if (r.user == user) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace bf::tdm

@@ -1,0 +1,22 @@
+#include "tdm/label.h"
+
+namespace bf::tdm {
+
+Label Label::fromExplicit(TagSet tags) {
+  Label l;
+  l.explicit_ = std::move(tags);
+  return l;
+}
+
+TagSet Label::effectiveTags() const {
+  return explicit_.unionWith(implicit_).minus(suppressed_);
+}
+
+std::string Label::toString() const {
+  std::string out = "explicit" + explicit_.toString();
+  if (!implicit_.empty()) out += " implicit" + implicit_.toString();
+  if (!suppressed_.empty()) out += " suppressed" + suppressed_.toString();
+  return out;
+}
+
+}  // namespace bf::tdm

@@ -1,0 +1,87 @@
+// Segment labels (paper S3.1-S3.2).
+//
+// A text segment label partitions into:
+//  - explicit tags: "those assigned by default due to the confidentiality
+//    label Lc of a service and those assigned by users";
+//  - implicit tags: "tags copied from a source text segment to a
+//    destination text segment" after disclosure was detected. Implicit tags
+//    mark the segment as NOT the authoritative source, and are not copied
+//    onward (preventing the stale-taint propagation of paper Fig. 6);
+//  - suppressed tags: tags a user declassified for this segment. A
+//    suppressed tag "remains attached to the label" for auditability but is
+//    "ignored when doing a subset comparison between labels".
+#pragma once
+
+#include "tdm/tag_set.h"
+
+namespace bf::tdm {
+
+class Label {
+ public:
+  Label() = default;
+
+  /// Label whose explicit tags are `tags` (e.g. a service's Lc at segment
+  /// creation).
+  static Label fromExplicit(TagSet tags);
+
+  /// Tags that participate in flow checks:
+  /// (explicit ∪ implicit) − suppressed.
+  [[nodiscard]] TagSet effectiveTags() const;
+
+  /// Tags that propagate to a destination segment when this segment is
+  /// found disclosed there: only the EXPLICIT tags (paper S3.2: "the
+  /// explicit tags of the source are added to the destination as implicit
+  /// tags"). Suppressed explicit tags still propagate — suppression is
+  /// per-copy, not a permanent downgrade.
+  [[nodiscard]] const TagSet& propagatableTags() const noexcept {
+    return explicit_;
+  }
+
+  /// Flow rule: may this label's data be released to privilege label Lp?
+  [[nodiscard]] bool flowsTo(const TagSet& privilege) const {
+    return effectiveTags().isSubsetOf(privilege);
+  }
+
+  void addExplicit(Tag tag) { explicit_.insert(std::move(tag)); }
+  void addImplicit(Tag tag) {
+    // A tag that is already explicit stays explicit; implicit only marks
+    // non-authoritative provenance.
+    if (!explicit_.contains(tag)) implicit_.insert(std::move(tag));
+  }
+  void addImplicitAll(const TagSet& tags) {
+    for (const Tag& t : tags) addImplicit(t);
+  }
+
+  /// Drops all implicit tags. Used when a segment's label is recomputed
+  /// after an edit: implicit tags reflect *current* disclosure, so the set
+  /// is rebuilt from the latest similarity hits (paper S3.2 — "BrowserFlow
+  /// only updates the label of the text segment being edited").
+  void clearImplicit() { implicit_ = TagSet{}; }
+
+  /// Marks `tag` suppressed (it stays attached; see class comment).
+  void suppress(Tag tag) { suppressed_.insert(std::move(tag)); }
+  /// Reverts a suppression.
+  void unsuppress(const Tag& tag) { suppressed_.erase(tag); }
+
+  [[nodiscard]] const TagSet& explicitTags() const noexcept {
+    return explicit_;
+  }
+  [[nodiscard]] const TagSet& implicitTags() const noexcept {
+    return implicit_;
+  }
+  [[nodiscard]] const TagSet& suppressedTags() const noexcept {
+    return suppressed_;
+  }
+
+  bool operator==(const Label&) const = default;
+
+  /// "explicit{..} implicit{..} suppressed{..}" for logs.
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  TagSet explicit_;
+  TagSet implicit_;
+  TagSet suppressed_;
+};
+
+}  // namespace bf::tdm

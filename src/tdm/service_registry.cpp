@@ -1,0 +1,36 @@
+#include "tdm/service_registry.h"
+
+#include <algorithm>
+
+namespace bf::tdm {
+
+void ServiceRegistry::upsert(ServiceInfo info) {
+  services_[info.id] = std::move(info);
+}
+
+const ServiceInfo* ServiceRegistry::find(std::string_view id) const {
+  auto it = services_.find(std::string(id));
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+void ServiceRegistry::addPrivilegeTag(std::string_view serviceId,
+                                      const Tag& tag) {
+  auto it = services_.find(std::string(serviceId));
+  if (it != services_.end()) it->second.privilege.insert(tag);
+}
+
+void ServiceRegistry::removePrivilegeTag(std::string_view serviceId,
+                                         const Tag& tag) {
+  auto it = services_.find(std::string(serviceId));
+  if (it != services_.end()) it->second.privilege.erase(tag);
+}
+
+std::vector<std::string> ServiceRegistry::serviceIds() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [id, info] : services_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bf::tdm

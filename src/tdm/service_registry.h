@@ -1,0 +1,53 @@
+// Cloud service registry (paper S3.1).
+//
+// "An administrator assigns each cloud service a pair of labels: a service
+//  privilege label Lp and a service confidentiality label Lc. The privilege
+//  label Lp marks the highest level of confidential data that a service is
+//  trusted to receive; the confidentiality label Lc determines the default
+//  confidentiality of data created within that service."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tdm/tag_set.h"
+
+namespace bf::tdm {
+
+struct ServiceInfo {
+  /// Stable id, conventionally the origin, e.g. "docs.google.com".
+  std::string id;
+  /// Human-readable name shown in warnings.
+  std::string displayName;
+  /// Lp: tags the service is trusted to receive.
+  TagSet privilege;
+  /// Lc: default explicit tags of text created in this service.
+  TagSet confidentiality;
+};
+
+class ServiceRegistry {
+ public:
+  /// Registers or replaces a service definition.
+  void upsert(ServiceInfo info);
+
+  /// nullptr if the service is unknown. Unknown services are treated by the
+  /// policy layer as untrusted externals (Lp = Lc = {}), matching the
+  /// paper's Google Docs example.
+  [[nodiscard]] const ServiceInfo* find(std::string_view id) const;
+
+  /// Adds / removes a tag in a service's privilege label Lp (used by custom
+  /// tag allocation, S3.1).
+  void addPrivilegeTag(std::string_view serviceId, const Tag& tag);
+  void removePrivilegeTag(std::string_view serviceId, const Tag& tag);
+
+  [[nodiscard]] std::vector<std::string> serviceIds() const;
+  [[nodiscard]] std::size_t size() const noexcept { return services_.size(); }
+
+ private:
+  std::unordered_map<std::string, ServiceInfo> services_;
+};
+
+}  // namespace bf::tdm

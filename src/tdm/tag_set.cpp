@@ -1,0 +1,46 @@
+#include "tdm/tag_set.h"
+
+#include <algorithm>
+
+namespace bf::tdm {
+
+bool TagSet::isSubsetOf(const TagSet& other) const {
+  return std::includes(other.tags_.begin(), other.tags_.end(), tags_.begin(),
+                       tags_.end());
+}
+
+TagSet TagSet::unionWith(const TagSet& other) const {
+  TagSet out = *this;
+  for (const Tag& t : other.tags_) out.tags_.insert(t);
+  return out;
+}
+
+TagSet TagSet::minus(const TagSet& other) const {
+  TagSet out;
+  for (const Tag& t : tags_) {
+    if (!other.contains(t)) out.tags_.insert(t);
+  }
+  return out;
+}
+
+std::vector<Tag> TagSet::missingFrom(const TagSet& other) const {
+  std::vector<Tag> out;
+  for (const Tag& t : tags_) {
+    if (!other.contains(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::string TagSet::toString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tag& t : tags_) {
+    if (!first) out += ", ";
+    out += t;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace bf::tdm

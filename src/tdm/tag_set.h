@@ -1,0 +1,56 @@
+// Tags and tag sets (paper S3.1).
+//
+// "A label consists of a set of tags. Each tag is a unique, human-readable
+//  string that expresses a separate concern about data disclosure."
+#pragma once
+
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bf::tdm {
+
+/// A tag: unique human-readable string, e.g. "interview-data".
+using Tag = std::string;
+
+/// An ordered set of tags with the subset test the TDM's flow rule uses:
+/// a segment label Li may flow to a service with privilege Lp iff Li ⊆ Lp.
+class TagSet {
+ public:
+  TagSet() = default;
+  TagSet(std::initializer_list<Tag> tags) : tags_(tags) {}
+
+  void insert(Tag tag) { tags_.insert(std::move(tag)); }
+  void erase(const Tag& tag) { tags_.erase(tag); }
+  [[nodiscard]] bool contains(const Tag& tag) const {
+    return tags_.count(tag) != 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return tags_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return tags_.size(); }
+
+  /// True iff every tag of *this is in `other` (⊆).
+  [[nodiscard]] bool isSubsetOf(const TagSet& other) const;
+
+  /// Set union / difference.
+  [[nodiscard]] TagSet unionWith(const TagSet& other) const;
+  [[nodiscard]] TagSet minus(const TagSet& other) const;
+
+  /// Tags of *this missing from `other` — the tags that make a flow check
+  /// fail, surfaced to the user in violation warnings.
+  [[nodiscard]] std::vector<Tag> missingFrom(const TagSet& other) const;
+
+  [[nodiscard]] auto begin() const { return tags_.begin(); }
+  [[nodiscard]] auto end() const { return tags_.end(); }
+
+  bool operator==(const TagSet&) const = default;
+
+  /// "{a, b, c}" rendering for logs and audit records.
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::set<Tag> tags_;
+};
+
+}  // namespace bf::tdm

@@ -1,0 +1,100 @@
+#include "text/aho_corasick.h"
+
+#include <deque>
+
+namespace bf::text {
+
+AhoCorasick::AhoCorasick() { nodes_.emplace_back(); }
+
+void AhoCorasick::addPattern(std::string_view pattern, std::uint64_t id) {
+  if (pattern.empty()) return;
+  patternList_.emplace_back(std::string(pattern), id);
+  ++patterns_;
+  built_ = false;
+}
+
+void AhoCorasick::insertIntoTrie(std::string_view pattern, std::uint64_t id) {
+  std::int32_t node = 0;
+  for (unsigned char c : pattern) {
+    std::int32_t& slot = nodes_[static_cast<std::size_t>(node)].next[c];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = slot;
+  }
+  nodes_[static_cast<std::size_t>(node)].outputs.emplace_back(id,
+                                                              pattern.size());
+}
+
+void AhoCorasick::build() {
+  // Rebuild the trie from the pattern list (the previous DFA conversion
+  // overwrote absent edges, so it cannot be extended incrementally)...
+  nodes_.clear();
+  nodes_.emplace_back();
+  for (const auto& [pattern, id] : patternList_) insertIntoTrie(pattern, id);
+
+  // ...then the standard BFS: convert the trie into a DFA where every byte
+  // transition is defined, and fold suffix outputs into each node.
+  std::deque<std::int32_t> queue;
+  for (int c = 0; c < kAlphabet; ++c) {
+    const std::int32_t child = nodes_[0].next[static_cast<std::size_t>(c)];
+    if (child < 0) {
+      nodes_[0].next[static_cast<std::size_t>(c)] = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(child)].fail = 0;
+      queue.push_back(child);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    Node& nu = nodes_[static_cast<std::size_t>(u)];
+    // Inherit outputs reachable through the failure link.
+    const auto& failOutputs =
+        nodes_[static_cast<std::size_t>(nu.fail)].outputs;
+    nu.outputs.insert(nu.outputs.end(), failOutputs.begin(),
+                      failOutputs.end());
+    for (int c = 0; c < kAlphabet; ++c) {
+      const std::int32_t child = nu.next[static_cast<std::size_t>(c)];
+      const std::int32_t failNext =
+          nodes_[static_cast<std::size_t>(nu.fail)]
+              .next[static_cast<std::size_t>(c)];
+      if (child < 0) {
+        nu.next[static_cast<std::size_t>(c)] = failNext;
+      } else {
+        nodes_[static_cast<std::size_t>(child)].fail = failNext;
+        queue.push_back(child);
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::vector<AhoCorasick::Match> AhoCorasick::findAll(std::string_view text) {
+  if (!built_) build();
+  std::vector<Match> out;
+  std::int32_t node = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    node = nodes_[static_cast<std::size_t>(node)]
+               .next[static_cast<unsigned char>(text[i])];
+    for (const auto& [id, length] :
+         nodes_[static_cast<std::size_t>(node)].outputs) {
+      out.push_back(Match{id, i + 1, length});
+    }
+  }
+  return out;
+}
+
+bool AhoCorasick::containsAny(std::string_view text) {
+  if (!built_) build();
+  if (patterns_ == 0) return false;
+  std::int32_t node = 0;
+  for (unsigned char c : text) {
+    node = nodes_[static_cast<std::size_t>(node)].next[c];
+    if (!nodes_[static_cast<std::size_t>(node)].outputs.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace bf::text

@@ -1,0 +1,73 @@
+// Aho-Corasick multi-pattern matcher.
+//
+// Imprecise (fingerprint) tracking "is not effective at a finer granularity
+// than paragraphs" (paper S4.4); short sensitive strings — passwords, API
+// keys, account numbers — need "data equality only". The secret guard
+// (src/core/secret_guard.h) uses this automaton to scan every outgoing
+// text for registered short secrets in O(text + matches), independent of
+// the number of secrets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bf::text {
+
+class AhoCorasick {
+ public:
+  AhoCorasick();
+
+  /// Registers a pattern with a caller-chosen id. Patterns are matched as
+  /// raw byte sequences (callers normalise first if they want case/
+  /// punctuation insensitivity). Empty patterns are ignored.
+  void addPattern(std::string_view pattern, std::uint64_t id);
+
+  /// Builds failure links. Called automatically by the search functions
+  /// when patterns changed; exposed for explicit control.
+  void build();
+
+  struct Match {
+    std::uint64_t id = 0;
+    /// Byte offset one past the match's last character.
+    std::size_t end = 0;
+    std::size_t length = 0;
+  };
+
+  /// All matches in `text`, in order of their end positions.
+  [[nodiscard]] std::vector<Match> findAll(std::string_view text);
+
+  /// True if any registered pattern occurs in `text` (early-outs).
+  [[nodiscard]] bool containsAny(std::string_view text);
+
+  [[nodiscard]] std::size_t patternCount() const noexcept {
+    return patterns_;
+  }
+
+ private:
+  static constexpr int kAlphabet = 256;
+
+  struct Node {
+    // Child node index per byte; -1 = absent (goto function).
+    std::vector<std::int32_t> next;
+    std::int32_t fail = 0;
+    // Pattern (id, length) pairs ending at this node, plus those inherited
+    // through suffix (dictionary) links during build.
+    std::vector<std::pair<std::uint64_t, std::size_t>> outputs;
+    Node() : next(kAlphabet, -1) {}
+  };
+
+  /// Inserts one pattern into the trie (no failure links yet).
+  void insertIntoTrie(std::string_view pattern, std::uint64_t id);
+
+  std::vector<Node> nodes_;
+  /// Source of truth: build() reconstructs the trie from this list, so
+  /// patterns can be added after a search (the DFA conversion overwrites
+  /// absent trie edges and cannot be extended in place).
+  std::vector<std::pair<std::string, std::uint64_t>> patternList_;
+  std::size_t patterns_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace bf::text

@@ -1,0 +1,78 @@
+// Fingerprint: the winnowed hash set of a text segment (paper S4.1).
+//
+// A fingerprint is "a set of hashes carefully chosen from particular
+// passages in the paragraph". We store both the position-ordered selected
+// grams (for disclosure attribution) and a sorted unique hash vector (for
+// the set operations in the disclosure metrics, S4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/ngram_hasher.h"
+
+namespace bf::text {
+
+/// Configuration of the fingerprinting pipeline. Paper defaults (S6):
+/// "32-bit hashes over n-grams of 15 characters with a window size of 30
+/// characters".
+struct FingerprintConfig {
+  /// Noise threshold: matches shorter than this many characters are never
+  /// detected.
+  std::size_t ngramChars = 15;
+  /// Guarantee threshold: any shared substring of at least this many
+  /// characters is always detected. Must be >= ngramChars.
+  std::size_t windowChars = 30;
+  /// Width of stored hashes in bits (paper: 32).
+  unsigned hashBits = 32;
+
+  /// Number of consecutive n-gram hashes per winnowing window
+  /// (w = t - n + 1 in the winnowing paper's notation).
+  [[nodiscard]] std::size_t windowHashes() const noexcept {
+    return windowChars >= ngramChars ? windowChars - ngramChars + 1 : 1;
+  }
+};
+
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+
+  /// Builds a fingerprint from winnow-selected grams (any order, duplicates
+  /// allowed; duplicates collapse in the hash set but all positions are
+  /// kept for attribution).
+  static Fingerprint fromSelected(std::vector<HashedGram> selected);
+
+  /// Selected grams in normalized-text position order.
+  [[nodiscard]] const std::vector<HashedGram>& grams() const noexcept {
+    return grams_;
+  }
+
+  /// Sorted, de-duplicated hash values. This is "F(A)" in the paper's
+  /// disclosure equations.
+  [[nodiscard]] const std::vector<std::uint64_t>& hashes() const noexcept {
+    return hashes_;
+  }
+
+  /// |F(A)|: number of distinct hashes.
+  [[nodiscard]] std::size_t size() const noexcept { return hashes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return hashes_.empty(); }
+
+  /// O(log n) membership test.
+  [[nodiscard]] bool contains(std::uint64_t hash) const noexcept;
+
+  /// |F(A) ∩ F(B)|.
+  [[nodiscard]] static std::size_t intersectionSize(
+      const Fingerprint& a, const Fingerprint& b) noexcept;
+
+  /// True if both fingerprints have identical hash sets (positions may
+  /// differ, e.g. after shuffling paragraph content).
+  [[nodiscard]] bool sameHashes(const Fingerprint& other) const noexcept {
+    return hashes_ == other.hashes_;
+  }
+
+ private:
+  std::vector<HashedGram> grams_;
+  std::vector<std::uint64_t> hashes_;
+};
+
+}  // namespace bf::text

@@ -1,0 +1,31 @@
+#include "text/ngram_hasher.h"
+
+#include "util/hashing.h"
+
+namespace bf::text {
+
+std::vector<HashedGram> hashNgrams(const NormalizedText& normalized,
+                                   std::size_t ngramChars,
+                                   unsigned hashBits) {
+  std::vector<HashedGram> out;
+  const std::string& t = normalized.text;
+  if (ngramChars == 0 || t.size() < ngramChars) return out;
+
+  const std::uint64_t mask =
+      hashBits >= 64 ? ~0ULL : ((1ULL << hashBits) - 1);
+
+  out.reserve(t.size() - ngramChars + 1);
+  util::KarpRabin roller(ngramChars);
+  std::uint64_t h = roller.init(t);
+  // Post-mix the rolling hash: raw Karp-Rabin values of similar strings are
+  // correlated in their low bits, which matters once truncated to 32 bits.
+  out.push_back({util::mix64(h) & mask, 0});
+  for (std::size_t i = ngramChars; i < t.size(); ++i) {
+    h = roller.roll(t[i - ngramChars], t[i]);
+    out.push_back(
+        {util::mix64(h) & mask, static_cast<std::uint32_t>(i - ngramChars + 1)});
+  }
+  return out;
+}
+
+}  // namespace bf::text

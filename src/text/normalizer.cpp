@@ -1,0 +1,29 @@
+#include "text/normalizer.h"
+
+namespace bf::text {
+
+NormalizedText normalize(std::string_view input) {
+  NormalizedText out;
+  out.text.reserve(input.size());
+  out.originalOffset.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(input[i]);
+    char keep;
+    if (c >= 'a' && c <= 'z') {
+      keep = static_cast<char>(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      keep = static_cast<char>(c - 'A' + 'a');
+    } else if (c >= '0' && c <= '9') {
+      keep = static_cast<char>(c);
+    } else if (c >= 0x80) {
+      keep = static_cast<char>(c);  // non-ASCII byte: keep verbatim
+    } else {
+      continue;  // punctuation, whitespace, control: drop
+    }
+    out.text.push_back(keep);
+    out.originalOffset.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace bf::text

@@ -1,0 +1,20 @@
+#include "text/segmenter.h"
+
+#include "util/strings.h"
+
+namespace bf::text {
+
+std::vector<ParagraphSpan> segmentParagraphs(std::string_view document) {
+  std::vector<ParagraphSpan> out;
+  const std::vector<std::string_view> paras =
+      util::splitParagraphs(document);
+  out.reserve(paras.size());
+  for (std::size_t i = 0; i < paras.size(); ++i) {
+    const std::size_t offset =
+        static_cast<std::size_t>(paras[i].data() - document.data());
+    out.push_back(ParagraphSpan{i, offset, std::string(paras[i])});
+  }
+  return out;
+}
+
+}  // namespace bf::text

@@ -1,0 +1,30 @@
+// Paragraph segmentation.
+//
+// BrowserFlow "tracks text segments at two granularities independently,
+// namely individual paragraphs and entire documents" (paper S4.1). The
+// segmenter turns a document's plain text into the paragraph-level segments
+// that the flow tracker fingerprints.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bf::text {
+
+/// One paragraph of a document.
+struct ParagraphSpan {
+  /// 0-based index of the paragraph within the document.
+  std::size_t index;
+  /// Byte offset of the paragraph's first character in the document text.
+  std::size_t offset;
+  /// The paragraph text (owned copy, trimmed).
+  std::string text;
+};
+
+/// Splits a document into paragraphs (blocks separated by blank lines).
+/// Whitespace-only blocks are dropped; paragraph indices are consecutive.
+[[nodiscard]] std::vector<ParagraphSpan> segmentParagraphs(
+    std::string_view document);
+
+}  // namespace bf::text

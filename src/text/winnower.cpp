@@ -1,0 +1,55 @@
+#include "text/winnower.h"
+
+#include <deque>
+
+namespace bf::text {
+
+std::vector<HashedGram> winnow(const std::vector<HashedGram>& grams,
+                               std::size_t windowHashes) {
+  std::vector<HashedGram> selected;
+  if (grams.empty() || windowHashes == 0) return selected;
+  const std::size_t w = windowHashes;
+  if (grams.size() < w) return selected;  // cannot fill a single window
+
+  // Monotonic deque of indices; front is the index of the rightmost minimal
+  // hash in the current window. Using ">=" when popping keeps the rightmost
+  // of equal hashes (robust winnowing tie-break).
+  std::deque<std::size_t> dq;
+  std::size_t lastSelected = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < grams.size(); ++i) {
+    while (!dq.empty() && grams[dq.back()].hash >= grams[i].hash) {
+      dq.pop_back();
+    }
+    dq.push_back(i);
+    if (i + 1 < w) continue;
+    const std::size_t windowStart = i + 1 - w;
+    while (dq.front() < windowStart) dq.pop_front();
+    const std::size_t pick = dq.front();
+    // The same gram is typically minimal across many consecutive windows;
+    // record it once. This is what keeps fingerprints sparse.
+    if (pick != lastSelected) {
+      selected.push_back(grams[pick]);
+      lastSelected = pick;
+    }
+  }
+  return selected;
+}
+
+Fingerprint fingerprintText(std::string_view input,
+                            const FingerprintConfig& config) {
+  const NormalizedText norm = normalize(input);
+  if (norm.size() < config.windowChars) return Fingerprint{};
+  const std::vector<HashedGram> grams =
+      hashNgrams(norm, config.ngramChars, config.hashBits);
+  std::vector<HashedGram> selected = winnow(grams, config.windowHashes());
+  // Translate normalized positions to ORIGINAL byte offsets, so disclosure
+  // can be attributed to user-visible source passages (paper S4.1:
+  // "provided that the location of the corresponding source text for each
+  // hash in the fingerprint is also stored").
+  for (HashedGram& g : selected) {
+    g.pos = norm.originalOffset[g.pos];
+  }
+  return Fingerprint::fromSelected(std::move(selected));
+}
+
+}  // namespace bf::text

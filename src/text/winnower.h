@@ -1,0 +1,34 @@
+// Winnowing — steps S3/S4 of the fingerprinting pipeline (paper S4.1),
+// following Schleimer, Wilkerson & Aiken, "Winnowing: Local Algorithms for
+// Document Fingerprinting" (SIGMOD 2003).
+//
+// Overlapping windows of w consecutive n-gram hashes slide over the hash
+// sequence; the minimum hash of each window joins the fingerprint. Two
+// properties the rest of the system depends on (paper S4.1):
+//   1. Any shared substring of >= windowChars characters yields at least one
+//      shared fingerprint hash (the winnowing guarantee).
+//   2. Small local edits perturb only nearby selections, so the fingerprint
+//      changes little and is insensitive to reordering distant content.
+#pragma once
+
+#include "text/fingerprint.h"
+
+namespace bf::text {
+
+/// Computes the winnowed fingerprint of `input` under `config`.
+///
+/// Texts whose normalized form is shorter than `config.windowChars` produce
+/// an EMPTY fingerprint: the paper reports exactly this as "a systematic,
+/// small number of false negatives for short paragraphs without enough
+/// characters to fill a fingerprinting window" (S6.1).
+[[nodiscard]] Fingerprint fingerprintText(std::string_view input,
+                                          const FingerprintConfig& config);
+
+/// Winnows an already-hashed gram sequence. Exposed for tests and for the
+/// document-level pass, which reuses the paragraph gram streams.
+/// Tie-breaking selects the RIGHTMOST minimal hash in each window ("robust
+/// winnowing"), which minimizes fingerprint density.
+[[nodiscard]] std::vector<HashedGram> winnow(
+    const std::vector<HashedGram>& grams, std::size_t windowHashes);
+
+}  // namespace bf::text

@@ -1,0 +1,14 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace bf::util {
+
+Timestamp WallClock::now() {
+  return static_cast<Timestamp>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace bf::util

@@ -1,0 +1,45 @@
+// Time sources.
+//
+// The flow tracker orders hash observations by timestamp to compute
+// authoritative fingerprints (paper S4.3). Using an injectable clock keeps
+// that ordering deterministic in tests and benches while production code can
+// use wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace bf::util {
+
+/// Monotonically non-decreasing timestamp. Unit: clock-defined ticks.
+using Timestamp = std::uint64_t;
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Returns the current time. Successive calls never go backwards.
+  virtual Timestamp now() = 0;
+};
+
+/// Deterministic clock: every call to now() advances by one tick.
+/// Guarantees strict ordering of observations, which tests rely on.
+class LogicalClock final : public Clock {
+ public:
+  explicit LogicalClock(Timestamp start = 0) noexcept : t_(start) {}
+  Timestamp now() override { return t_++; }
+  /// Jumps forward; next now() returns at least `t`.
+  void advanceTo(Timestamp t) noexcept {
+    if (t > t_) t_ = t;
+  }
+
+ private:
+  Timestamp t_;
+};
+
+/// Wall clock in nanoseconds since an unspecified epoch (steady).
+class WallClock final : public Clock {
+ public:
+  Timestamp now() override;
+};
+
+}  // namespace bf::util

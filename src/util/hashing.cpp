@@ -1,0 +1,32 @@
+#include "util/hashing.h"
+
+namespace bf::util {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+KarpRabin::KarpRabin(std::size_t n) noexcept : n_(n), topPow_(1) {
+  for (std::size_t i = 1; i < n_; ++i) topPow_ *= kBase;
+}
+
+std::uint64_t KarpRabin::init(std::string_view text) noexcept {
+  hash_ = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    hash_ = hash_ * kBase + static_cast<unsigned char>(text[i]);
+  }
+  return hash_;
+}
+
+std::uint64_t KarpRabin::roll(char outgoing, char incoming) noexcept {
+  hash_ -= topPow_ * static_cast<unsigned char>(outgoing);
+  hash_ = hash_ * kBase + static_cast<unsigned char>(incoming);
+  return hash_;
+}
+
+}  // namespace bf::util

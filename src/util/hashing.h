@@ -1,0 +1,65 @@
+// Hash primitives used throughout BrowserFlow.
+//
+// The paper (S4.1) computes fingerprints from hashes of character n-grams
+// using "an efficient hash function [Karp-Rabin 1987]". We provide:
+//   - KarpRabin: a rolling polynomial hash that can slide over a text in
+//     O(1) per character, which is what makes fingerprinting linear in the
+//     segment length.
+//   - fnv1a64 / mix64: general-purpose hashing for ids and containers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bf::util {
+
+/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Finalizer from SplitMix64; decorrelates consecutive integers.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes (order-sensitive), boost::hash_combine style.
+[[nodiscard]] constexpr std::uint64_t hashCombine(std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  return a ^ (mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// Rolling Karp-Rabin hash over a fixed-length window of characters.
+///
+/// Computes H(c0..c_{n-1}) = sum c_i * B^{n-1-i} mod 2^64 and supports
+/// sliding the window one character at a time in O(1). Used by the n-gram
+/// hasher (paper S4.1, step S2).
+class KarpRabin {
+ public:
+  /// Base of the polynomial. An odd constant with good bit dispersion.
+  static constexpr std::uint64_t kBase = 0x100000001b3ULL;
+
+  /// Creates a roller for n-grams of length `n` (n >= 1).
+  explicit KarpRabin(std::size_t n) noexcept;
+
+  /// Hash of the first n-gram of `text` (text.size() >= n()).
+  [[nodiscard]] std::uint64_t init(std::string_view text) noexcept;
+
+  /// Slides the window: removes `outgoing` (the oldest character) and
+  /// appends `incoming`. Returns the new hash.
+  [[nodiscard]] std::uint64_t roll(char outgoing, char incoming) noexcept;
+
+  /// Current hash value.
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+  /// Window length this roller was constructed with.
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  std::uint64_t topPow_;  // kBase^(n-1)
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace bf::util

@@ -1,0 +1,206 @@
+#include "util/json_text.h"
+
+#include <algorithm>
+
+namespace bf::util {
+
+namespace {
+
+bool isJsonSpace(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Lexes a JSON string starting at the opening quote `begin`. On success
+/// sets `end` to one past the closing quote and returns true.
+bool lexString(std::string_view s, std::size_t begin, std::size_t& end) {
+  if (begin >= s.size() || s[begin] != '"') return false;
+  std::size_t i = begin + 1;
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i += 2;  // skip escaped char (also covers \uXXXX's backslash-u)
+      continue;
+    }
+    if (s[i] == '"') {
+      end = i + 1;
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string escapeJsonString(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string unescapeJsonString(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 >= escaped.size()) {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    ++i;
+    switch (escaped[i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'b':
+        out.push_back('\b');
+        break;
+      case 'f':
+        out.push_back('\f');
+        break;
+      case 'u': {
+        // \uXXXX: decode BMP code points to UTF-8 (surrogates left as-is).
+        if (i + 4 < escaped.size()) {
+          unsigned cp = 0;
+          bool ok = true;
+          for (int k = 1; k <= 4; ++k) {
+            const char c = escaped[i + static_cast<std::size_t>(k)];
+            cp <<= 4;
+            if (c >= '0' && c <= '9') {
+              cp |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+              cp |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+              cp |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            i += 4;
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+        }
+        out.push_back('u');  // malformed \u: keep literally
+        break;
+      }
+      default:
+        out.push_back(escaped[i]);  // covers \" \\ \/
+    }
+  }
+  return out;
+}
+
+std::vector<JsonStringField> scanJsonStringFields(std::string_view json) {
+  std::vector<JsonStringField> out;
+  std::size_t i = 0;
+  while (i < json.size()) {
+    if (json[i] != '"') {
+      ++i;
+      continue;
+    }
+    // Candidate key string.
+    std::size_t keyEnd;
+    if (!lexString(json, i, keyEnd)) break;
+    std::size_t j = keyEnd;
+    while (j < json.size() && isJsonSpace(json[j])) ++j;
+    if (j >= json.size() || json[j] != ':') {
+      // Not a key — might itself be a value string; continue after it.
+      i = keyEnd;
+      continue;
+    }
+    ++j;
+    while (j < json.size() && isJsonSpace(json[j])) ++j;
+    if (j < json.size() && json[j] == '"') {
+      std::size_t valueEnd;
+      if (!lexString(json, j, valueEnd)) break;
+      JsonStringField field;
+      field.key = unescapeJsonString(json.substr(i + 1, keyEnd - i - 2));
+      field.value = unescapeJsonString(json.substr(j + 1, valueEnd - j - 2));
+      field.valueBegin = j;
+      field.valueEnd = valueEnd;
+      out.push_back(std::move(field));
+      i = valueEnd;
+    } else {
+      i = j;  // non-string value; keep scanning inside it
+    }
+  }
+  return out;
+}
+
+std::string replaceJsonStringValues(
+    std::string_view json, const std::vector<JsonStringField>& fields,
+    const std::vector<std::pair<std::size_t, std::string>>& replacements) {
+  // Apply in ascending span order to keep offsets valid.
+  std::vector<std::pair<std::size_t, std::string>> sorted = replacements;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const auto& a, const auto& b) {
+              return fields[a.first].valueBegin < fields[b.first].valueBegin;
+            });
+  std::string out;
+  out.reserve(json.size());
+  std::size_t pos = 0;
+  for (const auto& [index, newValue] : sorted) {
+    const JsonStringField& f = fields[index];
+    out.append(json.substr(pos, f.valueBegin - pos));
+    out.push_back('"');
+    out += escapeJsonString(newValue);
+    out.push_back('"');
+    pos = f.valueEnd;
+  }
+  out.append(json.substr(pos));
+  return out;
+}
+
+bool looksLikeJson(std::string_view body) noexcept {
+  for (char c : body) {
+    if (isJsonSpace(c)) continue;
+    return c == '{' || c == '[';
+  }
+  return false;
+}
+
+}  // namespace bf::util

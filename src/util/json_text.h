@@ -1,0 +1,51 @@
+// Minimal JSON string-field scanning and rewriting.
+//
+// Modern cloud services upload user text inside JSON request bodies. The
+// service-adapter layer (paper S4.4: "a service-specific transformation of
+// the service's data to text segments") needs to (a) pull the string
+// values out of a JSON body and (b) substitute rewritten values back in
+// place (for encrypt-before-upload). This is a span-preserving scanner for
+// `"key": "value"` pairs with full escape handling — not a general JSON
+// parser: non-string values and structure are left untouched, which is
+// exactly what a body-rewriting interceptor wants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bf::util {
+
+/// One string-valued field found in a JSON text.
+struct JsonStringField {
+  /// The (unescaped) key.
+  std::string key;
+  /// The unescaped value.
+  std::string value;
+  /// Byte span of the value in the original text, INCLUDING the quotes.
+  std::size_t valueBegin = 0;
+  std::size_t valueEnd = 0;
+};
+
+/// Scans `json` for "key": "value" pairs at any nesting depth, in order of
+/// appearance. Malformed input yields the fields that could be parsed.
+[[nodiscard]] std::vector<JsonStringField> scanJsonStringFields(
+    std::string_view json);
+
+/// Returns `json` with the value spans of the given fields replaced by the
+/// (escaped, re-quoted) new values. `replacements` maps indexes into
+/// `fields` to replacement plaintexts. Spans must come from a scan of the
+/// same `json`.
+[[nodiscard]] std::string replaceJsonStringValues(
+    std::string_view json, const std::vector<JsonStringField>& fields,
+    const std::vector<std::pair<std::size_t, std::string>>& replacements);
+
+/// JSON string escaping/unescaping for the value payloads.
+[[nodiscard]] std::string escapeJsonString(std::string_view raw);
+[[nodiscard]] std::string unescapeJsonString(std::string_view escaped);
+
+/// True if `body` plausibly is a JSON object/array (first non-space byte).
+[[nodiscard]] bool looksLikeJson(std::string_view body) noexcept;
+
+}  // namespace bf::util

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace bf::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* levelName(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level.store(level); }
+LogLevel logLevel() noexcept { return g_level.load(); }
+
+void logMessage(LogLevel level, std::string_view module,
+                std::string_view msg) {
+  if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace bf::util

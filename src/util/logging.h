@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// Keeps the library free of iostream noise by default; tests and examples
+// can raise the level. Thread-safe: each message is written with one call
+// under a mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default: kWarn).
+void setLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+/// Writes one formatted line to stderr if `level` passes the global filter.
+void logMessage(LogLevel level, std::string_view module, std::string_view msg);
+
+/// Stream-style helper: BF_LOG(kInfo, "flow") << "observed " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  ~LogStream() { logMessage(level_, module_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  std::ostringstream os_;
+};
+
+}  // namespace bf::util
+
+#define BF_LOG(level, module) ::bf::util::LogStream(level, module)

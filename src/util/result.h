@@ -1,0 +1,76 @@
+// Result<T>: a lightweight value-or-error type (std::expected is C++23).
+//
+// Errors are human-readable strings; BrowserFlow has no recoverable error
+// taxonomy that would justify a code enum, and the messages surface directly
+// in logs and test failures.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bf::util {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit success construction.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Named error construction.
+  static Result error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Value access; asserts ok().
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const std::string& errorMessage() const noexcept {
+    return error_;
+  }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;  // ok
+  static Status error(std::string message) {
+    Status s;
+    s.error_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& errorMessage() const noexcept {
+    return error_;
+  }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace bf::util

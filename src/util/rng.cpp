@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/hashing.h"
+
+namespace bf::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion of the seed, as recommended by the xoshiro authors.
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    s = mix64(x);
+  }
+  // Avoid the all-zero state (astronomically unlikely but cheap to guard).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) return next();  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + v % range;
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept { return uniform01() < p; }
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+  // Inverse-CDF via rejection (Devroye). Good enough for corpus generation.
+  // For s ~ 1 and moderate n this is fast and unbiased.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = uniform01();
+    const double v = uniform01();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<std::size_t>(x) - 1;
+    }
+  }
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept {
+  if (haveSpareGaussian_) {
+    haveSpareGaussian_ = false;
+    return mean + stddev * spareGaussian_;
+  }
+  double u, v, r2;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    r2 = u * u + v * v;
+  } while (r2 >= 1.0 || r2 == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(r2) / r2);
+  spareGaussian_ = v * f;
+  haveSpareGaussian_ = true;
+  return mean + stddev * u * f;
+}
+
+}  // namespace bf::util

@@ -1,0 +1,61 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (corpus generator, revision model, latency
+// model) takes an explicit seeded Rng so that datasets, ground truth and
+// bench results are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bf::util {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  /// Seeds the generator from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept;
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s > 0).
+  /// Used for realistic word-frequency distributions in synthetic text.
+  std::size_t zipf(std::size_t n, double s) noexcept;
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[static_cast<std::size_t>(uniform(0, v.size() - 1))];
+  }
+
+  /// Gaussian sample (Box-Muller) with the given mean/stddev.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool haveSpareGaussian_ = false;
+  double spareGaussian_ = 0.0;
+};
+
+}  // namespace bf::util

@@ -1,0 +1,49 @@
+// Small statistics helpers for the bench harnesses (percentiles, CDFs).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace bf::util {
+
+/// p-th percentile (p in [0,100]) by nearest-rank on a copy of `samples`.
+/// Returns 0 for an empty input.
+template <typename T>
+[[nodiscard]] T percentile(std::vector<T> samples, double p) {
+  if (samples.empty()) return T{};
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0) return samples.front();
+  if (p >= 100) return samples.back();
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+/// Arithmetic mean; 0 for empty input.
+template <typename T>
+[[nodiscard]] double mean(const std::vector<T>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples.size());
+}
+
+/// Points of an empirical CDF evaluated at each sample value:
+/// returns sorted (value, fraction <= value) pairs.
+template <typename T>
+[[nodiscard]] std::vector<std::pair<T, double>> empiricalCdf(
+    std::vector<T> samples) {
+  std::vector<std::pair<T, double>> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i + 1 < samples.size() && samples[i + 1] == samples[i]) continue;
+    out.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+}  // namespace bf::util

@@ -1,0 +1,142 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bf::util {
+
+namespace {
+bool isSpace(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+char lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return lower(c); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0, e = s.size();
+  while (b < e && isSpace(s[b])) ++b;
+  while (e > b && isSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> splitParagraphs(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Find the end of the current block: a newline followed (possibly after
+    // spaces) by another newline, or end of text.
+    std::size_t blockStart = pos;
+    std::size_t blockEnd = text.size();
+    std::size_t i = pos;
+    while (i < text.size()) {
+      if (text[i] == '\n') {
+        std::size_t j = i + 1;
+        while (j < text.size() && (text[j] == ' ' || text[j] == '\t' ||
+                                   text[j] == '\r')) {
+          ++j;
+        }
+        if (j < text.size() && text[j] == '\n') {
+          blockEnd = i;
+          pos = j + 1;
+          break;
+        }
+      }
+      ++i;
+    }
+    if (i >= text.size()) {
+      blockEnd = text.size();
+      pos = text.size();
+    }
+    std::string_view para = trim(text.substr(blockStart, blockEnd - blockStart));
+    if (!para.empty()) out.push_back(para);
+  }
+  return out;
+}
+
+std::vector<std::string_view> splitWords(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && isSpace(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !isSpace(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+namespace {
+template <typename V>
+std::string joinImpl(const V& pieces, std::string_view sep) {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& p : pieces) total += p.size() + sep.size();
+  out.reserve(total);
+  bool first = true;
+  for (const auto& p : pieces) {
+    if (!first) out.append(sep);
+    out.append(p);
+    first = false;
+  }
+  return out;
+}
+}  // namespace
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  return joinImpl(pieces, sep);
+}
+
+std::string join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep) {
+  return joinImpl(pieces, sep);
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool containsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (lower(haystack[i + j]) != lower(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace bf::util

@@ -1,0 +1,44 @@
+// String helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bf::util {
+
+/// Returns `s` lowercased (ASCII only; non-ASCII bytes pass through).
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a single character; empty pieces are kept.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+/// Splits text into paragraphs: blocks separated by one or more blank lines.
+/// Paragraphs are trimmed; empty paragraphs are dropped.
+[[nodiscard]] std::vector<std::string_view> splitParagraphs(
+    std::string_view text);
+
+/// Splits on runs of ASCII whitespace; empty tokens are dropped.
+[[nodiscard]] std::vector<std::string_view> splitWords(std::string_view s);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+[[nodiscard]] std::string join(const std::vector<std::string_view>& pieces,
+                               std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool startsWith(std::string_view s,
+                              std::string_view prefix) noexcept;
+[[nodiscard]] bool endsWith(std::string_view s,
+                            std::string_view suffix) noexcept;
+
+/// True if `needle` occurs in `haystack` case-insensitively (ASCII).
+[[nodiscard]] bool containsIgnoreCase(std::string_view haystack,
+                                      std::string_view needle);
+
+}  // namespace bf::util

@@ -1,0 +1,163 @@
+// Tests for the simulated DOM.
+#include <gtest/gtest.h>
+
+#include "browser/dom.h"
+
+namespace bf::browser {
+namespace {
+
+TEST(Dom, RootIsHtmlElement) {
+  Document doc;
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_TRUE(doc.root()->isElement());
+  EXPECT_EQ(doc.root()->tag(), "html");
+}
+
+TEST(Dom, TagsAreLowercased) {
+  Document doc;
+  auto e = doc.createElement("DIV");
+  EXPECT_EQ(e->tag(), "div");
+}
+
+TEST(Dom, AppendAndRemoveChild) {
+  Document doc;
+  Node* div = doc.root()->appendChild(doc.createElement("div"));
+  EXPECT_EQ(div->parent(), doc.root());
+  EXPECT_EQ(doc.root()->children().size(), 1u);
+  auto removed = doc.root()->removeChild(div);
+  EXPECT_EQ(removed.get(), div);
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_TRUE(doc.root()->children().empty());
+}
+
+TEST(Dom, InsertChildAtIndex) {
+  Document doc;
+  Node* a = doc.root()->appendChild(doc.createElement("a"));
+  Node* c = doc.root()->appendChild(doc.createElement("c"));
+  Node* b = doc.root()->insertChild(doc.createElement("b"), 1);
+  ASSERT_EQ(doc.root()->children().size(), 3u);
+  EXPECT_EQ(doc.root()->children()[0].get(), a);
+  EXPECT_EQ(doc.root()->children()[1].get(), b);
+  EXPECT_EQ(doc.root()->children()[2].get(), c);
+}
+
+TEST(Dom, InsertChildClampsIndex) {
+  Document doc;
+  Node* x = doc.root()->insertChild(doc.createElement("x"), 99);
+  EXPECT_EQ(doc.root()->children().back().get(), x);
+}
+
+TEST(Dom, RemoveUnknownChildReturnsNull) {
+  Document doc;
+  auto orphan = doc.createElement("div");
+  EXPECT_EQ(doc.root()->removeChild(orphan.get()), nullptr);
+}
+
+TEST(Dom, Attributes) {
+  Document doc;
+  auto e = doc.createElement("div");
+  e->setAttribute("ID", "main");
+  e->setAttribute("class", "article body");
+  EXPECT_EQ(e->attribute("id"), "main");  // names case-folded
+  EXPECT_EQ(e->id(), "main");
+  EXPECT_EQ(e->className(), "article body");
+  EXPECT_TRUE(e->hasAttribute("id"));
+  EXPECT_FALSE(e->hasAttribute("href"));
+  EXPECT_EQ(e->attribute("href"), "");
+}
+
+TEST(Dom, TextContentConcatenatesDescendants) {
+  Document doc;
+  Node* div = doc.root()->appendChild(doc.createElement("div"));
+  div->appendChild(doc.createTextNode("hello"));
+  Node* span = div->appendChild(doc.createElement("span"));
+  span->appendChild(doc.createTextNode("world"));
+  EXPECT_EQ(div->textContent(), "hello world");
+}
+
+TEST(Dom, SetTextChangesData) {
+  Document doc;
+  Node* t = doc.root()->appendChild(doc.createTextNode("old"));
+  t->setText("new");
+  EXPECT_EQ(t->text(), "new");
+}
+
+TEST(Dom, ElementsByTag) {
+  Document doc;
+  Node* div = doc.root()->appendChild(doc.createElement("div"));
+  div->appendChild(doc.createElement("p"));
+  Node* nested = div->appendChild(doc.createElement("section"));
+  nested->appendChild(doc.createElement("p"));
+  EXPECT_EQ(doc.root()->elementsByTag("p").size(), 2u);
+  EXPECT_EQ(doc.root()->elementsByTag("P").size(), 2u);
+  EXPECT_EQ(doc.root()->elementsByTag("table").size(), 0u);
+}
+
+TEST(Dom, ById) {
+  Document doc;
+  Node* div = doc.root()->appendChild(doc.createElement("div"));
+  div->setAttribute("id", "target");
+  EXPECT_EQ(doc.root()->byId("target"), div);
+  EXPECT_EQ(doc.root()->byId("missing"), nullptr);
+}
+
+TEST(Dom, MutationDispatchOnAppend) {
+  Document doc;
+  std::vector<MutationRecord> seen;
+  doc.addMutationSink([&](const MutationRecord& r) { seen.push_back(r); });
+  Node* div = doc.root()->appendChild(doc.createElement("div"));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].type, MutationType::kChildList);
+  EXPECT_EQ(seen[0].target, doc.root());
+  ASSERT_EQ(seen[0].addedNodes.size(), 1u);
+  EXPECT_EQ(seen[0].addedNodes[0], div);
+}
+
+TEST(Dom, MutationDispatchOnRemove) {
+  Document doc;
+  Node* div = doc.root()->appendChild(doc.createElement("div"));
+  std::vector<MutationRecord> seen;
+  doc.addMutationSink([&](const MutationRecord& r) { seen.push_back(r); });
+  doc.root()->removeChild(div);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].removedNodes.size(), 1u);
+}
+
+TEST(Dom, MutationDispatchOnSetTextIncludesOldText) {
+  Document doc;
+  Node* t = doc.root()->appendChild(doc.createTextNode("before"));
+  std::vector<MutationRecord> seen;
+  doc.addMutationSink([&](const MutationRecord& r) { seen.push_back(r); });
+  t->setText("after");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].type, MutationType::kCharacterData);
+  EXPECT_EQ(seen[0].oldText, "before");
+}
+
+TEST(Dom, RemoveMutationSink) {
+  Document doc;
+  int count = 0;
+  const std::size_t id =
+      doc.addMutationSink([&](const MutationRecord&) { ++count; });
+  doc.root()->appendChild(doc.createElement("div"));
+  doc.removeMutationSink(id);
+  doc.root()->appendChild(doc.createElement("div"));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Dom, ForEachNodeVisitsPreOrder) {
+  Document doc;
+  Node* a = doc.root()->appendChild(doc.createElement("a"));
+  a->appendChild(doc.createElement("b"));
+  std::vector<std::string> tags;
+  doc.root()->forEachNode([&](Node& n) {
+    if (n.isElement()) tags.push_back(n.tag());
+  });
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0], "html");
+  EXPECT_EQ(tags[1], "a");
+  EXPECT_EQ(tags[2], "b");
+}
+
+}  // namespace
+}  // namespace bf::browser

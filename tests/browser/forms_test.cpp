@@ -1,0 +1,102 @@
+// Tests for form helpers and urlencoded body round-tripping.
+#include <gtest/gtest.h>
+
+#include "browser/forms.h"
+#include "browser/html_parser.h"
+
+namespace bf::browser {
+namespace {
+
+Node* buildForm(Document& doc) {
+  parseHtml(doc, R"(
+    <form id="f" method="post" action="/wiki/save">
+      <input type="text" name="title" value="Page One">
+      <textarea name="content" value="the body"></textarea>
+      <input type="hidden" name="csrf" value="tok123">
+      <input type="text" value="unnamed, skipped">
+    </form>)");
+  return doc.root()->byId("f");
+}
+
+TEST(Forms, FormInputsFindsInputsAndTextareas) {
+  Document doc;
+  Node* form = buildForm(doc);
+  EXPECT_EQ(formInputs(form).size(), 4u);
+}
+
+TEST(Forms, NonHiddenInputsExcludesHidden) {
+  Document doc;
+  Node* form = buildForm(doc);
+  const auto visible = nonHiddenInputs(form);
+  EXPECT_EQ(visible.size(), 3u);
+  for (Node* n : visible) {
+    EXPECT_NE(n->attribute("type"), "hidden");
+  }
+}
+
+TEST(Forms, EncodeFormBodySkipsUnnamed) {
+  Document doc;
+  Node* form = buildForm(doc);
+  const std::string body = encodeFormBody(form);
+  EXPECT_NE(body.find("title=Page+One"), std::string::npos);
+  EXPECT_NE(body.find("csrf=tok123"), std::string::npos);
+  EXPECT_EQ(body.find("unnamed"), std::string::npos);
+}
+
+TEST(Forms, BuildFormRequestResolvesAction) {
+  Document doc;
+  Node* form = buildForm(doc);
+  const HttpRequest req = buildFormRequest(form, "https://wiki.corp");
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.url, "https://wiki.corp/wiki/save");
+  EXPECT_EQ(req.headers.at("content-type"),
+            "application/x-www-form-urlencoded");
+}
+
+TEST(Forms, BuildFormRequestAbsoluteActionAndGet) {
+  Document doc;
+  parseHtml(doc,
+            R"(<form id="f" method="get" action="https://x.com/s"></form>)");
+  const HttpRequest req =
+      buildFormRequest(doc.root()->byId("f"), "https://other.org");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.url, "https://x.com/s");
+}
+
+TEST(Forms, SubmitEventPreventDefault) {
+  Document doc;
+  Node* form = buildForm(doc);
+  SubmitEvent ev(form);
+  EXPECT_FALSE(ev.defaultPrevented());
+  ev.preventDefault();
+  EXPECT_TRUE(ev.defaultPrevented());
+  EXPECT_EQ(ev.form(), form);
+}
+
+TEST(Forms, UrlEncodeDecodeRoundTrip) {
+  const std::string nasty = "a b&c=d%e\nf+g\xc3\xa9";
+  EXPECT_EQ(urlDecodeComponent(urlEncodeComponent(nasty)), nasty);
+}
+
+TEST(Forms, ParseFormBody) {
+  const auto pairs = parseFormBody("a=1&b=two+words&c=%26%3D&empty=");
+  EXPECT_EQ(pairs.at("a"), "1");
+  EXPECT_EQ(pairs.at("b"), "two words");
+  EXPECT_EQ(pairs.at("c"), "&=");
+  EXPECT_EQ(pairs.at("empty"), "");
+}
+
+TEST(Forms, ParseFormBodyKeyOnlyPair) {
+  const auto pairs = parseFormBody("justkey&x=1");
+  EXPECT_EQ(pairs.at("justkey"), "");
+  EXPECT_EQ(pairs.at("x"), "1");
+}
+
+TEST(Forms, EncodeFormPairsRoundTrip) {
+  std::map<std::string, std::string> pairs{
+      {"doc", "d 1"}, {"text", "hello & goodbye"}};
+  EXPECT_EQ(parseFormBody(encodeFormPairs(pairs)), pairs);
+}
+
+}  // namespace
+}  // namespace bf::browser

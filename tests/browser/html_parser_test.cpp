@@ -1,0 +1,145 @@
+// Tests for the HTML parser.
+#include <gtest/gtest.h>
+
+#include "browser/html_parser.h"
+
+namespace bf::browser {
+namespace {
+
+TEST(HtmlParser, SimpleNesting) {
+  Document doc;
+  parseHtml(doc, "<div><p>hello</p></div>");
+  const auto ps = doc.root()->elementsByTag("p");
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0]->textContent(), "hello");
+  EXPECT_EQ(ps[0]->parent()->tag(), "div");
+}
+
+TEST(HtmlParser, AttributesQuotedAndBare) {
+  Document doc;
+  parseHtml(doc,
+            R"(<div id="main" class='article body' data-x=42 hidden></div>)");
+  Node* div = doc.root()->byId("main");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->className(), "article body");
+  EXPECT_EQ(div->attribute("data-x"), "42");
+  EXPECT_TRUE(div->hasAttribute("hidden"));
+}
+
+TEST(HtmlParser, VoidElementsDoNotNest) {
+  Document doc;
+  parseHtml(doc, "<p>one<br>two<img src=x>three</p>");
+  const auto ps = doc.root()->elementsByTag("p");
+  ASSERT_EQ(ps.size(), 1u);
+  // br and img are siblings of the text, not containers swallowing it.
+  EXPECT_EQ(ps[0]->textContent(), "one two three");
+}
+
+TEST(HtmlParser, SelfClosingTag) {
+  Document doc;
+  parseHtml(doc, "<div><widget/>text</div>");
+  const auto divs = doc.root()->elementsByTag("div");
+  ASSERT_EQ(divs.size(), 1u);
+  EXPECT_EQ(divs[0]->textContent(), "text");
+}
+
+TEST(HtmlParser, CommentsAndDoctypeSkipped) {
+  Document doc;
+  parseHtml(doc, "<!DOCTYPE html><!-- secret comment --><p>visible</p>");
+  EXPECT_EQ(doc.root()->textContent(), "visible");
+}
+
+TEST(HtmlParser, MisnestedTagsTolerated) {
+  Document doc;
+  parseHtml(doc, "<b><i>text</b></i><p>after</p>");
+  EXPECT_EQ(doc.root()->elementsByTag("p").size(), 1u);
+}
+
+TEST(HtmlParser, WhitespaceOnlyTextDropped) {
+  Document doc;
+  parseHtml(doc, "<div>   \n\t  </div>");
+  EXPECT_EQ(doc.root()->elementsByTag("div")[0]->children().size(), 0u);
+}
+
+TEST(HtmlParser, ReplacesPreviousContent) {
+  Document doc;
+  parseHtml(doc, "<p>first</p>");
+  parseHtml(doc, "<p>second</p>");
+  const auto ps = doc.root()->elementsByTag("p");
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0]->textContent(), "second");
+}
+
+TEST(HtmlParser, EntitiesDecodedInTextNodes) {
+  Document doc;
+  parseHtml(doc, "<p>Fish &amp; Chips &lt;3 &quot;quoted&quot; &#65;&#x42;</p>");
+  EXPECT_EQ(doc.root()->textContent(), "Fish & Chips <3 \"quoted\" AB");
+}
+
+TEST(HtmlParser, UnknownAndMalformedEntitiesPassThrough) {
+  Document doc;
+  parseHtml(doc, "<p>&notreal; tea&coffee &#xZZ; 5&6; &;</p>");
+  EXPECT_EQ(doc.root()->textContent(), "&notreal; tea&coffee &#xZZ; 5&6; &;");
+}
+
+TEST(HtmlParser, TypographicEntitiesBecomeUtf8) {
+  Document doc;
+  parseHtml(doc, "<p>wait&hellip; it&rsquo;s &mdash; fine</p>");
+  const std::string text = doc.root()->textContent();
+  EXPECT_NE(text.find("\xe2\x80\xa6"), std::string::npos);   // …
+  EXPECT_NE(text.find("\xe2\x80\x99"), std::string::npos);   // ’
+  EXPECT_NE(text.find("\xe2\x80\x94"), std::string::npos);   // —
+}
+
+TEST(DecodeHtmlEntities, DirectApi) {
+  EXPECT_EQ(decodeHtmlEntities("a &amp; b"), "a & b");
+  EXPECT_EQ(decodeHtmlEntities(""), "");
+  EXPECT_EQ(decodeHtmlEntities("no entities"), "no entities");
+  EXPECT_EQ(decodeHtmlEntities("&#0;"), "&#0;");  // NUL rejected
+  EXPECT_EQ(decodeHtmlEntities("&#x110000;"), "&#x110000;");  // > max cp
+  EXPECT_EQ(decodeHtmlEntities("trailing &"), "trailing &");
+}
+
+TEST(HtmlParser, BareSlashInsideTagDoesNotHang) {
+  // Regression: a '/' inside a tag that is not part of "/>" used to make
+  // the attribute loop spin forever (found by FuzzSmoke).
+  Document doc;
+  parseHtml(doc, "<div /x>text</div>");
+  EXPECT_EQ(doc.root()->textContent(), "text");
+  parseHtml(doc, "<div / >more</div>");
+  EXPECT_EQ(doc.root()->textContent(), "more");
+  parseHtml(doc, "<div //////>ok");
+  EXPECT_EQ(doc.root()->textContent(), "ok");
+}
+
+TEST(HtmlParser, FormWithInputs) {
+  Document doc;
+  parseHtml(doc, R"(
+    <form id="f" method="post" action="/save">
+      <input type="text" name="title" value="My Page">
+      <textarea name="content">body text</textarea>
+      <input type="hidden" name="csrf" value="tok">
+    </form>)");
+  Node* form = doc.root()->byId("f");
+  ASSERT_NE(form, nullptr);
+  EXPECT_EQ(form->elementsByTag("input").size(), 2u);
+  EXPECT_EQ(form->elementsByTag("textarea").size(), 1u);
+}
+
+TEST(HtmlParser, RealisticCmsPage) {
+  Document doc;
+  parseHtml(doc, R"(
+    <html><body>
+      <div id="nav"><a href="/">Home</a><a href="/about">About</a></div>
+      <div id="content">
+        <p>First paragraph of the article, with some commas, here.</p>
+        <p>Second paragraph continues the prose.</p>
+      </div>
+      <div class="footer">copyright</div>
+    </body></html>)");
+  EXPECT_EQ(doc.root()->elementsByTag("p").size(), 2u);
+  EXPECT_NE(doc.root()->byId("content"), nullptr);
+}
+
+}  // namespace
+}  // namespace bf::browser

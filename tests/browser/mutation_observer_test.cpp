@@ -1,0 +1,107 @@
+// Tests for MutationObserver — subtree filtering and batched delivery.
+#include <gtest/gtest.h>
+
+#include "browser/mutation_observer.h"
+
+namespace bf::browser {
+namespace {
+
+TEST(MutationObserver, ObservesSubtreeOnly) {
+  Document doc;
+  Node* watched = doc.root()->appendChild(doc.createElement("div"));
+  Node* other = doc.root()->appendChild(doc.createElement("div"));
+
+  MutationObserver obs;
+  obs.observe(watched);
+  watched->appendChild(doc.createElement("span"));
+  other->appendChild(doc.createElement("span"));
+
+  const auto records = obs.takeRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].target, watched);
+}
+
+TEST(MutationObserver, DeepDescendantChangesAreSeen) {
+  Document doc;
+  Node* watched = doc.root()->appendChild(doc.createElement("div"));
+  Node* inner = watched->appendChild(doc.createElement("p"));
+  Node* text = inner->appendChild(doc.createTextNode("x"));
+
+  MutationObserver obs;
+  obs.observe(watched);
+  (void)obs.takeRecords();  // drop setup records (none expected)
+  text->setText("y");
+  const auto records = obs.takeRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, MutationType::kCharacterData);
+}
+
+TEST(MutationObserver, TakeRecordsClearsQueue) {
+  Document doc;
+  MutationObserver obs;
+  obs.observe(doc.root());
+  doc.root()->appendChild(doc.createElement("div"));
+  EXPECT_TRUE(obs.hasPendingRecords());
+  EXPECT_EQ(obs.takeRecords().size(), 1u);
+  EXPECT_FALSE(obs.hasPendingRecords());
+  EXPECT_TRUE(obs.takeRecords().empty());
+}
+
+TEST(MutationObserver, FlushDeliversBatchToCallback) {
+  Document doc;
+  std::vector<std::size_t> batchSizes;
+  MutationObserver obs([&](const std::vector<MutationRecord>& batch) {
+    batchSizes.push_back(batch.size());
+  });
+  obs.observe(doc.root());
+  doc.root()->appendChild(doc.createElement("a"));
+  doc.root()->appendChild(doc.createElement("b"));
+  EXPECT_TRUE(batchSizes.empty()) << "no delivery before flush";
+  obs.flush();
+  ASSERT_EQ(batchSizes.size(), 1u);
+  EXPECT_EQ(batchSizes[0], 2u);
+  obs.flush();  // empty queue: no callback
+  EXPECT_EQ(batchSizes.size(), 1u);
+}
+
+TEST(MutationObserver, DisconnectStopsObservation) {
+  Document doc;
+  MutationObserver obs;
+  obs.observe(doc.root());
+  obs.disconnect();
+  doc.root()->appendChild(doc.createElement("div"));
+  EXPECT_FALSE(obs.hasPendingRecords());
+}
+
+TEST(MutationObserver, MultipleTargetsOneDocument) {
+  Document doc;
+  Node* a = doc.root()->appendChild(doc.createElement("div"));
+  Node* b = doc.root()->appendChild(doc.createElement("div"));
+  MutationObserver obs;
+  obs.observe(a);
+  obs.observe(b);
+  a->appendChild(doc.createElement("x"));
+  b->appendChild(doc.createElement("y"));
+  EXPECT_EQ(obs.takeRecords().size(), 2u);
+}
+
+TEST(MutationObserver, ObserverCanBeAttachedDuringDispatch) {
+  // A sink that subscribes another observer mid-dispatch must not crash
+  // (Document copies its sink list before dispatch).
+  Document doc;
+  MutationObserver outer;
+  std::unique_ptr<MutationObserver> late;
+  MutationObserver trigger([&](const std::vector<MutationRecord>&) {});
+  outer.observe(doc.root());
+  doc.addMutationSink([&](const MutationRecord&) {
+    if (!late) {
+      late = std::make_unique<MutationObserver>();
+      late->observe(doc.root());
+    }
+  });
+  doc.root()->appendChild(doc.createElement("div"));
+  EXPECT_TRUE(outer.hasPendingRecords());
+}
+
+}  // namespace
+}  // namespace bf::browser

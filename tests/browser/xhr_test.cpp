@@ -1,0 +1,165 @@
+// Tests for the XHR prototype-interception mechanism (paper S5.2) and the
+// Page/Browser plumbing.
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+
+namespace bf::browser {
+namespace {
+
+/// Sink that records every request and answers 200.
+class RecordingSink final : public RequestSink {
+ public:
+  HttpResponse handle(const HttpRequest& req) override {
+    requests.push_back(req);
+    return {200, "ok"};
+  }
+  std::vector<HttpRequest> requests;
+};
+
+TEST(Xhr, DefaultPrototypeForwardsToSink) {
+  RecordingSink sink;
+  Page page("https://svc.example/doc", &sink);
+  Xhr xhr = page.newXhr();
+  xhr.open("POST", "https://svc.example/save");
+  xhr.setRequestHeader("x-test", "1");
+  const HttpResponse resp = xhr.send("payload");
+  EXPECT_EQ(resp.status, 200);
+  ASSERT_EQ(sink.requests.size(), 1u);
+  EXPECT_EQ(sink.requests[0].method, "POST");
+  EXPECT_EQ(sink.requests[0].url, "https://svc.example/save");
+  EXPECT_EQ(sink.requests[0].body, "payload");
+  EXPECT_EQ(sink.requests[0].headers.at("x-test"), "1");
+}
+
+TEST(Xhr, PrototypePatchInterceptsAllInstances) {
+  // The paper's trick: replace prototype.send once; every XHR the page
+  // script creates afterwards dispatches through the wrapper.
+  RecordingSink sink;
+  Page page("https://svc.example/doc", &sink);
+  auto original = page.xhrPrototype().send;
+  int intercepted = 0;
+  page.xhrPrototype().send = [&](Xhr& xhr,
+                                 const HttpRequest& req) -> HttpResponse {
+    ++intercepted;
+    if (req.body == "blockme") return {403, "blocked"};
+    return original(xhr, req);
+  };
+
+  Xhr a = page.newXhr();
+  a.open("POST", "https://svc.example/save");
+  EXPECT_EQ(a.send("fine").status, 200);
+
+  Xhr b = page.newXhr();
+  b.open("POST", "https://svc.example/save");
+  EXPECT_EQ(b.send("blockme").status, 403);
+
+  EXPECT_EQ(intercepted, 2);
+  EXPECT_EQ(sink.requests.size(), 1u) << "blocked request must not reach sink";
+}
+
+TEST(Xhr, WrapperCanRewriteBody) {
+  RecordingSink sink;
+  Page page("https://svc.example/doc", &sink);
+  auto original = page.xhrPrototype().send;
+  page.xhrPrototype().send = [&](Xhr& xhr,
+                                 const HttpRequest& req) -> HttpResponse {
+    HttpRequest copy = req;
+    copy.body = "SEALED(" + req.body + ")";
+    return original(xhr, copy);
+  };
+  Xhr xhr = page.newXhr();
+  xhr.open("POST", "https://svc.example/save");
+  xhr.send("secret");
+  ASSERT_EQ(sink.requests.size(), 1u);
+  EXPECT_EQ(sink.requests[0].body, "SEALED(secret)");
+}
+
+TEST(Page, OriginDerivedFromUrl) {
+  RecordingSink sink;
+  Page page("https://docs.google.com/d/abc123", &sink);
+  EXPECT_EQ(page.origin(), "https://docs.google.com");
+  EXPECT_EQ(originOf("https://x.org"), "https://x.org");
+  EXPECT_EQ(originOf("no-scheme"), "no-scheme");
+}
+
+TEST(Page, SubmitFormDispatchesListenersInOrder) {
+  RecordingSink sink;
+  Page page("https://wiki.corp/edit", &sink);
+  page.loadHtml(R"(<form id="f" action="/save">
+                     <input name="content" value="text"></form>)");
+  Node* form = page.document().root()->byId("f");
+  std::vector<int> order;
+  page.addSubmitListener(form, [&](SubmitEvent&) { order.push_back(1); });
+  page.addSubmitListener(form, [&](SubmitEvent&) { order.push_back(2); });
+  const HttpResponse resp = page.submitForm(form);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sink.requests.size(), 1u);
+}
+
+TEST(Page, PreventDefaultSuppressesSubmission) {
+  RecordingSink sink;
+  Page page("https://wiki.corp/edit", &sink);
+  page.loadHtml(R"(<form id="f" action="/save"></form>)");
+  Node* form = page.document().root()->byId("f");
+  bool secondRan = false;
+  page.addSubmitListener(form, [&](SubmitEvent& ev) { ev.preventDefault(); });
+  page.addSubmitListener(form, [&](SubmitEvent&) { secondRan = true; });
+  const HttpResponse resp = page.submitForm(form);
+  EXPECT_EQ(resp.status, 0);
+  EXPECT_TRUE(sink.requests.empty());
+  EXPECT_FALSE(secondRan) << "listeners after preventDefault are skipped";
+}
+
+TEST(Page, BypassingListenersSubmitsDirectly) {
+  RecordingSink sink;
+  Page page("https://wiki.corp/edit", &sink);
+  page.loadHtml(R"(<form id="f" action="/save"></form>)");
+  Node* form = page.document().root()->byId("f");
+  page.addSubmitListener(form, [&](SubmitEvent& ev) { ev.preventDefault(); });
+  const HttpResponse resp = page.submitFormBypassingListeners(form);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(sink.requests.size(), 1u);
+}
+
+TEST(Browser, ExtensionSeesEveryNewTab) {
+  class CountingExtension final : public Extension {
+   public:
+    void onPageCreated(Page&) override { ++created; }
+    void onPageClosing(Page&) override { ++closed; }
+    int created = 0;
+    int closed = 0;
+  };
+  RecordingSink sink;
+  Browser browser(&sink);
+  CountingExtension ext;
+  browser.addExtension(&ext);
+  Page& a = browser.openTab("https://a.example/");
+  browser.openTab("https://b.example/");
+  EXPECT_EQ(ext.created, 2);
+  browser.closeTab(a);
+  EXPECT_EQ(ext.closed, 1);
+  EXPECT_EQ(browser.tabs().size(), 1u);
+}
+
+TEST(Page, FlushObserversDeliversToRegistered) {
+  RecordingSink sink;
+  Page page("https://a.example/", &sink);
+  int batches = 0;
+  MutationObserver obs(
+      [&](const std::vector<MutationRecord>&) { ++batches; });
+  obs.observe(page.document().root());
+  page.registerObserver(&obs);
+  page.document().root()->appendChild(page.document().createElement("div"));
+  EXPECT_EQ(batches, 0);
+  page.flushObservers();
+  EXPECT_EQ(batches, 1);
+  page.unregisterObserver(&obs);
+  page.document().root()->appendChild(page.document().createElement("div"));
+  page.flushObservers();
+  EXPECT_EQ(batches, 1);
+}
+
+}  // namespace
+}  // namespace bf::browser

@@ -1,0 +1,177 @@
+// Tests for the simulated cloud: network routing, backends, clients.
+#include <gtest/gtest.h>
+
+#include "cloud/docs_backend.h"
+#include "cloud/docs_client.h"
+#include "cloud/form_backend.h"
+#include "cloud/network.h"
+#include "cloud/wiki_client.h"
+
+namespace bf::cloud {
+namespace {
+
+class CloudTest : public ::testing::Test {
+ protected:
+  CloudTest() : rng_(1), network_(&rng_) {
+    network_.registerService("https://docs.google.com", &docs_);
+    network_.registerService("https://wiki.corp", &wiki_);
+  }
+
+  util::Rng rng_;
+  SimNetwork network_;
+  DocsBackend docs_;
+  FormBackend wiki_;
+};
+
+TEST_F(CloudTest, RoutesByOrigin) {
+  browser::HttpRequest req;
+  req.url = "https://docs.google.com/mutate";
+  req.body = "doc=d1&op=set&para=0&text=hello";
+  EXPECT_EQ(network_.handle(req).status, 200);
+  EXPECT_EQ(docs_.mutationCount(), 1u);
+  EXPECT_EQ(wiki_.postCount(), 0u);
+}
+
+TEST_F(CloudTest, UnknownOriginIs502) {
+  browser::HttpRequest req;
+  req.url = "https://nowhere.example/x";
+  EXPECT_EQ(network_.handle(req).status, 502);
+}
+
+TEST_F(CloudTest, LogRecordsLatencyAndRequests) {
+  browser::HttpRequest req;
+  req.url = "https://docs.google.com/mutate";
+  req.body = "doc=d&op=set&para=0&text=x";
+  network_.handle(req);
+  network_.handle(req);
+  ASSERT_EQ(network_.log().size(), 2u);
+  for (const auto& e : network_.log()) {
+    EXPECT_GE(e.simulatedLatencyMs, 0.0);
+    EXPECT_LT(e.simulatedLatencyMs, 100.0);
+  }
+  EXPECT_EQ(network_.requestsTo("https://docs.google.com").size(), 2u);
+  EXPECT_TRUE(network_.requestsTo("https://wiki.corp").empty());
+  network_.clearLog();
+  EXPECT_TRUE(network_.log().empty());
+}
+
+TEST_F(CloudTest, DocsBackendOps) {
+  auto post = [&](const std::string& body) {
+    browser::HttpRequest req;
+    req.url = "https://docs.google.com/mutate";
+    req.body = body;
+    return network_.handle(req).status;
+  };
+  EXPECT_EQ(post("doc=d&op=set&para=0&text=first"), 200);
+  EXPECT_EQ(post("doc=d&op=insert&para=1&text=second"), 200);
+  EXPECT_EQ(post("doc=d&op=set&para=0&text=FIRST"), 200);
+  ASSERT_EQ(docs_.paragraphsOf("d").size(), 2u);
+  EXPECT_EQ(docs_.paragraphsOf("d")[0], "FIRST");
+  EXPECT_EQ(post("doc=d&op=delete&para=0"), 200);
+  ASSERT_EQ(docs_.paragraphsOf("d").size(), 1u);
+  EXPECT_EQ(docs_.textOf("d"), "second");
+  EXPECT_EQ(post("doc=d&op=delete&para=9"), 400);
+  EXPECT_EQ(post("doc=d&op=wat&para=0"), 400);
+  EXPECT_EQ(post("op=set&para=0&text=x"), 400);  // missing doc id
+}
+
+TEST_F(CloudTest, DocsBackendSetBeyondEndExtends) {
+  browser::HttpRequest req;
+  req.url = "https://docs.google.com/mutate";
+  req.body = "doc=d&op=set&para=2&text=third";
+  network_.handle(req);
+  EXPECT_EQ(docs_.paragraphsOf("d").size(), 3u);
+}
+
+TEST_F(CloudTest, FormBackendStoresByTitle) {
+  browser::HttpRequest req;
+  req.url = "https://wiki.corp/wiki/save";
+  req.method = "POST";
+  req.body = "title=Page+One&content=the+body+text&csrf=tok";
+  EXPECT_EQ(network_.handle(req).status, 200);
+  EXPECT_EQ(wiki_.contentOf("wiki/save/Page One"), "the body text");
+  EXPECT_EQ(wiki_.postCount(), 1u);
+}
+
+TEST_F(CloudTest, FormBackendGetReturnsContent) {
+  browser::HttpRequest post;
+  post.url = "https://wiki.corp/pages";
+  post.method = "POST";
+  post.body = "title=X&content=hello";
+  network_.handle(post);
+  browser::HttpRequest get;
+  get.method = "GET";
+  get.url = "https://wiki.corp/pages/X";
+  EXPECT_EQ(network_.handle(get).body, "hello");
+}
+
+// ---- Clients driving a real Page --------------------------------------------
+
+TEST_F(CloudTest, DocsClientEditsDomAndUploads) {
+  browser::Page page("https://docs.google.com/d/doc1", &network_);
+  DocsClient client(page, "doc1");
+  client.openDocument();
+  ASSERT_NE(client.editorRoot(), nullptr);
+
+  EXPECT_EQ(client.insertParagraph(0, "hello world"), 200);
+  EXPECT_EQ(client.paragraphCount(), 1u);
+  EXPECT_EQ(client.paragraphText(0), "hello world");
+  EXPECT_EQ(docs_.paragraphsOf("doc1").size(), 1u);
+  EXPECT_EQ(docs_.paragraphsOf("doc1")[0], "hello world");
+
+  EXPECT_EQ(client.setParagraph(0, "rewritten"), 200);
+  EXPECT_EQ(docs_.paragraphsOf("doc1")[0], "rewritten");
+
+  EXPECT_EQ(client.typeChar(0, '!'), 200);
+  EXPECT_EQ(docs_.paragraphsOf("doc1")[0], "rewritten!");
+
+  EXPECT_EQ(client.deleteParagraph(0), 200);
+  EXPECT_EQ(client.paragraphCount(), 0u);
+  EXPECT_TRUE(docs_.paragraphsOf("doc1").empty());
+}
+
+TEST_F(CloudTest, DocsClientTypeTextIsPerKeystroke) {
+  browser::Page page("https://docs.google.com/d/doc2", &network_);
+  DocsClient client(page, "doc2");
+  client.openDocument();
+  client.insertParagraph(0, "");
+  network_.clearLog();
+  client.typeText(0, "abc");
+  // One mutation upload per keystroke (paper S5.2).
+  EXPECT_EQ(network_.log().size(), 3u);
+  EXPECT_EQ(docs_.paragraphsOf("doc2")[0], "abc");
+}
+
+TEST_F(CloudTest, DocsClientPasteDocument) {
+  browser::Page page("https://docs.google.com/d/doc3", &network_);
+  DocsClient client(page, "doc3");
+  client.openDocument();
+  client.pasteDocument("para one\n\npara two\n\npara three");
+  EXPECT_EQ(client.paragraphCount(), 3u);
+  EXPECT_EQ(docs_.paragraphsOf("doc3").size(), 3u);
+}
+
+TEST_F(CloudTest, WikiClientSavesThroughForm) {
+  browser::Page page("https://wiki.corp/edit/guidelines", &network_);
+  WikiClient client(page, "guidelines");
+  client.openEditor("initial content goes here");
+  EXPECT_EQ(client.content(), "initial content goes here");
+  client.setContent("updated content");
+  EXPECT_EQ(client.save(), 200);
+  EXPECT_EQ(wiki_.contentOf("wiki/save/guidelines"), "updated content");
+}
+
+TEST_F(CloudTest, WikiClientFormHasHiddenToken) {
+  browser::Page page("https://wiki.corp/edit/p", &network_);
+  WikiClient client(page, "p");
+  client.openEditor();
+  const auto hidden = browser::formInputs(client.form());
+  bool foundHidden = false;
+  for (auto* n : hidden) {
+    if (n->attribute("type") == "hidden") foundHidden = true;
+  }
+  EXPECT_TRUE(foundHidden);
+}
+
+}  // namespace
+}  // namespace bf::cloud

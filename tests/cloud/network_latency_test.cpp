@@ -1,0 +1,94 @@
+// Tests for SimNetwork's latency model and logging behaviour.
+#include <gtest/gtest.h>
+
+#include "cloud/form_backend.h"
+#include "cloud/network.h"
+#include "util/stats.h"
+
+namespace bf::cloud {
+namespace {
+
+TEST(SimNetworkLatency, GaussianModelStaysPlausible) {
+  util::Rng rng(9);
+  SimNetwork network(&rng, /*baseLatencyMs=*/20.0, /*jitterMs=*/6.0);
+  FormBackend backend;
+  network.registerService("https://x.example", &backend);
+
+  browser::HttpRequest req;
+  req.url = "https://x.example/post";
+  req.body = "content=hello";
+  for (int i = 0; i < 500; ++i) network.handle(req);
+
+  std::vector<double> latencies;
+  for (const auto& e : network.log()) {
+    latencies.push_back(e.simulatedLatencyMs);
+    ASSERT_GE(e.simulatedLatencyMs, 0.0);
+  }
+  EXPECT_NEAR(util::mean(latencies), 20.0, 1.5);
+  EXPECT_GT(util::percentile(latencies, 95), 25.0);
+  EXPECT_LT(util::percentile(latencies, 95), 45.0);
+}
+
+TEST(SimNetworkLatency, LatencyNeverNegativeEvenWithHugeJitter) {
+  util::Rng rng(10);
+  SimNetwork network(&rng, 1.0, 50.0);
+  FormBackend backend;
+  network.registerService("https://x.example", &backend);
+  browser::HttpRequest req;
+  req.url = "https://x.example/p";
+  for (int i = 0; i < 200; ++i) {
+    network.handle(req);
+  }
+  for (const auto& e : network.log()) {
+    EXPECT_GE(e.simulatedLatencyMs, 0.0);
+  }
+}
+
+TEST(SimNetworkLatency, DeterministicForSeed) {
+  FormBackend backend;
+  auto run = [&backend]() {
+    util::Rng rng(11);
+    SimNetwork network(&rng);
+    network.registerService("https://x.example", &backend);
+    browser::HttpRequest req;
+    req.url = "https://x.example/p";
+    std::vector<double> out;
+    for (int i = 0; i < 20; ++i) {
+      network.handle(req);
+    }
+    for (const auto& e : network.log()) out.push_back(e.simulatedLatencyMs);
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimNetworkLatency, RequestsToMatchesOriginPrefix) {
+  util::Rng rng(12);
+  SimNetwork network(&rng);
+  FormBackend a, b;
+  network.registerService("https://a.example", &a);
+  network.registerService("https://a.example.evil", &b);
+  browser::HttpRequest req;
+  req.url = "https://a.example/x";
+  network.handle(req);
+  req.url = "https://a.example.evil/x";
+  network.handle(req);
+  // Prefix filtering is a log-analysis convenience; both URLs share the
+  // "https://a.example" prefix.
+  EXPECT_EQ(network.requestsTo("https://a.example").size(), 2u);
+  EXPECT_EQ(network.requestsTo("https://a.example.evil").size(), 1u);
+  EXPECT_TRUE(network.requestsTo("https://b.example").empty());
+}
+
+TEST(SimNetworkLatency, FailedRoutesAreLoggedToo) {
+  util::Rng rng(13);
+  SimNetwork network(&rng);
+  browser::HttpRequest req;
+  req.url = "https://ghost.example/x";
+  EXPECT_EQ(network.handle(req).status, 502);
+  ASSERT_EQ(network.log().size(), 1u);
+  EXPECT_EQ(network.log()[0].response.status, 502);
+}
+
+}  // namespace
+}  // namespace bf::cloud

@@ -1,0 +1,130 @@
+// Tests for the Evernote-like notes service, standalone and under the
+// plug-in — proving the generic paths (paragraph <p> observation + JSON
+// body interception) cover a second dynamic service with zero
+// service-specific plug-in code (paper S5.2).
+#include <gtest/gtest.h>
+
+#include "cloud/notes_client.h"
+#include "core/plugin.h"
+#include "corpus/text_generator.h"
+
+namespace bf::cloud {
+namespace {
+
+class NotesTest : public ::testing::Test {
+ protected:
+  NotesTest() : rng_(3), gen_(&rng_), network_(&rng_) {
+    network_.registerService("https://notes.example", &backend_);
+  }
+
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  SimNetwork network_;
+  NotesBackend backend_;
+};
+
+TEST_F(NotesTest, EditAndAutoSave) {
+  browser::Page page("https://notes.example/n/1", &network_);
+  NotesClient notes(page, "n1");
+  notes.openNote();
+  EXPECT_EQ(notes.appendParagraph("first paragraph"), 200);
+  EXPECT_EQ(notes.appendParagraph("second paragraph"), 200);
+  EXPECT_EQ(backend_.noteText("n1"), "first paragraph\n\nsecond paragraph");
+  EXPECT_EQ(notes.setParagraph(0, "rewritten"), 200);
+  EXPECT_EQ(backend_.noteText("n1"), "rewritten\n\nsecond paragraph");
+  EXPECT_EQ(notes.deleteParagraph(1), 200);
+  EXPECT_EQ(backend_.noteText("n1"), "rewritten");
+  EXPECT_EQ(backend_.saveCount(), 4u);
+}
+
+TEST_F(NotesTest, JsonEscapingSurvivesRoundTrip) {
+  browser::Page page("https://notes.example/n/2", &network_);
+  NotesClient notes(page, "n2");
+  notes.openNote();
+  const std::string nasty = "quotes \" and \\ backslashes";
+  EXPECT_EQ(notes.appendParagraph(nasty), 200);
+  EXPECT_EQ(backend_.noteText("n2"), nasty);
+}
+
+TEST_F(NotesTest, BackendRejectsMalformedPosts) {
+  browser::HttpRequest req;
+  req.url = "https://notes.example/api/notes";
+  req.body = R"({"note_id": "x"})";  // no text
+  EXPECT_EQ(backend_.handle(req).status, 400);
+  req.body = "not json";
+  EXPECT_EQ(backend_.handle(req).status, 400);
+}
+
+class NotesPluginTest : public NotesTest {
+ protected:
+  NotesPluginTest()
+      : plugin_(
+            [] {
+              core::BrowserFlowConfig c;
+              c.mode = core::EnforcementMode::kBlock;
+              return c;
+            }(),
+            &clock_),
+        browser_(&network_) {
+    plugin_.policy().services().upsert({"https://itool.corp",
+                                        "Interview Tool", tdm::TagSet{"ti"},
+                                        tdm::TagSet{"ti"}});
+    browser_.addExtension(&plugin_);
+  }
+
+  util::LogicalClock clock_;
+  core::BrowserFlowPlugin plugin_;
+  browser::Browser browser_;
+};
+
+TEST_F(NotesPluginTest, ParagraphElementsAreObservedAndHighlighted) {
+  const std::string secret = gen_.paragraph(7, 9);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval", secret);
+  browser::Page& page = browser_.openTab("https://notes.example/n/3");
+  NotesClient notes(page, "n3");
+  notes.openNote();
+
+  // Pasting the secret into a plain <p>: blocked at the JSON upload, and
+  // the paragraph is highlighted by the mutation path.
+  EXPECT_EQ(notes.appendParagraph(secret), 403);
+  EXPECT_TRUE(backend_.noteText("n3").empty());
+  EXPECT_EQ(notes.paragraphNode(0)->attribute(
+                core::BrowserFlowPlugin::kStateAttr),
+            core::BrowserFlowPlugin::kViolation);
+
+  // Fresh prose flows.
+  EXPECT_EQ(notes.setParagraph(0, gen_.paragraph(7, 9)), 200);
+  EXPECT_FALSE(backend_.noteText("n3").empty());
+}
+
+TEST_F(NotesPluginTest, WholeNoteUploadCheckedPerParagraph) {
+  const std::string secret = gen_.paragraph(7, 9);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval2", secret);
+  browser::Page& page = browser_.openTab("https://notes.example/n/4");
+  NotesClient notes(page, "n4");
+  notes.openNote();
+  ASSERT_EQ(notes.appendParagraph(gen_.paragraph(7, 9)), 200);
+  // The secret arrives as the SECOND paragraph of a multi-paragraph JSON
+  // body; the per-paragraph upload check must still find it.
+  EXPECT_EQ(notes.appendParagraph(secret), 403);
+}
+
+TEST_F(NotesPluginTest, SuppressionWorksThroughNoteSegments) {
+  const std::string secret = gen_.paragraph(7, 9);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval3", secret);
+  browser::Page& page = browser_.openTab("https://notes.example/n/5");
+  NotesClient notes(page, "n5");
+  notes.openNote();
+  ASSERT_EQ(notes.appendParagraph(secret), 403);
+  const std::string segment = plugin_.segmentNameOf(notes.paragraphNode(0));
+  ASSERT_FALSE(segment.empty());
+  ASSERT_TRUE(plugin_.suppressTag("alice", segment, "ti", "approved").ok());
+  EXPECT_EQ(notes.save(), 200);
+  EXPECT_FALSE(backend_.noteText("n5").empty());
+}
+
+}  // namespace
+}  // namespace bf::cloud

@@ -1,0 +1,127 @@
+// Tests for full-deployment persistence: tracker + policy in one encrypted
+// file, restored into a fresh plug-in that keeps enforcing — including
+// previously granted suppressions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/deployment.h"
+#include "corpus/text_generator.h"
+
+namespace bf::core {
+namespace {
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest() : rng_(13), gen_(&rng_) {}
+  ~DeploymentTest() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string tempPath(const char* name) {
+    path_ = std::string("/tmp/bf_deployment_test_") + name;
+    return path_;
+  }
+
+  static BrowserFlowConfig blockConfig() {
+    BrowserFlowConfig c;
+    c.mode = EnforcementMode::kBlock;
+    return c;
+  }
+
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  std::string path_;
+};
+
+TEST_F(DeploymentTest, FullRoundTripKeepsEnforcementAndSuppression) {
+  const std::string path = tempPath("full");
+  const std::string secret = gen_.paragraph(7, 9);
+  const std::string suppressedCopy = gen_.paragraph(7, 9);
+
+  {
+    util::LogicalClock clock;
+    BrowserFlowPlugin plugin(blockConfig(), &clock);
+    plugin.policy().services().upsert({"itool", "Interview Tool",
+                                       tdm::TagSet{"ti"}, tdm::TagSet{"ti"}});
+    plugin.observeServiceDocument("itool", "itool/eval", secret);
+    // A declassified copy lives in gdocs.
+    plugin.observeServiceDocument("gdocs", "gdocs/copy", suppressedCopy);
+    plugin.engine().decide({"gdocs/copy2#p0", "gdocs/copy2", "gdocs", secret,
+                            flow::SegmentKind::kParagraph});
+    ASSERT_TRUE(plugin.suppressTag("alice", "gdocs/copy2#p0", "ti", "ok").ok());
+    ASSERT_TRUE(saveDeployment(plugin, path, "org-secret").ok());
+  }
+
+  util::LogicalClock clock2;
+  BrowserFlowPlugin plugin(blockConfig(), &clock2);
+  const auto maxTs = loadDeployment(plugin, path, "org-secret");
+  ASSERT_TRUE(maxTs.ok()) << maxTs.errorMessage();
+  clock2.advanceTo(maxTs.value() + 1);
+
+  // Enforcement still works from restored fingerprints + labels.
+  const Decision blocked = plugin.engine().decide(
+      {"gdocs/new#p0", "gdocs/new", "gdocs", secret,
+       flow::SegmentKind::kParagraph});
+  EXPECT_TRUE(blocked.violation());
+
+  // The restored suppression still holds for the declassified copy.
+  const Decision allowed = plugin.engine().decide(
+      {"gdocs/copy2#p0", "gdocs/copy2", "gdocs", secret,
+       flow::SegmentKind::kParagraph});
+  EXPECT_FALSE(allowed.violation());
+
+  // Audit trail restored.
+  EXPECT_EQ(plugin.policy()
+                .audit()
+                .byKind(tdm::AuditRecord::Kind::kTagSuppressed)
+                .size(),
+            1u);
+}
+
+TEST_F(DeploymentTest, EncryptedFileHidesContent) {
+  const std::string path = tempPath("enc");
+  util::LogicalClock clock;
+  BrowserFlowPlugin plugin(blockConfig(), &clock);
+  plugin.policy().services().upsert({"itool", "Interview Tool",
+                                     tdm::TagSet{"ti"}, tdm::TagSet{"ti"}});
+  plugin.observeServiceDocument("itool", "itool/eval", gen_.paragraph(6, 8));
+  ASSERT_TRUE(saveDeployment(plugin, path, "s3cret").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(data.find("itool"), std::string::npos);
+
+  util::LogicalClock clock2;
+  BrowserFlowPlugin wrongKey(blockConfig(), &clock2);
+  EXPECT_FALSE(loadDeployment(wrongKey, path, "wrong").ok());
+  util::LogicalClock clock3;
+  BrowserFlowPlugin noKey(blockConfig(), &clock3);
+  EXPECT_FALSE(loadDeployment(noKey, path, "").ok());
+}
+
+TEST_F(DeploymentTest, PlaintextModeWorks) {
+  const std::string path = tempPath("plain");
+  util::LogicalClock clock;
+  BrowserFlowPlugin plugin(blockConfig(), &clock);
+  plugin.observeServiceDocument("svc", "svc/doc", gen_.paragraph(6, 8));
+  ASSERT_TRUE(saveDeployment(plugin, path, "").ok());
+  util::LogicalClock clock2;
+  BrowserFlowPlugin restored(blockConfig(), &clock2);
+  EXPECT_TRUE(loadDeployment(restored, path, "").ok());
+  EXPECT_EQ(restored.tracker().segmentDb().size(),
+            plugin.tracker().segmentDb().size());
+}
+
+TEST_F(DeploymentTest, MissingFileAndGarbageRejected) {
+  util::LogicalClock clock;
+  BrowserFlowPlugin plugin(blockConfig(), &clock);
+  EXPECT_FALSE(loadDeployment(plugin, "/tmp/definitely-not-here-bf", "").ok());
+  const std::string path = tempPath("garbage");
+  std::ofstream(path) << "this is not a deployment file";
+  EXPECT_FALSE(loadDeployment(plugin, path, "").ok());
+}
+
+}  // namespace
+}  // namespace bf::core

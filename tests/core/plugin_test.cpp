@@ -1,0 +1,361 @@
+// Tests for BrowserFlowPlugin: interception through real browser/cloud
+// machinery — mutation observers, form listeners, the XHR prototype patch,
+// highlights and enforcement modes.
+#include <gtest/gtest.h>
+
+#include "cloud/docs_backend.h"
+#include "cloud/docs_client.h"
+#include "cloud/form_backend.h"
+#include "cloud/network.h"
+#include "cloud/wiki_client.h"
+#include "core/plugin.h"
+#include "corpus/text_generator.h"
+#include "crypto/sealer.h"
+
+namespace bf::core {
+namespace {
+
+class PluginTest : public ::testing::Test {
+ protected:
+  explicit PluginTest(BrowserFlowConfig config = BrowserFlowConfig{})
+      : rng_(21),
+        gen_(&rng_),
+        network_(&rng_),
+        plugin_(config, &clock_),
+        browser_(&network_) {
+    network_.registerService("https://docs.google.com", &docsBackend_);
+    network_.registerService("https://wiki.corp", &wikiBackend_);
+    network_.registerService("https://itool.corp", &itoolBackend_);
+
+    plugin_.policy().services().upsert({"https://itool.corp",
+                                        "Interview Tool", tdm::TagSet{"ti"},
+                                        tdm::TagSet{"ti"}});
+    plugin_.policy().services().upsert({"https://wiki.corp", "Internal Wiki",
+                                        tdm::TagSet{"tw"},
+                                        tdm::TagSet{"tw"}});
+    // Google Docs is external: unregistered, so Lp = Lc = {}.
+    browser_.addExtension(&plugin_);
+  }
+
+  static BrowserFlowConfig configWithMode(EnforcementMode mode) {
+    BrowserFlowConfig c;
+    c.mode = mode;
+    return c;
+  }
+
+  /// Seeds a sensitive Interview Tool paragraph the tests leak.
+  std::string seedInterviewData() {
+    const std::string text = gen_.paragraph(6, 9);
+    plugin_.observeServiceDocument("https://itool.corp",
+                                   "https://itool.corp/eval/42", text);
+    return text;
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  cloud::SimNetwork network_;
+  cloud::DocsBackend docsBackend_;
+  cloud::FormBackend wikiBackend_;
+  cloud::FormBackend itoolBackend_;
+  BrowserFlowPlugin plugin_;
+  browser::Browser browser_;
+};
+
+TEST_F(PluginTest, ObserveServiceDocumentRegistersSegmentsAndLabels) {
+  const std::string text = gen_.paragraph(5, 7) + "\n\n" + gen_.paragraph(5, 7);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval/1", text);
+  const auto* seg = plugin_.tracker().segmentByName(
+      "https://itool.corp/eval/1#p0");
+  ASSERT_NE(seg, nullptr);
+  const tdm::Label* label =
+      plugin_.policy().labelOf("https://itool.corp/eval/1#p0");
+  ASSERT_NE(label, nullptr);
+  EXPECT_TRUE(label->explicitTags().contains("ti"));
+}
+
+TEST_F(PluginTest, DocsEditingHighlightsLeakedParagraph) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc1");
+  cloud::DocsClient docs(page, "doc1");
+  docs.openDocument();
+
+  // Pasting the secret into Google Docs: paragraph marked as violating.
+  docs.insertParagraph(0, secret);
+  browser::Node* para = docs.paragraphNode(0);
+  ASSERT_NE(para, nullptr);
+  EXPECT_EQ(para->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kViolation);
+  EXPECT_NE(para->attribute("style").find("background"), std::string::npos);
+  EXPECT_FALSE(plugin_.warnings().empty());
+
+  // Fresh text in another paragraph stays clean.
+  docs.insertParagraph(1, gen_.paragraph(6, 9));
+  EXPECT_EQ(docs.paragraphNode(1)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kClean);
+}
+
+TEST_F(PluginTest, RewritingParagraphClearsHighlight) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc2");
+  cloud::DocsClient docs(page, "doc2");
+  docs.openDocument();
+  docs.insertParagraph(0, secret);
+  ASSERT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kViolation);
+  // Rewrite it from scratch: no more resemblance, no more violation.
+  docs.setParagraph(0, gen_.paragraph(7, 9));
+  EXPECT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kClean);
+}
+
+TEST_F(PluginTest, WarnModeLetsUploadThrough) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc3");
+  cloud::DocsClient docs(page, "doc3");
+  docs.openDocument();
+  EXPECT_EQ(docs.insertParagraph(0, secret), 200);
+  // Advisory mode: the backend received the plaintext.
+  EXPECT_EQ(docsBackend_.paragraphsOf("doc3").size(), 1u);
+  EXPECT_FALSE(plugin_.warnings().empty());
+}
+
+TEST_F(PluginTest, SegmentNameAssignedToTrackedParagraph) {
+  seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc4");
+  cloud::DocsClient docs(page, "doc4");
+  docs.openDocument();
+  docs.insertParagraph(0, gen_.paragraph(5, 7));
+  const std::string name = plugin_.segmentNameOf(docs.paragraphNode(0));
+  EXPECT_FALSE(name.empty());
+  EXPECT_NE(plugin_.tracker().segmentByName(name), nullptr);
+}
+
+TEST_F(PluginTest, DeletedParagraphForgotten) {
+  seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc5");
+  cloud::DocsClient docs(page, "doc5");
+  docs.openDocument();
+  docs.insertParagraph(0, gen_.paragraph(5, 7));
+  const std::string name = plugin_.segmentNameOf(docs.paragraphNode(0));
+  ASSERT_NE(plugin_.tracker().segmentByName(name), nullptr);
+  docs.deleteParagraph(0);
+  EXPECT_EQ(plugin_.tracker().segmentByName(name), nullptr);
+}
+
+TEST_F(PluginTest, WikiFormSubmissionCleanTextPasses) {
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/notes");
+  cloud::WikiClient wiki(page, "notes");
+  wiki.openEditor();
+  wiki.setContent(gen_.paragraph(6, 9));
+  EXPECT_EQ(wiki.save(), 200);
+  EXPECT_EQ(wikiBackend_.postCount(), 1u);
+}
+
+TEST_F(PluginTest, WikiFormWarnsOnLeakButProceedsInWarnMode) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/notes");
+  cloud::WikiClient wiki(page, "notes");
+  wiki.openEditor();
+  wiki.setContent(secret);
+  EXPECT_EQ(wiki.save(), 200);  // advisory: proceeds
+  EXPECT_FALSE(plugin_.warnings().empty());
+  EXPECT_EQ(plugin_.warnings().back().serviceId, "https://wiki.corp");
+}
+
+TEST_F(PluginTest, ScanPageSeedsTrackerFromStaticHtml) {
+  browser::Page& page = browser_.openTab("https://itool.corp/eval/7");
+  page.loadHtml(R"(
+    <div id="nav"><a href="/">Home</a></div>
+    <div id="content">
+      <p>The candidate demonstrated excellent distributed systems design
+      skills, with deep knowledge of consensus protocols, and replication.</p>
+      <p>We recommend proceeding to the next interview round, with focus on
+      coding, communication, and architectural judgement.</p>
+    </div>)");
+  plugin_.scanPage(page);
+  // Both paragraphs are now tracked as itool content.
+  const auto hits = plugin_.tracker().checkText(
+      "The candidate demonstrated excellent distributed systems design "
+      "skills, with deep knowledge of consensus protocols, and replication.",
+      "elsewhere");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].sourceService, "https://itool.corp");
+}
+
+TEST_F(PluginTest, SuppressTagDelegatesToPolicy) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc6");
+  cloud::DocsClient docs(page, "doc6");
+  docs.openDocument();
+  docs.insertParagraph(0, secret);
+  const std::string name = plugin_.segmentNameOf(docs.paragraphNode(0));
+  ASSERT_TRUE(
+      plugin_.suppressTag("alice", name, "ti", "cleared with manager").ok());
+  // Editing re-decides: now clean.
+  docs.typeChar(0, '!');
+  EXPECT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kClean);
+  // Two records: the paragraph plus its containing document segment
+  // (suppression extends to both granularities).
+  EXPECT_EQ(plugin_.policy()
+                .audit()
+                .byKind(tdm::AuditRecord::Kind::kTagSuppressed)
+                .size(),
+            2u);
+}
+
+TEST_F(PluginTest, RuntimeModeSwitchWarnToBlock) {
+  // Advisory rollout: start warning, flip to blocking without restart.
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/mode");
+  cloud::DocsClient docs(page, "mode");
+  docs.openDocument();
+  EXPECT_EQ(docs.insertParagraph(0, secret), 200);  // warn: flows through
+  docs.deleteParagraph(0);
+
+  plugin_.setEnforcementMode(EnforcementMode::kBlock);
+  EXPECT_EQ(docs.insertParagraph(0, secret), 403);  // now blocked
+  docs.deleteParagraph(0);
+
+  plugin_.setEnforcementMode(EnforcementMode::kWarn);
+  EXPECT_EQ(docs.insertParagraph(0, secret), 200);  // advisory again
+}
+
+// ---- Async mode ---------------------------------------------------------------
+
+class AsyncModeTest : public PluginTest {
+ protected:
+  AsyncModeTest()
+      : PluginTest([] {
+          BrowserFlowConfig c;
+          c.asyncParagraphChecks = true;
+          return c;
+        }()) {}
+};
+
+TEST_F(AsyncModeTest, HighlightsArriveAtNextIdlePoint) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/async1");
+  cloud::DocsClient docs(page, "async1");
+  docs.openDocument();
+  docs.insertParagraph(0, secret);
+  docs.insertParagraph(1, gen_.paragraph(6, 9));
+  // Decisions are in flight; the DOM is not yet annotated.
+  plugin_.drainPendingDecisions();
+  EXPECT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kViolation);
+  EXPECT_EQ(docs.paragraphNode(1)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kClean);
+  EXPECT_FALSE(plugin_.warnings().empty());
+}
+
+TEST_F(AsyncModeTest, DeletedParagraphPendingDecisionIsDiscarded) {
+  seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/async2");
+  cloud::DocsClient docs(page, "async2");
+  docs.openDocument();
+  docs.insertParagraph(0, gen_.paragraph(6, 9));
+  docs.deleteParagraph(0);  // decision for the node is still queued
+  plugin_.drainPendingDecisions();  // must not crash or mis-apply
+  EXPECT_EQ(docs.paragraphCount(), 0u);
+}
+
+TEST_F(AsyncModeTest, DrainIsIdempotent) {
+  seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/async3");
+  cloud::DocsClient docs(page, "async3");
+  docs.openDocument();
+  docs.insertParagraph(0, gen_.paragraph(6, 9));
+  plugin_.drainPendingDecisions();
+  plugin_.drainPendingDecisions();
+  EXPECT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kClean);
+}
+
+// ---- Block mode ---------------------------------------------------------------
+
+class BlockModeTest : public PluginTest {
+ protected:
+  BlockModeTest() : PluginTest(configWithMode(EnforcementMode::kBlock)) {}
+};
+
+TEST_F(BlockModeTest, XhrUploadBlocked) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc7");
+  cloud::DocsClient docs(page, "doc7");
+  docs.openDocument();
+  const int status = docs.insertParagraph(0, secret);
+  EXPECT_EQ(status, 403);
+  // The paragraph never reached the backend.
+  EXPECT_TRUE(docsBackend_.paragraphsOf("doc7").empty());
+  // And an audit record exists.
+  EXPECT_EQ(plugin_.policy()
+                .audit()
+                .byKind(tdm::AuditRecord::Kind::kUploadBlocked)
+                .size(),
+            1u);
+}
+
+TEST_F(BlockModeTest, CleanUploadStillPasses) {
+  seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc8");
+  cloud::DocsClient docs(page, "doc8");
+  docs.openDocument();
+  EXPECT_EQ(docs.insertParagraph(0, gen_.paragraph(6, 9)), 200);
+  EXPECT_EQ(docsBackend_.paragraphsOf("doc8").size(), 1u);
+}
+
+TEST_F(BlockModeTest, FormSubmissionBlocked) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/leak");
+  cloud::WikiClient wiki(page, "leak");
+  wiki.openEditor();
+  wiki.setContent(secret);
+  EXPECT_EQ(wiki.save(), 0);  // suppressed
+  EXPECT_EQ(wikiBackend_.postCount(), 0u);
+}
+
+// ---- Encrypt mode ----------------------------------------------------------------
+
+class EncryptModeTest : public PluginTest {
+ protected:
+  EncryptModeTest() : PluginTest(configWithMode(EnforcementMode::kEncrypt)) {}
+};
+
+TEST_F(EncryptModeTest, XhrPayloadSealedBeforeUpload) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/doc9");
+  cloud::DocsClient docs(page, "doc9");
+  docs.openDocument();
+  EXPECT_EQ(docs.insertParagraph(0, secret), 200);
+  const auto stored = docsBackend_.paragraphsOf("doc9");
+  ASSERT_EQ(stored.size(), 1u);
+  EXPECT_TRUE(crypto::Sealer::isSealed(stored[0]))
+      << "backend must only see ciphertext";
+  // The organisation can decrypt.
+  const auto plain = plugin_.sealer().unseal(stored[0]);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, secret);
+}
+
+TEST_F(EncryptModeTest, FormValuesSealedBeforeSubmission) {
+  const std::string secret = seedInterviewData();
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/enc");
+  cloud::WikiClient wiki(page, "enc");
+  wiki.openEditor();
+  wiki.setContent(secret);
+  EXPECT_EQ(wiki.save(), 200);
+  EXPECT_EQ(wikiBackend_.postCount(), 1u);
+  // Every stored field value is sealed; the title too (it is non-hidden).
+  bool sawSealedContent = false;
+  for (const auto& [key, value] : wikiBackend_.documents()) {
+    if (crypto::Sealer::isSealed(value)) sawSealedContent = true;
+    EXPECT_EQ(value.find(secret), std::string::npos);
+  }
+  EXPECT_TRUE(sawSealedContent);
+}
+
+}  // namespace
+}  // namespace bf::core

@@ -1,0 +1,134 @@
+// Tests for SecretGuard and its integration with the decision pipeline
+// (paper S4.4's data-equality protection for short secrets).
+#include <gtest/gtest.h>
+
+#include "cloud/docs_backend.h"
+#include "cloud/docs_client.h"
+#include "cloud/network.h"
+#include "core/plugin.h"
+#include "corpus/text_generator.h"
+
+namespace bf::core {
+namespace {
+
+TEST(SecretGuard, NormalizedMatching) {
+  SecretGuard guard;
+  ASSERT_TRUE(guard.addSecret("db-password", "Hunter-2 42!", "secret"));
+  // Case, punctuation and spacing differences do not hide the secret.
+  EXPECT_TRUE(guard.containsSecret("the password is hunter242, don't share"));
+  EXPECT_TRUE(guard.containsSecret("HUNTER242"));
+  EXPECT_FALSE(guard.containsSecret("hunter2 is not the whole secret"));
+}
+
+TEST(SecretGuard, RejectsTrivialSecrets) {
+  SecretGuard guard;
+  EXPECT_FALSE(guard.addSecret("too-short", "ab1", "t"));
+  EXPECT_FALSE(guard.addSecret("punct-only", "!!!---", "t"));
+  EXPECT_EQ(guard.size(), 0u);
+}
+
+TEST(SecretGuard, ScanReportsEachSecretOnce) {
+  SecretGuard guard;
+  ASSERT_TRUE(guard.addSecret("alpha", "alphasecret", "ta"));
+  ASSERT_TRUE(guard.addSecret("beta", "betasecret", "tb"));
+  const auto hits = guard.scan(
+      "alphasecret here, alphasecret again, and betasecret too");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].name, "alpha");
+  EXPECT_EQ(hits[1].name, "beta");
+}
+
+TEST(SecretGuard, EmptyGuardScansNothing) {
+  SecretGuard guard;
+  EXPECT_TRUE(guard.scan("any text").empty());
+  EXPECT_FALSE(guard.containsSecret("any text"));
+}
+
+// ---- Integration with the plug-in ---------------------------------------------
+
+class SecretGuardPluginTest : public ::testing::Test {
+ protected:
+  SecretGuardPluginTest()
+      : rng_(77),
+        gen_(&rng_),
+        network_(&rng_),
+        plugin_(blockConfig(), &clock_),
+        browser_(&network_) {
+    network_.registerService("https://docs.google.com", &docsBackend_);
+    // The vault service is trusted with the api-key tag.
+    plugin_.policy().services().upsert({"https://vault.corp", "Vault",
+                                        tdm::TagSet{"api-key"},
+                                        tdm::TagSet{}});
+    network_.registerService("https://vault.corp", &vaultBackend_);
+    plugin_.secretGuard().addSecret(
+        "prod-api-key", "sk-live-9A7xQ2Lm44", "api-key");
+    browser_.addExtension(&plugin_);
+  }
+
+  static BrowserFlowConfig blockConfig() {
+    BrowserFlowConfig c;
+    c.mode = EnforcementMode::kBlock;
+    return c;
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  cloud::SimNetwork network_;
+  cloud::DocsBackend docsBackend_;
+  cloud::DocsBackend vaultBackend_;
+  BrowserFlowPlugin plugin_;
+  browser::Browser browser_;
+};
+
+TEST_F(SecretGuardPluginTest, SecretInDocsUploadBlocked) {
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/k1");
+  cloud::DocsClient docs(page, "k1");
+  docs.openDocument();
+  // A fingerprint could never catch this: the paragraph is fresh prose
+  // with the key embedded mid-sentence.
+  const int status = docs.insertParagraph(
+      0, "Deployment checklist for Friday: rotate certificates, set "
+         "SK-LIVE-9a7xq2lm44 in the environment, and restart the workers.");
+  EXPECT_EQ(status, 403);
+  EXPECT_TRUE(docsBackend_.paragraphsOf("k1").empty());
+  // The paragraph is highlighted and the hit is named in the warning.
+  EXPECT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kViolation);
+  ASSERT_FALSE(plugin_.warnings().empty());
+  const auto& d = plugin_.warnings().front().decision;
+  ASSERT_FALSE(d.secretHits.empty());
+  EXPECT_EQ(d.secretHits[0], "prod-api-key");
+}
+
+TEST_F(SecretGuardPluginTest, SecretAllowedIntoPrivilegedService) {
+  browser::Page& page = browser_.openTab("https://vault.corp/d/store");
+  cloud::DocsClient vault(page, "store");
+  vault.openDocument();
+  const int status =
+      vault.insertParagraph(0, "rotating key sk-live-9A7xQ2Lm44 tonight");
+  EXPECT_EQ(status, 200) << "Lp(vault) includes api-key";
+}
+
+TEST_F(SecretGuardPluginTest, DeletingSecretClearsViolationOnNextEdit) {
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/k2");
+  cloud::DocsClient docs(page, "k2");
+  docs.openDocument();
+  docs.insertParagraph(0, "note with sk-live-9A7xQ2Lm44 inside it somewhere");
+  ASSERT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kViolation);
+  // The user removes the key: the implicit tag refreshes away.
+  EXPECT_EQ(docs.setParagraph(0, "note with the key removed from it"), 200);
+  EXPECT_EQ(docs.paragraphNode(0)->attribute(BrowserFlowPlugin::kStateAttr),
+            BrowserFlowPlugin::kClean);
+}
+
+TEST_F(SecretGuardPluginTest, FreshProseUnaffected) {
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/k3");
+  cloud::DocsClient docs(page, "k3");
+  docs.openDocument();
+  EXPECT_EQ(docs.insertParagraph(0, gen_.paragraph(6, 9)), 200);
+}
+
+}  // namespace
+}  // namespace bf::core

@@ -1,0 +1,239 @@
+// Tests for the upload decision paths added on top of the basic plug-in:
+// form-draft registration with declassification, stale draft pruning, and
+// document-granularity aggregation-leak detection (paper S4.1).
+#include <gtest/gtest.h>
+
+#include "cloud/docs_backend.h"
+#include "cloud/docs_client.h"
+#include "cloud/form_backend.h"
+#include "cloud/network.h"
+#include "cloud/wiki_client.h"
+#include "core/plugin.h"
+#include "corpus/text_generator.h"
+
+namespace bf::core {
+namespace {
+
+class UploadPathsTest : public ::testing::Test {
+ protected:
+  explicit UploadPathsTest(EnforcementMode mode = EnforcementMode::kBlock)
+      : rng_(55),
+        gen_(&rng_),
+        network_(&rng_),
+        plugin_(makeConfig(mode), &clock_),
+        browser_(&network_) {
+    network_.registerService("https://wiki.corp", &wikiBackend_);
+    network_.registerService("https://itool.corp", &itoolBackend_);
+    plugin_.policy().services().upsert({"https://itool.corp",
+                                        "Interview Tool", tdm::TagSet{"ti"},
+                                        tdm::TagSet{"ti"}});
+    plugin_.policy().services().upsert({"https://wiki.corp", "Internal Wiki",
+                                        tdm::TagSet{"tw"},
+                                        tdm::TagSet{"tw"}});
+    browser_.addExtension(&plugin_);
+  }
+
+  static BrowserFlowConfig makeConfig(EnforcementMode mode) {
+    BrowserFlowConfig c;
+    c.mode = mode;
+    return c;
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  cloud::SimNetwork network_;
+  cloud::FormBackend wikiBackend_;
+  cloud::FormBackend itoolBackend_;
+  cloud::DocsBackend docsBackend_;
+  BrowserFlowPlugin plugin_;
+  browser::Browser browser_;
+};
+
+TEST_F(UploadPathsTest, FormDraftSuppressionUnblocksResubmit) {
+  const std::string secret = gen_.paragraph(7, 9);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval", secret);
+
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/notes");
+  cloud::WikiClient wiki(page, "notes");
+  wiki.openEditor();
+  wiki.setContent(secret);
+  ASSERT_EQ(wiki.save(), 0) << "first submit must be blocked";
+  EXPECT_EQ(wikiBackend_.postCount(), 0u);
+
+  // The draft is now a tracked, labelled segment the user can declassify.
+  // (#p0 is the form's title field; the content textarea is #p1.)
+  const std::string draftSegment =
+      "https://wiki.corp/edit/notes/draft#p1";
+  ASSERT_NE(plugin_.tracker().segmentByName(draftSegment), nullptr);
+  const tdm::Label* label = plugin_.policy().labelOf(draftSegment);
+  ASSERT_NE(label, nullptr);
+  EXPECT_TRUE(label->implicitTags().contains("ti"));
+
+  ASSERT_TRUE(plugin_
+                  .suppressTag("alice", draftSegment, "ti",
+                               "summary approved for the wiki")
+                  .ok());
+  EXPECT_EQ(wiki.save(), 200) << "post-suppression submit must pass";
+  EXPECT_EQ(wikiBackend_.postCount(), 1u);
+  // One audit record per granularity: the paragraph the user declassified
+  // and the containing document segment.
+  const auto records =
+      plugin_.policy().audit().byKind(tdm::AuditRecord::Kind::kTagSuppressed);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].segment, draftSegment);
+  EXPECT_EQ(records[1].segment, "https://wiki.corp/edit/notes/draft");
+}
+
+TEST_F(UploadPathsTest, StaleDraftParagraphsPruned) {
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/p");
+  page.loadHtml(R"(<form id="f" action="/post">
+                     <textarea name="content" value=""></textarea></form>)");
+  browser::Node* form = page.document().root()->byId("f");
+  browser::Node* area = form->elementsByTag("textarea")[0];
+
+  area->setAttribute("value", gen_.paragraph(5, 6) + "\n\n" +
+                                  gen_.paragraph(5, 6) + "\n\n" +
+                                  gen_.paragraph(5, 6));
+  ASSERT_EQ(page.submitForm(form).status, 200);
+  const std::string base = "https://wiki.corp/edit/p/draft#p";
+  EXPECT_NE(plugin_.tracker().segmentByName(base + "2"), nullptr);
+
+  // Shorter draft: paragraphs 1 and 2 must disappear from the tracker.
+  area->setAttribute("value", gen_.paragraph(5, 6));
+  ASSERT_EQ(page.submitForm(form).status, 200);
+  EXPECT_NE(plugin_.tracker().segmentByName(base + "0"), nullptr);
+  EXPECT_EQ(plugin_.tracker().segmentByName(base + "1"), nullptr);
+  EXPECT_EQ(plugin_.tracker().segmentByName(base + "2"), nullptr);
+}
+
+TEST_F(UploadPathsTest, DocumentGranularityCatchesAggregationLeak) {
+  // A sensitive document whose author set a low document threshold: any
+  // broad sampling is sensitive even when no single paragraph passes T_par
+  // (the paper's "one sentence from each paragraph" scenario, S4.1).
+  std::vector<std::string> sentences;
+  std::string doc;
+  for (int i = 0; i < 6; ++i) {
+    const std::string lead = gen_.sentence(12, 14);
+    sentences.push_back(lead);
+    if (!doc.empty()) doc += "\n\n";
+    doc += lead + " " + gen_.paragraph(6, 6);
+  }
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/playbook", doc,
+                                 /*paragraphThreshold=*/0.6,
+                                 /*documentThreshold=*/0.08);
+
+  // Leak one sentence per paragraph, split across two form paragraphs.
+  std::string leak;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    if (i == 3) leak += "\n\n";
+    leak += sentences[i] + " ";
+  }
+
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/digest");
+  cloud::WikiClient wiki(page, "digest");
+  wiki.openEditor();
+  wiki.setContent(leak);
+  EXPECT_EQ(wiki.save(), 0) << "document-level disclosure must block";
+  EXPECT_EQ(wikiBackend_.postCount(), 0u);
+
+  // Sanity: no individual paragraph crossed its own 0.6 threshold.
+  bool paragraphLevelHit = false;
+  for (const auto& w : plugin_.warnings()) {
+    for (const auto& h : w.decision.hits) {
+      if (h.kind == flow::SegmentKind::kParagraph) paragraphLevelHit = true;
+    }
+  }
+  EXPECT_FALSE(paragraphLevelHit);
+}
+
+TEST_F(UploadPathsTest, DocsCumulativeLeakGatedAtDocumentLevel) {
+  // The Docs per-keystroke channel uploads one paragraph at a time; no
+  // single paragraph crosses T_par, but together they disclose the source
+  // document. The page-level document segment (refreshed by the mutation
+  // path) must gate the upload (paper S4.1's aggregation case).
+  network_.registerService("https://docs.google.com", &docsBackend_);
+  std::vector<std::string> leads;
+  std::string doc;
+  for (int i = 0; i < 6; ++i) {
+    leads.push_back(gen_.sentence(12, 14));
+    if (!doc.empty()) doc += "\n\n";
+    doc += leads.back() + " " + gen_.paragraph(6, 6);
+  }
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/playbook2", doc,
+                                 /*paragraphThreshold=*/0.6,
+                                 /*documentThreshold=*/0.08);
+
+  browser::Page& page = browser_.openTab("https://docs.google.com/d/agg");
+  cloud::DocsClient docs(page, "agg");
+  docs.openDocument();
+  // Early sentences pass — not enough aggregated yet.
+  ASSERT_EQ(docs.insertParagraph(0, leads[0]), 200);
+  // Keep inserting; by the last lead the document-level gate must close.
+  int lastStatus = 200;
+  for (std::size_t i = 1; i < leads.size(); ++i) {
+    lastStatus = docs.insertParagraph(i, leads[i]);
+  }
+  EXPECT_EQ(lastStatus, 403) << "cumulative document leak not gated";
+  // The leak was recorded at document granularity.
+  bool docWarning = false;
+  for (const auto& w : plugin_.warnings()) {
+    if (w.segmentName.find("(document)") != std::string::npos ||
+        w.segmentName == "https://docs.google.com/d/agg") {
+      docWarning = true;
+    }
+  }
+  EXPECT_TRUE(docWarning);
+}
+
+TEST_F(UploadPathsTest, SingleParagraphFormSkipsDocumentCheck) {
+  // One-paragraph drafts must not create a document-kind segment.
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/one");
+  page.loadHtml(R"(<form id="f" action="/post">
+                     <textarea name="content" value=""></textarea></form>)");
+  browser::Node* form = page.document().root()->byId("f");
+  form->elementsByTag("textarea")[0]->setAttribute("value",
+                                                   gen_.paragraph(5, 6));
+  ASSERT_EQ(page.submitForm(form).status, 200);
+  const auto* doc =
+      plugin_.tracker().segmentByName("https://wiki.corp/edit/one/draft");
+  EXPECT_EQ(doc, nullptr);
+}
+
+TEST_F(UploadPathsTest, DraftReSubmitUsesRefreshedLabel) {
+  // A draft that disclosed sensitive text, then was rewritten, must lose
+  // its implicit taint and submit cleanly.
+  const std::string secret = gen_.paragraph(7, 9);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval2", secret);
+  browser::Page& page = browser_.openTab("https://wiki.corp/edit/retry");
+  cloud::WikiClient wiki(page, "retry");
+  wiki.openEditor();
+  wiki.setContent(secret);
+  ASSERT_EQ(wiki.save(), 0);
+  wiki.setContent(gen_.paragraph(7, 9));  // complete rewrite
+  EXPECT_EQ(wiki.save(), 200);
+}
+
+TEST_F(UploadPathsTest, MultiFieldFormsCheckAllFields) {
+  const std::string secret = gen_.paragraph(7, 9);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval3", secret);
+  browser::Page& page = browser_.openTab("https://wiki.corp/compose");
+  page.loadHtml(R"(
+    <form id="f" action="/post">
+      <input type="text" name="subject" value="">
+      <textarea name="content" value=""></textarea>
+    </form>)");
+  browser::Node* form = page.document().root()->byId("f");
+  // The sensitive text hides in the SECOND field.
+  form->elementsByTag("input")[0]->setAttribute("value", "innocuous subject");
+  form->elementsByTag("textarea")[0]->setAttribute("value", secret);
+  EXPECT_EQ(page.submitForm(form).status, 0);
+}
+
+}  // namespace
+}  // namespace bf::core

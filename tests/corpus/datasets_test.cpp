@@ -1,0 +1,156 @@
+// Tests for the dataset builders (paper Table 1).
+#include <gtest/gtest.h>
+
+#include "corpus/datasets.h"
+
+namespace bf::corpus {
+namespace {
+
+TEST(WikipediaDataset, QuickScaleShape) {
+  const auto ds = buildWikipedia(WikipediaConfig::quickScale());
+  EXPECT_EQ(ds.articles.size(), 12u);
+  for (const auto& a : ds.articles) {
+    ASSERT_FALSE(a.checkpoints.empty());
+    EXPECT_EQ(a.checkpointRevision.front(), 0u);
+    EXPECT_EQ(a.checkpointRevision.back(), 200u);
+    EXPECT_EQ(a.checkpoints.size(), a.checkpointRevision.size());
+    // Checkpoint revisions strictly increase.
+    for (std::size_t i = 1; i < a.checkpointRevision.size(); ++i) {
+      EXPECT_GT(a.checkpointRevision[i], a.checkpointRevision[i - 1]);
+    }
+  }
+}
+
+TEST(WikipediaDataset, DeterministicForSeed) {
+  auto cfg = WikipediaConfig::quickScale();
+  cfg.articles = 2;
+  const auto a = buildWikipedia(cfg);
+  const auto b = buildWikipedia(cfg);
+  ASSERT_EQ(a.articles.size(), b.articles.size());
+  EXPECT_EQ(a.articles[0].checkpoints.back().render(),
+            b.articles[0].checkpoints.back().render());
+}
+
+TEST(WikipediaDataset, MixesStableAndVolatileArticles) {
+  const auto ds = buildWikipedia(WikipediaConfig::quickScale());
+  std::size_t volatileCount = 0;
+  for (const auto& a : ds.articles) {
+    if (a.isVolatile) ++volatileCount;
+  }
+  EXPECT_GT(volatileCount, 0u);
+  EXPECT_LT(volatileCount, ds.articles.size());
+}
+
+TEST(WikipediaDataset, VolatileArticlesChangeMoreInLength) {
+  auto cfg = WikipediaConfig::quickScale();
+  cfg.articles = 20;
+  const auto ds = buildWikipedia(cfg);
+  double stableDelta = 0, volatileDelta = 0;
+  std::size_t stableN = 0, volatileN = 0;
+  for (const auto& a : ds.articles) {
+    const double base = static_cast<double>(a.checkpoints.front().renderedSize());
+    const double last = static_cast<double>(a.checkpoints.back().renderedSize());
+    const double delta = std::abs(last - base) / base;
+    if (a.isVolatile) {
+      volatileDelta += delta;
+      ++volatileN;
+    } else {
+      stableDelta += delta;
+      ++stableN;
+    }
+  }
+  ASSERT_GT(stableN, 0u);
+  ASSERT_GT(volatileN, 0u);
+  EXPECT_GT(volatileDelta / static_cast<double>(volatileN),
+            stableDelta / static_cast<double>(stableN));
+}
+
+TEST(ManualsDataset, FourChaptersFourVersions) {
+  const auto ds = buildManuals();
+  ASSERT_EQ(ds.chapters.size(), 4u);
+  for (const auto& ch : ds.chapters) {
+    EXPECT_EQ(ch.versions.size(), 4u);
+    EXPECT_EQ(ch.versionNames.size(), 4u);
+  }
+  EXPECT_EQ(ds.chapters[0].name, "IPhone Camera");
+  EXPECT_EQ(ds.chapters[3].name, "MySQL What's MySQL");
+}
+
+TEST(ManualsDataset, StableChapterKeepsContent) {
+  const auto ds = buildManuals();
+  const auto& whats = ds.chapters[3];  // "What's MySQL"
+  double total = 0;
+  std::size_t n = 0;
+  for (const auto& p : whats.versions.front().paragraphs) {
+    total += conceptSurvival(p, whats.versions.back());
+    ++n;
+  }
+  EXPECT_GT(total / static_cast<double>(n), 0.9);
+}
+
+TEST(ManualsDataset, VolatileChapterLosesContent) {
+  const auto ds = buildManuals();
+  const auto& message = ds.chapters[1];  // "IPhone Message"
+  double total = 0;
+  std::size_t n = 0;
+  for (const auto& p : message.versions.front().paragraphs) {
+    total += conceptSurvival(p, message.versions.back());
+    ++n;
+  }
+  EXPECT_LT(total / static_cast<double>(n), 0.35);
+}
+
+TEST(ManualsDataset, NewFeaturesDropsAfterSecondVersion) {
+  const auto ds = buildManuals();
+  const auto& nf = ds.chapters[2];  // "MySQL New Features"
+  auto meanSurvival = [&](const VersionedDoc& v) {
+    double total = 0;
+    for (const auto& p : nf.versions.front().paragraphs) {
+      total += conceptSurvival(p, v);
+    }
+    return total / static_cast<double>(nf.versions.front().paragraphs.size());
+  };
+  EXPECT_GT(meanSurvival(nf.versions[1]), 0.9);   // 4.0 -> 4.1 stable
+  EXPECT_LT(meanSurvival(nf.versions[3]), 0.75);  // then reduced
+}
+
+TEST(NewsDataset, TwoArticles) {
+  const auto ds = buildNews();
+  ASSERT_EQ(ds.articles.size(), 2u);
+  EXPECT_EQ(ds.articles[0].paragraphs.size(), 27u);
+}
+
+TEST(EbooksDataset, QuickScaleShape) {
+  const auto ds = buildEbooks(EbooksConfig::quickScale());
+  EXPECT_EQ(ds.books.size(), 12u);
+  EXPECT_GT(ds.totalBytes, 100'000u);
+  for (const auto& b : ds.books) {
+    EXPECT_GE(b.paragraphs.size(), 120u);
+    EXPECT_LE(b.paragraphs.size(), 260u);
+  }
+}
+
+TEST(DatasetStats, Table1Columns) {
+  const auto wiki = statsOf(buildWikipedia(WikipediaConfig::quickScale()));
+  EXPECT_EQ(wiki.name, "Wikipedia Articles");
+  EXPECT_EQ(wiki.documents, 12u);
+  EXPECT_EQ(wiki.versions, 200u);
+  EXPECT_GT(wiki.avgParagraphs, 0.0);
+  EXPECT_GT(wiki.avgSizeKb, 0.0);
+
+  const auto manuals = statsOf(buildManuals());
+  ASSERT_EQ(manuals.size(), 4u);
+  // Table 1: IPhone Camera has more paragraphs than What's MySQL.
+  EXPECT_GT(manuals[0].avgParagraphs, manuals[3].avgParagraphs);
+
+  const auto news = statsOf(buildNews());
+  EXPECT_EQ(news.documents, 2u);
+  EXPECT_NEAR(news.avgParagraphs, 27.0, 0.1);
+
+  const auto books = statsOf(buildEbooks(EbooksConfig::quickScale()));
+  EXPECT_EQ(books.documents, 12u);
+  EXPECT_GT(books.avgSizeKb, 30.0);
+}
+
+}  // namespace
+}  // namespace bf::corpus

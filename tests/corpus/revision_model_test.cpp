@@ -1,0 +1,145 @@
+// Tests for the revision model and its ground-truth lineage.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "corpus/revision_model.h"
+
+namespace bf::corpus {
+namespace {
+
+class RevisionTest : public ::testing::Test {
+ protected:
+  RevisionTest() : rng_(99), gen_(&rng_), model_(&gen_, &rng_) {}
+
+  util::Rng rng_;
+  TextGenerator gen_;
+  RevisionModel model_;
+};
+
+TEST_F(RevisionTest, CreateDocumentShape) {
+  const VersionedDoc doc = model_.createDocument("d", 10);
+  EXPECT_EQ(doc.id, "d");
+  EXPECT_EQ(doc.paragraphs.size(), 10u);
+  for (const auto& p : doc.paragraphs) {
+    EXPECT_GE(p.sentences.size(), 3u);
+    EXPECT_LE(p.sentences.size(), 7u);
+  }
+}
+
+TEST_F(RevisionTest, ConceptIdsAreUnique) {
+  const VersionedDoc doc = model_.createDocument("d", 20);
+  std::unordered_set<std::uint64_t> ids;
+  for (const auto& p : doc.paragraphs) {
+    for (const auto& s : p.sentences) {
+      EXPECT_TRUE(ids.insert(s.conceptId).second) << "duplicate concept";
+    }
+  }
+}
+
+TEST_F(RevisionTest, RenderUsesBlankLineSeparators) {
+  const VersionedDoc doc = model_.createDocument("d", 3);
+  const std::string text = doc.render();
+  EXPECT_NE(text.find("\n\n"), std::string::npos);
+  EXPECT_EQ(doc.renderedSize(), text.size());
+}
+
+TEST_F(RevisionTest, UnchangedDocumentFullSurvival) {
+  const VersionedDoc doc = model_.createDocument("d", 5);
+  for (const auto& p : doc.paragraphs) {
+    EXPECT_DOUBLE_EQ(conceptSurvival(p, doc), 1.0);
+    EXPECT_TRUE(groundTruthDiscloses(p, doc));
+  }
+}
+
+TEST_F(RevisionTest, StableProfileKeepsConcepts) {
+  VersionedDoc doc = model_.createDocument("d", 10);
+  const VersionedDoc base = doc;
+  model_.evolve(doc, stableProfile(), 100);
+  double total = 0;
+  for (const auto& p : base.paragraphs) total += conceptSurvival(p, doc);
+  EXPECT_GT(total / static_cast<double>(base.paragraphs.size()), 0.85);
+}
+
+TEST_F(RevisionTest, VolatileProfileErodesConcepts) {
+  VersionedDoc doc = model_.createDocument("d", 10);
+  const VersionedDoc base = doc;
+  model_.evolve(doc, volatileProfile(), 600);
+  double total = 0;
+  for (const auto& p : base.paragraphs) total += conceptSurvival(p, doc);
+  EXPECT_LT(total / static_cast<double>(base.paragraphs.size()), 0.5);
+}
+
+TEST_F(RevisionTest, RephraseKeepsConceptButChangesText) {
+  VersionedDoc doc = model_.createDocument("d", 4);
+  const VersionedDoc base = doc;
+  VolatilityProfile rephraseOnly;
+  rephraseOnly.minorEditProb = 0;
+  rephraseOnly.rephraseProb = 1.0;  // every sentence rewritten each step
+  model_.evolve(doc, rephraseOnly);
+  // Ground truth: all concepts survive.
+  for (const auto& p : base.paragraphs) {
+    EXPECT_DOUBLE_EQ(conceptSurvival(p, doc), 1.0);
+  }
+  // But the text is different — this is the paper's rephrase FN class.
+  EXPECT_NE(base.render(), doc.render());
+}
+
+TEST_F(RevisionTest, MoveParagraphPreservesConcepts) {
+  VersionedDoc doc = model_.createDocument("d", 6);
+  const VersionedDoc base = doc;
+  VolatilityProfile moveOnly;
+  moveOnly.minorEditProb = 0;
+  moveOnly.moveParagraphProb = 1.0;
+  model_.evolve(doc, moveOnly, 10);
+  for (const auto& p : base.paragraphs) {
+    EXPECT_DOUBLE_EQ(conceptSurvival(p, doc), 1.0);
+  }
+}
+
+TEST_F(RevisionTest, AppendGrowsDeleteShrinks) {
+  VersionedDoc doc = model_.createDocument("d", 6);
+  VolatilityProfile growOnly;
+  growOnly.minorEditProb = 0;
+  growOnly.appendParagraphProb = 1.0;
+  model_.evolve(doc, growOnly, 5);
+  EXPECT_EQ(doc.paragraphs.size(), 11u);
+
+  VolatilityProfile shrinkOnly;
+  shrinkOnly.minorEditProb = 0;
+  shrinkOnly.deleteParagraphProb = 1.0;
+  model_.evolve(doc, shrinkOnly, 5);
+  EXPECT_EQ(doc.paragraphs.size(), 6u);
+}
+
+TEST_F(RevisionTest, DeleteNeverEmptiesDocument) {
+  VersionedDoc doc = model_.createDocument("d", 3);
+  VolatilityProfile nuke;
+  nuke.minorEditProb = 0;
+  nuke.deleteParagraphProb = 1.0;
+  nuke.deleteSentenceProb = 1.0;
+  model_.evolve(doc, nuke, 50);
+  EXPECT_GE(doc.paragraphs.size(), 2u);  // floor of 2 paragraphs
+  for (const auto& p : doc.paragraphs) {
+    EXPECT_GE(p.sentences.size(), 1u);  // floor of 1 sentence
+  }
+}
+
+TEST_F(RevisionTest, GroundTruthThresholdSemantics) {
+  Paragraph p;
+  p.sentences = {{1, "a"}, {2, "b"}, {3, "c"}, {4, "d"}};
+  VersionedDoc doc;
+  doc.paragraphs.push_back(Paragraph{{{1, "a"}, {2, "b"}}});
+  EXPECT_DOUBLE_EQ(conceptSurvival(p, doc), 0.5);
+  EXPECT_TRUE(groundTruthDiscloses(p, doc, 0.5));
+  EXPECT_FALSE(groundTruthDiscloses(p, doc, 0.75));
+}
+
+TEST_F(RevisionTest, EmptyBaseParagraphNeverDiscloses) {
+  Paragraph empty;
+  VersionedDoc doc = model_.createDocument("d", 2);
+  EXPECT_FALSE(groundTruthDiscloses(empty, doc, 0.0));
+}
+
+}  // namespace
+}  // namespace bf::corpus

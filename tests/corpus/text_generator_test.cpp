@@ -1,0 +1,83 @@
+// Tests for the synthetic text generator.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "corpus/text_generator.h"
+#include "util/strings.h"
+
+namespace bf::corpus {
+namespace {
+
+TEST(TextGenerator, DeterministicForSeed) {
+  util::Rng r1(5), r2(5);
+  TextGenerator g1(&r1), g2(&r2);
+  EXPECT_EQ(g1.document(5), g2.document(5));
+}
+
+TEST(TextGenerator, DifferentSeedsDiffer) {
+  util::Rng r1(5), r2(6);
+  TextGenerator g1(&r1), g2(&r2);
+  EXPECT_NE(g1.document(5), g2.document(5));
+}
+
+TEST(TextGenerator, SentenceShape) {
+  util::Rng rng(7);
+  TextGenerator gen(&rng);
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = gen.sentence(8, 18);
+    ASSERT_FALSE(s.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(s.front()))) << s;
+    EXPECT_EQ(s.back(), '.') << s;
+    const auto words = util::splitWords(s);
+    EXPECT_GE(words.size(), 8u);
+    EXPECT_LE(words.size(), 18u);
+  }
+}
+
+TEST(TextGenerator, ParagraphSentenceCount) {
+  util::Rng rng(8);
+  TextGenerator gen(&rng);
+  const std::string p = gen.paragraph(3, 7);
+  std::size_t stops = 0;
+  for (char c : p) {
+    if (c == '.') ++stops;
+  }
+  EXPECT_GE(stops, 3u);
+  EXPECT_LE(stops, 7u);
+}
+
+TEST(TextGenerator, DocumentHasRequestedParagraphs) {
+  util::Rng rng(9);
+  TextGenerator gen(&rng);
+  const std::string doc = gen.document(6);
+  EXPECT_EQ(util::splitParagraphs(doc).size(), 6u);
+}
+
+TEST(TextGenerator, WordFrequencyIsSkewed) {
+  // Zipf sampling: the most common word appears far more often than the
+  // median word, as in natural language.
+  util::Rng rng(10);
+  TextGenerator gen(&rng);
+  std::unordered_map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.word()];
+  int maxCount = 0;
+  for (const auto& [w, c] : counts) maxCount = std::max(maxCount, c);
+  EXPECT_GT(maxCount, 400);                 // head is heavy
+  EXPECT_GT(counts.size(), 200u);           // but the tail is long
+}
+
+TEST(TextGenerator, VocabularyWordsLookLikeWords) {
+  util::Rng rng(11);
+  TextGenerator gen(&rng, 100);
+  for (int i = 0; i < 100; ++i) {
+    const std::string w = gen.word();
+    EXPECT_GE(w.size(), 2u);
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bf::corpus

@@ -1,0 +1,110 @@
+// Tests for HashDb ("DBhash", paper S4.3).
+#include <gtest/gtest.h>
+
+#include "flow/hash_db.h"
+
+namespace bf::flow {
+namespace {
+
+TEST(HashDb, OldestSegmentIsFirstObserver) {
+  HashDb db;
+  db.recordObservation(42, 1, 10);
+  db.recordObservation(42, 2, 20);
+  ASSERT_TRUE(db.oldestSegmentWith(42).has_value());
+  EXPECT_EQ(*db.oldestSegmentWith(42), 1u);
+}
+
+TEST(HashDb, UnknownHash) {
+  HashDb db;
+  EXPECT_FALSE(db.oldestSegmentWith(99).has_value());
+  EXPECT_TRUE(db.segmentsWith(99).empty());
+}
+
+TEST(HashDb, ReobservationKeepsOriginalTimestamp) {
+  HashDb db;
+  db.recordObservation(42, 1, 10);
+  db.recordObservation(42, 1, 50);  // same (hash, segment) later
+  ASSERT_TRUE(db.firstSeen(42, 1).has_value());
+  EXPECT_EQ(*db.firstSeen(42, 1), 10u);
+}
+
+TEST(HashDb, SegmentsWithOrderedOldestFirst) {
+  HashDb db;
+  db.recordObservation(7, 3, 30);
+  db.recordObservation(7, 1, 40);
+  db.recordObservation(7, 2, 50);
+  const auto segs = db.segmentsWith(7);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], 3u);
+  EXPECT_EQ(segs[1], 1u);
+  EXPECT_EQ(segs[2], 2u);
+}
+
+TEST(HashDb, OutOfOrderTimestampsSortedIn) {
+  HashDb db;
+  db.recordObservation(7, 1, 100);
+  db.recordObservation(7, 2, 50);  // older than existing entry
+  EXPECT_EQ(*db.oldestSegmentWith(7), 2u);
+}
+
+TEST(HashDb, RemovedSegmentSkippedByLookups) {
+  HashDb db;
+  db.recordObservation(7, 1, 10);
+  db.recordObservation(7, 2, 20);
+  db.removeSegment(1);
+  EXPECT_EQ(*db.oldestSegmentWith(7), 2u);
+  EXPECT_EQ(db.segmentsWith(7).size(), 1u);
+  EXPECT_FALSE(db.firstSeen(7, 1).has_value());
+}
+
+TEST(HashDb, RemovalPromotesNextOldest) {
+  // The authoritative source changes when the original is deleted —
+  // provenance falls to the next-oldest copy.
+  HashDb db;
+  db.recordObservation(7, 1, 10);
+  db.recordObservation(7, 2, 20);
+  db.recordObservation(7, 3, 30);
+  db.removeSegment(1);
+  EXPECT_EQ(*db.oldestSegmentWith(7), 2u);
+  db.removeSegment(2);
+  EXPECT_EQ(*db.oldestSegmentWith(7), 3u);
+  db.removeSegment(3);
+  EXPECT_FALSE(db.oldestSegmentWith(7).has_value());
+}
+
+TEST(HashDb, RemovalGenerationBumps) {
+  HashDb db;
+  const auto g0 = db.removalGeneration();
+  db.removeSegment(5);
+  EXPECT_GT(db.removalGeneration(), g0);
+}
+
+TEST(HashDb, DistinctHashCount) {
+  HashDb db;
+  db.recordObservation(1, 1, 1);
+  db.recordObservation(1, 2, 2);
+  db.recordObservation(2, 1, 3);
+  EXPECT_EQ(db.distinctHashCount(), 2u);
+}
+
+TEST(HashDb, EvictOlderThanDropsOldAssociations) {
+  HashDb db;
+  db.recordObservation(1, 1, 10);
+  db.recordObservation(1, 2, 100);
+  db.recordObservation(2, 1, 10);
+  const std::size_t dropped = db.evictOlderThan(50);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(db.distinctHashCount(), 1u);  // hash 2 fully evicted
+  EXPECT_EQ(*db.oldestSegmentWith(1), 2u);
+}
+
+TEST(HashDb, EvictPurgesDeadAssociations) {
+  HashDb db;
+  db.recordObservation(1, 1, 10);
+  db.removeSegment(1);
+  db.evictOlderThan(0);  // cutoff 0 drops nothing by age, but purges dead
+  EXPECT_EQ(db.distinctHashCount(), 0u);
+}
+
+}  // namespace
+}  // namespace bf::flow

@@ -1,0 +1,213 @@
+// Tests for snapshot export/import and encrypted persistence (paper S4.4).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "corpus/text_generator.h"
+#include "flow/snapshot.h"
+
+namespace bf::flow {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() : rng_(31), gen_(&rng_), tracker_(TrackerConfig{}, &clock_) {}
+
+  ~SnapshotTest() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  /// Populates the tracker with a few documents and returns one secret
+  /// paragraph to probe with.
+  std::string populate() {
+    std::string probe;
+    for (int i = 0; i < 5; ++i) {
+      const std::string text = gen_.paragraph(6, 8) + "\n\n" +
+                               gen_.paragraph(6, 8);
+      if (i == 2) probe = std::string(text.substr(0, text.find("\n\n")));
+      tracker_.observeDocument("doc" + std::to_string(i), "svc", text);
+    }
+    return probe;
+  }
+
+  std::string tempPath(const char* name) {
+    path_ = std::string("/tmp/bf_snapshot_test_") + name;
+    return path_;
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  FlowTracker tracker_;
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, ExportImportRoundTripPreservesQueries) {
+  const std::string probe = populate();
+  const auto before = tracker_.checkText(probe, "elsewhere");
+  ASSERT_FALSE(before.empty());
+
+  const std::string blob = exportState(tracker_);
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  const auto maxTs = importState(restored, blob);
+  ASSERT_TRUE(maxTs.ok()) << maxTs.errorMessage();
+  clock2.advanceTo(maxTs.value() + 1);
+
+  const auto after = restored.checkText(probe, "elsewhere");
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].sourceName, before[i].sourceName);
+    EXPECT_DOUBLE_EQ(after[i].score, before[i].score);
+  }
+  EXPECT_EQ(restored.segmentDb().size(), tracker_.segmentDb().size());
+  EXPECT_EQ(restored.hashDb().distinctHashCount(),
+            tracker_.hashDb().distinctHashCount());
+}
+
+TEST_F(SnapshotTest, ExportIsDeterministic) {
+  populate();
+  EXPECT_EQ(exportState(tracker_), exportState(tracker_));
+}
+
+TEST_F(SnapshotTest, AuthorityOrderSurvivesRoundTrip) {
+  // The older owner must stay authoritative after restore.
+  const std::string shared = gen_.paragraph(8, 8);
+  tracker_.observeSegment(SegmentKind::kParagraph, "old#p0", "old", "svc",
+                          shared);
+  tracker_.observeSegment(SegmentKind::kParagraph, "new#p0", "new", "svc",
+                          shared + " " + gen_.sentence());
+
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  const auto maxTs = importState(restored, exportState(tracker_));
+  ASSERT_TRUE(maxTs.ok());
+  clock2.advanceTo(maxTs.value() + 1);
+
+  const auto hits = restored.checkText(shared, "probe");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].sourceName, "old#p0");
+}
+
+TEST_F(SnapshotTest, NewObservationsAfterImportSortAfterRestored) {
+  const std::string shared = gen_.paragraph(8, 8);
+  tracker_.observeSegment(SegmentKind::kParagraph, "old#p0", "old", "svc",
+                          shared);
+
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  const auto maxTs = importState(restored, exportState(tracker_));
+  ASSERT_TRUE(maxTs.ok());
+  clock2.advanceTo(maxTs.value() + 1);
+
+  // A new copy of the text must NOT steal authority from the restored one.
+  restored.observeSegment(SegmentKind::kParagraph, "copy#p0", "copy", "svc",
+                          shared);
+  const auto hits = restored.checkText(shared, "probe");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].sourceName, "old#p0");
+}
+
+TEST_F(SnapshotTest, ImportRequiresEmptyTracker) {
+  populate();
+  const std::string blob = exportState(tracker_);
+  EXPECT_FALSE(importState(tracker_, blob).ok());
+}
+
+TEST_F(SnapshotTest, ImportRejectsGarbage) {
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  EXPECT_FALSE(importState(restored, "not a snapshot").ok());
+  EXPECT_FALSE(importState(restored, "").ok());
+}
+
+TEST_F(SnapshotTest, ImportRejectsTruncatedBlob) {
+  populate();
+  std::string blob = exportState(tracker_);
+  blob.resize(blob.size() / 2);
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  EXPECT_FALSE(importState(restored, blob).ok());
+}
+
+TEST_F(SnapshotTest, EncryptedFileRoundTrip) {
+  const std::string probe = populate();
+  const std::string path = tempPath("enc");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "org-secret").ok());
+
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  const auto maxTs = loadSnapshot(restored, path, "org-secret");
+  ASSERT_TRUE(maxTs.ok()) << maxTs.errorMessage();
+  clock2.advanceTo(maxTs.value() + 1);
+  EXPECT_FALSE(restored.checkText(probe, "elsewhere").empty());
+}
+
+TEST_F(SnapshotTest, EncryptedFileDoesNotLeakPlaintextStructure) {
+  populate();
+  const std::string path = tempPath("leak");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "org-secret").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Segment names like "doc0#p0" must not appear in the ciphertext.
+  EXPECT_EQ(data.find("doc0"), std::string::npos);
+  EXPECT_EQ(data.find("svc"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, WrongSecretFailsToLoad) {
+  populate();
+  const std::string path = tempPath("wrong");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "right-secret").ok());
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  EXPECT_FALSE(loadSnapshot(restored, path, "wrong-secret").ok());
+}
+
+TEST_F(SnapshotTest, EncryptedSnapshotNeedsSecret) {
+  populate();
+  const std::string path = tempPath("nosecret");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "s").ok());
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  EXPECT_FALSE(loadSnapshot(restored, path, "").ok());
+}
+
+TEST_F(SnapshotTest, PlaintextSnapshotWorksWithoutSecret) {
+  const std::string probe = populate();
+  const std::string path = tempPath("plain");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "").ok());
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  const auto maxTs = loadSnapshot(restored, path, "");
+  ASSERT_TRUE(maxTs.ok());
+  clock2.advanceTo(maxTs.value() + 1);
+  EXPECT_FALSE(restored.checkText(probe, "elsewhere").empty());
+}
+
+TEST_F(SnapshotTest, LoadMissingFileFails) {
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  EXPECT_FALSE(loadSnapshot(restored, "/tmp/definitely-missing-bf", "").ok());
+}
+
+TEST_F(SnapshotTest, EvictionDropsOldAssociations) {
+  const std::string oldText = gen_.paragraph(8, 8);
+  tracker_.observeSegment(SegmentKind::kParagraph, "old#p0", "old", "svc",
+                          oldText);
+  const util::Timestamp cutoff = clock_.now();
+  const std::string newText = gen_.paragraph(8, 8);
+  tracker_.observeSegment(SegmentKind::kParagraph, "new#p0", "new", "svc",
+                          newText);
+
+  ASSERT_FALSE(tracker_.checkText(oldText, "probe").empty());
+  const std::size_t dropped = tracker_.evictAssociationsOlderThan(cutoff);
+  EXPECT_GT(dropped, 0u);
+  // The old paragraph's hashes are gone; the new one's survive.
+  EXPECT_TRUE(tracker_.checkText(oldText, "probe").empty());
+  EXPECT_FALSE(tracker_.checkText(newText, "probe").empty());
+}
+
+}  // namespace
+}  // namespace bf::flow

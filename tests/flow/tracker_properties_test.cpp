@@ -1,0 +1,237 @@
+// Property-style tests on FlowTracker invariants, parameterized over
+// fingerprint configurations and thresholds (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include "corpus/text_generator.h"
+#include "flow/tracker.h"
+#include "util/clock.h"
+
+namespace bf::flow {
+namespace {
+
+// ---- Verbatim copies are detected under every sane configuration -------------
+
+class VerbatimDetection
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, double>> {};
+
+TEST_P(VerbatimDetection, CopyOfTrackedParagraphAlwaysReported) {
+  const auto [ngram, window, tpar] = GetParam();
+  TrackerConfig config;
+  config.fingerprint.ngramChars = ngram;
+  config.fingerprint.windowChars = window;
+  config.defaultParagraphThreshold = tpar;
+
+  util::Rng rng(ngram * 1000 + window * 10 + static_cast<int>(tpar * 10));
+  corpus::TextGenerator gen(&rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Fresh tracker per trial: with a single source, the authoritative
+    // fingerprint is the full fingerprint, so a verbatim copy scores
+    // exactly 1 under every configuration. (With many sources, popular
+    // passages shift authority to older segments — covered elsewhere.)
+    util::LogicalClock clock;
+    FlowTracker tracker(config, &clock);
+    const std::string text = gen.paragraph(6, 9);
+    const std::string name = "src" + std::to_string(trial) + "#p0";
+    tracker.observeSegment(SegmentKind::kParagraph, name,
+                           "srcdoc" + std::to_string(trial), "svc", text);
+    const auto hits = tracker.checkText(text, "probe");
+    ASSERT_FALSE(hits.empty()) << "verbatim copy missed, trial " << trial;
+    EXPECT_EQ(hits[0].sourceName, name);
+    EXPECT_DOUBLE_EQ(hits[0].score, 1.0);
+  }
+}
+
+TEST(TrackerProperties, PopularTextShiftsAuthorityToOldestSegment) {
+  // The inherent recall limit of authoritative fingerprints (paper S6.2's
+  // "popular text passages" remark): a paragraph whose hashes were all
+  // seen earlier elsewhere scores below 1 — authority belongs to history.
+  util::LogicalClock clock;
+  FlowTracker tracker(TrackerConfig{}, &clock);
+  util::Rng rng(123);
+  corpus::TextGenerator gen(&rng);
+  const std::string shared = gen.paragraph(8, 8);
+  tracker.observeSegment(SegmentKind::kParagraph, "first#p0", "first", "svc",
+                         shared);
+  tracker.observeSegment(SegmentKind::kParagraph, "second#p0", "second",
+                         "svc", shared);
+  const SegmentId second = tracker.segmentByName("second#p0")->id;
+  const SegmentId probe = tracker.observeSegment(
+      SegmentKind::kParagraph, "probe#p0", "probe", "svc", shared);
+  // The probe's disclosure is attributed to "first", never "second".
+  const auto& hits = tracker.sourcesForSegment(probe);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].sourceName, "first#p0");
+  EXPECT_DOUBLE_EQ(tracker.pairwiseDisclosure(second, probe), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, VerbatimDetection,
+    ::testing::Values(std::make_tuple(8, 16, 0.5),
+                      std::make_tuple(15, 30, 0.0),
+                      std::make_tuple(15, 30, 0.5),
+                      std::make_tuple(15, 30, 1.0),
+                      std::make_tuple(15, 45, 0.5),
+                      std::make_tuple(25, 50, 0.8)));
+
+// ---- Scores are well-formed ----------------------------------------------------
+
+class ScoreBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScoreBounds, ScoresAlwaysInUnitIntervalAndAboveThreshold) {
+  const double tpar = GetParam();
+  util::LogicalClock clock;
+  TrackerConfig config;
+  config.defaultParagraphThreshold = tpar;
+  FlowTracker tracker(config, &clock);
+  util::Rng rng(static_cast<std::uint64_t>(tpar * 100) + 7);
+  corpus::TextGenerator gen(&rng);
+
+  std::vector<std::string> sources;
+  for (int i = 0; i < 10; ++i) {
+    sources.push_back(gen.paragraph(5, 8));
+    tracker.observeSegment(SegmentKind::kParagraph,
+                           "s" + std::to_string(i) + "#p0",
+                           "d" + std::to_string(i), "svc", sources.back());
+  }
+  // Probes mixing slices of several sources.
+  for (int t = 0; t < 10; ++t) {
+    std::string probe = sources[static_cast<std::size_t>(t) % 10].substr(
+        0, 40 + 15 * static_cast<std::size_t>(t));
+    probe += " " + gen.sentence();
+    for (const auto& hit : tracker.checkText(probe, "probe")) {
+      EXPECT_GE(hit.score, 0.0);
+      EXPECT_LE(hit.score, 1.0);
+      EXPECT_GE(hit.score, hit.threshold);
+      EXPECT_GT(hit.overlap, 0u);
+      EXPECT_LE(hit.overlap, hit.sourceFingerprintSize);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdSweep, ScoreBounds,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+// ---- Growing a probe never loses an established full-disclosure source --------
+
+TEST(TrackerProperties, AppendingTextKeepsFullDisclosureApproximately) {
+  util::LogicalClock clock;
+  FlowTracker tracker(TrackerConfig{}, &clock);
+  util::Rng rng(99);
+  corpus::TextGenerator gen(&rng);
+  const std::string secret = gen.paragraph(8, 10);
+  tracker.observeSegment(SegmentKind::kParagraph, "src#p0", "src", "svc",
+                         secret);
+  std::string probe = secret;
+  for (int i = 0; i < 6; ++i) {
+    probe += " " + gen.sentence();
+    const auto hits = tracker.checkText(probe, "probe");
+    ASSERT_FALSE(hits.empty()) << "after " << i << " appended sentences";
+    // Winnowing selections near the splice can shift; tolerate a small dip.
+    EXPECT_GE(hits[0].score, 0.9);
+  }
+}
+
+// ---- Removing then re-observing keeps the tracker consistent -------------------
+
+TEST(TrackerProperties, RemoveReobserveCycleStable) {
+  util::LogicalClock clock;
+  FlowTracker tracker(TrackerConfig{}, &clock);
+  util::Rng rng(3);
+  corpus::TextGenerator gen(&rng);
+  const std::string text = gen.paragraph(7, 9);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    tracker.observeSegment(SegmentKind::kParagraph, "s#p0", "s", "svc", text);
+    ASSERT_FALSE(tracker.checkText(text, "probe").empty()) << cycle;
+    tracker.removeSegmentByName("s#p0");
+    ASSERT_TRUE(tracker.checkText(text, "probe").empty()) << cycle;
+  }
+}
+
+// ---- findSegmentWithFingerprint --------------------------------------------------
+
+TEST(TrackerProperties, FindSegmentWithFingerprintMatchesExactly) {
+  util::LogicalClock clock;
+  FlowTracker tracker(TrackerConfig{}, &clock);
+  util::Rng rng(4);
+  corpus::TextGenerator gen(&rng);
+  const std::string a = gen.paragraph(6, 8);
+  const std::string b = gen.paragraph(6, 8);
+  tracker.observeSegment(SegmentKind::kParagraph, "doc#p0", "doc", "svc", a);
+  tracker.observeSegment(SegmentKind::kParagraph, "doc#p1", "doc", "svc", b);
+
+  const auto* hit =
+      tracker.findSegmentWithFingerprint("doc", tracker.fingerprintOf(a));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "doc#p0");
+  // Different document: no match.
+  EXPECT_EQ(tracker.findSegmentWithFingerprint("other",
+                                               tracker.fingerprintOf(a)),
+            nullptr);
+  // Unrelated text: no match.
+  EXPECT_EQ(tracker.findSegmentWithFingerprint(
+                "doc", tracker.fingerprintOf(gen.paragraph(6, 8))),
+            nullptr);
+  // Empty fingerprint never matches.
+  EXPECT_EQ(tracker.findSegmentWithFingerprint("doc",
+                                               tracker.fingerprintOf("x")),
+            nullptr);
+}
+
+TEST(TrackerProperties, ObserveDocumentAppliesThresholdOverrides) {
+  util::LogicalClock clock;
+  FlowTracker tracker(TrackerConfig{}, &clock);
+  util::Rng rng(5);
+  corpus::TextGenerator gen(&rng);
+  const std::string text = gen.paragraph(5, 7) + "\n\n" + gen.paragraph(5, 7);
+  const auto obs = tracker.observeDocument("doc", "svc", text, 0.2, 0.9);
+  EXPECT_DOUBLE_EQ(tracker.segment(obs.document)->threshold, 0.9);
+  for (SegmentId pid : obs.paragraphs) {
+    EXPECT_DOUBLE_EQ(tracker.segment(pid)->threshold, 0.2);
+  }
+}
+
+TEST(TrackerProperties, SetSegmentThresholdChangesDetectionAndDropsCache) {
+  util::LogicalClock clock;
+  FlowTracker tracker(TrackerConfig{}, &clock);
+  util::Rng rng(21);
+  corpus::TextGenerator gen(&rng);
+  const std::string sensitive = gen.paragraph(8, 8);
+  tracker.observeSegment(SegmentKind::kParagraph, "src#p0", "src", "svc",
+                         sensitive);
+  const SegmentId probe = tracker.observeSegment(
+      SegmentKind::kParagraph, "probe#p0", "probe", "svc",
+      sensitive.substr(0, sensitive.size() / 3) + " " + gen.paragraph(8, 8));
+
+  // A one-third slice is below the default 0.5 threshold.
+  EXPECT_TRUE(tracker.sourcesForSegment(probe).empty());
+  // The author tightens the source's threshold to "any leak".
+  ASSERT_TRUE(tracker.setSegmentThreshold("src#p0", 0.0));
+  EXPECT_FALSE(tracker.sourcesForSegment(probe).empty())
+      << "cached empty answer must not survive the threshold change";
+  // And relaxes it again.
+  ASSERT_TRUE(tracker.setSegmentThreshold("src#p0", 0.99));
+  EXPECT_TRUE(tracker.sourcesForSegment(probe).empty());
+  EXPECT_FALSE(tracker.setSegmentThreshold("ghost", 0.5));
+}
+
+TEST(TrackerProperties, CacheDisabledStillCorrect) {
+  util::LogicalClock clock;
+  TrackerConfig config;
+  config.enableCache = false;
+  FlowTracker tracker(config, &clock);
+  util::Rng rng(6);
+  corpus::TextGenerator gen(&rng);
+  const std::string secret = gen.paragraph(7, 9);
+  tracker.observeSegment(SegmentKind::kParagraph, "src#p0", "src", "svc",
+                         secret);
+  const SegmentId dst = tracker.observeSegment(SegmentKind::kParagraph,
+                                               "dst#p0", "dst", "svc", secret);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(tracker.sourcesForSegment(dst).size(), 1u);
+  }
+  EXPECT_EQ(tracker.stats().cacheHits, 0u);
+}
+
+}  // namespace
+}  // namespace bf::flow

@@ -1,0 +1,97 @@
+// Tests for implicit-tag refresh semantics and their interaction with
+// suppression — the label lifecycle under editing (paper S3.2 / Fig. 6).
+#include <gtest/gtest.h>
+
+#include "tdm/policy.h"
+#include "util/clock.h"
+
+namespace bf::tdm {
+namespace {
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  RefreshTest() : policy_(&clock_) {
+    policy_.services().upsert({"itool", "Interview Tool", TagSet{"ti"},
+                               TagSet{"ti"}});
+    policy_.services().upsert({"hr", "HR", TagSet{"hr"}, TagSet{"hr"}});
+    policy_.services().upsert({"gdocs", "Google Docs", TagSet{}, TagSet{}});
+    policy_.onSegmentObserved("itool/a#p0", "itool");
+    policy_.onSegmentObserved("hr/b#p0", "hr");
+    policy_.onSegmentObserved("gdocs/c#p0", "gdocs");
+  }
+
+  util::LogicalClock clock_;
+  TdmPolicy policy_;
+};
+
+TEST_F(RefreshTest, RefreshSetsImplicitToCurrentSources) {
+  policy_.refreshImplicitTags("gdocs/c#p0", {"itool/a#p0", "hr/b#p0"});
+  const Label* l = policy_.labelOf("gdocs/c#p0");
+  EXPECT_TRUE(l->implicitTags().contains("ti"));
+  EXPECT_TRUE(l->implicitTags().contains("hr"));
+}
+
+TEST_F(RefreshTest, RefreshDropsStaleImplicitTags) {
+  policy_.refreshImplicitTags("gdocs/c#p0", {"itool/a#p0"});
+  ASSERT_TRUE(policy_.labelOf("gdocs/c#p0")->implicitTags().contains("ti"));
+  // The edit removed all resemblance to the Interview Tool text but now
+  // matches HR content.
+  policy_.refreshImplicitTags("gdocs/c#p0", {"hr/b#p0"});
+  const Label* l = policy_.labelOf("gdocs/c#p0");
+  EXPECT_FALSE(l->implicitTags().contains("ti"));
+  EXPECT_TRUE(l->implicitTags().contains("hr"));
+}
+
+TEST_F(RefreshTest, RefreshToNothingClearsAllImplicit) {
+  policy_.refreshImplicitTags("gdocs/c#p0", {"itool/a#p0", "hr/b#p0"});
+  policy_.refreshImplicitTags("gdocs/c#p0", {});
+  EXPECT_TRUE(policy_.labelOf("gdocs/c#p0")->implicitTags().empty());
+  EXPECT_TRUE(policy_.checkUpload("gdocs/c#p0", "gdocs").allowed);
+}
+
+TEST_F(RefreshTest, RefreshKeepsExplicitTags) {
+  // hr/b's explicit {hr} must survive any number of refreshes.
+  policy_.refreshImplicitTags("hr/b#p0", {"itool/a#p0"});
+  policy_.refreshImplicitTags("hr/b#p0", {});
+  const Label* l = policy_.labelOf("hr/b#p0");
+  EXPECT_TRUE(l->explicitTags().contains("hr"));
+}
+
+TEST_F(RefreshTest, SuppressionSurvivesRefresh) {
+  // The user declassified ti on this copy; later edits that still disclose
+  // the same source must not resurrect the restriction.
+  policy_.refreshImplicitTags("gdocs/c#p0", {"itool/a#p0"});
+  ASSERT_FALSE(policy_.checkUpload("gdocs/c#p0", "gdocs").allowed);
+  ASSERT_TRUE(policy_.suppressTag("alice", "gdocs/c#p0", "ti", "ok").ok());
+  ASSERT_TRUE(policy_.checkUpload("gdocs/c#p0", "gdocs").allowed);
+
+  policy_.refreshImplicitTags("gdocs/c#p0", {"itool/a#p0"});  // re-detected
+  EXPECT_TRUE(policy_.checkUpload("gdocs/c#p0", "gdocs").allowed)
+      << "suppression must persist across implicit refreshes";
+}
+
+TEST_F(RefreshTest, RefreshOnUnknownDestCreatesLabel) {
+  policy_.refreshImplicitTags("brand-new#p0", {"itool/a#p0"});
+  const Label* l = policy_.labelOf("brand-new#p0");
+  ASSERT_NE(l, nullptr);
+  EXPECT_TRUE(l->implicitTags().contains("ti"));
+}
+
+TEST_F(RefreshTest, UnknownSourcesContributeNothing) {
+  policy_.refreshImplicitTags("gdocs/c#p0", {"ghost#p0"});
+  EXPECT_TRUE(policy_.labelOf("gdocs/c#p0")->implicitTags().empty());
+}
+
+TEST_F(RefreshTest, ImplicitTagsDoNotChainAcrossRefreshes) {
+  // c discloses b (which itself carries implicit ti): only b's EXPLICIT
+  // {hr} reaches c.
+  policy_.refreshImplicitTags("hr/b#p0", {"itool/a#p0"});
+  ASSERT_TRUE(policy_.labelOf("hr/b#p0")->implicitTags().contains("ti"));
+  policy_.refreshImplicitTags("gdocs/c#p0", {"hr/b#p0"});
+  const Label* c = policy_.labelOf("gdocs/c#p0");
+  EXPECT_TRUE(c->implicitTags().contains("hr"));
+  EXPECT_FALSE(c->implicitTags().contains("ti"));
+}
+
+}  // namespace
+}  // namespace bf::tdm

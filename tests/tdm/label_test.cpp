@@ -1,0 +1,94 @@
+// Tests for Label — explicit/implicit/suppressed tag partitions (S3.1-3.2).
+#include <gtest/gtest.h>
+
+#include "tdm/label.h"
+
+namespace bf::tdm {
+namespace {
+
+TEST(Label, FromExplicit) {
+  const Label l = Label::fromExplicit({"ti"});
+  EXPECT_TRUE(l.explicitTags().contains("ti"));
+  EXPECT_TRUE(l.implicitTags().empty());
+  EXPECT_TRUE(l.effectiveTags().contains("ti"));
+}
+
+TEST(Label, EffectiveIsUnionOfExplicitAndImplicit) {
+  Label l = Label::fromExplicit({"a"});
+  l.addImplicit("b");
+  const TagSet eff = l.effectiveTags();
+  EXPECT_TRUE(eff.contains("a"));
+  EXPECT_TRUE(eff.contains("b"));
+}
+
+TEST(Label, SuppressedTagIgnoredInFlowCheck) {
+  // "A suppressed tag is ignored when doing a subset comparison between
+  //  labels, thereby allowing the data to propagate."
+  Label l = Label::fromExplicit({"ti"});
+  EXPECT_FALSE(l.flowsTo(TagSet{"tw"}));
+  l.suppress("ti");
+  EXPECT_TRUE(l.flowsTo(TagSet{"tw"}));
+  // ...but remains attached for auditability.
+  EXPECT_TRUE(l.explicitTags().contains("ti"));
+  EXPECT_TRUE(l.suppressedTags().contains("ti"));
+}
+
+TEST(Label, UnsuppressRestoresRestriction) {
+  Label l = Label::fromExplicit({"ti"});
+  l.suppress("ti");
+  l.unsuppress("ti");
+  EXPECT_FALSE(l.flowsTo(TagSet{}));
+}
+
+TEST(Label, OnlyExplicitTagsPropagate) {
+  // Implicit tags mark non-authoritative provenance and do not propagate
+  // onward (the Fig. 6 fix).
+  Label l = Label::fromExplicit({"tw"});
+  l.addImplicit("ti");
+  const TagSet& prop = l.propagatableTags();
+  EXPECT_TRUE(prop.contains("tw"));
+  EXPECT_FALSE(prop.contains("ti"));
+}
+
+TEST(Label, ExplicitWinsOverImplicit) {
+  Label l = Label::fromExplicit({"t"});
+  l.addImplicit("t");  // no-op: already explicit
+  EXPECT_TRUE(l.explicitTags().contains("t"));
+  EXPECT_FALSE(l.implicitTags().contains("t"));
+  // Still propagates (it is explicit).
+  EXPECT_TRUE(l.propagatableTags().contains("t"));
+}
+
+TEST(Label, SuppressedExplicitStillPropagates) {
+  // Suppression is per-copy, not a permanent downgrade: future copies of
+  // the source still carry the tag.
+  Label l = Label::fromExplicit({"ti"});
+  l.suppress("ti");
+  EXPECT_TRUE(l.propagatableTags().contains("ti"));
+}
+
+TEST(Label, FlowToEmptyPrivilege) {
+  Label clean;
+  EXPECT_TRUE(clean.flowsTo(TagSet{}));
+  Label tagged = Label::fromExplicit({"x"});
+  EXPECT_FALSE(tagged.flowsTo(TagSet{}));
+}
+
+TEST(Label, AddImplicitAll) {
+  Label l;
+  l.addImplicitAll(TagSet{"a", "b"});
+  EXPECT_EQ(l.implicitTags().size(), 2u);
+}
+
+TEST(Label, ToStringShowsPartitions) {
+  Label l = Label::fromExplicit({"a"});
+  l.addImplicit("b");
+  l.suppress("a");
+  const std::string s = l.toString();
+  EXPECT_NE(s.find("explicit{a}"), std::string::npos);
+  EXPECT_NE(s.find("implicit{b}"), std::string::npos);
+  EXPECT_NE(s.find("suppressed{a}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bf::tdm

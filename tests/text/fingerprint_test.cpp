@@ -1,0 +1,67 @@
+// Tests for the Fingerprint value type.
+#include <gtest/gtest.h>
+
+#include "text/fingerprint.h"
+
+namespace bf::text {
+namespace {
+
+TEST(Fingerprint, EmptyByDefault) {
+  Fingerprint fp;
+  EXPECT_TRUE(fp.empty());
+  EXPECT_EQ(fp.size(), 0u);
+}
+
+TEST(Fingerprint, DeduplicatesHashes) {
+  auto fp = Fingerprint::fromSelected({{5, 0}, {5, 10}, {7, 20}});
+  EXPECT_EQ(fp.size(), 2u);          // distinct hashes
+  EXPECT_EQ(fp.grams().size(), 3u);  // all positions kept for attribution
+}
+
+TEST(Fingerprint, GramsSortedByPosition) {
+  auto fp = Fingerprint::fromSelected({{3, 20}, {1, 5}, {2, 10}});
+  ASSERT_EQ(fp.grams().size(), 3u);
+  EXPECT_EQ(fp.grams()[0].pos, 5u);
+  EXPECT_EQ(fp.grams()[1].pos, 10u);
+  EXPECT_EQ(fp.grams()[2].pos, 20u);
+}
+
+TEST(Fingerprint, Contains) {
+  auto fp = Fingerprint::fromSelected({{5, 0}, {9, 1}});
+  EXPECT_TRUE(fp.contains(5));
+  EXPECT_TRUE(fp.contains(9));
+  EXPECT_FALSE(fp.contains(7));
+}
+
+TEST(Fingerprint, IntersectionSize) {
+  auto a = Fingerprint::fromSelected({{1, 0}, {2, 1}, {3, 2}});
+  auto b = Fingerprint::fromSelected({{2, 0}, {3, 1}, {4, 2}});
+  EXPECT_EQ(Fingerprint::intersectionSize(a, b), 2u);
+  EXPECT_EQ(Fingerprint::intersectionSize(a, Fingerprint{}), 0u);
+}
+
+TEST(Fingerprint, IntersectionIsSymmetric) {
+  auto a = Fingerprint::fromSelected({{1, 0}, {2, 1}});
+  auto b = Fingerprint::fromSelected({{2, 0}, {9, 1}, {1, 2}});
+  EXPECT_EQ(Fingerprint::intersectionSize(a, b),
+            Fingerprint::intersectionSize(b, a));
+}
+
+TEST(Fingerprint, SameHashesIgnoresPositions) {
+  auto a = Fingerprint::fromSelected({{1, 0}, {2, 50}});
+  auto b = Fingerprint::fromSelected({{2, 3}, {1, 99}});
+  EXPECT_TRUE(a.sameHashes(b));
+}
+
+TEST(FingerprintConfig, WindowHashesArithmetic) {
+  FingerprintConfig c;
+  c.ngramChars = 15;
+  c.windowChars = 30;
+  // w = t - n + 1 from the winnowing paper.
+  EXPECT_EQ(c.windowHashes(), 16u);
+  c.windowChars = 15;
+  EXPECT_EQ(c.windowHashes(), 1u);
+}
+
+}  // namespace
+}  // namespace bf::text

@@ -1,0 +1,60 @@
+// Tests for text normalization (paper S4.1 step S1).
+#include <gtest/gtest.h>
+
+#include "text/normalizer.h"
+
+namespace bf::text {
+namespace {
+
+TEST(Normalizer, PaperExample) {
+  // "Hello World!" is transformed to "helloworld" (S4.1).
+  EXPECT_EQ(normalize("Hello World!").text, "helloworld");
+}
+
+TEST(Normalizer, DropsPunctuationAndWhitespace) {
+  EXPECT_EQ(normalize("a, b; c.\td\ne").text, "abcde");
+}
+
+TEST(Normalizer, KeepsDigits) {
+  EXPECT_EQ(normalize("MySQL 5.1").text, "mysql51");
+}
+
+TEST(Normalizer, EmptyInput) {
+  const auto n = normalize("");
+  EXPECT_TRUE(n.empty());
+  EXPECT_TRUE(n.originalOffset.empty());
+}
+
+TEST(Normalizer, PunctuationOnlyInput) {
+  EXPECT_TRUE(normalize("!!! ... ???").empty());
+}
+
+TEST(Normalizer, OffsetsPointToOriginalBytes) {
+  const std::string input = "Ab, c!";
+  const auto n = normalize(input);
+  ASSERT_EQ(n.text, "abc");
+  ASSERT_EQ(n.originalOffset.size(), 3u);
+  EXPECT_EQ(input[n.originalOffset[0]], 'A');
+  EXPECT_EQ(input[n.originalOffset[1]], 'b');
+  EXPECT_EQ(input[n.originalOffset[2]], 'c');
+}
+
+TEST(Normalizer, IdempotentOnNormalizedText) {
+  const auto once = normalize("The Quick, Brown Fox!");
+  const auto twice = normalize(once.text);
+  EXPECT_EQ(once.text, twice.text);
+}
+
+TEST(Normalizer, NonAsciiBytesPassThrough) {
+  // UTF-8 text keeps its bytes so non-English content fingerprints.
+  const std::string utf8 = "caf\xc3\xa9";
+  const auto n = normalize(utf8);
+  EXPECT_EQ(n.text, "caf\xc3\xa9");
+}
+
+TEST(Normalizer, CaseInsensitive) {
+  EXPECT_EQ(normalize("ABCdef").text, normalize("abcDEF").text);
+}
+
+}  // namespace
+}  // namespace bf::text

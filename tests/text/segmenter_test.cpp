@@ -1,0 +1,47 @@
+// Tests for paragraph segmentation.
+#include <gtest/gtest.h>
+
+#include "text/segmenter.h"
+
+namespace bf::text {
+namespace {
+
+TEST(Segmenter, SplitsOnBlankLines) {
+  const auto paras = segmentParagraphs("one\n\ntwo\n\nthree");
+  ASSERT_EQ(paras.size(), 3u);
+  EXPECT_EQ(paras[0].text, "one");
+  EXPECT_EQ(paras[1].text, "two");
+  EXPECT_EQ(paras[2].text, "three");
+}
+
+TEST(Segmenter, IndicesAreConsecutive) {
+  const auto paras = segmentParagraphs("a\n\nb\n\nc");
+  for (std::size_t i = 0; i < paras.size(); ++i) {
+    EXPECT_EQ(paras[i].index, i);
+  }
+}
+
+TEST(Segmenter, OffsetsPointIntoDocument) {
+  const std::string doc = "alpha\n\nbeta gamma";
+  const auto paras = segmentParagraphs(doc);
+  ASSERT_EQ(paras.size(), 2u);
+  EXPECT_EQ(doc.substr(paras[1].offset, 4), "beta");
+}
+
+TEST(Segmenter, EmptyDocument) {
+  EXPECT_TRUE(segmentParagraphs("").empty());
+}
+
+TEST(Segmenter, WhitespaceOnlyBlocksDropped) {
+  const auto paras = segmentParagraphs("a\n\n   \n\nb");
+  EXPECT_EQ(paras.size(), 2u);
+}
+
+TEST(Segmenter, MultilineParagraphStaysTogether) {
+  const auto paras = segmentParagraphs("line one\nline two\n\nnext");
+  ASSERT_EQ(paras.size(), 2u);
+  EXPECT_EQ(paras[0].text, "line one\nline two");
+}
+
+}  // namespace
+}  // namespace bf::text

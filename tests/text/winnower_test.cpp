@@ -1,0 +1,187 @@
+// Tests for winnowing (paper S4.1 steps S3-S4), including the two
+// properties the disclosure metrics depend on: the shared-substring
+// guarantee and robustness to local edits / reordering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "text/winnower.h"
+#include "util/rng.h"
+
+namespace bf::text {
+namespace {
+
+FingerprintConfig paperConfig() {
+  return FingerprintConfig{};  // 15-char n-grams, 30-char window, 32-bit
+}
+
+std::string randomText(util::Rng& rng, std::size_t length) {
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    s.push_back(static_cast<char>('a' + rng.uniform(0, 25)));
+  }
+  return s;
+}
+
+TEST(Winnower, EmptyInput) {
+  EXPECT_TRUE(fingerprintText("", paperConfig()).empty());
+}
+
+TEST(Winnower, ShortTextHasEmptyFingerprint) {
+  // Shorter than the 30-char window: the paper reports these as systematic
+  // false negatives — no fingerprint at all.
+  EXPECT_TRUE(fingerprintText("too short to matter", paperConfig()).empty());
+}
+
+TEST(Winnower, LongTextHasNonEmptyFingerprint) {
+  const std::string text(200, 'x');  // degenerate but long
+  EXPECT_FALSE(fingerprintText(text, paperConfig()).empty());
+}
+
+TEST(Winnower, DeterministicForSameInput) {
+  const std::string text =
+      "The policy enforcement module ensures that this condition is "
+      "satisfied for every text segment that is uploaded.";
+  const auto a = fingerprintText(text, paperConfig());
+  const auto b = fingerprintText(text, paperConfig());
+  EXPECT_TRUE(a.sameHashes(b));
+}
+
+TEST(Winnower, InsensitiveToCaseAndPunctuation) {
+  const auto a = fingerprintText(
+      "Data disclosure policies are specified using a decentralised label "
+      "model; policies are set by administrators.",
+      paperConfig());
+  const auto b = fingerprintText(
+      "DATA DISCLOSURE POLICIES... are specified using a decentralised "
+      "label model!!! Policies are set, by administrators.",
+      paperConfig());
+  EXPECT_TRUE(a.sameHashes(b));
+}
+
+TEST(Winnower, FingerprintIsSparse) {
+  // Winnowing with window w selects roughly 2/(w+1) of the hashes; ensure
+  // we are far below one hash per character.
+  util::Rng rng(1);
+  const std::string text = randomText(rng, 5000);
+  const auto fp = fingerprintText(text, paperConfig());
+  EXPECT_LT(fp.grams().size(), 5000u / 4);
+  EXPECT_GT(fp.size(), 50u);
+}
+
+TEST(Winnower, SelectedPositionsAreSortedAndValid) {
+  util::Rng rng(2);
+  const std::string text = randomText(rng, 1000);
+  const auto fp = fingerprintText(text, paperConfig());
+  std::uint32_t prev = 0;
+  for (const auto& g : fp.grams()) {
+    EXPECT_GE(g.pos, prev);
+    EXPECT_LE(g.pos + 15, 1000u);
+    prev = g.pos;
+  }
+}
+
+// The winnowing guarantee: if two texts share a substring of at least
+// windowChars characters, their fingerprints share at least one hash.
+class WinnowingGuarantee
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(WinnowingGuarantee, SharedSubstringYieldsSharedHash) {
+  const auto [ngram, window] = GetParam();
+  FingerprintConfig config;
+  config.ngramChars = ngram;
+  config.windowChars = window;
+  util::Rng rng(ngram * 131 + window);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string shared = randomText(rng, window + 5);
+    const std::string a = randomText(rng, 200) + shared + randomText(rng, 200);
+    const std::string b = randomText(rng, 150) + shared + randomText(rng, 250);
+    const auto fa = fingerprintText(a, config);
+    const auto fb = fingerprintText(b, config);
+    EXPECT_GT(Fingerprint::intersectionSize(fa, fb), 0u)
+        << "trial " << trial << " ngram=" << ngram << " window=" << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, WinnowingGuarantee,
+    ::testing::Values(std::make_tuple(5, 10), std::make_tuple(8, 16),
+                      std::make_tuple(15, 30), std::make_tuple(15, 45),
+                      std::make_tuple(20, 40)));
+
+TEST(Winnower, DisjointTextsShareAlmostNothing) {
+  util::Rng rng(3);
+  const auto fa = fingerprintText(randomText(rng, 2000), paperConfig());
+  const auto fb = fingerprintText(randomText(rng, 2000), paperConfig());
+  // Random 15-grams essentially never collide under a 32-bit hash.
+  EXPECT_LE(Fingerprint::intersectionSize(fa, fb), 1u);
+}
+
+TEST(Winnower, RobustToParagraphShuffle) {
+  // "the selected hashes are not affected strongly ... by shuffling the
+  //  content of a document" (S4.1).
+  util::Rng rng(4);
+  std::vector<std::string> paras;
+  for (int i = 0; i < 8; ++i) paras.push_back(randomText(rng, 300));
+  std::string original;
+  for (const auto& p : paras) original += p + " ";
+  rng.shuffle(paras);
+  std::string shuffled;
+  for (const auto& p : paras) shuffled += p + " ";
+
+  const auto fo = fingerprintText(original, paperConfig());
+  const auto fs = fingerprintText(shuffled, paperConfig());
+  const std::size_t common = Fingerprint::intersectionSize(fo, fs);
+  EXPECT_GT(static_cast<double>(common) / static_cast<double>(fo.size()), 0.8);
+}
+
+TEST(Winnower, SmallEditPerturbsFingerprintLocally) {
+  util::Rng rng(5);
+  std::string text = randomText(rng, 2000);
+  const auto before = fingerprintText(text, paperConfig());
+  text[1000] = text[1000] == 'a' ? 'b' : 'a';  // single-character edit
+  const auto after = fingerprintText(text, paperConfig());
+  const std::size_t common = Fingerprint::intersectionSize(before, after);
+  // The overwhelming majority of selections survive one edit.
+  EXPECT_GT(static_cast<double>(common) / static_cast<double>(before.size()),
+            0.9);
+}
+
+TEST(Winnower, WindowOfOneSelectsEveryHash) {
+  FingerprintConfig config;
+  config.ngramChars = 4;
+  config.windowChars = 4;  // w = 1 hash per window
+  const std::string text = "abcdefghijklmnop";
+  const auto fp = fingerprintText(text, config);
+  // Every position's n-gram is selected (all distinct here).
+  EXPECT_EQ(fp.grams().size(), text.size() - 4 + 1);
+}
+
+TEST(Winnow, TieBreakSelectsRightmostMinimum) {
+  // Three equal hashes in one window: robust winnowing picks the rightmost.
+  std::vector<HashedGram> grams = {{7, 0}, {7, 1}, {7, 2}};
+  const auto selected = winnow(grams, 3);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].pos, 2u);
+}
+
+TEST(Winnow, SameMinimumNotRecordedTwice) {
+  // One global minimum spanning several windows is selected once.
+  std::vector<HashedGram> grams = {{9, 0}, {1, 1}, {9, 2}, {9, 3}, {9, 4}};
+  const auto selected = winnow(grams, 3);
+  std::size_t countOfOne = 0;
+  for (const auto& g : selected) {
+    if (g.hash == 1) ++countOfOne;
+  }
+  EXPECT_EQ(countOfOne, 1u);
+}
+
+TEST(Winnow, FewerGramsThanWindowYieldsNothing) {
+  std::vector<HashedGram> grams = {{1, 0}, {2, 1}};
+  EXPECT_TRUE(winnow(grams, 3).empty());
+}
+
+}  // namespace
+}  // namespace bf::text

@@ -1,0 +1,113 @@
+// Tests for the JSON string-field scanner/rewriter.
+#include <gtest/gtest.h>
+
+#include "util/json_text.h"
+
+namespace bf::util {
+namespace {
+
+TEST(JsonText, ScanFlatObject) {
+  const auto fields =
+      scanJsonStringFields(R"({"title": "My Note", "count": 3})");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].key, "title");
+  EXPECT_EQ(fields[0].value, "My Note");
+}
+
+TEST(JsonText, ScanNestedAndArrays) {
+  // Keys with object/array values are not string fields; array elements
+  // have no key and are skipped; nested string fields are found.
+  const auto fields = scanJsonStringFields(
+      R"({"note": {"body": "inner text"}, "tags": ["a", "b"],
+          "meta": {"author": "alice"}})");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].key, "body");
+  EXPECT_EQ(fields[0].value, "inner text");
+  EXPECT_EQ(fields[1].key, "author");
+  EXPECT_EQ(fields[1].value, "alice");
+}
+
+TEST(JsonText, ObjectValuedKeysNotReported) {
+  const auto fields =
+      scanJsonStringFields(R"({"outer": {"inner": "v"}})");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].key, "inner");
+}
+
+TEST(JsonText, EscapedStringsRoundTrip) {
+  const auto fields = scanJsonStringFields(
+      R"({"text": "line1\nline2 \"quoted\" tab\there"})");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].value, "line1\nline2 \"quoted\" tab\there");
+}
+
+TEST(JsonText, UnicodeEscapeDecoded) {
+  const auto fields = scanJsonStringFields(R"({"t": "café"})");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].value, "caf\xc3\xa9");
+}
+
+TEST(JsonText, SpansPointIntoOriginal) {
+  const std::string json = R"({"a": "xx", "b": "yy"})";
+  const auto fields = scanJsonStringFields(json);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(json.substr(fields[0].valueBegin,
+                        fields[0].valueEnd - fields[0].valueBegin),
+            "\"xx\"");
+  EXPECT_EQ(json.substr(fields[1].valueBegin,
+                        fields[1].valueEnd - fields[1].valueBegin),
+            "\"yy\"");
+}
+
+TEST(JsonText, ReplaceValuesPreservesStructure) {
+  const std::string json = R"({"text": "secret", "keep": "other", "n": 1})";
+  const auto fields = scanJsonStringFields(json);
+  ASSERT_EQ(fields.size(), 2u);
+  const std::string out =
+      replaceJsonStringValues(json, fields, {{0, "SEALED"}});
+  EXPECT_EQ(out, R"({"text": "SEALED", "keep": "other", "n": 1})");
+}
+
+TEST(JsonText, ReplaceEscapesNewValue) {
+  const std::string json = R"({"t": "x"})";
+  const auto fields = scanJsonStringFields(json);
+  const std::string out =
+      replaceJsonStringValues(json, fields, {{0, "a\"b\nc"}});
+  EXPECT_EQ(out, R"({"t": "a\"b\nc"})");
+  // And the rewritten body re-scans to the same plaintext.
+  const auto again = scanJsonStringFields(out);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].value, "a\"b\nc");
+}
+
+TEST(JsonText, ReplaceMultipleOutOfOrder) {
+  const std::string json = R"({"a": "1", "b": "2", "c": "3"})";
+  const auto fields = scanJsonStringFields(json);
+  const std::string out =
+      replaceJsonStringValues(json, fields, {{2, "C"}, {0, "A"}});
+  EXPECT_EQ(out, R"({"a": "A", "b": "2", "c": "C"})");
+}
+
+TEST(JsonText, MalformedInputYieldsPartialFields) {
+  EXPECT_TRUE(scanJsonStringFields("").empty());
+  EXPECT_TRUE(scanJsonStringFields("{").empty());
+  EXPECT_TRUE(scanJsonStringFields(R"({"unterminated": ")").empty());
+  const auto fields = scanJsonStringFields(R"({"good": "v", "bad": ")");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].key, "good");
+}
+
+TEST(JsonText, LooksLikeJson) {
+  EXPECT_TRUE(looksLikeJson(R"({"a":1})"));
+  EXPECT_TRUE(looksLikeJson("  [1,2]"));
+  EXPECT_FALSE(looksLikeJson("a=1&b=2"));
+  EXPECT_FALSE(looksLikeJson(""));
+}
+
+TEST(JsonText, EscapeUnescapeRoundTrip) {
+  const std::string nasty = "quote\" backslash\\ nl\n tab\t ctrl\x01 end";
+  EXPECT_EQ(unescapeJsonString(escapeJsonString(nasty)), nasty);
+}
+
+}  // namespace
+}  // namespace bf::util
