@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_dlp"
+  "../bench/bench_baseline_dlp.pdb"
+  "CMakeFiles/bench_baseline_dlp.dir/bench_baseline_dlp.cpp.o"
+  "CMakeFiles/bench_baseline_dlp.dir/bench_baseline_dlp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_dlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

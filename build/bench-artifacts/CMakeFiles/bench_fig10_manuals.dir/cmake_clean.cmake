@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_manuals"
+  "../bench/bench_fig10_manuals.pdb"
+  "CMakeFiles/bench_fig10_manuals.dir/bench_fig10_manuals.cpp.o"
+  "CMakeFiles/bench_fig10_manuals.dir/bench_fig10_manuals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_manuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_wikipedia"
+  "../bench/bench_fig9_wikipedia.pdb"
+  "CMakeFiles/bench_fig9_wikipedia.dir/bench_fig9_wikipedia.cpp.o"
+  "CMakeFiles/bench_fig9_wikipedia.dir/bench_fig9_wikipedia.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_wikipedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

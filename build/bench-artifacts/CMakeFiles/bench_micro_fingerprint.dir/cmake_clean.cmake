@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_fingerprint"
+  "../bench/bench_micro_fingerprint.pdb"
+  "CMakeFiles/bench_micro_fingerprint.dir/bench_micro_fingerprint.cpp.o"
+  "CMakeFiles/bench_micro_fingerprint.dir/bench_micro_fingerprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfscan.dir/bfscan.cpp.o"
+  "CMakeFiles/bfscan.dir/bfscan.cpp.o.d"
+  "bfscan"
+  "bfscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

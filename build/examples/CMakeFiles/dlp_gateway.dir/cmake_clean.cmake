@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_gateway.dir/dlp_gateway.cpp.o"
+  "CMakeFiles/dlp_gateway.dir/dlp_gateway.cpp.o.d"
+  "dlp_gateway"
+  "dlp_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

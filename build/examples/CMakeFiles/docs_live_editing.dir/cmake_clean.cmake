@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_live_editing.dir/docs_live_editing.cpp.o"
+  "CMakeFiles/docs_live_editing.dir/docs_live_editing.cpp.o.d"
+  "docs_live_editing"
+  "docs_live_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_live_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_deployment.dir/enterprise_deployment.cpp.o"
+  "CMakeFiles/enterprise_deployment.dir/enterprise_deployment.cpp.o.d"
+  "enterprise_deployment"
+  "enterprise_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interview_workflow.dir/interview_workflow.cpp.o"
+  "CMakeFiles/interview_workflow.dir/interview_workflow.cpp.o.d"
+  "interview_workflow"
+  "interview_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interview_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

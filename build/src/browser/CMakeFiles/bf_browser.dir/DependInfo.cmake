@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/browser.cpp" "src/browser/CMakeFiles/bf_browser.dir/browser.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/browser.cpp.o.d"
+  "/root/repo/src/browser/dom.cpp" "src/browser/CMakeFiles/bf_browser.dir/dom.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/dom.cpp.o.d"
+  "/root/repo/src/browser/forms.cpp" "src/browser/CMakeFiles/bf_browser.dir/forms.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/forms.cpp.o.d"
+  "/root/repo/src/browser/html_parser.cpp" "src/browser/CMakeFiles/bf_browser.dir/html_parser.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/html_parser.cpp.o.d"
+  "/root/repo/src/browser/mutation_observer.cpp" "src/browser/CMakeFiles/bf_browser.dir/mutation_observer.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/mutation_observer.cpp.o.d"
+  "/root/repo/src/browser/page.cpp" "src/browser/CMakeFiles/bf_browser.dir/page.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/page.cpp.o.d"
+  "/root/repo/src/browser/readability.cpp" "src/browser/CMakeFiles/bf_browser.dir/readability.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/readability.cpp.o.d"
+  "/root/repo/src/browser/xhr.cpp" "src/browser/CMakeFiles/bf_browser.dir/xhr.cpp.o" "gcc" "src/browser/CMakeFiles/bf_browser.dir/xhr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

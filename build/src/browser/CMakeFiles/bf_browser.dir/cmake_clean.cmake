@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_browser.dir/browser.cpp.o"
+  "CMakeFiles/bf_browser.dir/browser.cpp.o.d"
+  "CMakeFiles/bf_browser.dir/dom.cpp.o"
+  "CMakeFiles/bf_browser.dir/dom.cpp.o.d"
+  "CMakeFiles/bf_browser.dir/forms.cpp.o"
+  "CMakeFiles/bf_browser.dir/forms.cpp.o.d"
+  "CMakeFiles/bf_browser.dir/html_parser.cpp.o"
+  "CMakeFiles/bf_browser.dir/html_parser.cpp.o.d"
+  "CMakeFiles/bf_browser.dir/mutation_observer.cpp.o"
+  "CMakeFiles/bf_browser.dir/mutation_observer.cpp.o.d"
+  "CMakeFiles/bf_browser.dir/page.cpp.o"
+  "CMakeFiles/bf_browser.dir/page.cpp.o.d"
+  "CMakeFiles/bf_browser.dir/readability.cpp.o"
+  "CMakeFiles/bf_browser.dir/readability.cpp.o.d"
+  "CMakeFiles/bf_browser.dir/xhr.cpp.o"
+  "CMakeFiles/bf_browser.dir/xhr.cpp.o.d"
+  "libbf_browser.a"
+  "libbf_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

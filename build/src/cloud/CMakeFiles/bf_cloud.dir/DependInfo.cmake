@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/dlp_appliance.cpp" "src/cloud/CMakeFiles/bf_cloud.dir/dlp_appliance.cpp.o" "gcc" "src/cloud/CMakeFiles/bf_cloud.dir/dlp_appliance.cpp.o.d"
+  "/root/repo/src/cloud/docs_backend.cpp" "src/cloud/CMakeFiles/bf_cloud.dir/docs_backend.cpp.o" "gcc" "src/cloud/CMakeFiles/bf_cloud.dir/docs_backend.cpp.o.d"
+  "/root/repo/src/cloud/docs_client.cpp" "src/cloud/CMakeFiles/bf_cloud.dir/docs_client.cpp.o" "gcc" "src/cloud/CMakeFiles/bf_cloud.dir/docs_client.cpp.o.d"
+  "/root/repo/src/cloud/form_backend.cpp" "src/cloud/CMakeFiles/bf_cloud.dir/form_backend.cpp.o" "gcc" "src/cloud/CMakeFiles/bf_cloud.dir/form_backend.cpp.o.d"
+  "/root/repo/src/cloud/network.cpp" "src/cloud/CMakeFiles/bf_cloud.dir/network.cpp.o" "gcc" "src/cloud/CMakeFiles/bf_cloud.dir/network.cpp.o.d"
+  "/root/repo/src/cloud/notes_client.cpp" "src/cloud/CMakeFiles/bf_cloud.dir/notes_client.cpp.o" "gcc" "src/cloud/CMakeFiles/bf_cloud.dir/notes_client.cpp.o.d"
+  "/root/repo/src/cloud/wiki_client.cpp" "src/cloud/CMakeFiles/bf_cloud.dir/wiki_client.cpp.o" "gcc" "src/cloud/CMakeFiles/bf_cloud.dir/wiki_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/browser/CMakeFiles/bf_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

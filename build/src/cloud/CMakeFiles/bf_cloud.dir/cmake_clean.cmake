@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_cloud.dir/dlp_appliance.cpp.o"
+  "CMakeFiles/bf_cloud.dir/dlp_appliance.cpp.o.d"
+  "CMakeFiles/bf_cloud.dir/docs_backend.cpp.o"
+  "CMakeFiles/bf_cloud.dir/docs_backend.cpp.o.d"
+  "CMakeFiles/bf_cloud.dir/docs_client.cpp.o"
+  "CMakeFiles/bf_cloud.dir/docs_client.cpp.o.d"
+  "CMakeFiles/bf_cloud.dir/form_backend.cpp.o"
+  "CMakeFiles/bf_cloud.dir/form_backend.cpp.o.d"
+  "CMakeFiles/bf_cloud.dir/network.cpp.o"
+  "CMakeFiles/bf_cloud.dir/network.cpp.o.d"
+  "CMakeFiles/bf_cloud.dir/notes_client.cpp.o"
+  "CMakeFiles/bf_cloud.dir/notes_client.cpp.o.d"
+  "CMakeFiles/bf_cloud.dir/wiki_client.cpp.o"
+  "CMakeFiles/bf_cloud.dir/wiki_client.cpp.o.d"
+  "libbf_cloud.a"
+  "libbf_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decision_engine.cpp" "src/core/CMakeFiles/bf_core.dir/decision_engine.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/decision_engine.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/bf_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/plugin.cpp" "src/core/CMakeFiles/bf_core.dir/plugin.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/plugin.cpp.o.d"
+  "/root/repo/src/core/policy_config.cpp" "src/core/CMakeFiles/bf_core.dir/policy_config.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/policy_config.cpp.o.d"
+  "/root/repo/src/core/secret_guard.cpp" "src/core/CMakeFiles/bf_core.dir/secret_guard.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/secret_guard.cpp.o.d"
+  "/root/repo/src/core/service_adapter.cpp" "src/core/CMakeFiles/bf_core.dir/service_adapter.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/service_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/bf_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdm/CMakeFiles/bf_tdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/bf_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bf_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_core.dir/decision_engine.cpp.o"
+  "CMakeFiles/bf_core.dir/decision_engine.cpp.o.d"
+  "CMakeFiles/bf_core.dir/deployment.cpp.o"
+  "CMakeFiles/bf_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/bf_core.dir/plugin.cpp.o"
+  "CMakeFiles/bf_core.dir/plugin.cpp.o.d"
+  "CMakeFiles/bf_core.dir/policy_config.cpp.o"
+  "CMakeFiles/bf_core.dir/policy_config.cpp.o.d"
+  "CMakeFiles/bf_core.dir/secret_guard.cpp.o"
+  "CMakeFiles/bf_core.dir/secret_guard.cpp.o.d"
+  "CMakeFiles/bf_core.dir/service_adapter.cpp.o"
+  "CMakeFiles/bf_core.dir/service_adapter.cpp.o.d"
+  "libbf_core.a"
+  "libbf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

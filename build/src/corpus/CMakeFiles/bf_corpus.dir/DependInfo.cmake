@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/datasets.cpp" "src/corpus/CMakeFiles/bf_corpus.dir/datasets.cpp.o" "gcc" "src/corpus/CMakeFiles/bf_corpus.dir/datasets.cpp.o.d"
+  "/root/repo/src/corpus/revision_model.cpp" "src/corpus/CMakeFiles/bf_corpus.dir/revision_model.cpp.o" "gcc" "src/corpus/CMakeFiles/bf_corpus.dir/revision_model.cpp.o.d"
+  "/root/repo/src/corpus/text_generator.cpp" "src/corpus/CMakeFiles/bf_corpus.dir/text_generator.cpp.o" "gcc" "src/corpus/CMakeFiles/bf_corpus.dir/text_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bf_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_corpus.dir/datasets.cpp.o"
+  "CMakeFiles/bf_corpus.dir/datasets.cpp.o.d"
+  "CMakeFiles/bf_corpus.dir/revision_model.cpp.o"
+  "CMakeFiles/bf_corpus.dir/revision_model.cpp.o.d"
+  "CMakeFiles/bf_corpus.dir/text_generator.cpp.o"
+  "CMakeFiles/bf_corpus.dir/text_generator.cpp.o.d"
+  "libbf_corpus.a"
+  "libbf_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/bf_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/bf_crypto.dir/sealer.cpp.o"
+  "CMakeFiles/bf_crypto.dir/sealer.cpp.o.d"
+  "libbf_crypto.a"
+  "libbf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/disclosure.cpp" "src/flow/CMakeFiles/bf_flow.dir/disclosure.cpp.o" "gcc" "src/flow/CMakeFiles/bf_flow.dir/disclosure.cpp.o.d"
+  "/root/repo/src/flow/hash_db.cpp" "src/flow/CMakeFiles/bf_flow.dir/hash_db.cpp.o" "gcc" "src/flow/CMakeFiles/bf_flow.dir/hash_db.cpp.o.d"
+  "/root/repo/src/flow/segment_db.cpp" "src/flow/CMakeFiles/bf_flow.dir/segment_db.cpp.o" "gcc" "src/flow/CMakeFiles/bf_flow.dir/segment_db.cpp.o.d"
+  "/root/repo/src/flow/snapshot.cpp" "src/flow/CMakeFiles/bf_flow.dir/snapshot.cpp.o" "gcc" "src/flow/CMakeFiles/bf_flow.dir/snapshot.cpp.o.d"
+  "/root/repo/src/flow/tracker.cpp" "src/flow/CMakeFiles/bf_flow.dir/tracker.cpp.o" "gcc" "src/flow/CMakeFiles/bf_flow.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/bf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_flow.dir/disclosure.cpp.o"
+  "CMakeFiles/bf_flow.dir/disclosure.cpp.o.d"
+  "CMakeFiles/bf_flow.dir/hash_db.cpp.o"
+  "CMakeFiles/bf_flow.dir/hash_db.cpp.o.d"
+  "CMakeFiles/bf_flow.dir/segment_db.cpp.o"
+  "CMakeFiles/bf_flow.dir/segment_db.cpp.o.d"
+  "CMakeFiles/bf_flow.dir/snapshot.cpp.o"
+  "CMakeFiles/bf_flow.dir/snapshot.cpp.o.d"
+  "CMakeFiles/bf_flow.dir/tracker.cpp.o"
+  "CMakeFiles/bf_flow.dir/tracker.cpp.o.d"
+  "libbf_flow.a"
+  "libbf_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

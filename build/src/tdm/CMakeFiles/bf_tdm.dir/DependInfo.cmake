@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdm/audit.cpp" "src/tdm/CMakeFiles/bf_tdm.dir/audit.cpp.o" "gcc" "src/tdm/CMakeFiles/bf_tdm.dir/audit.cpp.o.d"
+  "/root/repo/src/tdm/label.cpp" "src/tdm/CMakeFiles/bf_tdm.dir/label.cpp.o" "gcc" "src/tdm/CMakeFiles/bf_tdm.dir/label.cpp.o.d"
+  "/root/repo/src/tdm/policy.cpp" "src/tdm/CMakeFiles/bf_tdm.dir/policy.cpp.o" "gcc" "src/tdm/CMakeFiles/bf_tdm.dir/policy.cpp.o.d"
+  "/root/repo/src/tdm/policy_snapshot.cpp" "src/tdm/CMakeFiles/bf_tdm.dir/policy_snapshot.cpp.o" "gcc" "src/tdm/CMakeFiles/bf_tdm.dir/policy_snapshot.cpp.o.d"
+  "/root/repo/src/tdm/service_registry.cpp" "src/tdm/CMakeFiles/bf_tdm.dir/service_registry.cpp.o" "gcc" "src/tdm/CMakeFiles/bf_tdm.dir/service_registry.cpp.o.d"
+  "/root/repo/src/tdm/tag_set.cpp" "src/tdm/CMakeFiles/bf_tdm.dir/tag_set.cpp.o" "gcc" "src/tdm/CMakeFiles/bf_tdm.dir/tag_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

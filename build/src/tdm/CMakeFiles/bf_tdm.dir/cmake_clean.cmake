@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_tdm.dir/audit.cpp.o"
+  "CMakeFiles/bf_tdm.dir/audit.cpp.o.d"
+  "CMakeFiles/bf_tdm.dir/label.cpp.o"
+  "CMakeFiles/bf_tdm.dir/label.cpp.o.d"
+  "CMakeFiles/bf_tdm.dir/policy.cpp.o"
+  "CMakeFiles/bf_tdm.dir/policy.cpp.o.d"
+  "CMakeFiles/bf_tdm.dir/policy_snapshot.cpp.o"
+  "CMakeFiles/bf_tdm.dir/policy_snapshot.cpp.o.d"
+  "CMakeFiles/bf_tdm.dir/service_registry.cpp.o"
+  "CMakeFiles/bf_tdm.dir/service_registry.cpp.o.d"
+  "CMakeFiles/bf_tdm.dir/tag_set.cpp.o"
+  "CMakeFiles/bf_tdm.dir/tag_set.cpp.o.d"
+  "libbf_tdm.a"
+  "libbf_tdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_tdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/aho_corasick.cpp" "src/text/CMakeFiles/bf_text.dir/aho_corasick.cpp.o" "gcc" "src/text/CMakeFiles/bf_text.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/text/fingerprint.cpp" "src/text/CMakeFiles/bf_text.dir/fingerprint.cpp.o" "gcc" "src/text/CMakeFiles/bf_text.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/text/ngram_hasher.cpp" "src/text/CMakeFiles/bf_text.dir/ngram_hasher.cpp.o" "gcc" "src/text/CMakeFiles/bf_text.dir/ngram_hasher.cpp.o.d"
+  "/root/repo/src/text/normalizer.cpp" "src/text/CMakeFiles/bf_text.dir/normalizer.cpp.o" "gcc" "src/text/CMakeFiles/bf_text.dir/normalizer.cpp.o.d"
+  "/root/repo/src/text/segmenter.cpp" "src/text/CMakeFiles/bf_text.dir/segmenter.cpp.o" "gcc" "src/text/CMakeFiles/bf_text.dir/segmenter.cpp.o.d"
+  "/root/repo/src/text/winnower.cpp" "src/text/CMakeFiles/bf_text.dir/winnower.cpp.o" "gcc" "src/text/CMakeFiles/bf_text.dir/winnower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

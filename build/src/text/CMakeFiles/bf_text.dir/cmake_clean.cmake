@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_text.dir/aho_corasick.cpp.o"
+  "CMakeFiles/bf_text.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/bf_text.dir/fingerprint.cpp.o"
+  "CMakeFiles/bf_text.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/bf_text.dir/ngram_hasher.cpp.o"
+  "CMakeFiles/bf_text.dir/ngram_hasher.cpp.o.d"
+  "CMakeFiles/bf_text.dir/normalizer.cpp.o"
+  "CMakeFiles/bf_text.dir/normalizer.cpp.o.d"
+  "CMakeFiles/bf_text.dir/segmenter.cpp.o"
+  "CMakeFiles/bf_text.dir/segmenter.cpp.o.d"
+  "CMakeFiles/bf_text.dir/winnower.cpp.o"
+  "CMakeFiles/bf_text.dir/winnower.cpp.o.d"
+  "libbf_text.a"
+  "libbf_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

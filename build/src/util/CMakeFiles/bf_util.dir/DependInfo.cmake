@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/clock.cpp" "src/util/CMakeFiles/bf_util.dir/clock.cpp.o" "gcc" "src/util/CMakeFiles/bf_util.dir/clock.cpp.o.d"
+  "/root/repo/src/util/hashing.cpp" "src/util/CMakeFiles/bf_util.dir/hashing.cpp.o" "gcc" "src/util/CMakeFiles/bf_util.dir/hashing.cpp.o.d"
+  "/root/repo/src/util/json_text.cpp" "src/util/CMakeFiles/bf_util.dir/json_text.cpp.o" "gcc" "src/util/CMakeFiles/bf_util.dir/json_text.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/bf_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/bf_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/bf_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/bf_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/bf_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/bf_util.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

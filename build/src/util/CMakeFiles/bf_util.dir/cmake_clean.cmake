@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_util.dir/clock.cpp.o"
+  "CMakeFiles/bf_util.dir/clock.cpp.o.d"
+  "CMakeFiles/bf_util.dir/hashing.cpp.o"
+  "CMakeFiles/bf_util.dir/hashing.cpp.o.d"
+  "CMakeFiles/bf_util.dir/json_text.cpp.o"
+  "CMakeFiles/bf_util.dir/json_text.cpp.o.d"
+  "CMakeFiles/bf_util.dir/logging.cpp.o"
+  "CMakeFiles/bf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bf_util.dir/rng.cpp.o"
+  "CMakeFiles/bf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bf_util.dir/strings.cpp.o"
+  "CMakeFiles/bf_util.dir/strings.cpp.o.d"
+  "libbf_util.a"
+  "libbf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_test.dir/browser/dom_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/dom_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/forms_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/forms_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/html_parser_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/html_parser_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/mutation_observer_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/mutation_observer_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/readability_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/readability_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/xhr_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/xhr_test.cpp.o.d"
+  "browser_test"
+  "browser_test.pdb"
+  "browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_test.dir/cloud/cloud_test.cpp.o"
+  "CMakeFiles/cloud_test.dir/cloud/cloud_test.cpp.o.d"
+  "CMakeFiles/cloud_test.dir/cloud/dlp_appliance_test.cpp.o"
+  "CMakeFiles/cloud_test.dir/cloud/dlp_appliance_test.cpp.o.d"
+  "CMakeFiles/cloud_test.dir/cloud/network_latency_test.cpp.o"
+  "CMakeFiles/cloud_test.dir/cloud/network_latency_test.cpp.o.d"
+  "CMakeFiles/cloud_test.dir/cloud/notes_client_test.cpp.o"
+  "CMakeFiles/cloud_test.dir/cloud/notes_client_test.cpp.o.d"
+  "cloud_test"
+  "cloud_test.pdb"
+  "cloud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

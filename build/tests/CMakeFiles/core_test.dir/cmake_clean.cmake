@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/decision_engine_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/decision_engine_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/deployment_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/deployment_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/engine_document_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/engine_document_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/plugin_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/plugin_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/policy_config_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/policy_config_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/secret_guard_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/secret_guard_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/service_adapter_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/service_adapter_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/upload_paths_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/upload_paths_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

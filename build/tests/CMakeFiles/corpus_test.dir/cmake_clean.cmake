@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/corpus/datasets_test.cpp.o"
+  "CMakeFiles/corpus_test.dir/corpus/datasets_test.cpp.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/revision_model_test.cpp.o"
+  "CMakeFiles/corpus_test.dir/corpus/revision_model_test.cpp.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/text_generator_test.cpp.o"
+  "CMakeFiles/corpus_test.dir/corpus/text_generator_test.cpp.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+  "corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow/attribution_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/attribution_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/attribution_test.cpp.o.d"
+  "/root/repo/tests/flow/disclosure_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/disclosure_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/disclosure_test.cpp.o.d"
+  "/root/repo/tests/flow/hash_db_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/hash_db_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/hash_db_test.cpp.o.d"
+  "/root/repo/tests/flow/segment_db_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/segment_db_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/segment_db_test.cpp.o.d"
+  "/root/repo/tests/flow/snapshot_config_sweep_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/snapshot_config_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/snapshot_config_sweep_test.cpp.o.d"
+  "/root/repo/tests/flow/snapshot_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/snapshot_test.cpp.o.d"
+  "/root/repo/tests/flow/tracker_properties_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/tracker_properties_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/tracker_properties_test.cpp.o.d"
+  "/root/repo/tests/flow/tracker_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/tracker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bf_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/bf_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/bf_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdm/CMakeFiles/bf_tdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/bf_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_test.dir/flow/attribution_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/attribution_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/disclosure_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/disclosure_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/hash_db_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/hash_db_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/segment_db_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/segment_db_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/snapshot_config_sweep_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/snapshot_config_sweep_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/snapshot_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/snapshot_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/tracker_properties_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/tracker_properties_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/tracker_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/tracker_test.cpp.o.d"
+  "flow_test"
+  "flow_test.pdb"
+  "flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdm_test.dir/tdm/label_refresh_test.cpp.o"
+  "CMakeFiles/tdm_test.dir/tdm/label_refresh_test.cpp.o.d"
+  "CMakeFiles/tdm_test.dir/tdm/label_test.cpp.o"
+  "CMakeFiles/tdm_test.dir/tdm/label_test.cpp.o.d"
+  "CMakeFiles/tdm_test.dir/tdm/policy_snapshot_test.cpp.o"
+  "CMakeFiles/tdm_test.dir/tdm/policy_snapshot_test.cpp.o.d"
+  "CMakeFiles/tdm_test.dir/tdm/policy_test.cpp.o"
+  "CMakeFiles/tdm_test.dir/tdm/policy_test.cpp.o.d"
+  "CMakeFiles/tdm_test.dir/tdm/tag_set_test.cpp.o"
+  "CMakeFiles/tdm_test.dir/tdm/tag_set_test.cpp.o.d"
+  "tdm_test"
+  "tdm_test.pdb"
+  "tdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/text/aho_corasick_test.cpp.o"
+  "CMakeFiles/text_test.dir/text/aho_corasick_test.cpp.o.d"
+  "CMakeFiles/text_test.dir/text/fingerprint_test.cpp.o"
+  "CMakeFiles/text_test.dir/text/fingerprint_test.cpp.o.d"
+  "CMakeFiles/text_test.dir/text/ngram_hasher_test.cpp.o"
+  "CMakeFiles/text_test.dir/text/ngram_hasher_test.cpp.o.d"
+  "CMakeFiles/text_test.dir/text/normalizer_test.cpp.o"
+  "CMakeFiles/text_test.dir/text/normalizer_test.cpp.o.d"
+  "CMakeFiles/text_test.dir/text/segmenter_test.cpp.o"
+  "CMakeFiles/text_test.dir/text/segmenter_test.cpp.o.d"
+  "CMakeFiles/text_test.dir/text/winnow_density_test.cpp.o"
+  "CMakeFiles/text_test.dir/text/winnow_density_test.cpp.o.d"
+  "CMakeFiles/text_test.dir/text/winnower_test.cpp.o"
+  "CMakeFiles/text_test.dir/text/winnower_test.cpp.o.d"
+  "text_test"
+  "text_test.pdb"
+  "text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
