@@ -160,5 +160,6 @@ int main() {
   ablationWinnowingParams(manuals);
   ablationAuthoritative();
   ablationCache();
+  bench::dumpMetrics();
   return 0;
 }

@@ -149,5 +149,6 @@ int main() {
       "edited-copy recall for that FP immunity: authoritative fingerprints "
       "discount the boilerplate every document shares, so only the "
       "document-specific remainder counts toward its threshold.\n");
+  bench::dumpMetrics();
   return 0;
 }

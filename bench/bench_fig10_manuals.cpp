@@ -43,5 +43,6 @@ int main() {
       "expected shape (paper Fig. 10): BrowserFlow matches the expert for "
       "each version; where they differ, BrowserFlow under-reports "
       "(rephrased paragraphs keep the concept but lose the words).\n");
+  bench::dumpMetrics();
   return 0;
 }

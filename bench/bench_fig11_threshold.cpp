@@ -50,5 +50,6 @@ int main() {
               "(paper: agreement for >90%% of paragraphs)\n",
               worstMidRange);
   std::printf("adopted default: T_par = 0.5\n");
+  bench::dumpMetrics();
   return 0;
 }

@@ -13,13 +13,17 @@
 // keystrokes trigger a real disclosure calculation (slow mode); overlap-
 // heavy workflows (W1/W3) sit above the no-overlap workflow (W2).
 
+// Latencies come from the bf_decision_latency_ms histogram in the obs
+// registry (per-workflow snapshots via DecisionEngine::latencyData), so the
+// CDF points are histogram quantile estimates rather than raw samples.
+
 #include <string>
 
 #include "bench_util.h"
 #include "core/decision_engine.h"
 #include "corpus/datasets.h"
+#include "obs/metrics.h"
 #include "text/segmenter.h"
-#include "util/stats.h"
 
 namespace {
 
@@ -38,24 +42,18 @@ void typeText(core::DecisionEngine& engine, const std::string& segment,
   }
 }
 
-void printCdf(const char* name, const std::vector<double>& timesMs) {
+void printCdf(const char* name, const obs::HistogramData& latency) {
   std::vector<std::pair<double, double>> series;
   for (double p : {1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 85.0, 90.0, 95.0, 99.0,
                    99.9}) {
-    series.emplace_back(util::percentile(timesMs, p), p / 100.0);
+    series.emplace_back(latency.percentile(p), p / 100.0);
   }
   bench::printSeries(name, series, "response time (ms)",
                      "fraction of samples");
-  std::size_t under30 = 0, under200 = 0;
-  for (double t : timesMs) {
-    if (t < 30.0) ++under30;
-    if (t < 200.0) ++under200;
-  }
-  std::printf("samples: %zu, <30ms: %.1f%%, <200ms: %.1f%%\n", timesMs.size(),
-              100.0 * static_cast<double>(under30) /
-                  static_cast<double>(timesMs.size()),
-              100.0 * static_cast<double>(under200) /
-                  static_cast<double>(timesMs.size()));
+  std::printf("samples: %llu, <30ms: %.1f%%, <200ms: %.1f%%\n",
+              static_cast<unsigned long long>(latency.count),
+              100.0 * latency.fractionBelow(30.0),
+              100.0 * latency.fractionBelow(200.0));
 }
 
 }  // namespace
@@ -97,7 +95,7 @@ int main() {
   const std::size_t pageParagraphs = 3;
 
   // W1: creation with overlap — type a page from book 0.
-  engine.clearResponseTimes();
+  engine.resetLatencyStats();
   {
     const std::string page = pageOf(ebooks.books[0], 10, pageParagraphs);
     std::size_t p = 0;
@@ -105,10 +103,10 @@ int main() {
       typeText(engine, "w1doc#p" + std::to_string(p++), "w1doc", para.text);
     }
   }
-  const auto w1 = engine.responseTimesMs();
+  const auto w1 = engine.latencyData();
 
   // W2: creation without overlap — type fresh text of the same length.
-  engine.clearResponseTimes();
+  engine.resetLatencyStats();
   {
     util::Rng rng(4242);
     corpus::TextGenerator gen(&rng);
@@ -117,11 +115,11 @@ int main() {
                gen.paragraph(5, 7));
     }
   }
-  const auto w2 = engine.responseTimesMs();
+  const auto w2 = engine.latencyData();
 
   // W3: modification — a previously-modified page is edited back to match
   // the original (growing-prefix morph, one keystroke per step).
-  engine.clearResponseTimes();
+  engine.resetLatencyStats();
   {
     util::Rng rng(77);
     corpus::TextGenerator gen(&rng);
@@ -146,7 +144,7 @@ int main() {
                      flow::SegmentKind::kParagraph});
     }
   }
-  const auto w3 = engine.responseTimesMs();
+  const auto w3 = engine.latencyData();
 
   printCdf("W1 Creation-with-overlap", w1);
   printCdf("W2 Creation-without-overlap", w2);
@@ -156,5 +154,6 @@ int main() {
       "\nexpected shape (paper Fig. 12): bimodal — cache-served keystrokes "
       "fast, recomputations slower; W1/W3 (overlapping text) slower than "
       "W2. Absolute numbers differ from the paper's browser setup.\n");
+  bench::dumpMetrics();
   return 0;
 }

@@ -96,5 +96,6 @@ int main() {
   std::printf("\np95 at %zux database size: %.2fx the initial p95 "
               "(sub-linear if << 10x)\n",
               steps, last / (first > 0 ? first : 1e-9));
+  bench::dumpMetrics();
   return 0;
 }

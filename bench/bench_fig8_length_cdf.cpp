@@ -47,5 +47,6 @@ int main() {
               util::percentile(relativeDiffPct, 90));
   std::printf("expected shape: wide spread — a stable mass near 0%% and a "
               "volatile tail beyond ~30%% (paper Fig. 8 spans ~10%%-100%%)\n");
+  bench::dumpMetrics();
   return 0;
 }

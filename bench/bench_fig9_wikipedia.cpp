@@ -74,5 +74,6 @@ int main() {
       "\nexpected shape (paper Fig. 9): low-variation articles report "
       "disclosure for almost all paragraphs across revisions; "
       "high-variation articles decay towards a small residue.\n");
+  bench::dumpMetrics();
   return 0;
 }

@@ -43,6 +43,7 @@ int main() {
                              "internal");
   }
 
+  engine.resetLatencyStats();
   std::atomic<std::size_t> enqueued{0};
   util::Stopwatch watch;
   std::vector<std::thread> threads;
@@ -75,11 +76,13 @@ int main() {
   engine.drain();
   const double seconds = watch.elapsedMillis() / 1000.0;
 
-  const auto times = engine.responseTimesMs();
-  std::printf("users: %zu, decisions: %zu (%zu enqueued), wall: %.2fs, "
-              "throughput: %.0f decisions/s\n",
-              users, times.size(), enqueued.load(), seconds,
-              static_cast<double>(times.size()) / seconds);
+  const auto latency = engine.latencySummary();
+  std::printf("users: %zu, decisions: %llu (%zu enqueued), wall: %.2fs, "
+              "throughput: %.0f decisions/s, p50: %.3fms p99: %.3fms\n",
+              users, static_cast<unsigned long long>(latency.count),
+              enqueued.load(), seconds,
+              static_cast<double>(latency.count) / seconds, latency.p50Ms,
+              latency.p99Ms);
 
   // Coherence check: every secret still attributes to its original source.
   std::size_t misattributed = 0;
@@ -92,5 +95,6 @@ int main() {
   }
   std::printf("post-stress source attribution intact: %zu/%zu\n",
               secrets.size() - misattributed, secrets.size());
+  bench::dumpMetrics();
   return misattributed == 0 ? 0 : 1;
 }

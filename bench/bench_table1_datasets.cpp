@@ -33,5 +33,6 @@ int main() {
   printRow(statsOf(ebooks));
   std::printf("\nEbooks total size: %.1f MB (paper: 90 MB)\n",
               static_cast<double>(ebooks.totalBytes) / (1024.0 * 1024.0));
+  bench::dumpMetrics();
   return 0;
 }

@@ -7,12 +7,18 @@
 //   BF_SCALE=paper            the paper's dataset sizes (Table 1)
 // Output is plain text: one block per figure/table, with the series the
 // paper plots, so results can be diffed against EXPERIMENTS.md.
+// Set BF_METRICS=1 (Prometheus text) or BF_METRICS=json to append a dump
+// of the process-wide obs registry after each figure, so BENCH_*.json
+// result files can carry registry snapshots alongside the series.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace bf::bench {
 
@@ -35,6 +41,20 @@ inline void printSeries(const char* name,
   std::printf("\n# series: %s  (%s vs %s)\n", name, yLabel, xLabel);
   for (const auto& [x, y] : points) {
     std::printf("%12.4f  %12.4f\n", x, y);
+  }
+}
+
+/// When BF_METRICS is set, prints the whole obs registry after the figure:
+/// BF_METRICS=json emits the JSON exposition, any other non-empty value
+/// the Prometheus text format. Call at the end of each bench main().
+inline void dumpMetrics() {
+  const char* env = std::getenv("BF_METRICS");
+  if (env == nullptr || *env == '\0' || std::string(env) == "0") return;
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  if (std::string(env) == "json") {
+    std::printf("\n# metrics (json)\n%s\n", obs::toJson(snap).c_str());
+  } else {
+    std::printf("\n# metrics (prometheus)\n%s", obs::toPrometheusText(snap).c_str());
   }
 }
 

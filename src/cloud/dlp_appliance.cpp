@@ -1,10 +1,24 @@
 #include "cloud/dlp_appliance.h"
 
 #include "browser/forms.h"
+#include "obs/metrics.h"
 #include "text/normalizer.h"
 #include "util/hashing.h"
 
 namespace bf::cloud {
+
+namespace {
+obs::Counter& inspectedCounter() {
+  static obs::Counter& c = obs::registry().counter(
+      "bf_dlp_inspected_total", "Requests inspected by the DLP appliance");
+  return c;
+}
+obs::Counter& flaggedCounter() {
+  static obs::Counter& c = obs::registry().counter(
+      "bf_dlp_flagged_total", "Requests flagged by the DLP appliance");
+  return c;
+}
+}  // namespace
 
 DlpAppliance::DlpAppliance(browser::RequestSink* upstream, Config config)
     : upstream_(upstream), config_(config) {}
@@ -52,6 +66,7 @@ bool DlpAppliance::inspectText(std::string_view text) const {
 
 browser::HttpResponse DlpAppliance::handle(const browser::HttpRequest& req) {
   ++inspected_;
+  inspectedCounter().inc();
   if (!config_.trafficEncrypted) {
     // The appliance sees wire bytes; decode the urlencoded form body the
     // way commercial DLP reverse-engineers wire formats (paper S2.2).
@@ -60,7 +75,10 @@ browser::HttpResponse DlpAppliance::handle(const browser::HttpRequest& req) {
       decoded += value;
       decoded += '\n';
     }
-    if (inspectText(decoded) || inspectText(req.body)) ++flagged_;
+    if (inspectText(decoded) || inspectText(req.body)) {
+      ++flagged_;
+      flaggedCounter().inc();
+    }
   }
   return upstream_->handle(req);
 }

@@ -3,9 +3,31 @@
 #include <algorithm>
 
 #include "browser/forms.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace bf::cloud {
+
+namespace {
+struct NetworkMetrics {
+  obs::Counter* requests;
+  obs::Counter* unrouted;
+  obs::Histogram* rttMs;
+};
+const NetworkMetrics& networkMetrics() {
+  static const NetworkMetrics m = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    return NetworkMetrics{
+        &r.counter("bf_network_requests_total",
+                   "Requests routed through the simulated network"),
+        &r.counter("bf_network_unrouted_total",
+                   "Requests to origins with no registered backend"),
+        &r.histogram("bf_network_rtt_ms",
+                     "Simulated round-trip time per request")};
+  }();
+  return m;
+}
+}  // namespace
 
 SimNetwork::SimNetwork(util::Rng* rng, double baseLatencyMs, double jitterMs)
     : rng_(rng), baseLatencyMs_(baseLatencyMs), jitterMs_(jitterMs) {}
@@ -15,10 +37,13 @@ void SimNetwork::registerService(std::string origin, Backend* backend) {
 }
 
 browser::HttpResponse SimNetwork::handle(const browser::HttpRequest& req) {
+  const NetworkMetrics& metrics = networkMetrics();
+  metrics.requests->inc();
   browser::HttpResponse resp;
   const std::string origin = browser::originOf(req.url);
   auto it = services_.find(origin);
   if (it == services_.end()) {
+    metrics.unrouted->inc();
     resp.status = 502;
     resp.body = "no such service: " + origin;
   } else {
@@ -29,6 +54,7 @@ browser::HttpResponse SimNetwork::handle(const browser::HttpRequest& req) {
   entry.response = resp;
   entry.simulatedLatencyMs =
       std::max(0.0, rng_->gaussian(baseLatencyMs_, jitterMs_));
+  metrics.rttMs->observe(entry.simulatedLatencyMs);
   log_.push_back(std::move(entry));
   return resp;
 }

@@ -1,5 +1,6 @@
 #include "core/decision_engine.h"
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace bf::core {
@@ -7,7 +8,21 @@ namespace bf::core {
 DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
                                flow::FlowTracker* tracker,
                                tdm::TdmPolicy* policy)
-    : config_(config), tracker_(tracker), policy_(policy) {}
+    : config_(config), tracker_(tracker), policy_(policy) {
+  obs::MetricsRegistry& r = obs::registry();
+  latency_ = &r.histogram("bf_decision_latency_ms",
+                          "Wall-clock time per disclosure decision");
+  queueDepth_ = &r.gauge("bf_decision_queue_depth",
+                         "Decision requests waiting for the worker thread");
+  actionCounters_[static_cast<int>(Decision::Action::kAllow)] =
+      &r.counter("bf_decision_allow_total", "Decisions that allowed upload");
+  actionCounters_[static_cast<int>(Decision::Action::kWarn)] =
+      &r.counter("bf_decision_warn_total", "Decisions that warned");
+  actionCounters_[static_cast<int>(Decision::Action::kBlock)] =
+      &r.counter("bf_decision_block_total", "Decisions that blocked upload");
+  actionCounters_[static_cast<int>(Decision::Action::kEncrypt)] = &r.counter(
+      "bf_decision_encrypt_total", "Decisions that encrypted before upload");
+}
 
 DecisionEngine::~DecisionEngine() {
   {
@@ -24,6 +39,7 @@ Decision DecisionEngine::decide(const DecisionRequest& request) {
 }
 
 Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
+  BF_SPAN("engine.decide");
   util::Stopwatch watch;
   Decision decision;
 
@@ -78,10 +94,8 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
   }
 
   decision.responseTimeMs = watch.elapsedMillis();
-  {
-    std::lock_guard<std::mutex> lock(timesMutex_);
-    responseTimesMs_.push_back(decision.responseTimeMs);
-  }
+  latency_->observe(decision.responseTimeMs);
+  actionCounters_[static_cast<int>(decision.action)]->inc();
   return decision;
 }
 
@@ -92,6 +106,7 @@ std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
     std::lock_guard<std::mutex> lock(queueMutex_);
     queue_.emplace_back(std::move(request), std::move(promise));
     ++inFlight_;
+    queueDepth_->set(static_cast<double>(queue_.size()));
     if (!workerStarted_) {
       worker_ = std::thread([this] { workerLoop(); });
       workerStarted_ = true;
@@ -115,6 +130,7 @@ void DecisionEngine::workerLoop() {
       if (stopping_ && queue_.empty()) return;
       item = std::move(queue_.front());
       queue_.pop_front();
+      queueDepth_->set(static_cast<double>(queue_.size()));
     }
     Decision d;
     {
@@ -141,14 +157,23 @@ tdm::Label DecisionEngine::lookupLabelForText(
   return label;
 }
 
-std::vector<double> DecisionEngine::responseTimesMs() const {
-  std::lock_guard<std::mutex> lock(timesMutex_);
-  return responseTimesMs_;
+DecisionEngine::LatencySummary DecisionEngine::latencySummary() const {
+  const obs::HistogramData data = latency_->data();
+  LatencySummary out;
+  out.count = data.count;
+  out.meanMs = data.mean();
+  out.minMs = data.min;
+  out.maxMs = data.max;
+  out.p50Ms = data.percentile(50.0);
+  out.p95Ms = data.percentile(95.0);
+  out.p99Ms = data.percentile(99.0);
+  return out;
 }
 
-void DecisionEngine::clearResponseTimes() {
-  std::lock_guard<std::mutex> lock(timesMutex_);
-  responseTimesMs_.clear();
+obs::HistogramData DecisionEngine::latencyData() const {
+  return latency_->data();
 }
+
+void DecisionEngine::resetLatencyStats() { latency_->reset(); }
 
 }  // namespace bf::core

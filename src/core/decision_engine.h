@@ -23,6 +23,7 @@
 #include "core/config.h"
 #include "core/secret_guard.h"
 #include "flow/tracker.h"
+#include "obs/metrics.h"
 #include "tdm/policy.h"
 
 namespace bf::core {
@@ -82,9 +83,28 @@ class DecisionEngine {
   [[nodiscard]] tdm::Label lookupLabelForText(
       const std::string& text, const std::string& excludeDocument = {}) const;
 
-  /// Response times of every decision made so far, in ms (append order).
-  [[nodiscard]] std::vector<double> responseTimesMs() const;
-  void clearResponseTimes();
+  /// Latency statistics over every decision made so far, derived from the
+  /// bf_decision_latency_ms histogram — what Figs. 12/13 measure.
+  /// Percentiles are histogram estimates (linear interpolation within the
+  /// containing bucket). The histogram lives in the process-wide obs
+  /// registry, so concurrent engines in one process share it.
+  struct LatencySummary {
+    std::uint64_t count = 0;
+    double meanMs = 0.0;
+    double minMs = 0.0;
+    double maxMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+  };
+  [[nodiscard]] LatencySummary latencySummary() const;
+
+  /// Copy of the decision-latency histogram for custom percentile / CDF
+  /// extraction (bench harnesses).
+  [[nodiscard]] obs::HistogramData latencyData() const;
+
+  /// Zeroes the decision-latency histogram (test / bench phase boundary).
+  void resetLatencyStats();
 
   /// Switches the enforcement action for future violations (advisory
   /// deployments often start in warn mode and move to block).
@@ -128,8 +148,10 @@ class DecisionEngine {
   std::size_t inFlight_ = 0;
   std::condition_variable idleCv_;
 
-  mutable std::mutex timesMutex_;
-  std::vector<double> responseTimesMs_;
+  // Registry-backed instrumentation (resolved once in the constructor).
+  obs::Histogram* latency_;        // bf_decision_latency_ms
+  obs::Gauge* queueDepth_;         // bf_decision_queue_depth
+  obs::Counter* actionCounters_[4];  // bf_decision_actions_total by kind
 };
 
 }  // namespace bf::core

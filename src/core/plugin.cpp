@@ -4,6 +4,8 @@
 
 #include "browser/forms.h"
 #include "browser/readability.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/segmenter.h"
 #include "util/json_text.h"
 #include "util/logging.h"
@@ -25,6 +27,9 @@ BrowserFlowPlugin::BrowserFlowPlugin(BrowserFlowConfig config,
 BrowserFlowPlugin::~BrowserFlowPlugin() = default;
 
 void BrowserFlowPlugin::onPageCreated(browser::Page& page) {
+  static obs::Counter& pagesCounter = obs::registry().counter(
+      "bf_plugin_pages_total", "Tabs instrumented by the plug-in");
+  pagesCounter.inc();
   auto hooks = std::make_unique<PageHooks>();
   hooks->page = &page;
   PageHooks* raw = hooks.get();
@@ -132,6 +137,11 @@ void BrowserFlowPlugin::handleMutations(
 
 Decision BrowserFlowPlugin::checkParagraphNode(PageHooks& hooks,
                                                browser::Node* paragraph) {
+  BF_SPAN("plugin.paragraph_check");
+  static obs::Counter& checksCounter = obs::registry().counter(
+      "bf_plugin_paragraph_checks_total",
+      "Paragraph decisions triggered by DOM mutations");
+  checksCounter.inc();
   auto it = hooks.paragraphNames.find(paragraph);
   if (it == hooks.paragraphNames.end()) {
     std::string name =
@@ -219,6 +229,10 @@ void BrowserFlowPlugin::installFormListener(PageHooks& hooks,
     }
     if (combined.empty()) return;  // nothing to check
 
+    static obs::Counter& formsCounter = obs::registry().counter(
+        "bf_plugin_form_submissions_total",
+        "Form submissions intercepted with user text");
+    formsCounter.inc();
     const Decision d = decideFormDraft(page, combined);
     if (!d.violation()) {
       return;  // default submission proceeds; drafts are already tracked
@@ -275,6 +289,9 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
     const ServiceAdapter& adapter = adapterFor(pagePtr->origin(), req);
     std::vector<UploadField> fields = adapter.extractUploadText(req);
     if (fields.empty()) return original(xhr, req);  // no user text
+    static obs::Counter& xhrCounter = obs::registry().counter(
+        "bf_plugin_xhr_uploads_total", "XHR uploads intercepted with user text");
+    xhrCounter.inc();
 
     bool anyViolation = false;
     std::vector<bool> violates(fields.size(), false);
@@ -355,6 +372,7 @@ void mergeInto(Decision& total, std::vector<flow::DisclosureHit> hits,
 Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
                                              const std::string& documentName,
                                              const std::string& serviceId) {
+  BF_SPAN("plugin.upload_check");
   // This path reads the tracker/policy directly (no engine_.decide call),
   // so it must serialise with the async decision worker.
   const auto stateLock = engine_.lockState();
@@ -473,6 +491,10 @@ Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
 void BrowserFlowPlugin::recordViolation(const std::string& segmentName,
                                         const std::string& serviceId,
                                         const Decision& d) {
+  static obs::Counter& violationsCounter = obs::registry().counter(
+      "bf_plugin_violations_total",
+      "Violations surfaced to the user (warn/block/encrypt)");
+  violationsCounter.inc();
   policy_.audit().append({tdm::AuditRecord::Kind::kViolationWarned,
                           clock_->now(), "", tdm::Tag{}, segmentName,
                           serviceId, ""});

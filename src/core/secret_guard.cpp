@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "text/normalizer.h"
 
 namespace bf::core {
+
+namespace {
+obs::Counter& scansCounter() {
+  static obs::Counter& c = obs::registry().counter(
+      "bf_secret_scans_total", "Texts scanned for registered short secrets");
+  return c;
+}
+obs::Counter& hitsCounter() {
+  static obs::Counter& c = obs::registry().counter(
+      "bf_secret_hits_total", "Registered secrets found verbatim in texts");
+  return c;
+}
+}  // namespace
 
 bool SecretGuard::addSecret(std::string name, std::string_view value,
                             tdm::Tag tag) {
@@ -18,6 +32,7 @@ bool SecretGuard::addSecret(std::string name, std::string_view value,
 std::vector<SecretGuard::Hit> SecretGuard::scan(std::string_view text) {
   std::vector<Hit> out;
   if (secrets_.empty()) return out;
+  scansCounter().inc();
   const text::NormalizedText normalized = text::normalize(text);
   std::vector<bool> seen(secrets_.size(), false);
   for (const auto& match : automaton_.findAll(normalized.text)) {
@@ -26,6 +41,7 @@ std::vector<SecretGuard::Hit> SecretGuard::scan(std::string_view text) {
       out.push_back(Hit{secrets_[match.id].name, secrets_[match.id].tag});
     }
   }
+  hitsCounter().inc(out.size());
   return out;
 }
 

@@ -3,13 +3,71 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "text/segmenter.h"
 #include "util/hashing.h"
 
 namespace bf::flow {
 
+namespace {
+
+/// Process-wide tracker metrics, resolved once. Per-tracker counters are
+/// mirrored here; the gauges report the sizes of the most recently updated
+/// tracker's stores (single-tracker processes, the common deployment, see
+/// exact values; multi-tracker benches read per-instance stats()).
+struct TrackerMetrics {
+  obs::Counter* queries;
+  obs::Counter* cacheHits;
+  obs::Counter* cacheMisses;
+  obs::Counter* candidates;
+  obs::Counter* fingerprints;
+  obs::Gauge* dbhashParagraphHashes;
+  obs::Gauge* dbhashDocumentHashes;
+  obs::Gauge* dbparSegments;
+};
+
+const TrackerMetrics& trackerMetrics() {
+  static const TrackerMetrics m = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    TrackerMetrics out;
+    out.queries = &r.counter("bf_tracker_queries_total",
+                             "Disclosure queries answered (Algorithm 1)");
+    out.cacheHits = &r.counter(
+        "bf_tracker_cache_hits_total",
+        "Per-segment queries served from the unchanged-fingerprint cache");
+    out.cacheMisses =
+        &r.counter("bf_tracker_cache_misses_total",
+                   "Per-segment queries that recomputed disclosure");
+    out.candidates = &r.counter("bf_tracker_candidates_inspected_total",
+                                "Candidate sources scored during queries");
+    out.fingerprints = &r.counter("bf_tracker_fingerprints_computed_total",
+                                  "Text fingerprints computed");
+    out.dbhashParagraphHashes =
+        &r.gauge("bf_tracker_dbhash_paragraph_hashes",
+                 "Distinct paragraph hashes in DBhash");
+    out.dbhashDocumentHashes =
+        &r.gauge("bf_tracker_dbhash_document_hashes",
+                 "Distinct document hashes in DBhash");
+    out.dbparSegments =
+        &r.gauge("bf_tracker_dbpar_segments", "Live segments in DBpar");
+    return out;
+  }();
+  return m;
+}
+
+}  // namespace
+
 FlowTracker::FlowTracker(TrackerConfig config, util::Clock* clock)
     : config_(config), clock_(clock) {}
+
+void FlowTracker::refreshStoreGauges() const noexcept {
+  const TrackerMetrics& m = trackerMetrics();
+  m.dbhashParagraphHashes->set(static_cast<double>(
+      hashDb(SegmentKind::kParagraph).distinctHashCount()));
+  m.dbhashDocumentHashes->set(static_cast<double>(
+      hashDb(SegmentKind::kDocument).distinctHashCount()));
+  m.dbparSegments->set(static_cast<double>(segments_.size()));
+}
 
 std::uint64_t FlowTracker::digestOf(const text::Fingerprint& fp) {
   // Order-independent-enough digest: hashes() is sorted, so a sequential
@@ -24,11 +82,13 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
                                       std::string_view service,
                                       std::string_view text,
                                       std::optional<double> threshold) {
+  BF_SPAN("flow.observe");
   const double defaultThreshold = kind == SegmentKind::kParagraph
                                       ? config_.defaultParagraphThreshold
                                       : config_.defaultDocumentThreshold;
   text::Fingerprint fp = text::fingerprintText(text, config_.fingerprint);
-  ++stats_.fingerprintsComputed;
+  stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
+  trackerMetrics().fingerprints->inc();
 
   const SegmentRecord* existing = segments_.findByName(name);
   SegmentId id;
@@ -51,6 +111,7 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
   }
   segments_.updateFingerprint(id, std::move(fp), now);
   if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
+  refreshStoreGauges();
   return id;
 }
 
@@ -88,12 +149,15 @@ void FlowTracker::removeSegment(SegmentId id) {
   }
   segments_.remove(id);
   cache_.erase(id);
+  refreshStoreGauges();
 }
 
 std::vector<DisclosureHit> FlowTracker::disclosedSources(
     const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
     std::string_view selfDocument) const {
-  ++stats_.queries;
+  BF_SPAN("flow.query");
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  trackerMetrics().queries->inc();
   std::vector<DisclosureHit> hits;
   if (target.empty()) return hits;
 
@@ -126,7 +190,8 @@ std::vector<DisclosureHit> FlowTracker::disclosedSources(
         rec->document == selfDocument) {
       continue;
     }
-    ++stats_.candidatesInspected;
+    stats_.candidatesInspected.fetch_add(1, std::memory_order_relaxed);
+    trackerMetrics().candidates->inc();
     const std::size_t sourceSize = rec->fingerprint.size();
     if (sourceSize == 0) continue;
     // Early discard (Algorithm 1): a source needing more overlapping hashes
@@ -158,9 +223,11 @@ std::vector<DisclosureHit> FlowTracker::disclosedSources(
 
 std::vector<DisclosureHit> FlowTracker::checkText(
     std::string_view text, std::string_view excludeDocument) const {
+  BF_SPAN("flow.check_text");
   const text::Fingerprint fp =
       text::fingerprintText(text, config_.fingerprint);
-  ++stats_.fingerprintsComputed;
+  stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
+  trackerMetrics().fingerprints->inc();
   return disclosedSources(fp, SegmentKind::kParagraph, kInvalidSegment,
                           excludeDocument);
 }
@@ -177,9 +244,12 @@ const std::vector<DisclosureHit>& FlowTracker::sourcesForSegment(
   if (config_.enableCache && entry.valid &&
       entry.fingerprintDigest == digest &&
       entry.removalGeneration == removalGen) {
-    ++stats_.cacheHits;
+    stats_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+    trackerMetrics().cacheHits->inc();
     return entry.hits;
   }
+  stats_.cacheMisses.fetch_add(1, std::memory_order_relaxed);
+  trackerMetrics().cacheMisses->inc();
   entry.hits =
       disclosedSources(rec->fingerprint, rec->kind, id, rec->document);
   entry.fingerprintDigest = digest;
@@ -218,16 +288,20 @@ std::size_t FlowTracker::evictAssociationsOlderThan(util::Timestamp cutoff) {
   dropped += hashDbFor(SegmentKind::kParagraph).evictOlderThan(cutoff);
   dropped += hashDbFor(SegmentKind::kDocument).evictOlderThan(cutoff);
   cache_.clear();  // authority may have shifted wholesale
+  refreshStoreGauges();
   return dropped;
 }
 
 void FlowTracker::restoreSegment(SegmentRecord record) {
   segments_.restore(std::move(record));
+  refreshStoreGauges();
 }
 
 void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
                                      SegmentId segment,
                                      util::Timestamp firstSeen) {
+  // Called once per association during snapshot import; the store gauges
+  // are refreshed by restoreSegment / the next observation instead of here.
   hashDbFor(kind).recordObservation(hash, segment, firstSeen);
 }
 

@@ -13,6 +13,7 @@
 //    is linear in the number of segments sharing at least one hash.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -24,6 +25,7 @@
 #include "flow/hash_db.h"
 #include "flow/ids.h"
 #include "flow/segment_db.h"
+#include "obs/metrics.h"
 #include "text/winnower.h"
 #include "util/clock.h"
 
@@ -61,10 +63,14 @@ struct DisclosureHit {
   double threshold = 0.0;
 };
 
-/// Counters exposed for tests and benches.
+/// Point-in-time view of this tracker's counters, for tests and benches.
+/// The live counters are atomics (queries run concurrently from the async
+/// DecisionEngine worker and direct callers) and are mirrored into the
+/// process-wide obs registry as bf_tracker_* metrics.
 struct TrackerStats {
   std::uint64_t queries = 0;
   std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
   std::uint64_t candidatesInspected = 0;
   std::uint64_t fingerprintsComputed = 0;
 };
@@ -170,8 +176,27 @@ class FlowTracker {
   [[nodiscard]] const TrackerConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] const TrackerStats& stats() const noexcept { return stats_; }
-  void resetStats() noexcept { stats_ = TrackerStats{}; }
+  /// Snapshot of this tracker's counters (the registry's bf_tracker_*
+  /// metrics keep accumulating process-wide and are not reset by
+  /// resetStats()).
+  [[nodiscard]] TrackerStats stats() const noexcept {
+    TrackerStats out;
+    out.queries = stats_.queries.load(std::memory_order_relaxed);
+    out.cacheHits = stats_.cacheHits.load(std::memory_order_relaxed);
+    out.cacheMisses = stats_.cacheMisses.load(std::memory_order_relaxed);
+    out.candidatesInspected =
+        stats_.candidatesInspected.load(std::memory_order_relaxed);
+    out.fingerprintsComputed =
+        stats_.fingerprintsComputed.load(std::memory_order_relaxed);
+    return out;
+  }
+  void resetStats() noexcept {
+    stats_.queries.store(0, std::memory_order_relaxed);
+    stats_.cacheHits.store(0, std::memory_order_relaxed);
+    stats_.cacheMisses.store(0, std::memory_order_relaxed);
+    stats_.candidatesInspected.store(0, std::memory_order_relaxed);
+    stats_.fingerprintsComputed.store(0, std::memory_order_relaxed);
+  }
 
   /// Fingerprint helper using this tracker's configuration.
   [[nodiscard]] text::Fingerprint fingerprintOf(std::string_view text) const {
@@ -210,12 +235,26 @@ class FlowTracker {
     return hashes_[static_cast<std::size_t>(kind)];
   }
 
+  /// Pushes the current DBhash/DBpar sizes into the registry gauges.
+  void refreshStoreGauges() const noexcept;
+
+  /// Live per-instance counters behind the TrackerStats view. Incremented
+  /// with relaxed atomics from const query paths, which the async decision
+  /// worker and direct callers reach concurrently.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> cacheMisses{0};
+    std::atomic<std::uint64_t> candidatesInspected{0};
+    std::atomic<std::uint64_t> fingerprintsComputed{0};
+  };
+
   TrackerConfig config_;
   util::Clock* clock_;
   HashDb hashes_[2];  // indexed by SegmentKind
   SegmentDb segments_;
   std::unordered_map<SegmentId, CacheEntry> cache_;
-  mutable TrackerStats stats_;
+  mutable AtomicStats stats_;
 };
 
 }  // namespace bf::flow

@@ -1,0 +1,110 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/json_text.h"
+
+namespace bf::obs {
+
+namespace {
+
+/// Shortest round-trippable-enough rendering: integers without a decimal
+/// point, everything else via %g (matches Prometheus client conventions
+/// closely enough for golden tests).
+std::string formatDouble(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 &&
+      v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+const char* kindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string toPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!m.help.empty()) os << "# HELP " << m.name << " " << m.help << "\n";
+    os << "# TYPE " << m.name << " " << kindName(m.kind) << "\n";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << m.name << " " << m.counterValue << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << m.name << " " << formatDouble(m.gaugeValue) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = m.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.bucketCounts[i];
+          os << m.name << "_bucket{le=\"" << formatDouble(h.bounds[i])
+             << "\"} " << cumulative << "\n";
+        }
+        os << m.name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << m.name << "_sum " << formatDouble(h.sum) << "\n";
+        os << m.name << "_count " << h.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string toJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << util::escapeJsonString(m.name) << "\",\"kind\":\""
+       << kindName(m.kind) << "\"";
+    if (!m.help.empty()) {
+      os << ",\"help\":\"" << util::escapeJsonString(m.help) << "\"";
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << ",\"value\":" << m.counterValue;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"value\":" << formatDouble(m.gaugeValue);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = m.histogram;
+        os << ",\"count\":" << h.count << ",\"sum\":" << formatDouble(h.sum)
+           << ",\"min\":" << formatDouble(h.min)
+           << ",\"max\":" << formatDouble(h.max) << ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) os << ",";
+          os << "{\"le\":" << formatDouble(h.bounds[i])
+             << ",\"count\":" << h.bucketCounts[i] << "}";
+        }
+        os << "],\"overflow\":" << h.bucketCounts[h.bounds.size()];
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace bf::obs

@@ -1,0 +1,20 @@
+// bf::obs — snapshot exposition.
+//
+// Two formats over the same MetricsSnapshot:
+//  - Prometheus text exposition (HELP/TYPE headers, cumulative `_bucket`
+//    lines with `le` labels, `_sum`/`_count` for histograms) so snapshots
+//    can be diffed with standard tooling;
+//  - a JSON document (one object per metric, name-sorted) for the bench
+//    harness, whose BENCH_*.json result files embed registry snapshots.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bf::obs {
+
+[[nodiscard]] std::string toPrometheusText(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string toJson(const MetricsSnapshot& snapshot);
+
+}  // namespace bf::obs

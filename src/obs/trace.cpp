@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+namespace bf::obs {
+
+namespace {
+
+std::uint64_t nowNanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<std::uint64_t> g_nextSpanId{1};
+std::atomic<std::uint32_t> g_nextThreadOrdinal{1};
+
+std::uint32_t thisThreadOrdinal() noexcept {
+  thread_local const std::uint32_t ordinal =
+      g_nextThreadOrdinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Per-thread span stack state (only id + depth are needed).
+struct ThreadSpanState {
+  std::uint64_t currentSpanId = 0;
+  std::uint32_t depth = 0;
+};
+ThreadSpanState& threadState() noexcept {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+}  // namespace
+
+TraceLog& TraceLog::instance() {
+  static TraceLog* log = [] {
+    auto* l = new TraceLog();
+    const char* env = std::getenv("BF_TRACE");
+    if (env != nullptr && *env != '\0' && std::string(env) != "0") {
+      l->setEnabled(true);
+    }
+    return l;
+  }();
+  return *log;
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceLog::setCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, SpanRecord{});
+  total_ = 0;
+}
+
+void TraceLog::record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[total_ % capacity_] = span;
+  ++total_;
+}
+
+std::vector<SpanRecord> TraceLog::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  const std::uint64_t kept = total_ < capacity_ ? total_ : capacity_;
+  out.reserve(kept);
+  // Oldest surviving entry first.
+  const std::uint64_t begin = total_ - kept;
+  for (std::uint64_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(begin + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceLog::totalRecorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t TraceLog::droppedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(capacity_, SpanRecord{});
+  total_ = 0;
+}
+
+std::string TraceLog::dump() const {
+  std::ostringstream os;
+  for (const SpanRecord& s : events()) {
+    for (std::uint32_t i = 0; i < s.depth; ++i) os << "  ";
+    os << s.name << " id=" << s.id << " parent=" << s.parentId
+       << " thread=" << s.threadId << " dur_us=" << (s.durationNanos / 1000)
+       << "\n";
+  }
+  return os.str();
+}
+
+ScopedSpan::ScopedSpan(const char* name) noexcept {
+  TraceLog& log = TraceLog::instance();
+  if (!log.enabled()) return;
+  active_ = true;
+  ThreadSpanState& state = threadState();
+  span_.name = name;
+  span_.id = g_nextSpanId.fetch_add(1, std::memory_order_relaxed);
+  span_.parentId = state.currentSpanId;
+  span_.threadId = thisThreadOrdinal();
+  span_.depth = state.depth;
+  span_.startNanos = nowNanos();
+  savedParent_ = state.currentSpanId;
+  savedDepth_ = state.depth;
+  state.currentSpanId = span_.id;
+  ++state.depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  span_.durationNanos = nowNanos() - span_.startNanos;
+  ThreadSpanState& state = threadState();
+  state.currentSpanId = savedParent_;
+  state.depth = savedDepth_;
+  TraceLog::instance().record(span_);
+}
+
+}  // namespace bf::obs

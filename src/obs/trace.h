@@ -1,0 +1,101 @@
+// bf::obs — lightweight scoped trace spans.
+//
+// BF_SPAN("flow.query") opens a span for the enclosing scope; when the
+// scope exits the span's duration is recorded into a bounded ring buffer
+// (oldest entries overwritten). Spans nest: each record carries its depth
+// and its parent's span id, maintained per thread, so a dump of the buffer
+// reconstructs call trees like
+//
+//   engine.decide
+//   ├── flow.observe
+//   └── flow.query
+//
+// Tracing is OFF by default (one relaxed atomic load per BF_SPAN — free on
+// the hot path) and is enabled programmatically or with BF_TRACE=1 in the
+// environment. Span names must be string literals (or otherwise outlive
+// the trace log): only the pointer is stored.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bf::obs {
+
+/// One completed span.
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t id = 0;        ///< unique per process, 1-based
+  std::uint64_t parentId = 0;  ///< 0 for root spans
+  std::uint32_t threadId = 0;  ///< small per-thread ordinal, 1-based
+  std::uint32_t depth = 0;     ///< 0 for root spans
+  std::uint64_t startNanos = 0;
+  std::uint64_t durationNanos = 0;
+};
+
+class TraceLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// The process-wide trace log (reads BF_TRACE on first use).
+  [[nodiscard]] static TraceLog& instance();
+
+  explicit TraceLog(std::size_t capacity = kDefaultCapacity);
+
+  void setEnabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces the buffer with an empty one of `capacity` slots.
+  void setCapacity(std::size_t capacity);
+
+  void record(const SpanRecord& span);
+
+  /// Completed spans, oldest first (at most `capacity` of them).
+  [[nodiscard]] std::vector<SpanRecord> events() const;
+
+  /// Total spans ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t totalRecorded() const;
+  /// Spans lost to ring-buffer wraparound.
+  [[nodiscard]] std::uint64_t droppedCount() const;
+
+  void clear();
+
+  /// Indented single-line-per-span rendering of `events()` for logs/tests.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;  // next write at total_ % capacity_
+};
+
+/// RAII span. Use via BF_SPAN; constructing it directly is fine too.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanRecord span_;
+  std::uint64_t savedParent_ = 0;
+  std::uint32_t savedDepth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace bf::obs
+
+#define BF_OBS_CONCAT2(a, b) a##b
+#define BF_OBS_CONCAT(a, b) BF_OBS_CONCAT2(a, b)
+#define BF_SPAN(name) \
+  ::bf::obs::ScopedSpan BF_OBS_CONCAT(bf_span_, __LINE__)(name)

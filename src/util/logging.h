@@ -37,6 +37,19 @@ class LogStream {
   std::ostringstream os_;
 };
 
+/// Swallows a LogStream so a filtered BF_LOG expands to a void expression.
+/// operator& binds looser than operator<<, so the whole chain is consumed.
+struct LogVoidify {
+  void operator&(const LogStream&) const noexcept {}
+};
+
 }  // namespace bf::util
 
-#define BF_LOG(level, module) ::bf::util::LogStream(level, module)
+// The level check happens before the LogStream (and its ostringstream) is
+// constructed, so filtered-out messages never format their operands. The
+// ternary keeps this usable as a single statement inside un-braced ifs.
+#define BF_LOG(level, module)                       \
+  ((level) < ::bf::util::logLevel())                \
+      ? (void)0                                     \
+      : ::bf::util::LogVoidify() &                  \
+            ::bf::util::LogStream(level, module)

@@ -119,15 +119,16 @@ TEST_F(EngineTest, SuppressionLiftsViolationOnReDecision) {
 
 TEST_F(EngineTest, ResponseTimesRecorded) {
   seedSensitive();
-  engine_.clearResponseTimes();
+  engine_.resetLatencyStats();
   engine_.decide(requestFor(gen_.paragraph(6, 9)));
   engine_.decide(requestFor(gen_.paragraph(6, 9)));
-  const auto times = engine_.responseTimesMs();
-  ASSERT_EQ(times.size(), 2u);
-  for (double t : times) {
-    EXPECT_GE(t, 0.0);
-    EXPECT_LT(t, 1000.0);
-  }
+  const auto latency = engine_.latencySummary();
+  ASSERT_EQ(latency.count, 2u);
+  EXPECT_GE(latency.minMs, 0.0);
+  EXPECT_LT(latency.maxMs, 1000.0);
+  EXPECT_LE(latency.minMs, latency.maxMs);
+  EXPECT_GE(latency.meanMs, latency.minMs);
+  EXPECT_LE(latency.meanMs, latency.maxMs);
 }
 
 TEST_F(EngineTest, AsyncDecisionMatchesSync) {

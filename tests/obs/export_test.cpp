@@ -1,0 +1,100 @@
+// bf::obs exposition: golden Prometheus text and JSON for a fixed registry.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/json_text.h"
+
+namespace bf::obs {
+namespace {
+
+/// Small registry with one metric of each kind and known values.
+MetricsSnapshot fixtureSnapshot() {
+  MetricsRegistry reg;
+  reg.counter("bf_test_requests_total", "Requests handled").inc(3);
+  reg.gauge("bf_test_queue_depth", "Queue depth").set(2.5);
+  Histogram& h = reg.histogram("bf_test_latency_ms", "Latency", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  return reg.snapshot();
+}
+
+TEST(Export, PrometheusTextGolden) {
+  const std::string expected =
+      "# HELP bf_test_latency_ms Latency\n"
+      "# TYPE bf_test_latency_ms histogram\n"
+      "bf_test_latency_ms_bucket{le=\"1\"} 1\n"
+      "bf_test_latency_ms_bucket{le=\"2\"} 2\n"
+      "bf_test_latency_ms_bucket{le=\"+Inf\"} 3\n"
+      "bf_test_latency_ms_sum 11\n"
+      "bf_test_latency_ms_count 3\n"
+      "# HELP bf_test_queue_depth Queue depth\n"
+      "# TYPE bf_test_queue_depth gauge\n"
+      "bf_test_queue_depth 2.5\n"
+      "# HELP bf_test_requests_total Requests handled\n"
+      "# TYPE bf_test_requests_total counter\n"
+      "bf_test_requests_total 3\n";
+  EXPECT_EQ(toPrometheusText(fixtureSnapshot()), expected);
+}
+
+TEST(Export, JsonGolden) {
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"bf_test_latency_ms\",\"kind\":\"histogram\","
+      "\"help\":\"Latency\",\"count\":3,\"sum\":11,\"min\":0.5,\"max\":9,"
+      "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":1}],"
+      "\"overflow\":1},"
+      "{\"name\":\"bf_test_queue_depth\",\"kind\":\"gauge\","
+      "\"help\":\"Queue depth\",\"value\":2.5},"
+      "{\"name\":\"bf_test_requests_total\",\"kind\":\"counter\","
+      "\"help\":\"Requests handled\",\"value\":3}"
+      "]}";
+  EXPECT_EQ(toJson(fixtureSnapshot()), expected);
+}
+
+TEST(Export, JsonStringFieldsScanBack) {
+  // Round-trip through the repo's JSON field scanner: every name/kind/help
+  // written by the exporter must scan back out in order.
+  const std::string json = toJson(fixtureSnapshot());
+  const auto fields = util::scanJsonStringFields(json);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(fields.size());
+  for (const auto& f : fields) pairs.emplace_back(f.key, f.value);
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"name", "bf_test_latency_ms"},   {"kind", "histogram"},
+      {"help", "Latency"},              {"name", "bf_test_queue_depth"},
+      {"kind", "gauge"},                {"help", "Queue depth"},
+      {"name", "bf_test_requests_total"}, {"kind", "counter"},
+      {"help", "Requests handled"},
+  };
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(Export, HelpIsOptional) {
+  MetricsRegistry reg;
+  reg.counter("bf_bare_total").inc(1);
+  const std::string text = toPrometheusText(reg.snapshot());
+  EXPECT_EQ(text,
+            "# TYPE bf_bare_total counter\n"
+            "bf_bare_total 1\n");
+  EXPECT_EQ(toJson(reg.snapshot()),
+            "{\"metrics\":[{\"name\":\"bf_bare_total\",\"kind\":\"counter\","
+            "\"value\":1}]}");
+}
+
+TEST(Export, RegistryMetricsAppearInProcessWideExposition) {
+  // The wired subsystems register their metrics on first use; touching the
+  // process-wide registry here must yield a parseable exposition containing
+  // them (smoke check that exposition and registry stay wired together).
+  registry().counter("bf_export_smoke_total", "Smoke").inc();
+  const std::string text = toPrometheusText(registry().snapshot());
+  EXPECT_NE(text.find("# TYPE bf_export_smoke_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("bf_export_smoke_total 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bf::obs

@@ -1,0 +1,136 @@
+// bf::obs tracing: span nesting, ring-buffer wraparound, enable gating.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace bf::obs {
+namespace {
+
+TEST(TraceLogTest, RingBufferKeepsNewestAndCountsDrops) {
+  TraceLog log(3);
+  for (std::uint64_t i = 1; i <= 7; ++i) {
+    SpanRecord s;
+    s.id = i;
+    log.record(s);
+  }
+  EXPECT_EQ(log.totalRecorded(), 7u);
+  EXPECT_EQ(log.droppedCount(), 4u);
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].id, 5u);  // oldest survivor first
+  EXPECT_EQ(events[1].id, 6u);
+  EXPECT_EQ(events[2].id, 7u);
+}
+
+TEST(TraceLogTest, ClearAndSetCapacityResetTheRing) {
+  TraceLog log(4);
+  for (int i = 0; i < 10; ++i) log.record(SpanRecord{});
+  log.clear();
+  EXPECT_EQ(log.totalRecorded(), 0u);
+  EXPECT_EQ(log.droppedCount(), 0u);
+  EXPECT_TRUE(log.events().empty());
+  log.record(SpanRecord{});
+  log.setCapacity(2);
+  EXPECT_EQ(log.totalRecorded(), 0u);
+  EXPECT_TRUE(log.events().empty());
+}
+
+/// ScopedSpan always records into TraceLog::instance(), so these tests
+/// drive the process-wide log and restore it afterwards.
+class ScopedSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceLog::instance().setCapacity(64);
+    TraceLog::instance().setEnabled(true);
+  }
+  void TearDown() override {
+    TraceLog::instance().setEnabled(false);
+    TraceLog::instance().setCapacity(TraceLog::kDefaultCapacity);
+  }
+};
+
+TEST_F(ScopedSpanTest, DisabledSpansRecordNothing) {
+  TraceLog::instance().setEnabled(false);
+  { BF_SPAN("invisible"); }
+  EXPECT_EQ(TraceLog::instance().totalRecorded(), 0u);
+}
+
+TEST_F(ScopedSpanTest, SpanRecordsOnScopeExit) {
+  {
+    BF_SPAN("outer");
+    EXPECT_EQ(TraceLog::instance().totalRecorded(), 0u);  // still open
+  }
+  const auto events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[0].parentId, 0u);
+  EXPECT_GT(events[0].id, 0u);
+  EXPECT_GT(events[0].threadId, 0u);
+}
+
+TEST_F(ScopedSpanTest, NestedSpansCarryParentAndDepth) {
+  {
+    BF_SPAN("outer");
+    { BF_SPAN("inner"); }
+  }
+  // Spans record on close, so the child precedes its parent in the ring.
+  const auto events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  const SpanRecord& inner = events[0];
+  const SpanRecord& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.parentId, outer.id);
+  EXPECT_EQ(outer.parentId, 0u);
+  EXPECT_GE(inner.startNanos, outer.startNanos);
+  EXPECT_LE(inner.durationNanos, outer.durationNanos);
+}
+
+TEST_F(ScopedSpanTest, SiblingsShareAParentAfterRestore) {
+  {
+    BF_SPAN("outer");
+    { BF_SPAN("first"); }
+    { BF_SPAN("second"); }
+  }
+  const auto events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "first");
+  EXPECT_STREQ(events[1].name, "second");
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].parentId, events[2].id);
+  EXPECT_EQ(events[1].parentId, events[2].id);
+  EXPECT_EQ(events[1].depth, 1u);
+}
+
+TEST_F(ScopedSpanTest, WraparoundKeepsMostRecentSpans) {
+  TraceLog::instance().setCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    BF_SPAN("loop");
+  }
+  EXPECT_EQ(TraceLog::instance().totalRecorded(), 10u);
+  EXPECT_EQ(TraceLog::instance().droppedCount(), 6u);
+  const auto events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, events[i - 1].id + 1);  // consecutive, newest kept
+  }
+}
+
+TEST_F(ScopedSpanTest, DumpRendersIndentedTree) {
+  {
+    BF_SPAN("root");
+    { BF_SPAN("child"); }
+  }
+  const std::string dump = TraceLog::instance().dump();
+  EXPECT_NE(dump.find("root"), std::string::npos);
+  EXPECT_NE(dump.find("  child"), std::string::npos);  // depth-1 indent
+  EXPECT_NE(dump.find("parent="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bf::obs

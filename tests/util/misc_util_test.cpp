@@ -23,6 +23,32 @@ TEST(Logging, LevelFilterRoundTrip) {
   setLogLevel(before);
 }
 
+TEST(Logging, FilteredMessagesDoNotEvaluateOperands) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  BF_LOG(LogLevel::kDebug, "test") << "msg " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  setLogLevel(LogLevel::kDebug);
+  BF_LOG(LogLevel::kDebug, "test") << "msg " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  setLogLevel(before);
+}
+
+TEST(Logging, MacroUsableInUnbracedIf) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kOff);
+  if (logLevel() == LogLevel::kOff)
+    BF_LOG(LogLevel::kDebug, "test") << "in if";
+  else
+    BF_LOG(LogLevel::kDebug, "test") << "in else";
+  setLogLevel(before);
+}
+
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch watch;
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
