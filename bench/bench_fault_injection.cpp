@@ -1,0 +1,154 @@
+// Fault-injection bench: decision latency and upload goodput as the
+// simulated network degrades.
+//
+// For each fault rate the harness drives the full upload path — browser tab,
+// plug-in interception, notes client with retries, FaultInjector, SimNetwork
+// — through a fixed editing workload, and reports:
+//
+//   goodput        fraction of allowed uploads that eventually landed
+//   attempts/save  mean transport attempts per logical save
+//   backoff ms     mean simulated backoff absorbed per save
+//   decision p50/p95/p99
+//
+// Fault rates default to {0, 0.1, 0.2, 0.3}; BF_FAULT_RATE=<r> pins a
+// single rate instead. Set BF_METRICS=1 for a registry dump (bf_retry_*,
+// bf_fault_*, bf_decision_* appear once the corresponding paths fire).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "browser/browser.h"
+#include "cloud/fault_injector.h"
+#include "cloud/network.h"
+#include "cloud/notes_client.h"
+#include "cloud/transport.h"
+#include "core/plugin.h"
+#include "corpus/text_generator.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace bf;
+
+struct RateResult {
+  double rate = 0.0;
+  int saves = 0;
+  int landed = 0;
+  double meanAttempts = 0.0;
+  double meanBackoffMs = 0.0;
+  std::uint64_t faults = 0;
+  core::DecisionEngine::LatencySummary latency;
+  double wallMs = 0.0;
+};
+
+RateResult runAtRate(double rate, int editCount) {
+  RateResult out;
+  out.rate = rate;
+
+  util::LogicalClock clock;
+  util::Rng netRng(17);
+  cloud::SimNetwork network(&netRng);
+  cloud::FaultInjector faults(&network, /*seed=*/9000 + int(rate * 100),
+                              cloud::FaultConfig::uniformRate(rate));
+  cloud::NotesBackend backend;
+  network.registerService("https://notes.corp", &backend);
+
+  core::BrowserFlowConfig config;
+  core::BrowserFlowPlugin plugin(config, &clock);
+  browser::Browser browser(&faults);
+  browser.addExtension(&plugin);
+
+  browser::Page& tab = browser.openTab("https://notes.corp/n/bench");
+  cloud::NotesClient notes(tab, "bench");
+  notes.openNote();
+  util::RetryPolicy retry;
+  retry.maxAttempts = 8;
+  retry.deadlineMs = 0.0;
+  notes.enableRetries(retry, /*seed=*/31, /*budgetCapacity=*/1e9);
+
+  const std::uint64_t attemptsBefore =
+      obs::registry().counter("bf_retry_attempts_total").value();
+  const obs::HistogramData backoffBefore =
+      obs::registry().histogram("bf_retry_backoff_ms").data();
+  plugin.engine().resetLatencyStats();
+
+  util::Rng rng(4242);
+  corpus::TextGenerator gen(&rng);
+  util::Stopwatch wall;
+  for (int i = 0; i < editCount; ++i) {
+    // Alternate between appending and rewriting a paragraph — each edit
+    // auto-saves the whole note through the faulty network.
+    int status;
+    if (i % 3 == 2 && notes.paragraphCount() > 0) {
+      status = notes.setParagraph(i % notes.paragraphCount(),
+                                  gen.paragraph(3, 5));
+    } else {
+      status = notes.appendParagraph(gen.paragraph(3, 5));
+    }
+    ++out.saves;
+    if (status == 200) ++out.landed;
+  }
+  out.wallMs = wall.elapsedMillis();
+
+  const std::uint64_t attempts =
+      obs::registry().counter("bf_retry_attempts_total").value() -
+      attemptsBefore;
+  const obs::HistogramData backoffAfter =
+      obs::registry().histogram("bf_retry_backoff_ms").data();
+  out.meanAttempts =
+      out.saves == 0 ? 0.0
+                     : static_cast<double>(attempts) / out.saves;
+  out.meanBackoffMs =
+      out.saves == 0
+          ? 0.0
+          : (backoffAfter.sum - backoffBefore.sum) / out.saves;
+  out.faults = faults.faultCount();
+  out.latency = plugin.engine().latencySummary();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Fault injection",
+                     "upload goodput and decision latency vs fault rate");
+
+  std::vector<double> rates = {0.0, 0.1, 0.2, 0.3};
+  if (const char* env = std::getenv("BF_FAULT_RATE");
+      env != nullptr && *env != '\0') {
+    rates = {std::atof(env)};
+  }
+  const int editCount = bench::paperScale() ? 600 : 120;
+
+  std::vector<std::pair<double, double>> goodput, attempts, p95;
+  std::printf(
+      "\n%8s %7s %7s %9s %11s %11s %9s %9s %9s %10s\n", "rate", "saves",
+      "landed", "goodput", "attempts", "backoff ms", "p50 ms", "p95 ms",
+      "p99 ms", "faults");
+  for (double rate : rates) {
+    const RateResult r = runAtRate(rate, editCount);
+    const double g = r.saves == 0 ? 0.0
+                                  : static_cast<double>(r.landed) / r.saves;
+    std::printf(
+        "%8.2f %7d %7d %8.1f%% %11.2f %11.2f %9.3f %9.3f %9.3f %10llu\n",
+        r.rate, r.saves, r.landed, 100.0 * g, r.meanAttempts, r.meanBackoffMs,
+        r.latency.p50Ms, r.latency.p95Ms, r.latency.p99Ms,
+        static_cast<unsigned long long>(r.faults));
+    goodput.emplace_back(rate, g);
+    attempts.emplace_back(rate, r.meanAttempts);
+    p95.emplace_back(rate, r.latency.p95Ms);
+  }
+
+  bench::printSeries("goodput", goodput, "fault rate", "landed fraction");
+  bench::printSeries("attempts per save", attempts, "fault rate",
+                     "mean transport attempts");
+  bench::printSeries("decision p95", p95, "fault rate", "latency (ms)");
+  std::printf(
+      "\nexpected shape: goodput stays ~1.0 well past 20%% faults (retries "
+      "absorb them at the cost of extra attempts/backoff); decision latency "
+      "is fault-independent — the engine never blocks on the network.\n");
+  bench::dumpMetrics();
+  return 0;
+}

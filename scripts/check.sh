@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full pre-merge check: configure, build, and test the default and asan
+# presets, sequentially (never overlap two builds in one build dir).
+#
+#   scripts/check.sh            # default + asan
+#   BF_CHECK_PRESETS="default"  scripts/check.sh   # subset
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=${BF_CHECK_PRESETS:-"default asan"}
+JOBS=${BF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+for preset in $PRESETS; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==> [$preset] test"
+  ctest --preset "$preset"
+done
+
+echo "==> all presets green: $PRESETS"

@@ -4,6 +4,12 @@
 
 namespace bf::browser {
 
+Browser::~Browser() {
+  for (const std::unique_ptr<Page>& tab : tabs_) {
+    for (Extension* ext : extensions_) ext->onPageClosing(*tab);
+  }
+}
+
 Page& Browser::openTab(const std::string& url) {
   tabs_.push_back(std::make_unique<Page>(url, network_));
   Page& page = *tabs_.back();

@@ -26,6 +26,11 @@ class Browser {
   /// `network` receives all un-intercepted traffic; not owned.
   explicit Browser(RequestSink* network) : network_(network) {}
 
+  /// Tabs still open when the browser goes away close like any other tab:
+  /// extensions hear onPageClosing while the Page is still alive, so hooks
+  /// holding DOM pointers (mutation observers, form listeners) can detach.
+  ~Browser();
+
   /// Installs an extension (not owned); applies to tabs opened afterwards.
   void addExtension(Extension* extension) {
     extensions_.push_back(extension);

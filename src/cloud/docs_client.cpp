@@ -1,5 +1,6 @@
 #include "cloud/docs_client.h"
 
+#include "cloud/transport.h"
 #include "util/strings.h"
 
 namespace bf::cloud {
@@ -26,6 +27,14 @@ std::string encodeComponent(std::string_view s) {
 
 DocsClient::DocsClient(browser::Page& page, std::string docId)
     : page_(page), docId_(std::move(docId)) {}
+
+void DocsClient::enableRetries(const util::RetryPolicy& policy,
+                               std::uint64_t seed, double budgetCapacity) {
+  retryPolicy_ = policy;
+  retryRng_ = util::Rng(seed);
+  retryBudget_ = util::RetryBudget(budgetCapacity);
+  retriesEnabled_ = policy.enabled();
+}
 
 void DocsClient::openDocument() {
   auto& doc = page_.document();
@@ -59,13 +68,24 @@ std::size_t DocsClient::paragraphCount() {
 int DocsClient::uploadMutation(const std::string& op, std::size_t index,
                                const std::string& text) {
   page_.flushObservers();  // observers run before the request leaves
-  browser::Xhr xhr = page_.newXhr();
-  xhr.open("POST", page_.origin() + "/mutate");
-  xhr.setRequestHeader("content-type", "application/x-www-form-urlencoded");
   std::string body = "doc=" + encodeComponent(docId_) + "&op=" + op +
                      "&para=" + std::to_string(index);
   if (op != "delete") body += "&text=" + encodeComponent(text);
-  return xhr.send(body).status;
+  // Each attempt is a fresh XHR through the page prototype, so the plug-in
+  // re-inspects retries exactly like first sends.
+  auto send = [&] {
+    browser::Xhr xhr = page_.newXhr();
+    xhr.open("POST", page_.origin() + "/mutate");
+    xhr.setRequestHeader("content-type", "application/x-www-form-urlencoded");
+    return xhr.send(body);
+  };
+  if (!retriesEnabled_) return send().status;
+  // "set"/"delete" carry the paragraph's full target state; replaying one
+  // that already landed is harmless. A positional "insert" is not.
+  const bool idempotent = op != "insert";
+  return sendWithRetry(send, retryPolicy_, &retryRng_, &retryBudget_,
+                       idempotent)
+      .response.status;
 }
 
 int DocsClient::setParagraph(std::size_t index, const std::string& text) {
@@ -93,7 +113,14 @@ int DocsClient::typeChar(std::size_t index, char c) {
 
 int DocsClient::typeText(std::size_t index, const std::string& text) {
   int status = 200;
-  for (char c : text) status = typeChar(index, c);
+  bool failed = false;
+  for (char c : text) {
+    const int s = typeChar(index, c);
+    if (!failed && (s < 200 || s >= 300)) {
+      status = s;
+      failed = true;
+    }
+  }
   return status;
 }
 
@@ -117,8 +144,13 @@ int DocsClient::deleteParagraph(std::size_t index) {
 
 int DocsClient::pasteDocument(const std::string& fullText) {
   int status = 200;
+  bool failed = false;
   for (std::string_view para : util::splitParagraphs(fullText)) {
-    status = insertParagraph(paragraphCount(), std::string(para));
+    const int s = insertParagraph(paragraphCount(), std::string(para));
+    if (!failed && (s < 200 || s >= 300)) {
+      status = s;
+      failed = true;
+    }
   }
   return status;
 }

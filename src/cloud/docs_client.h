@@ -8,9 +8,11 @@
 // through service-specific hooks.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "browser/page.h"
+#include "util/retry.h"
 
 namespace bf::cloud {
 
@@ -19,6 +21,13 @@ class DocsClient {
   /// Binds to a page whose origin hosts a DocsBackend; `docId` names the
   /// document being edited.
   DocsClient(browser::Page& page, std::string docId);
+
+  /// Turns on transport retries (off by default: a plain page script).
+  /// Idempotency-aware: "set"/"delete" mutations are full-state upserts and
+  /// replay safely; positional "insert"s are only retried for faults that
+  /// provably never reached the backend.
+  void enableRetries(const util::RetryPolicy& policy, std::uint64_t seed,
+                     double budgetCapacity = 10.0);
 
   /// Builds the editor DOM (the "document open" render).
   void openDocument();
@@ -40,12 +49,15 @@ class DocsClient {
   int setParagraph(std::size_t index, const std::string& text);
   /// Appends one character — the per-keystroke path of S6.2.
   int typeChar(std::size_t index, char c);
-  /// Types a string one character at a time.
+  /// Types a string one character at a time. Returns the first non-2xx
+  /// status any keystroke saw (200 when all succeeded), so callers notice
+  /// a blocked or failed keystroke even mid-string.
   int typeText(std::size_t index, const std::string& text);
   /// Inserts a new paragraph before `index`.
   int insertParagraph(std::size_t index, const std::string& text);
   int deleteParagraph(std::size_t index);
-  /// Pastes a multi-paragraph text as new paragraphs at the end.
+  /// Pastes a multi-paragraph text as new paragraphs at the end. Returns
+  /// the first non-2xx status (200 when every paragraph succeeded).
   int pasteDocument(const std::string& fullText);
 
  private:
@@ -54,6 +66,10 @@ class DocsClient {
 
   browser::Page& page_;
   std::string docId_;
+  util::RetryPolicy retryPolicy_;
+  util::Rng retryRng_{0};
+  util::RetryBudget retryBudget_;
+  bool retriesEnabled_ = false;
 };
 
 }  // namespace bf::cloud

@@ -1,0 +1,107 @@
+// FaultInjector: a RequestSink decorator that makes the simulated network
+// misbehave on purpose.
+//
+// BrowserFlow's value proposition is staying usable while interposing on
+// every upload; that claim is only testable if the reproduction can serve
+// the failures a real network produces. The injector sits between the
+// browser (after the plug-in's interception — blocked uploads never reach
+// it) and the SimNetwork, and injects deterministic, seeded faults:
+//
+//   kHttp5xx   an upstream 503 burst; the request is NOT dispatched to the
+//              backend (the proxy rejected it), so it is always retryable;
+//   kRefused   connection refused before dispatch (status 0, body
+//              "bf-fault: refused"); always retryable;
+//   kReset     connection reset AFTER dispatch: the backend processed the
+//              request but the response was lost (status 0, "bf-fault:
+//              reset"); retryable only for idempotent requests;
+//   kTimeout   a latency spike past the client's deadline, also after
+//              dispatch (status 0, "bf-fault: timeout");
+//   kTruncate  response body cut in half (status preserved);
+//   kCorrupt   response body bytes flipped (status preserved).
+//
+// Fault selection is per-request from a seeded Rng; per-origin FaultConfig
+// overrides and deterministic failNext() schedules let tests script exact
+// failure sequences. Everything is metered via bf::obs (bf_fault_*).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "browser/http.h"
+#include "util/rng.h"
+
+namespace bf::cloud {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kHttp5xx,
+  kRefused,
+  kReset,
+  kTimeout,
+  kTruncate,
+  kCorrupt,
+};
+
+/// Per-origin (or default) fault probabilities. Kinds are sampled in
+/// declaration order; at most one fault fires per request.
+struct FaultConfig {
+  double http5xxProb = 0.0;
+  double refusedProb = 0.0;
+  double resetProb = 0.0;
+  double timeoutProb = 0.0;
+  double truncateProb = 0.0;
+  double corruptProb = 0.0;
+  /// Consecutive requests (to the same origin) that keep failing with 5xx
+  /// once an http5xx fault fires — models an upstream outage, not a blip.
+  int http5xxBurst = 1;
+  /// Simulated extra latency attributed to a timeout fault.
+  double timeoutSpikeMs = 1000.0;
+
+  /// Spreads `rate` evenly over the retryable kinds (5xx, refused, reset,
+  /// timeout) — the chaos-test / bench workhorse.
+  [[nodiscard]] static FaultConfig uniformRate(double rate) {
+    FaultConfig c;
+    c.http5xxProb = c.refusedProb = c.resetProb = c.timeoutProb = rate / 4.0;
+    return c;
+  }
+};
+
+class FaultInjector final : public browser::RequestSink {
+ public:
+  /// Wraps `inner` (not owned); `seed` drives fault sampling.
+  FaultInjector(browser::RequestSink* inner, std::uint64_t seed,
+                FaultConfig defaults = {});
+
+  /// Replaces the default fault profile (applies where no origin override
+  /// exists).
+  void setDefaults(FaultConfig config) { defaults_ = config; }
+
+  /// Per-origin override; pass {} to make an origin fault-free.
+  void setOriginFaults(const std::string& origin, FaultConfig config);
+
+  /// Deterministically fails the next `count` requests to `origin` with
+  /// `kind`, ahead of any probabilistic sampling. Schedules queue in call
+  /// order.
+  void failNext(const std::string& origin, int count, FaultKind kind);
+
+  browser::HttpResponse handle(const browser::HttpRequest& req) override;
+
+  /// Faults injected so far (all kinds).
+  [[nodiscard]] std::uint64_t faultCount() const noexcept { return faults_; }
+
+ private:
+  [[nodiscard]] FaultKind pickFault(const std::string& origin);
+
+  browser::RequestSink* inner_;
+  util::Rng rng_;
+  FaultConfig defaults_;
+  std::unordered_map<std::string, FaultConfig> perOrigin_;
+  std::unordered_map<std::string, std::deque<std::pair<FaultKind, int>>>
+      scheduled_;
+  std::unordered_map<std::string, int> burstRemaining_;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace bf::cloud

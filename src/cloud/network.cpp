@@ -4,7 +4,6 @@
 
 #include "browser/forms.h"
 #include "obs/metrics.h"
-#include "util/strings.h"
 
 namespace bf::cloud {
 
@@ -42,7 +41,8 @@ browser::HttpResponse SimNetwork::handle(const browser::HttpRequest& req) {
   browser::HttpResponse resp;
   const std::string origin = browser::originOf(req.url);
   auto it = services_.find(origin);
-  if (it == services_.end()) {
+  const bool routed = it != services_.end();
+  if (!routed) {
     metrics.unrouted->inc();
     resp.status = 502;
     resp.body = "no such service: " + origin;
@@ -52,18 +52,26 @@ browser::HttpResponse SimNetwork::handle(const browser::HttpRequest& req) {
   LogEntry entry;
   entry.request = req;
   entry.response = resp;
-  entry.simulatedLatencyMs =
-      std::max(0.0, rng_->gaussian(baseLatencyMs_, jitterMs_));
-  metrics.rttMs->observe(entry.simulatedLatencyMs);
+  // An unrouted request never crossed the network: no simulated latency,
+  // and it must not pollute the RTT distribution Figs. 12/13 build on.
+  if (routed) {
+    entry.simulatedLatencyMs =
+        std::max(0.0, rng_->gaussian(baseLatencyMs_, jitterMs_));
+    metrics.rttMs->observe(entry.simulatedLatencyMs);
+  }
   log_.push_back(std::move(entry));
   return resp;
 }
 
 std::vector<const SimNetwork::LogEntry*> SimNetwork::requestsTo(
     const std::string& origin) const {
+  // Exact origin match: a raw prefix test would let "https://docs" also
+  // claim requests to "https://docs.evil.com", corrupting the log-derived
+  // ground truth of what left the browser.
+  const std::string wanted = browser::originOf(origin);
   std::vector<const LogEntry*> out;
   for (const auto& e : log_) {
-    if (util::startsWith(e.request.url, origin)) out.push_back(&e);
+    if (browser::originOf(e.request.url) == wanted) out.push_back(&e);
   }
   return out;
 }

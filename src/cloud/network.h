@@ -44,7 +44,7 @@ class SimNetwork final : public browser::RequestSink {
   [[nodiscard]] const std::vector<LogEntry>& log() const noexcept {
     return log_;
   }
-  /// Requests whose URL starts with `origin`, in send order.
+  /// Requests whose parsed origin equals `origin`'s, in send order.
   [[nodiscard]] std::vector<const LogEntry*> requestsTo(
       const std::string& origin) const;
   void clearLog() { log_.clear(); }

@@ -1,5 +1,6 @@
 #include "cloud/notes_client.h"
 
+#include "cloud/transport.h"
 #include "util/json_text.h"
 
 namespace bf::cloud {
@@ -27,6 +28,14 @@ std::string NotesBackend::noteText(const std::string& noteId) const {
 
 NotesClient::NotesClient(browser::Page& page, std::string noteId)
     : page_(page), noteId_(std::move(noteId)) {}
+
+void NotesClient::enableRetries(const util::RetryPolicy& policy,
+                                std::uint64_t seed, double budgetCapacity) {
+  retryPolicy_ = policy;
+  retryRng_ = util::Rng(seed);
+  retryBudget_ = util::RetryBudget(budgetCapacity);
+  retriesEnabled_ = policy.enabled();
+}
 
 void NotesClient::openNote() {
   auto& doc = page_.document();
@@ -92,14 +101,20 @@ int NotesClient::deleteParagraph(std::size_t index) {
 
 int NotesClient::save() {
   page_.flushObservers();  // observers run before the request leaves
-  browser::Xhr xhr = page_.newXhr();
-  xhr.open("POST", page_.origin() + "/api/notes");
-  xhr.setRequestHeader("content-type", "application/json");
   const std::string body = std::string("{\"note_id\": \"") +
                            util::escapeJsonString(noteId_) +
                            "\", \"text\": \"" +
                            util::escapeJsonString(noteText()) + "\"}";
-  return xhr.send(body).status;
+  auto send = [&] {
+    browser::Xhr xhr = page_.newXhr();
+    xhr.open("POST", page_.origin() + "/api/notes");
+    xhr.setRequestHeader("content-type", "application/json");
+    return xhr.send(body);
+  };
+  if (!retriesEnabled_) return send().status;
+  return sendWithRetry(send, retryPolicy_, &retryRng_, &retryBudget_,
+                       /*idempotent=*/true)
+      .response.status;
 }
 
 }  // namespace bf::cloud

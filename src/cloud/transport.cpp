@@ -1,0 +1,45 @@
+#include "cloud/transport.h"
+
+#include "util/strings.h"
+
+namespace bf::cloud {
+
+SendOutcome classifyResponse(int status, std::string_view body) {
+  if (status >= 200 && status < 300) return SendOutcome::kSuccess;
+  if (status >= 500) return SendOutcome::kRetryable;
+  if (status == 0) {
+    if (body == kFaultRefusedBody) return SendOutcome::kRetryable;
+    if (util::startsWith(body, kFaultBodyPrefix)) {
+      return SendOutcome::kRetryIfIdempotent;  // timeout / reset
+    }
+    // Plain status 0: a deliberately suppressed submission or a page with
+    // no transport — retrying cannot change either.
+    return SendOutcome::kFatal;
+  }
+  return SendOutcome::kFatal;
+}
+
+namespace detail {
+
+const RetryMetrics& retryMetrics() {
+  static const RetryMetrics m = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    return RetryMetrics{
+        &r.counter("bf_retry_attempts_total",
+                   "Upload attempts made through the retry layer"),
+        &r.counter("bf_retry_retries_total",
+                   "Attempts that were retries of a failed upload"),
+        &r.counter("bf_retry_exhausted_total",
+                   "Uploads abandoned with the failure still retryable"),
+        &r.counter("bf_retry_budget_denied_total",
+                   "Retries denied by an empty retry budget"),
+        &r.counter("bf_retry_deadline_total",
+                   "Retries denied by the per-call backoff deadline"),
+        &r.histogram("bf_retry_backoff_ms",
+                     "Simulated backoff delay per retry")};
+  }();
+  return m;
+}
+
+}  // namespace detail
+}  // namespace bf::cloud

@@ -1,0 +1,124 @@
+// Client-side transport resilience: response classification + retry loop.
+//
+// The simulated clients (docs, notes, wiki) all follow the same upload
+// discipline: build a request, send it, and — when retries are enabled —
+// classify the response and re-send with backoff. Classification encodes
+// the fault taxonomy FaultInjector produces:
+//
+//   status 2xx                      success
+//   status 5xx                      retryable (injected upstream errors are
+//                                   pre-dispatch: the backend never saw it)
+//   status 0, body "bf-fault: refused"
+//                                   retryable (connection refused before
+//                                   dispatch)
+//   status 0, other "bf-fault: ..." retryable ONLY for idempotent requests
+//                                   (timeout / reset AFTER dispatch: the
+//                                   backend may have applied the mutation,
+//                                   so a blind replay could duplicate it)
+//   anything else                   fatal (4xx policy blocks, suppressed
+//                                   form submissions, missing transport)
+//
+// Idempotency is declared per request by the caller: full-content upserts
+// (docs "set", notes whole-note saves, wiki page saves) are safe to replay;
+// positional inserts are not.
+#pragma once
+
+#include <string_view>
+#include <utility>
+
+#include "browser/http.h"
+#include "obs/metrics.h"
+#include "util/retry.h"
+
+namespace bf::cloud {
+
+/// Marker prefix FaultInjector puts on the bodies of synthesised network
+/// errors, so clients can tell fault flavours apart (a real client would
+/// read the socket error; the simulation reads the body).
+inline constexpr std::string_view kFaultBodyPrefix = "bf-fault:";
+inline constexpr std::string_view kFaultRefusedBody = "bf-fault: refused";
+inline constexpr std::string_view kFaultResetBody = "bf-fault: reset";
+inline constexpr std::string_view kFaultTimeoutBody = "bf-fault: timeout";
+
+enum class SendOutcome {
+  kSuccess,
+  kRetryable,
+  kRetryIfIdempotent,
+  kFatal,
+};
+
+[[nodiscard]] SendOutcome classifyResponse(int status, std::string_view body);
+
+/// Result of one logical upload (possibly several attempts).
+struct TransportResult {
+  browser::HttpResponse response;
+  int attempts = 1;
+  /// Accumulated simulated backoff (not slept; see util/retry.h).
+  double backoffMs = 0.0;
+  /// True when the final response was still retryable but the policy
+  /// (attempt cap, deadline, budget) stopped us.
+  bool exhausted = false;
+};
+
+namespace detail {
+/// bf_retry_* metrics, resolved once (see obs/metrics.h on hot paths).
+struct RetryMetrics {
+  obs::Counter* attempts;       // bf_retry_attempts_total
+  obs::Counter* retries;        // bf_retry_retries_total
+  obs::Counter* exhausted;      // bf_retry_exhausted_total
+  obs::Counter* budgetDenied;   // bf_retry_budget_denied_total
+  obs::Counter* deadlineHit;    // bf_retry_deadline_total
+  obs::Histogram* backoffMs;    // bf_retry_backoff_ms
+};
+[[nodiscard]] const RetryMetrics& retryMetrics();
+}  // namespace detail
+
+/// Runs `send` (a callable returning browser::HttpResponse) under the
+/// retry policy. `rng` drives backoff jitter; `budget` may be null
+/// (unlimited). Non-idempotent requests are never replayed after a fault
+/// that may have reached the backend.
+template <typename SendFn>
+TransportResult sendWithRetry(SendFn&& send, const util::RetryPolicy& policy,
+                              util::Rng* rng, util::RetryBudget* budget,
+                              bool idempotent) {
+  const detail::RetryMetrics& metrics = detail::retryMetrics();
+  util::Backoff backoff(policy, rng);
+  TransportResult result;
+  for (int attempt = 1;; ++attempt) {
+    metrics.attempts->inc();
+    result.response = send();
+    result.attempts = attempt;
+    const SendOutcome outcome =
+        classifyResponse(result.response.status, result.response.body);
+    if (outcome == SendOutcome::kSuccess) {
+      if (budget != nullptr) budget->deposit();
+      return result;
+    }
+    if (outcome == SendOutcome::kFatal ||
+        (outcome == SendOutcome::kRetryIfIdempotent && !idempotent)) {
+      return result;
+    }
+    if (attempt >= policy.maxAttempts) {
+      result.exhausted = true;
+      metrics.exhausted->inc();
+      return result;
+    }
+    const double delayMs = backoff.nextDelayMs();
+    if (policy.deadlineMs > 0.0 &&
+        result.backoffMs + delayMs > policy.deadlineMs) {
+      result.exhausted = true;
+      metrics.deadlineHit->inc();
+      return result;
+    }
+    if (budget != nullptr && !budget->tryWithdraw()) {
+      result.exhausted = true;
+      metrics.budgetDenied->inc();
+      return result;
+    }
+    result.backoffMs += delayMs;
+    metrics.retries->inc();
+    metrics.backoffMs->observe(delayMs);
+  }
+}
+
+}  // namespace bf::cloud

@@ -22,6 +22,17 @@ DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
       &r.counter("bf_decision_block_total", "Decisions that blocked upload");
   actionCounters_[static_cast<int>(Decision::Action::kEncrypt)] = &r.counter(
       "bf_decision_encrypt_total", "Decisions that encrypted before upload");
+  degradedTotal_ = &r.counter("bf_decision_degraded_total",
+                              "Decisions answered without the full pipeline");
+  shedTotal_ = &r.counter("bf_decision_shed_total",
+                          "Async decisions shed by the bounded queue");
+  deadlineTotal_ =
+      &r.counter("bf_decision_deadline_expired_total",
+                 "Queued decisions that overran their deadline");
+  breakerTrips_ = &r.counter("bf_decision_breaker_trips_total",
+                             "Disclosure-lookup circuit breaker trips");
+  breakerOpenGauge_ = &r.gauge("bf_decision_breaker_open",
+                               "1 while the lookup circuit breaker is open");
 }
 
 DecisionEngine::~DecisionEngine() {
@@ -31,6 +42,9 @@ DecisionEngine::~DecisionEngine() {
   }
   queueCv_.notify_all();
   if (worker_.joinable()) worker_.join();
+  // The policy outlives the engine: settle any audit records still owed.
+  std::lock_guard<std::mutex> state(stateMutex_);
+  flushPendingAuditsLocked();
 }
 
 Decision DecisionEngine::decide(const DecisionRequest& request) {
@@ -38,8 +52,63 @@ Decision DecisionEngine::decide(const DecisionRequest& request) {
   return decideLocked(request);
 }
 
+Decision DecisionEngine::buildDegraded(const char* reason) {
+  Decision decision;
+  decision.degraded = true;
+  decision.degradedReason = reason;
+  decision.action =
+      config_.resilience.degradedMode == DegradedMode::kFailClosed
+          ? Decision::Action::kBlock
+          : Decision::Action::kAllow;
+  degradedTotal_->inc();
+  actionCounters_[static_cast<int>(decision.action)]->inc();
+  return decision;
+}
+
+Decision DecisionEngine::makeDegradedLocked(const DecisionRequest& request,
+                                            const char* reason) {
+  // Degradation is never silent: every degraded answer leaves an audit
+  // record, so fail-open windows can be reviewed after the fact.
+  Decision decision = buildDegraded(reason);
+  policy_->recordDegradedDecision(request.segmentName, request.serviceId,
+                                  reason);
+  return decision;
+}
+
+void DecisionEngine::flushPendingAuditsLocked() {
+  std::vector<PendingAudit> pending;
+  {
+    std::lock_guard<std::mutex> lock(pendingAuditsMutex_);
+    pending.swap(pendingAudits_);
+  }
+  for (const PendingAudit& p : pending) {
+    policy_->recordDegradedDecision(p.segment, p.service, p.reason);
+  }
+}
+
+bool DecisionEngine::breakerOpen() const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  return breakerIsOpen_;
+}
+
+void DecisionEngine::setResilience(const ResilienceConfig& resilience) {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  config_.resilience = resilience;
+}
+
 Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
   BF_SPAN("engine.decide");
+  const ResilienceConfig& res = config_.resilience;
+  const bool breakerEnabled = res.breakerLatencyBudgetMs > 0.0;
+
+  // While the breaker is open the disclosure lookup is presumed unhealthy:
+  // skip the pipeline entirely and answer degraded, until the skip
+  // allowance is spent — then fall through once as a half-open probe.
+  if (breakerEnabled && breakerIsOpen_ && breakerSkipsRemaining_ > 0) {
+    --breakerSkipsRemaining_;
+    return makeDegradedLocked(request, "breaker-open: lookup skipped");
+  }
+
   util::Stopwatch watch;
   Decision decision;
 
@@ -53,7 +122,31 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
 
   // 2. Find the sources this text discloses (cached when the fingerprint
   //    is unchanged — the per-keystroke fast path).
+  util::Stopwatch lookupWatch;
   decision.hits = tracker_->sourcesForSegment(id);
+  if (breakerEnabled) {
+    const bool slow = lookupWatch.elapsedMillis() > res.breakerLatencyBudgetMs;
+    if (breakerIsOpen_) {
+      // Half-open probe: one healthy lookup closes the breaker, a slow one
+      // re-arms the skip allowance.
+      if (slow) {
+        breakerSkipsRemaining_ = res.breakerOpenDecisions;
+      } else {
+        breakerIsOpen_ = false;
+        consecutiveSlowLookups_ = 0;
+        breakerOpenGauge_->set(0.0);
+      }
+    } else if (slow) {
+      if (++consecutiveSlowLookups_ >= res.breakerTripThreshold) {
+        breakerIsOpen_ = true;
+        breakerSkipsRemaining_ = res.breakerOpenDecisions;
+        breakerTrips_->inc();
+        breakerOpenGauge_->set(1.0);
+      }
+    } else {
+      consecutiveSlowLookups_ = 0;
+    }
+  }
 
   // 3. The segment's implicit tags become exactly the explicit tags of its
   //    CURRENT disclosing sources (paper S3.2): new disclosure attaches
@@ -102,28 +195,56 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
 std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
   std::promise<Decision> promise;
   std::future<Decision> future = promise.get_future();
+  const int cap = config_.resilience.maxQueueDepth;
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queueMutex_);
-    queue_.emplace_back(std::move(request), std::move(promise));
-    ++inFlight_;
-    queueDepth_->set(static_cast<double>(queue_.size()));
-    if (!workerStarted_) {
-      worker_ = std::thread([this] { workerLoop(); });
-      workerStarted_ = true;
+    if (cap > 0 && queue_.size() >= static_cast<std::size_t>(cap)) {
+      shed = true;
+    } else {
+      queue_.push_back(QueueItem{std::move(request), std::move(promise),
+                                 std::chrono::steady_clock::now()});
+      ++inFlight_;
+      queueDepth_->set(static_cast<double>(queue_.size()));
+      if (!workerStarted_) {
+        worker_ = std::thread([this] { workerLoop(); });
+        workerStarted_ = true;
+      }
     }
+  }
+  if (shed) {
+    // Load shedding: answer immediately rather than queueing without bound.
+    // The audit record is buffered, NOT written inline — shedding happens
+    // exactly when the pipeline (and stateMutex_) is saturated, and the
+    // caller may even hold lockState() itself.
+    shedTotal_->inc();
+    Decision d = buildDegraded("shed: decision queue full");
+    {
+      std::lock_guard<std::mutex> lock(pendingAuditsMutex_);
+      pendingAudits_.push_back(PendingAudit{
+          request.segmentName, request.serviceId, d.degradedReason});
+    }
+    promise.set_value(std::move(d));
+    return future;
   }
   queueCv_.notify_one();
   return future;
 }
 
 void DecisionEngine::drain() {
-  std::unique_lock<std::mutex> lock(queueMutex_);
-  idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+  }
+  // Settle audit records owed by shed decisions, so callers observing the
+  // log after drain() see every degraded decision accounted for.
+  std::lock_guard<std::mutex> state(stateMutex_);
+  flushPendingAuditsLocked();
 }
 
 void DecisionEngine::workerLoop() {
   for (;;) {
-    std::pair<DecisionRequest, std::promise<Decision>> item;
+    QueueItem item;
     {
       std::unique_lock<std::mutex> lock(queueMutex_);
       queueCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -132,12 +253,27 @@ void DecisionEngine::workerLoop() {
       queue_.pop_front();
       queueDepth_->set(static_cast<double>(queue_.size()));
     }
+    // A request that already overran its deadline while queued is answered
+    // degraded instead of burning pipeline time on a stale decision.
+    const double deadlineMs = config_.resilience.decisionDeadlineMs;
+    bool expired = false;
+    if (deadlineMs > 0.0) {
+      const auto waited = std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - item.enqueuedAt);
+      expired = waited.count() > deadlineMs;
+    }
     Decision d;
     {
       std::lock_guard<std::mutex> lock(stateMutex_);
-      d = decideLocked(item.first);
+      flushPendingAuditsLocked();
+      if (expired) {
+        deadlineTotal_->inc();
+        d = makeDegradedLocked(item.request, "deadline: queued past budget");
+      } else {
+        d = decideLocked(item.request);
+      }
     }
-    item.second.set_value(std::move(d));
+    item.promise.set_value(std::move(d));
     {
       std::lock_guard<std::mutex> lock(queueMutex_);
       --inFlight_;

@@ -12,6 +12,7 @@
 // decision's response time is recorded, which is what Figs. 12/13 measure.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -56,6 +57,13 @@ struct Decision {
   std::vector<std::string> secretHits;
   /// Wall-clock time from request to decision.
   double responseTimeMs = 0.0;
+  /// True when the engine answered WITHOUT running the full lookup
+  /// pipeline (queue shed, deadline expiry, or open circuit breaker).
+  /// The action then follows ResilienceConfig::degradedMode, and a
+  /// kDecisionDegraded audit record exists for this decision.
+  bool degraded = false;
+  /// Why the decision degraded (empty when `degraded` is false).
+  std::string degradedReason;
 };
 
 class DecisionEngine {
@@ -125,9 +133,37 @@ class DecisionEngine {
     return std::unique_lock<std::mutex>(stateMutex_);
   }
 
+  /// True while the disclosure-lookup circuit breaker is open (decisions
+  /// are answered degraded instead of running the lookup).
+  [[nodiscard]] bool breakerOpen() const;
+
+  /// Replaces the resilience knobs at runtime (operators tune shedding /
+  /// breaker thresholds without restarting the engine). Does not reset
+  /// breaker state: an open breaker still needs a healthy probe to close.
+  /// Call while no async decisions are in flight (drain() first).
+  void setResilience(const ResilienceConfig& resilience);
+
  private:
+  struct QueueItem {
+    DecisionRequest request;
+    std::promise<Decision> promise;
+    std::chrono::steady_clock::time_point enqueuedAt;
+  };
+
   void workerLoop();
   Decision decideLocked(const DecisionRequest& request);
+  /// Builds a degraded decision (action per ResilienceConfig::degradedMode)
+  /// and bumps bf_decision_degraded_total. Takes no locks.
+  Decision buildDegraded(const char* reason);
+  /// buildDegraded + the kDecisionDegraded audit record. Caller must hold
+  /// stateMutex_ (the audit log is part of the shared policy state).
+  Decision makeDegradedLocked(const DecisionRequest& request,
+                              const char* reason);
+  /// Writes buffered shed-audit records to the policy. Caller must hold
+  /// stateMutex_. The shed path itself cannot audit inline: shedding exists
+  /// because the pipeline (and its mutex) is saturated, so it buffers the
+  /// record and the next stateMutex_ holder flushes it.
+  void flushPendingAuditsLocked();
 
   BrowserFlowConfig config_;
   flow::FlowTracker* tracker_;
@@ -141,17 +177,38 @@ class DecisionEngine {
 
   std::mutex queueMutex_;
   std::condition_variable queueCv_;
-  std::deque<std::pair<DecisionRequest, std::promise<Decision>>> queue_;
+  std::deque<QueueItem> queue_;
   std::thread worker_;
   bool workerStarted_ = false;
   bool stopping_ = false;
   std::size_t inFlight_ = 0;
   std::condition_variable idleCv_;
 
+  // Circuit-breaker state for the disclosure lookup (guarded by
+  // stateMutex_, like everything decideLocked touches).
+  int consecutiveSlowLookups_ = 0;
+  bool breakerIsOpen_ = false;
+  int breakerSkipsRemaining_ = 0;
+
+  // Audit records owed for shed decisions, written by the next thread that
+  // holds stateMutex_ (leaf mutex: held only for the append/swap).
+  struct PendingAudit {
+    std::string segment;
+    std::string service;
+    std::string reason;
+  };
+  std::mutex pendingAuditsMutex_;
+  std::vector<PendingAudit> pendingAudits_;
+
   // Registry-backed instrumentation (resolved once in the constructor).
   obs::Histogram* latency_;        // bf_decision_latency_ms
   obs::Gauge* queueDepth_;         // bf_decision_queue_depth
   obs::Counter* actionCounters_[4];  // bf_decision_actions_total by kind
+  obs::Counter* degradedTotal_;    // bf_decision_degraded_total
+  obs::Counter* shedTotal_;        // bf_decision_shed_total
+  obs::Counter* deadlineTotal_;    // bf_decision_deadline_expired_total
+  obs::Counter* breakerTrips_;     // bf_decision_breaker_trips_total
+  obs::Gauge* breakerOpenGauge_;   // bf_decision_breaker_open
 };
 
 }  // namespace bf::core

@@ -1,6 +1,7 @@
 #include "flow/snapshot.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -100,6 +101,10 @@ util::Result<util::Timestamp> importState(FlowTracker& tracker,
   util::BinaryReader r(blob.substr(kPlainMagic.size()));
   util::Timestamp maxTs = 0;
 
+  // Parse the ENTIRE blob into staging structures before touching the
+  // tracker, so a truncated or corrupt snapshot leaves it empty (all or
+  // nothing) instead of half-restored.
+  std::vector<SegmentRecord> segments;
   const std::uint64_t segmentCount = r.u64();
   for (std::uint64_t i = 0; i < segmentCount && r.ok(); ++i) {
     SegmentRecord rec;
@@ -114,7 +119,10 @@ util::Result<util::Timestamp> importState(FlowTracker& tracker,
     maxTs = std::max({maxTs, rec.createdAt, rec.updatedAt});
     const std::uint64_t gramCount = r.u64();
     std::vector<text::HashedGram> grams;
-    grams.reserve(gramCount);
+    // Cap the reserve: a corrupt length prefix must not force a huge
+    // allocation before the bounds-checked reads catch it.
+    grams.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(gramCount, 1u << 20)));
     for (std::uint64_t g = 0; g < gramCount && r.ok(); ++g) {
       const std::uint64_t hash = r.u64();
       const std::uint32_t pos = r.u32();
@@ -122,9 +130,16 @@ util::Result<util::Timestamp> importState(FlowTracker& tracker,
     }
     rec.fingerprint = text::Fingerprint::fromSelected(std::move(grams));
     if (!r.ok()) break;
-    tracker.restoreSegment(std::move(rec));
+    segments.push_back(std::move(rec));
   }
 
+  struct Assoc {
+    SegmentKind kind;
+    std::uint64_t hash;
+    SegmentId segment;
+    util::Timestamp ts;
+  };
+  std::vector<Assoc> assocs;
   for (SegmentKind kind :
        {SegmentKind::kParagraph, SegmentKind::kDocument}) {
     const std::uint64_t count = r.u64();
@@ -133,12 +148,18 @@ util::Result<util::Timestamp> importState(FlowTracker& tracker,
       const SegmentId segment = r.u64();
       const util::Timestamp ts = r.u64();
       maxTs = std::max(maxTs, ts);
-      tracker.restoreAssociation(kind, hash, segment, ts);
+      assocs.push_back({kind, hash, segment, ts});
     }
   }
 
   if (!r.ok() || !r.atEnd()) {
     return R::error("snapshot truncated or corrupt");
+  }
+
+  // Validated end to end — now apply.
+  for (SegmentRecord& rec : segments) tracker.restoreSegment(std::move(rec));
+  for (const Assoc& a : assocs) {
+    tracker.restoreAssociation(a.kind, a.hash, a.segment, a.ts);
   }
   return maxTs;
 }
@@ -169,10 +190,25 @@ util::Status saveSnapshot(const FlowTracker& tracker, const std::string& path,
     fileData.append(reinterpret_cast<const char*>(nonce.data()), nonce.size());
     fileData += crypto::chacha20Xor(blob, deriveKey(secret), nonce);
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return util::Status::error("cannot open for writing: " + path);
-  out.write(fileData.data(), static_cast<std::streamsize>(fileData.size()));
-  if (!out) return util::Status::error("write failed: " + path);
+  // Crash-safe write: the full snapshot goes to a sibling temp file which
+  // is renamed over the target only after a clean close, so a crash or
+  // disk-full mid-write can never leave a truncated snapshot at `path`
+  // (rename within one directory is atomic on POSIX).
+  const std::string tmpPath = path + ".tmp";
+  {
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::error("cannot open for writing: " + tmpPath);
+    out.write(fileData.data(), static_cast<std::streamsize>(fileData.size()));
+    out.close();
+    if (!out) {
+      std::remove(tmpPath.c_str());
+      return util::Status::error("write failed: " + tmpPath);
+    }
+  }
+  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+    std::remove(tmpPath.c_str());
+    return util::Status::error("rename failed: " + tmpPath + " -> " + path);
+  }
   return {};
 }
 

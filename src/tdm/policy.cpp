@@ -108,6 +108,15 @@ util::Status TdmPolicy::suppressTag(std::string_view user,
   return {};
 }
 
+void TdmPolicy::recordDegradedDecision(std::string_view segmentName,
+                                       std::string_view serviceId,
+                                       std::string_view reason) {
+  audit_.append(AuditRecord{AuditRecord::Kind::kDecisionDegraded,
+                            clock_->now(), /*user=*/"", /*tag=*/Tag{},
+                            std::string(segmentName), std::string(serviceId),
+                            std::string(reason)});
+}
+
 util::Status TdmPolicy::allocateCustomTag(std::string_view user,
                                           const Tag& tag) {
   if (customTagOwners_.count(tag) != 0) {

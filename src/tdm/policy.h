@@ -134,6 +134,14 @@ class TdmPolicy {
   /// Owner of a custom tag, or empty if not a custom tag.
   [[nodiscard]] std::string customTagOwner(const Tag& tag) const;
 
+  /// Appends a kDecisionDegraded audit record: the decision engine answered
+  /// for `segmentName` → `serviceId` without running the full lookup
+  /// pipeline (`reason` says why — shed / deadline / breaker-open). The
+  /// policy owns the clock, so callers never have to timestamp.
+  void recordDegradedDecision(std::string_view segmentName,
+                              std::string_view serviceId,
+                              std::string_view reason);
+
   [[nodiscard]] const AuditLog& audit() const noexcept { return audit_; }
   [[nodiscard]] AuditLog& audit() noexcept { return audit_; }
 

@@ -3,6 +3,7 @@
 
 #include "cloud/form_backend.h"
 #include "cloud/network.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace bf::cloud {
@@ -62,7 +63,7 @@ TEST(SimNetworkLatency, DeterministicForSeed) {
   EXPECT_EQ(run(), run());
 }
 
-TEST(SimNetworkLatency, RequestsToMatchesOriginPrefix) {
+TEST(SimNetworkLatency, RequestsToMatchesExactOrigin) {
   util::Rng rng(12);
   SimNetwork network(&rng);
   FormBackend a, b;
@@ -73,21 +74,28 @@ TEST(SimNetworkLatency, RequestsToMatchesOriginPrefix) {
   network.handle(req);
   req.url = "https://a.example.evil/x";
   network.handle(req);
-  // Prefix filtering is a log-analysis convenience; both URLs share the
-  // "https://a.example" prefix.
-  EXPECT_EQ(network.requestsTo("https://a.example").size(), 2u);
+  // "https://a.example" is a raw prefix of "https://a.example.evil/..." but
+  // a different origin; the log filter must not conflate them.
+  EXPECT_EQ(network.requestsTo("https://a.example").size(), 1u);
   EXPECT_EQ(network.requestsTo("https://a.example.evil").size(), 1u);
   EXPECT_TRUE(network.requestsTo("https://b.example").empty());
 }
 
-TEST(SimNetworkLatency, FailedRoutesAreLoggedToo) {
+TEST(SimNetworkLatency, FailedRoutesAreLoggedTooWithoutLatency) {
   util::Rng rng(13);
   SimNetwork network(&rng);
+  const auto before = obs::registry()
+                          .histogram("bf_network_rtt_ms")
+                          .count();
   browser::HttpRequest req;
   req.url = "https://ghost.example/x";
   EXPECT_EQ(network.handle(req).status, 502);
   ASSERT_EQ(network.log().size(), 1u);
   EXPECT_EQ(network.log()[0].response.status, 502);
+  // An unrouted request never crossed the network: no simulated RTT may be
+  // charged, in the log or in the histogram.
+  EXPECT_EQ(network.log()[0].simulatedLatencyMs, 0.0);
+  EXPECT_EQ(obs::registry().histogram("bf_network_rtt_ms").count(), before);
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Chaos end-to-end test: the full stack (browser + plug-in + clients) runs
+// against a FaultInjector-wrapped SimNetwork at a >= 20% fault rate, with
+// retries enabled. Two invariants must hold:
+//
+//  1. Goodput: every upload the policy ALLOWS eventually lands on the
+//     backend despite the faults (the retry discipline absorbs them);
+//  2. Safety: uploads the policy BLOCKS never reach the network — the
+//     plug-in intercepts before the injector/network see the request, and
+//     faults never shake sensitive payloads loose.
+//
+// A third phase trips the decision engine's circuit breaker and checks the
+// degradation accounting: the bf_decision_degraded_total delta matches the
+// kDecisionDegraded audit records exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cloud/fault_injector.h"
+#include "cloud/network.h"
+#include "cloud/notes_client.h"
+#include "core/plugin.h"
+#include "corpus/text_generator.h"
+#include "obs/metrics.h"
+
+namespace bf {
+namespace {
+
+constexpr double kFaultRate = 0.24;  // >= 20%, spread over 4 fault kinds
+constexpr char kNotesOrigin[] = "https://notes.corp";
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  ChaosTest()
+      : rng_(99),
+        gen_(&rng_),
+        network_(&rng_),
+        faultNet_(&network_, /*seed=*/4242,
+                  cloud::FaultConfig::uniformRate(kFaultRate)),
+        plugin_(blockConfig(), &clock_),
+        browser_(&faultNet_) {
+    network_.registerService(kNotesOrigin, &notesBackend_);
+    // The notes service is external/unregistered: Lp = {}, so anything
+    // carrying the interview tag is blocked there.
+    plugin_.policy().services().upsert({"https://itool.corp",
+                                        "Interview Tool", tdm::TagSet{"ti"},
+                                        tdm::TagSet{"ti"}});
+    browser_.addExtension(&plugin_);
+  }
+
+  static core::BrowserFlowConfig blockConfig() {
+    core::BrowserFlowConfig c;
+    c.mode = core::EnforcementMode::kBlock;
+    return c;
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  cloud::SimNetwork network_;
+  cloud::FaultInjector faultNet_;
+  cloud::NotesBackend notesBackend_;
+  core::BrowserFlowPlugin plugin_;
+  browser::Browser browser_;
+};
+
+TEST_F(ChaosTest, AllowedUploadsLandBlockedUploadsNever) {
+  browser::Page& tab = browser_.openTab(std::string(kNotesOrigin) + "/n/1");
+  cloud::NotesClient notes(tab, "n1");
+  notes.openNote();
+
+  util::RetryPolicy retry;
+  retry.maxAttempts = 8;
+  retry.deadlineMs = 0.0;  // the attempt cap bounds the loop
+  notes.enableRetries(retry, /*seed=*/7, /*budgetCapacity=*/50.0);
+
+  // Phase 1 — goodput: 30 clean paragraph edits, each auto-saving the whole
+  // note through the faulty network. Every save must eventually succeed.
+  const std::uint64_t faultsBefore = faultNet_.faultCount();
+  for (int i = 0; i < 30; ++i) {
+    const int status = notes.appendParagraph(gen_.paragraph(4, 6));
+    ASSERT_EQ(status, 200) << "allowed save " << i
+                           << " must land despite faults";
+  }
+  EXPECT_EQ(notesBackend_.noteText("n1"), notes.noteText())
+      << "backend state converged to the editor state";
+  EXPECT_GT(faultNet_.faultCount(), faultsBefore)
+      << "a 24% fault rate over 30+ uploads must actually inject faults";
+
+  // Phase 2 — safety: text tainted by the Interview Tool is blocked at the
+  // notes service, and no fault/retry combination leaks it to the network.
+  const std::string evaluation = gen_.paragraph(7, 9);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval/9", evaluation);
+  const std::string beforeBlocked = notesBackend_.noteText("n1");
+  const int blockedStatus = notes.appendParagraph(evaluation);
+  EXPECT_EQ(blockedStatus, 403) << "policy block, not a transport fault";
+  EXPECT_EQ(notesBackend_.noteText("n1"), beforeBlocked)
+      << "blocked content never reached the backend";
+
+  // The sensitive text appears in NO request body the network ever saw
+  // (the injector sits behind the plug-in, so even faulted/retried
+  // requests are policy-clean). Match on a marker substring to sidestep
+  // JSON escaping of the full paragraph.
+  const std::string marker = evaluation.substr(0, 24);
+  for (const auto& entry : network_.log()) {
+    EXPECT_EQ(entry.request.body.find(marker), std::string::npos)
+        << "sensitive text leaked into the network log";
+  }
+}
+
+TEST_F(ChaosTest, DegradedDecisionsMatchAuditTrail) {
+  // Trip the engine's circuit breaker: a ~zero latency budget makes every
+  // disclosure lookup count as slow.
+  core::ResilienceConfig res;
+  res.breakerLatencyBudgetMs = 1e-12;
+  res.breakerTripThreshold = 2;
+  res.breakerOpenDecisions = 100;
+  res.degradedMode = core::DegradedMode::kFailOpen;
+  plugin_.engine().setResilience(res);
+
+  const std::uint64_t degradedBefore =
+      obs::registry().counter("bf_decision_degraded_total").value();
+  const std::size_t auditBefore =
+      plugin_.policy()
+          .audit()
+          .byKind(tdm::AuditRecord::Kind::kDecisionDegraded)
+          .size();
+
+  browser::Page& tab = browser_.openTab(std::string(kNotesOrigin) + "/n/2");
+  cloud::NotesClient notes(tab, "n2");
+  notes.openNote();
+  for (int i = 0; i < 10; ++i) {
+    notes.appendParagraph(gen_.paragraph(3, 5));
+  }
+
+  const std::uint64_t degradedDelta =
+      obs::registry().counter("bf_decision_degraded_total").value() -
+      degradedBefore;
+  const std::size_t auditDelta =
+      plugin_.policy()
+          .audit()
+          .byKind(tdm::AuditRecord::Kind::kDecisionDegraded)
+          .size() -
+      auditBefore;
+  EXPECT_GT(degradedDelta, 0u) << "the tripped breaker must degrade decisions";
+  EXPECT_EQ(degradedDelta, auditDelta)
+      << "every degraded decision appears in the TDM audit log";
+}
+
+}  // namespace
+}  // namespace bf
