@@ -80,9 +80,11 @@ int DocsClient::uploadMutation(const std::string& op, std::size_t index,
     return xhr.send(body);
   };
   if (!retriesEnabled_) return send().status;
-  // "set"/"delete" carry the paragraph's full target state; replaying one
-  // that already landed is harmless. A positional "insert" is not.
-  const bool idempotent = op != "insert";
+  // Only "set" carries the paragraph's full target state; replaying one
+  // that already landed is harmless. "insert" and "delete" are positional:
+  // a replayed delete whose first attempt did land would erase whichever
+  // paragraph shifted into that index.
+  const bool idempotent = op == "set";
   return sendWithRetry(send, retryPolicy_, &retryRng_, &retryBudget_,
                        idempotent)
       .response.status;

@@ -23,9 +23,10 @@ class DocsClient {
   DocsClient(browser::Page& page, std::string docId);
 
   /// Turns on transport retries (off by default: a plain page script).
-  /// Idempotency-aware: "set"/"delete" mutations are full-state upserts and
-  /// replay safely; positional "insert"s are only retried for faults that
-  /// provably never reached the backend.
+  /// Idempotency-aware: only "set" mutations are full-state upserts that
+  /// replay safely; positional "insert"s and "delete"s are only retried for
+  /// faults that provably never reached the backend (a replayed delete that
+  /// did land would erase whichever paragraph shifted into its index).
   void enableRetries(const util::RetryPolicy& policy, std::uint64_t seed,
                      double budgetCapacity = 10.0);
 

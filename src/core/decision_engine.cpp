@@ -8,7 +8,12 @@ namespace bf::core {
 DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
                                flow::FlowTracker* tracker,
                                tdm::TdmPolicy* policy)
-    : config_(config), tracker_(tracker), policy_(policy) {
+    : config_(config),
+      maxQueueDepth_(config.resilience.maxQueueDepth),
+      decisionDeadlineMs_(config.resilience.decisionDeadlineMs),
+      degradedMode_(config.resilience.degradedMode),
+      tracker_(tracker),
+      policy_(policy) {
   obs::MetricsRegistry& r = obs::registry();
   latency_ = &r.histogram("bf_decision_latency_ms",
                           "Wall-clock time per disclosure decision");
@@ -56,10 +61,10 @@ Decision DecisionEngine::buildDegraded(const char* reason) {
   Decision decision;
   decision.degraded = true;
   decision.degradedReason = reason;
-  decision.action =
-      config_.resilience.degradedMode == DegradedMode::kFailClosed
-          ? Decision::Action::kBlock
-          : Decision::Action::kAllow;
+  decision.action = degradedMode_.load(std::memory_order_relaxed) ==
+                            DegradedMode::kFailClosed
+                        ? Decision::Action::kBlock
+                        : Decision::Action::kAllow;
   degradedTotal_->inc();
   actionCounters_[static_cast<int>(decision.action)]->inc();
   return decision;
@@ -94,6 +99,10 @@ bool DecisionEngine::breakerOpen() const {
 void DecisionEngine::setResilience(const ResilienceConfig& resilience) {
   std::lock_guard<std::mutex> lock(stateMutex_);
   config_.resilience = resilience;
+  maxQueueDepth_.store(resilience.maxQueueDepth, std::memory_order_relaxed);
+  decisionDeadlineMs_.store(resilience.decisionDeadlineMs,
+                            std::memory_order_relaxed);
+  degradedMode_.store(resilience.degradedMode, std::memory_order_relaxed);
 }
 
 Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
@@ -195,7 +204,7 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
 std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
   std::promise<Decision> promise;
   std::future<Decision> future = promise.get_future();
-  const int cap = config_.resilience.maxQueueDepth;
+  const int cap = maxQueueDepth_.load(std::memory_order_relaxed);
   bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queueMutex_);
@@ -255,7 +264,8 @@ void DecisionEngine::workerLoop() {
     }
     // A request that already overran its deadline while queued is answered
     // degraded instead of burning pipeline time on a stale decision.
-    const double deadlineMs = config_.resilience.decisionDeadlineMs;
+    const double deadlineMs =
+        decisionDeadlineMs_.load(std::memory_order_relaxed);
     bool expired = false;
     if (deadlineMs > 0.0) {
       const auto waited = std::chrono::duration<double, std::milli>(

@@ -12,6 +12,7 @@
 // decision's response time is recorded, which is what Figs. 12/13 measure.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -140,7 +141,9 @@ class DecisionEngine {
   /// Replaces the resilience knobs at runtime (operators tune shedding /
   /// breaker thresholds without restarting the engine). Does not reset
   /// breaker state: an open breaker still needs a healthy probe to close.
-  /// Call while no async decisions are in flight (drain() first).
+  /// Safe to call while async decisions are in flight: the knobs read off
+  /// the decision path (queue cap, deadline, degraded mode) are atomic, so
+  /// concurrent decisions see either the old or the new value.
   void setResilience(const ResilienceConfig& resilience);
 
  private:
@@ -166,6 +169,13 @@ class DecisionEngine {
   void flushPendingAuditsLocked();
 
   BrowserFlowConfig config_;
+  // Mirrors of the resilience knobs that are read WITHOUT stateMutex_
+  // (decideAsync's shed check, the worker's deadline check, and
+  // buildDegraded on the shed path). config_.resilience itself is only
+  // touched under stateMutex_; setResilience refreshes these mirrors.
+  std::atomic<int> maxQueueDepth_;
+  std::atomic<double> decisionDeadlineMs_;
+  std::atomic<DegradedMode> degradedMode_;
   flow::FlowTracker* tracker_;
   tdm::TdmPolicy* policy_;
   SecretGuard* guard_ = nullptr;

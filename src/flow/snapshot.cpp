@@ -1,6 +1,9 @@
 #include "flow/snapshot.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -193,8 +196,14 @@ util::Status saveSnapshot(const FlowTracker& tracker, const std::string& path,
   // Crash-safe write: the full snapshot goes to a sibling temp file which
   // is renamed over the target only after a clean close, so a crash or
   // disk-full mid-write can never leave a truncated snapshot at `path`
-  // (rename within one directory is atomic on POSIX).
-  const std::string tmpPath = path + ".tmp";
+  // (rename within one directory is atomic on POSIX). The temp name is
+  // unique per process and per call: concurrent saves to the same path
+  // must never share a temp file, or interleaved writes could be renamed
+  // over the target.
+  static std::atomic<std::uint64_t> tmpCounter{0};
+  const std::string tmpPath =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
     if (!out) return util::Status::error("cannot open for writing: " + tmpPath);

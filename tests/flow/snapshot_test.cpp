@@ -1,8 +1,12 @@
 // Tests for snapshot export/import and encrypted persistence (paper S4.4).
+#include <dirent.h>
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "corpus/text_generator.h"
 #include "flow/snapshot.h"
@@ -255,14 +259,53 @@ TEST_F(SnapshotTest, CorruptedSnapshotFileRejectedAndTrackerEmpty) {
   // may succeed; the guarantee under test is only no-partial-state.)
 }
 
+/// Names in /tmp starting with the snapshot's basename + ".tmp" — the
+/// sibling temp files saveSnapshot() must rename away or clean up.
+std::vector<std::string> leftoverTempFiles(const std::string& path) {
+  const std::string prefix =
+      path.substr(path.find_last_of('/') + 1) + ".tmp";
+  std::vector<std::string> found;
+  DIR* dir = opendir("/tmp");
+  if (dir == nullptr) return found;
+  while (dirent* e = readdir(dir)) {
+    if (std::strncmp(e->d_name, prefix.c_str(), prefix.size()) == 0) {
+      found.emplace_back(e->d_name);
+    }
+  }
+  closedir(dir);
+  return found;
+}
+
 TEST_F(SnapshotTest, SaveLeavesNoTempFileBehind) {
   populate();
   const std::string path = tempPath("atomic");
   ASSERT_TRUE(saveSnapshot(tracker_, path, "").ok());
-  std::ifstream tmp(path + ".tmp");
-  EXPECT_FALSE(tmp.good()) << "temp file must be renamed away";
+  EXPECT_TRUE(leftoverTempFiles(path).empty())
+      << "temp file must be renamed away";
   std::ifstream fin(path);
   EXPECT_TRUE(fin.good());
+}
+
+TEST_F(SnapshotTest, ConcurrentSavesToSamePathStayIntact) {
+  populate();
+  const std::string path = tempPath("concurrent");
+  // Racing saves of the SAME state must never rename interleaved content
+  // over the target: each writer uses its own temp file, so whichever
+  // rename lands last leaves a complete, loadable snapshot.
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    writers.emplace_back(
+        [&] { EXPECT_TRUE(saveSnapshot(tracker_, path, "").ok()); });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_TRUE(leftoverTempFiles(path).empty());
+
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  const auto maxTs = loadSnapshot(restored, path, "");
+  ASSERT_TRUE(maxTs.ok()) << maxTs.errorMessage();
+  EXPECT_GT(restored.segmentDb().size(), 0u);
 }
 
 TEST_F(SnapshotTest, SaveOverwritesExistingSnapshotAtomically) {
