@@ -18,8 +18,18 @@ int main() {
   using namespace bf;
   bench::printHeader("Stress", "concurrent async decisions");
 
-  const std::size_t users = bench::paperScale() ? 8 : 4;
-  const std::size_t decisionsPerUser = bench::paperScale() ? 4000 : 1500;
+  // BF_STRESS_USERS / BF_STRESS_DECISIONS override the scale: the tsan
+  // check (scripts/check.sh) runs a short configuration, since TSan slows
+  // the pipeline by an order of magnitude.
+  std::size_t users = bench::paperScale() ? 8 : 4;
+  std::size_t decisionsPerUser = bench::paperScale() ? 4000 : 1500;
+  if (const char* env = std::getenv("BF_STRESS_USERS"); env != nullptr) {
+    users = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("BF_STRESS_DECISIONS"); env != nullptr) {
+    decisionsPerUser =
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
 
   util::LogicalClock clock;
   flow::FlowTracker tracker(flow::TrackerConfig{}, &clock);

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""bflint -- BrowserFlow's project lint.
+
+Fast, dependency-free checks for project invariants that the compiler
+cannot enforce:
+
+  raw-mutex           std::mutex / std::lock_guard / std::scoped_lock /
+                      std::condition_variable outside src/util. Concurrency
+                      primitives must go through bf::util::Mutex (ranked,
+                      annotated; see src/util/mutex.h). std::unique_lock is
+                      allowed: it is the handle type for util::Mutex's
+                      lockState()-style APIs.
+  wall-clock          Non-deterministic time / randomness outside
+                      src/util/clock.* and src/util/rng.*: system_clock,
+                      std::time, gettimeofday, clock_gettime, rand/srand,
+                      and every sleep variant. The simulation is
+                      deterministic; steady_clock (monotonic, measurement
+                      only) is explicitly allowed.
+  missing-pragma-once Headers must use `#pragma once`.
+  include-hygiene     No `#include "../..."` / `#include "./..."` path
+                      escapes, no <bits/...> internals, and every quoted
+                      project include must resolve against src/ (or the
+                      including file's own directory, for bench/ helpers).
+
+Usage:
+  scripts/bflint.py [root ...]      # lint trees/files (default: src)
+  scripts/bflint.py --selftest      # run the rule fixtures in tests/lint
+
+Exit status: 0 when clean, 1 when any rule fires (or a selftest
+expectation is not met). Findings print as `path:line: [rule] message`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Paths (relative, '/'-separated) exempt from a rule.
+RAW_MUTEX_ALLOWED_PREFIXES = ("src/util/",)
+WALL_CLOCK_ALLOWED = (
+    "src/util/clock.h",
+    "src/util/clock.cpp",
+    "src/util/rng.h",
+    "src/util/rng.cpp",
+)
+
+RAW_MUTEX_PATTERNS = [
+    (re.compile(r"\bstd::(recursive_|shared_|timed_|recursive_timed_)?mutex\b"),
+     "raw std::mutex family; use bf::util::Mutex (ranked + annotated)"),
+    (re.compile(r"\bstd::lock_guard\b"),
+     "std::lock_guard; use bf::util::MutexLock"),
+    (re.compile(r"\bstd::scoped_lock\b"),
+     "std::scoped_lock; use bf::util::MutexLock"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"),
+     "std::condition_variable; use bf::util::CondVar"),
+]
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"),
+     "wall-clock time; use util::Clock (or steady_clock for measurement)"),
+    (re.compile(r"\bstd::time\b|\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "std::time; use util::Clock"),
+    (re.compile(r"\b(gettimeofday|clock_gettime)\s*\("),
+     "raw OS clock; use util::Clock"),
+    (re.compile(r"\bs?rand\s*\("),
+     "libc rand; use the seeded util::Rng"),
+    (re.compile(r"\b(sleep|usleep|nanosleep)\s*\(|\bsleep_(for|until)\b"),
+     "sleeping; simulate delays (SimNetwork latency model) instead"),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+_STRIP_RE = re.compile(
+    r'//[^\n]*'               # line comment
+    r'|/\*.*?\*/'             # block comment
+    r'|"(?:\\.|[^"\\\n])*"'   # string literal
+    r"|'(?:\\.|[^'\\\n])*'",  # char literal
+    re.DOTALL,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments/strings, preserving newlines so line numbers hold."""
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    return _STRIP_RE.sub(blank, text)
+
+
+def relpath(path: str) -> str:
+    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(os.sep, "/")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def lint_file(path: str, fixture_mode: bool = False) -> list[Finding]:
+    rel = relpath(path)
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    code = strip_comments_and_strings(raw)
+    lines = code.splitlines()
+    findings: list[Finding] = []
+
+    def scan(patterns, rule: str, allowed: bool) -> None:
+        if allowed:
+            return
+        for i, line in enumerate(lines, start=1):
+            for pattern, message in patterns:
+                if pattern.search(line):
+                    findings.append(Finding(rel, i, rule, message))
+
+    scan(RAW_MUTEX_PATTERNS, "raw-mutex",
+         not fixture_mode and rel.startswith(RAW_MUTEX_ALLOWED_PREFIXES))
+    scan(WALL_CLOCK_PATTERNS, "wall-clock",
+         not fixture_mode and rel in WALL_CLOCK_ALLOWED)
+
+    if path.endswith((".h", ".hpp")) and not re.search(
+            r"^\s*#\s*pragma\s+once\b", code, re.MULTILINE):
+        findings.append(Finding(rel, 1, "missing-pragma-once",
+                                "header lacks #pragma once"))
+
+    src_root = os.path.join(REPO_ROOT, "src")
+    for i, line in enumerate(raw.splitlines(), start=1):
+        m = INCLUDE_RE.match(line)
+        if m is None:
+            continue
+        quote, target = m.groups()
+        if target.startswith(("../", "./")):
+            findings.append(Finding(rel, i, "include-hygiene",
+                                    f'relative include "{target}"; include '
+                                    "project headers by src/-rooted path"))
+            continue
+        if quote == "<":
+            if target.startswith("bits/"):
+                findings.append(Finding(
+                    rel, i, "include-hygiene",
+                    f"<{target}> is a libstdc++ internal; include the "
+                    "standard header instead"))
+            continue
+        candidates = [os.path.join(src_root, target),
+                      os.path.join(os.path.dirname(path), target)]
+        if not any(os.path.exists(c) for c in candidates):
+            findings.append(Finding(rel, i, "include-hygiene",
+                                    f'"{target}" resolves against neither '
+                                    "src/ nor the including directory"))
+
+    return findings
+
+
+def collect_sources(roots: list[str]) -> list[str]:
+    out: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            out.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+EXPECT_RE = re.compile(r"//\s*bflint-expect:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+
+
+def selftest() -> int:
+    """Every tests/lint fixture must trigger exactly its declared rules."""
+    fixture_dir = os.path.join(REPO_ROOT, "tests", "lint")
+    fixtures = collect_sources([fixture_dir])
+    if not fixtures:
+        print(f"bflint: no fixtures under {fixture_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in fixtures:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        expected: set[str] = set()
+        for m in EXPECT_RE.finditer(raw):
+            expected.update(r.strip() for r in m.group(1).split(","))
+        got = {f.rule for f in lint_file(path, fixture_mode=True)}
+        if got != expected:
+            failures += 1
+            print(f"selftest FAIL {relpath(path)}: expected "
+                  f"{sorted(expected) or '[]'}, got {sorted(got) or '[]'}")
+        else:
+            print(f"selftest ok   {relpath(path)}: {sorted(got) or 'clean'}")
+    if failures:
+        print(f"bflint selftest: {failures} fixture(s) failed")
+        return 1
+    print(f"bflint selftest: {len(fixtures)} fixtures ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--selftest":
+        return selftest()
+    roots = argv or [os.path.join(REPO_ROOT, "src")]
+    findings: list[Finding] = []
+    files = collect_sources(roots)
+    for path in files:
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"bflint: {len(findings)} finding(s) in {len(files)} files")
+        return 1
+    print(f"bflint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# Full pre-merge check: configure, build, and test the default and asan
+# Full pre-merge check: lint, then configure/build/test the selected
 # presets, sequentially (never overlap two builds in one build dir).
 #
-#   scripts/check.sh            # default + asan
-#   BF_CHECK_PRESETS="default"  scripts/check.sh   # subset
+#   scripts/check.sh                                  # default + asan
+#   BF_CHECK_PRESETS="default" scripts/check.sh       # subset
+#   BF_CHECK_PRESETS="default asan ubsan tsan" scripts/check.sh  # full matrix
+#
+# The tsan preset runs the concurrency-relevant tests under ThreadSanitizer
+# and then the bench_stress_concurrency binary (a short configuration), so
+# the lock migration is exercised under real contention, not just unit load.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PRESETS=${BF_CHECK_PRESETS:-"default asan"}
 JOBS=${BF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+echo "==> [lint] bflint self-test"
+python3 scripts/bflint.py --selftest
+echo "==> [lint] bflint over src/ bench/ examples/"
+python3 scripts/bflint.py src bench examples
 
 for preset in $PRESETS; do
   echo "==> [$preset] configure"
@@ -18,6 +28,11 @@ for preset in $PRESETS; do
   cmake --build --preset "$preset" -j "$JOBS"
   echo "==> [$preset] test"
   ctest --preset "$preset"
+  if [ "$preset" = "tsan" ]; then
+    echo "==> [tsan] bench_stress_concurrency under ThreadSanitizer"
+    BF_STRESS_USERS=8 BF_STRESS_DECISIONS=50 \
+      "build-tsan/bench/bench_stress_concurrency"
+  fi
 done
 
 echo "==> all presets green: $PRESETS"

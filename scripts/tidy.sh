@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the project sources using the
+# compile database exported by the default preset.
+#
+#   scripts/tidy.sh                 # whole tree (src/ bench/ examples/)
+#   scripts/tidy.sh src/flow        # subset
+#
+# clang-tidy is optional tooling: on machines without it (the CI container
+# ships only GCC) this script prints a notice and exits 0, so check
+# pipelines can call it unconditionally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "tidy.sh: $TIDY not found; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+BUILD_DIR=${BF_TIDY_BUILD_DIR:-build}
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy.sh: $BUILD_DIR/compile_commands.json missing; configuring..."
+  cmake --preset default >/dev/null
+fi
+
+ROOTS=("$@")
+if [ ${#ROOTS[@]} -eq 0 ]; then
+  ROOTS=(src bench examples)
+fi
+
+FILES=$(find "${ROOTS[@]}" -name '*.cpp' | sort)
+echo "tidy.sh: checking $(echo "$FILES" | wc -l) files against $BUILD_DIR"
+# shellcheck disable=SC2086
+"$TIDY" -p "$BUILD_DIR" --quiet $FILES
+echo "tidy.sh: clean"

@@ -48,17 +48,24 @@ FaultInjector::FaultInjector(browser::RequestSink* inner, std::uint64_t seed,
                              FaultConfig defaults)
     : inner_(inner), rng_(seed), defaults_(defaults) {}
 
+void FaultInjector::setDefaults(FaultConfig config) {
+  util::MutexLock lock(mutex_);
+  defaults_ = config;
+}
+
 void FaultInjector::setOriginFaults(const std::string& origin,
                                     FaultConfig config) {
+  util::MutexLock lock(mutex_);
   perOrigin_[origin] = config;
 }
 
 void FaultInjector::failNext(const std::string& origin, int count,
                              FaultKind kind) {
+  util::MutexLock lock(mutex_);
   if (count > 0) scheduled_[origin].emplace_back(kind, count);
 }
 
-FaultKind FaultInjector::pickFault(const std::string& origin) {
+FaultKind FaultInjector::pickFaultLocked(const std::string& origin) {
   auto cit = perOrigin_.find(origin);
   const FaultConfig& cfg = cit != perOrigin_.end() ? cit->second : defaults_;
 
@@ -100,15 +107,21 @@ browser::HttpResponse FaultInjector::handle(const browser::HttpRequest& req) {
   const FaultMetrics& metrics = faultMetrics();
   metrics.requests->inc();
   const std::string origin = browser::originOf(req.url);
-  const FaultKind fault = pickFault(origin);
+  // Pick the fault (and copy the applicable config) under the mutex, then
+  // dispatch to the inner sink WITHOUT holding it: the sink may be slow and
+  // must be reachable concurrently from other client threads.
+  FaultKind fault;
+  FaultConfig cfg;
+  {
+    util::MutexLock lock(mutex_);
+    fault = pickFaultLocked(origin);
+    auto it = perOrigin_.find(origin);
+    cfg = it != perOrigin_.end() ? it->second : defaults_;
+  }
   if (fault == FaultKind::kNone) return inner_->handle(req);
 
-  ++faults_;
+  faults_.fetch_add(1, std::memory_order_relaxed);
   metrics.injected->inc();
-  const FaultConfig& cfg = [&]() -> const FaultConfig& {
-    auto it = perOrigin_.find(origin);
-    return it != perOrigin_.end() ? it->second : defaults_;
-  }();
 
   switch (fault) {
     case FaultKind::kHttp5xx:

@@ -24,13 +24,16 @@
 // failure sequences. Everything is metered via bf::obs (bf_fault_*).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_map>
 
 #include "browser/http.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace bf::cloud {
 
@@ -76,32 +79,43 @@ class FaultInjector final : public browser::RequestSink {
 
   /// Replaces the default fault profile (applies where no origin override
   /// exists).
-  void setDefaults(FaultConfig config) { defaults_ = config; }
+  void setDefaults(FaultConfig config) BF_EXCLUDES(mutex_);
 
   /// Per-origin override; pass {} to make an origin fault-free.
-  void setOriginFaults(const std::string& origin, FaultConfig config);
+  void setOriginFaults(const std::string& origin, FaultConfig config)
+      BF_EXCLUDES(mutex_);
 
   /// Deterministically fails the next `count` requests to `origin` with
   /// `kind`, ahead of any probabilistic sampling. Schedules queue in call
   /// order.
-  void failNext(const std::string& origin, int count, FaultKind kind);
+  void failNext(const std::string& origin, int count, FaultKind kind)
+      BF_EXCLUDES(mutex_);
 
-  browser::HttpResponse handle(const browser::HttpRequest& req) override;
+  /// Thread-safe: fault selection (rng, schedules, burst state) runs under
+  /// the injector's leaf mutex; the inner sink is dispatched to OUTSIDE the
+  /// critical section, so a slow backend never serialises other requests.
+  browser::HttpResponse handle(const browser::HttpRequest& req) override
+      BF_EXCLUDES(mutex_);
 
   /// Faults injected so far (all kinds).
-  [[nodiscard]] std::uint64_t faultCount() const noexcept { return faults_; }
+  [[nodiscard]] std::uint64_t faultCount() const noexcept {
+    return faults_.load(std::memory_order_relaxed);
+  }
 
  private:
-  [[nodiscard]] FaultKind pickFault(const std::string& origin);
+  [[nodiscard]] FaultKind pickFaultLocked(const std::string& origin)
+      BF_REQUIRES(mutex_);
 
   browser::RequestSink* inner_;
-  util::Rng rng_;
-  FaultConfig defaults_;
-  std::unordered_map<std::string, FaultConfig> perOrigin_;
+  mutable util::Mutex mutex_{util::kRankFaultInjector, "FaultInjector.mutex_"};
+  util::Rng rng_ BF_GUARDED_BY(mutex_);
+  FaultConfig defaults_ BF_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, FaultConfig> perOrigin_
+      BF_GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::deque<std::pair<FaultKind, int>>>
-      scheduled_;
-  std::unordered_map<std::string, int> burstRemaining_;
-  std::uint64_t faults_ = 0;
+      scheduled_ BF_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, int> burstRemaining_ BF_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 }  // namespace bf::cloud

@@ -33,7 +33,7 @@ void NotesClient::enableRetries(const util::RetryPolicy& policy,
                                 std::uint64_t seed, double budgetCapacity) {
   retryPolicy_ = policy;
   retryRng_ = util::Rng(seed);
-  retryBudget_ = util::RetryBudget(budgetCapacity);
+  retryBudget_.configure(budgetCapacity);
   retriesEnabled_ = policy.enabled();
 }
 

@@ -11,7 +11,7 @@ void WikiClient::enableRetries(const util::RetryPolicy& policy,
                                std::uint64_t seed, double budgetCapacity) {
   retryPolicy_ = policy;
   retryRng_ = util::Rng(seed);
-  retryBudget_ = util::RetryBudget(budgetCapacity);
+  retryBudget_.configure(budgetCapacity);
   retriesEnabled_ = policy.enabled();
 }
 

@@ -9,6 +9,7 @@ DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
                                flow::FlowTracker* tracker,
                                tdm::TdmPolicy* policy)
     : config_(config),
+      mode_(config.mode),
       maxQueueDepth_(config.resilience.maxQueueDepth),
       decisionDeadlineMs_(config.resilience.decisionDeadlineMs),
       degradedMode_(config.resilience.degradedMode),
@@ -42,18 +43,18 @@ DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
 
 DecisionEngine::~DecisionEngine() {
   {
-    std::lock_guard<std::mutex> lock(queueMutex_);
+    util::MutexLock lock(queueMutex_);
     stopping_ = true;
   }
-  queueCv_.notify_all();
+  queueCv_.notifyAll();
   if (worker_.joinable()) worker_.join();
   // The policy outlives the engine: settle any audit records still owed.
-  std::lock_guard<std::mutex> state(stateMutex_);
+  util::MutexLock state(stateMutex_);
   flushPendingAuditsLocked();
 }
 
 Decision DecisionEngine::decide(const DecisionRequest& request) {
-  std::lock_guard<std::mutex> lock(stateMutex_);
+  util::MutexLock lock(stateMutex_);
   return decideLocked(request);
 }
 
@@ -83,7 +84,7 @@ Decision DecisionEngine::makeDegradedLocked(const DecisionRequest& request,
 void DecisionEngine::flushPendingAuditsLocked() {
   std::vector<PendingAudit> pending;
   {
-    std::lock_guard<std::mutex> lock(pendingAuditsMutex_);
+    util::MutexLock lock(pendingAuditsMutex_);
     pending.swap(pendingAudits_);
   }
   for (const PendingAudit& p : pending) {
@@ -92,12 +93,12 @@ void DecisionEngine::flushPendingAuditsLocked() {
 }
 
 bool DecisionEngine::breakerOpen() const {
-  std::lock_guard<std::mutex> lock(stateMutex_);
+  util::MutexLock lock(stateMutex_);
   return breakerIsOpen_;
 }
 
 void DecisionEngine::setResilience(const ResilienceConfig& resilience) {
-  std::lock_guard<std::mutex> lock(stateMutex_);
+  util::MutexLock lock(stateMutex_);
   config_.resilience = resilience;
   maxQueueDepth_.store(resilience.maxQueueDepth, std::memory_order_relaxed);
   decisionDeadlineMs_.store(resilience.decisionDeadlineMs,
@@ -182,7 +183,7 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
     decision.action = Decision::Action::kAllow;
   } else {
     decision.violatingTags = check.violatingTags;
-    switch (config_.mode) {
+    switch (mode_.load(std::memory_order_relaxed)) {
       case EnforcementMode::kWarn:
         decision.action = Decision::Action::kWarn;
         break;
@@ -207,7 +208,7 @@ std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
   const int cap = maxQueueDepth_.load(std::memory_order_relaxed);
   bool shed = false;
   {
-    std::lock_guard<std::mutex> lock(queueMutex_);
+    util::MutexLock lock(queueMutex_);
     if (cap > 0 && queue_.size() >= static_cast<std::size_t>(cap)) {
       shed = true;
     } else {
@@ -229,25 +230,25 @@ std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
     shedTotal_->inc();
     Decision d = buildDegraded("shed: decision queue full");
     {
-      std::lock_guard<std::mutex> lock(pendingAuditsMutex_);
+      util::MutexLock lock(pendingAuditsMutex_);
       pendingAudits_.push_back(PendingAudit{
           request.segmentName, request.serviceId, d.degradedReason});
     }
     promise.set_value(std::move(d));
     return future;
   }
-  queueCv_.notify_one();
+  queueCv_.notifyOne();
   return future;
 }
 
 void DecisionEngine::drain() {
   {
-    std::unique_lock<std::mutex> lock(queueMutex_);
-    idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+    util::MutexLock lock(queueMutex_);
+    while (inFlight_ != 0) idleCv_.wait(queueMutex_);
   }
   // Settle audit records owed by shed decisions, so callers observing the
   // log after drain() see every degraded decision accounted for.
-  std::lock_guard<std::mutex> state(stateMutex_);
+  util::MutexLock state(stateMutex_);
   flushPendingAuditsLocked();
 }
 
@@ -255,8 +256,8 @@ void DecisionEngine::workerLoop() {
   for (;;) {
     QueueItem item;
     {
-      std::unique_lock<std::mutex> lock(queueMutex_);
-      queueCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(queueMutex_);
+      while (!stopping_ && queue_.empty()) queueCv_.wait(queueMutex_);
       if (stopping_ && queue_.empty()) return;
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -274,7 +275,7 @@ void DecisionEngine::workerLoop() {
     }
     Decision d;
     {
-      std::lock_guard<std::mutex> lock(stateMutex_);
+      util::MutexLock lock(stateMutex_);
       flushPendingAuditsLocked();
       if (expired) {
         deadlineTotal_->inc();
@@ -285,16 +286,16 @@ void DecisionEngine::workerLoop() {
     }
     item.promise.set_value(std::move(d));
     {
-      std::lock_guard<std::mutex> lock(queueMutex_);
+      util::MutexLock lock(queueMutex_);
       --inFlight_;
     }
-    idleCv_.notify_all();
+    idleCv_.notifyAll();
   }
 }
 
 tdm::Label DecisionEngine::lookupLabelForText(
     const std::string& text, const std::string& excludeDocument) const {
-  std::lock_guard<std::mutex> lock(stateMutex_);
+  util::MutexLock lock(stateMutex_);
   tdm::Label label;
   for (const auto& hit : tracker_->checkText(text, excludeDocument)) {
     const tdm::Label* src = policy_->labelOf(hit.sourceName);

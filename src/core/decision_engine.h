@@ -10,14 +10,22 @@
 //
 // Decisions can run synchronously or on a worker thread; either way each
 // decision's response time is recorded, which is what Figs. 12/13 measure.
+//
+// Lock hierarchy (outermost first, see util/mutex.h):
+//   stateMutex_ (kRankEngineState)    — pipeline state: config_, breaker,
+//                                       and the serialisation point for
+//                                       tracker/policy access;
+//   queueMutex_ (kRankEngineQueue)    — async queue bookkeeping only;
+//   pendingAuditsMutex_ (kRankPendingAudits) — leaf: buffered shed audits.
+// queueMutex_ and stateMutex_ are never held together; both may be held
+// above the tracker / obs / logging mutexes, never below them.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
-#include <mutex>
+#include <mutex>  // std::unique_lock over util::Mutex (lockState)
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +35,8 @@
 #include "flow/tracker.h"
 #include "obs/metrics.h"
 #include "tdm/policy.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bf::core {
 
@@ -78,19 +88,21 @@ class DecisionEngine {
   DecisionEngine& operator=(const DecisionEngine&) = delete;
 
   /// Runs the full lookup + enforcement pipeline inline.
-  Decision decide(const DecisionRequest& request);
+  Decision decide(const DecisionRequest& request) BF_EXCLUDES(stateMutex_);
 
   /// Queues the request for the worker thread (started lazily).
-  std::future<Decision> decideAsync(DecisionRequest request);
+  std::future<Decision> decideAsync(DecisionRequest request)
+      BF_EXCLUDES(queueMutex_, pendingAuditsMutex_);
 
   /// Blocks until the worker queue is empty (test/bench synchronisation).
-  void drain();
+  void drain() BF_EXCLUDES(queueMutex_, stateMutex_);
 
   /// Lookup-only path for text that is not (yet) hosted anywhere: builds
   /// the label similarity implies, without registering any segment. Used
   /// for form submissions where the text only exists in an <input>.
   [[nodiscard]] tdm::Label lookupLabelForText(
-      const std::string& text, const std::string& excludeDocument = {}) const;
+      const std::string& text, const std::string& excludeDocument = {}) const
+      BF_EXCLUDES(stateMutex_);
 
   /// Latency statistics over every decision made so far, derived from the
   /// bf_decision_latency_ms histogram — what Figs. 12/13 measure.
@@ -116,9 +128,15 @@ class DecisionEngine {
   void resetLatencyStats();
 
   /// Switches the enforcement action for future violations (advisory
-  /// deployments often start in warn mode and move to block).
-  void setMode(EnforcementMode mode) noexcept { config_.mode = mode; }
-  [[nodiscard]] EnforcementMode mode() const noexcept { return config_.mode; }
+  /// deployments often start in warn mode and move to block). Atomic so
+  /// callers may flip the mode while the worker is deciding: each decision
+  /// sees either the old or the new mode, never a torn value.
+  void setMode(EnforcementMode mode) noexcept {
+    mode_.store(mode, std::memory_order_relaxed);
+  }
+  [[nodiscard]] EnforcementMode mode() const noexcept {
+    return mode_.load(std::memory_order_relaxed);
+  }
 
   /// Installs the exact-match guard for short secrets (not owned; may be
   /// null). A secret hit attaches the secret's tag to the segment as an
@@ -130,13 +148,17 @@ class DecisionEngine {
   /// thread. Any caller that touches the shared stores WITHOUT going
   /// through decide()/decideAsync() must hold this while doing so.
   /// Never hold it across a decide() call — that deadlocks.
-  [[nodiscard]] std::unique_lock<std::mutex> lockState() const {
-    return std::unique_lock<std::mutex>(stateMutex_);
+  /// Thread-safety analysis cannot track a capability through the returned
+  /// handle, so the acquisition is deliberately unchecked here; the
+  /// runtime lock-rank assertion still applies.
+  [[nodiscard]] std::unique_lock<util::Mutex> lockState() const
+      BF_NO_THREAD_SAFETY_ANALYSIS {
+    return std::unique_lock<util::Mutex>(stateMutex_);
   }
 
   /// True while the disclosure-lookup circuit breaker is open (decisions
   /// are answered degraded instead of running the lookup).
-  [[nodiscard]] bool breakerOpen() const;
+  [[nodiscard]] bool breakerOpen() const BF_EXCLUDES(stateMutex_);
 
   /// Replaces the resilience knobs at runtime (operators tune shedding /
   /// breaker thresholds without restarting the engine). Does not reset
@@ -144,7 +166,8 @@ class DecisionEngine {
   /// Safe to call while async decisions are in flight: the knobs read off
   /// the decision path (queue cap, deadline, degraded mode) are atomic, so
   /// concurrent decisions see either the old or the new value.
-  void setResilience(const ResilienceConfig& resilience);
+  void setResilience(const ResilienceConfig& resilience)
+      BF_EXCLUDES(stateMutex_);
 
  private:
   struct QueueItem {
@@ -153,22 +176,28 @@ class DecisionEngine {
     std::chrono::steady_clock::time_point enqueuedAt;
   };
 
-  void workerLoop();
-  Decision decideLocked(const DecisionRequest& request);
+  void workerLoop() BF_EXCLUDES(queueMutex_, stateMutex_);
+  Decision decideLocked(const DecisionRequest& request)
+      BF_REQUIRES(stateMutex_);
   /// Builds a degraded decision (action per ResilienceConfig::degradedMode)
   /// and bumps bf_decision_degraded_total. Takes no locks.
   Decision buildDegraded(const char* reason);
-  /// buildDegraded + the kDecisionDegraded audit record. Caller must hold
-  /// stateMutex_ (the audit log is part of the shared policy state).
+  /// buildDegraded + the kDecisionDegraded audit record (the audit log is
+  /// part of the shared policy state).
   Decision makeDegradedLocked(const DecisionRequest& request,
-                              const char* reason);
-  /// Writes buffered shed-audit records to the policy. Caller must hold
-  /// stateMutex_. The shed path itself cannot audit inline: shedding exists
-  /// because the pipeline (and its mutex) is saturated, so it buffers the
-  /// record and the next stateMutex_ holder flushes it.
-  void flushPendingAuditsLocked();
+                              const char* reason) BF_REQUIRES(stateMutex_);
+  /// Writes buffered shed-audit records to the policy. The shed path itself
+  /// cannot audit inline: shedding exists because the pipeline (and its
+  /// mutex) is saturated, so it buffers the record and the next stateMutex_
+  /// holder flushes it.
+  void flushPendingAuditsLocked() BF_REQUIRES(stateMutex_)
+      BF_EXCLUDES(pendingAuditsMutex_);
 
-  BrowserFlowConfig config_;
+  BrowserFlowConfig config_ BF_GUARDED_BY(stateMutex_);
+  /// Enforcement action applied to violations; mirrors config_.mode so
+  /// setMode()/mode() need no lock (the historical unlocked write to
+  /// config_.mode raced the worker's read — see engine_concurrency_test).
+  std::atomic<EnforcementMode> mode_;
   // Mirrors of the resilience knobs that are read WITHOUT stateMutex_
   // (decideAsync's shed check, the worker's deadline check, and
   // buildDegraded on the shed path). config_.resilience itself is only
@@ -182,23 +211,28 @@ class DecisionEngine {
 
   // One mutex serialises tracker/policy access between the caller thread
   // and the worker; the paper's engine likewise processes decisions one at
-  // a time in the extension's background page.
-  mutable std::mutex stateMutex_;
+  // a time in the extension's background page. Outermost rank: everything
+  // the pipeline touches (tracker, metrics, trace, logging) nests inside.
+  mutable util::Mutex stateMutex_{util::kRankEngineState,
+                                  "DecisionEngine.stateMutex_"};
 
-  std::mutex queueMutex_;
-  std::condition_variable queueCv_;
-  std::deque<QueueItem> queue_;
+  util::Mutex queueMutex_{util::kRankEngineQueue,
+                          "DecisionEngine.queueMutex_"};
+  util::CondVar queueCv_;
+  std::deque<QueueItem> queue_ BF_GUARDED_BY(queueMutex_);
+  // Started once under queueMutex_; joined in the destructor after
+  // stopping_ is set (destruction never races decideAsync by contract).
   std::thread worker_;
-  bool workerStarted_ = false;
-  bool stopping_ = false;
-  std::size_t inFlight_ = 0;
-  std::condition_variable idleCv_;
+  bool workerStarted_ BF_GUARDED_BY(queueMutex_) = false;
+  bool stopping_ BF_GUARDED_BY(queueMutex_) = false;
+  std::size_t inFlight_ BF_GUARDED_BY(queueMutex_) = 0;
+  util::CondVar idleCv_;
 
   // Circuit-breaker state for the disclosure lookup (guarded by
   // stateMutex_, like everything decideLocked touches).
-  int consecutiveSlowLookups_ = 0;
-  bool breakerIsOpen_ = false;
-  int breakerSkipsRemaining_ = 0;
+  int consecutiveSlowLookups_ BF_GUARDED_BY(stateMutex_) = 0;
+  bool breakerIsOpen_ BF_GUARDED_BY(stateMutex_) = false;
+  int breakerSkipsRemaining_ BF_GUARDED_BY(stateMutex_) = 0;
 
   // Audit records owed for shed decisions, written by the next thread that
   // holds stateMutex_ (leaf mutex: held only for the append/swap).
@@ -207,8 +241,9 @@ class DecisionEngine {
     std::string service;
     std::string reason;
   };
-  std::mutex pendingAuditsMutex_;
-  std::vector<PendingAudit> pendingAudits_;
+  util::Mutex pendingAuditsMutex_{util::kRankPendingAudits,
+                                  "DecisionEngine.pendingAuditsMutex_"};
+  std::vector<PendingAudit> pendingAudits_ BF_GUARDED_BY(pendingAuditsMutex_);
 
   // Registry-backed instrumentation (resolved once in the constructor).
   obs::Histogram* latency_;        // bf_decision_latency_ms

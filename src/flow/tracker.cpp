@@ -60,12 +60,12 @@ const TrackerMetrics& trackerMetrics() {
 FlowTracker::FlowTracker(TrackerConfig config, util::Clock* clock)
     : config_(config), clock_(clock) {}
 
-void FlowTracker::refreshStoreGauges() const noexcept {
+void FlowTracker::refreshStoreGaugesLocked() const noexcept {
   const TrackerMetrics& m = trackerMetrics();
   m.dbhashParagraphHashes->set(static_cast<double>(
-      hashDb(SegmentKind::kParagraph).distinctHashCount()));
+      hashDbLocked(SegmentKind::kParagraph).distinctHashCount()));
   m.dbhashDocumentHashes->set(static_cast<double>(
-      hashDb(SegmentKind::kDocument).distinctHashCount()));
+      hashDbLocked(SegmentKind::kDocument).distinctHashCount()));
   m.dbparSegments->set(static_cast<double>(segments_.size()));
 }
 
@@ -83,13 +83,25 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
                                       std::string_view text,
                                       std::optional<double> threshold) {
   BF_SPAN("flow.observe");
-  const double defaultThreshold = kind == SegmentKind::kParagraph
-                                      ? config_.defaultParagraphThreshold
-                                      : config_.defaultDocumentThreshold;
+  // Fingerprinting is pure CPU over immutable config: do it before taking
+  // the mutex so concurrent observers only serialise on the store update.
   text::Fingerprint fp = text::fingerprintText(text, config_.fingerprint);
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
+  util::MutexLock lock(mutex_);
+  return observeSegmentLocked(kind, name, document, service, std::move(fp),
+                              threshold);
+}
 
+SegmentId FlowTracker::observeSegmentLocked(SegmentKind kind,
+                                            std::string_view name,
+                                            std::string_view document,
+                                            std::string_view service,
+                                            text::Fingerprint fp,
+                                            std::optional<double> threshold) {
+  const double defaultThreshold = kind == SegmentKind::kParagraph
+                                      ? config_.defaultParagraphThreshold
+                                      : config_.defaultDocumentThreshold;
   const SegmentRecord* existing = segments_.findByName(name);
   SegmentId id;
   if (existing == nullptr) {
@@ -111,7 +123,7 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
   }
   segments_.updateFingerprint(id, std::move(fp), now);
   if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
-  refreshStoreGauges();
+  refreshStoreGaugesLocked();
   return id;
 }
 
@@ -135,11 +147,17 @@ FlowTracker::DocumentObservation FlowTracker::observeDocument(
 }
 
 void FlowTracker::removeSegmentByName(std::string_view name) {
+  util::MutexLock lock(mutex_);
   const SegmentRecord* rec = segments_.findByName(name);
-  if (rec != nullptr) removeSegment(rec->id);
+  if (rec != nullptr) removeSegmentLocked(rec->id);
 }
 
 void FlowTracker::removeSegment(SegmentId id) {
+  util::MutexLock lock(mutex_);
+  removeSegmentLocked(id);
+}
+
+void FlowTracker::removeSegmentLocked(SegmentId id) {
   const SegmentRecord* rec = segments_.find(id);
   if (rec != nullptr) {
     hashDbFor(rec->kind).removeSegment(id);
@@ -149,10 +167,17 @@ void FlowTracker::removeSegment(SegmentId id) {
   }
   segments_.remove(id);
   cache_.erase(id);
-  refreshStoreGauges();
+  refreshStoreGaugesLocked();
 }
 
 std::vector<DisclosureHit> FlowTracker::disclosedSources(
+    const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
+    std::string_view selfDocument) const {
+  util::MutexLock lock(mutex_);
+  return disclosedSourcesLocked(target, sourceKind, self, selfDocument);
+}
+
+std::vector<DisclosureHit> FlowTracker::disclosedSourcesLocked(
     const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
     std::string_view selfDocument) const {
   BF_SPAN("flow.query");
@@ -167,7 +192,7 @@ std::vector<DisclosureHit> FlowTracker::disclosedSources(
   // so the candidate set is bounded by |F(target)| regardless of database
   // size. This is what makes response time scale sub-linearly with the
   // hash count (paper Fig. 13).
-  const HashDb& db = hashDb(sourceKind);
+  const HashDb& db = hashDbLocked(sourceKind);
   std::unordered_set<SegmentId> candidates;
   if (config_.useAuthoritative) {
     for (std::uint64_t h : target.hashes()) {
@@ -228,19 +253,19 @@ std::vector<DisclosureHit> FlowTracker::checkText(
       text::fingerprintText(text, config_.fingerprint);
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
-  return disclosedSources(fp, SegmentKind::kParagraph, kInvalidSegment,
-                          excludeDocument);
+  util::MutexLock lock(mutex_);
+  return disclosedSourcesLocked(fp, SegmentKind::kParagraph, kInvalidSegment,
+                                excludeDocument);
 }
 
-const std::vector<DisclosureHit>& FlowTracker::sourcesForSegment(
-    SegmentId id) {
-  static const std::vector<DisclosureHit> kEmpty;
+std::vector<DisclosureHit> FlowTracker::sourcesForSegment(SegmentId id) {
+  util::MutexLock lock(mutex_);
   const SegmentRecord* rec = segments_.find(id);
-  if (rec == nullptr) return kEmpty;
+  if (rec == nullptr) return {};
 
   CacheEntry& entry = cache_[id];
   const std::uint64_t digest = digestOf(rec->fingerprint);
-  const std::uint64_t removalGen = hashDb(rec->kind).removalGeneration();
+  const std::uint64_t removalGen = hashDbLocked(rec->kind).removalGeneration();
   if (config_.enableCache && entry.valid &&
       entry.fingerprintDigest == digest &&
       entry.removalGeneration == removalGen) {
@@ -251,7 +276,7 @@ const std::vector<DisclosureHit>& FlowTracker::sourcesForSegment(
   stats_.cacheMisses.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().cacheMisses->inc();
   entry.hits =
-      disclosedSources(rec->fingerprint, rec->kind, id, rec->document);
+      disclosedSourcesLocked(rec->fingerprint, rec->kind, id, rec->document);
   entry.fingerprintDigest = digest;
   entry.removalGeneration = removalGen;
   entry.valid = true;
@@ -260,11 +285,12 @@ const std::vector<DisclosureHit>& FlowTracker::sourcesForSegment(
 
 double FlowTracker::pairwiseDisclosure(SegmentId source,
                                        SegmentId target) const {
+  util::MutexLock lock(mutex_);
   const SegmentRecord* src = segments_.find(source);
   const SegmentRecord* tgt = segments_.find(target);
   if (src == nullptr || tgt == nullptr) return 0.0;
   if (config_.useAuthoritative) {
-    return disclosureScore(*src, tgt->fingerprint, hashDb(src->kind));
+    return disclosureScore(*src, tgt->fingerprint, hashDbLocked(src->kind));
   }
   const std::size_t total = src->fingerprint.size();
   if (total == 0) return 0.0;
@@ -275,6 +301,7 @@ double FlowTracker::pairwiseDisclosure(SegmentId source,
 
 bool FlowTracker::setSegmentThreshold(std::string_view name,
                                       double threshold) {
+  util::MutexLock lock(mutex_);
   const SegmentRecord* rec = segments_.findByName(name);
   if (rec == nullptr) return false;
   segments_.setThreshold(rec->id, threshold);
@@ -284,17 +311,19 @@ bool FlowTracker::setSegmentThreshold(std::string_view name,
 }
 
 std::size_t FlowTracker::evictAssociationsOlderThan(util::Timestamp cutoff) {
+  util::MutexLock lock(mutex_);
   std::size_t dropped = 0;
   dropped += hashDbFor(SegmentKind::kParagraph).evictOlderThan(cutoff);
   dropped += hashDbFor(SegmentKind::kDocument).evictOlderThan(cutoff);
   cache_.clear();  // authority may have shifted wholesale
-  refreshStoreGauges();
+  refreshStoreGaugesLocked();
   return dropped;
 }
 
 void FlowTracker::restoreSegment(SegmentRecord record) {
+  util::MutexLock lock(mutex_);
   segments_.restore(std::move(record));
-  refreshStoreGauges();
+  refreshStoreGaugesLocked();
 }
 
 void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
@@ -302,6 +331,7 @@ void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
                                      util::Timestamp firstSeen) {
   // Called once per association during snapshot import; the store gauges
   // are refreshed by restoreSegment / the next observation instead of here.
+  util::MutexLock lock(mutex_);
   hashDbFor(kind).recordObservation(hash, segment, firstSeen);
 }
 
@@ -309,9 +339,10 @@ std::vector<std::pair<std::size_t, std::size_t>>
 FlowTracker::attributeDisclosure(SegmentId source,
                                  const text::Fingerprint& target) const {
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  util::MutexLock lock(mutex_);
   const SegmentRecord* rec = segments_.find(source);
   if (rec == nullptr || target.empty()) return ranges;
-  const HashDb& db = hashDb(rec->kind);
+  const HashDb& db = hashDbLocked(rec->kind);
   // Each matched gram covers roughly one n-gram of source text; adjacent
   // matches merge into readable passages. The window guarantee means a
   // copied passage of >= windowChars yields at least one gram here.
@@ -339,6 +370,7 @@ const SegmentRecord* FlowTracker::findSegmentWithFingerprint(
     std::string_view document, const text::Fingerprint& fp,
     SegmentKind kind) const {
   if (fp.empty()) return nullptr;
+  util::MutexLock lock(mutex_);
   const SegmentRecord* found = nullptr;
   segments_.forEach([&](const SegmentRecord& rec) {
     if (found == nullptr && rec.kind == kind && rec.document == document &&

@@ -28,6 +28,8 @@
 #include "obs/metrics.h"
 #include "text/winnower.h"
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bf::flow {
 
@@ -75,10 +77,22 @@ struct TrackerStats {
   std::uint64_t fingerprintsComputed = 0;
 };
 
+/// Thread safety: every observation/query entry point is internally
+/// synchronised by one per-tracker mutex (rank util::kRankTracker), so a
+/// tracker can be shared by the async DecisionEngine worker and direct
+/// callers. Accessors that hand out pointers or references into the stores
+/// (segment, segmentByName, findSegmentWithFingerprint, sourcesForSegment's
+/// hit copies excepted — hashDb, segmentDb) are only stable while no
+/// concurrent mutation runs; callers that keep them across operations must
+/// serialise externally (the engine's stateMutex_ provides this on the
+/// decision path). Fingerprinting runs OUTSIDE the mutex: it is pure CPU on
+/// immutable config, so concurrent observers only serialise on store
+/// updates, not on hashing.
 class FlowTracker {
  public:
   /// `clock` provides observation timestamps; not owned, must outlive the
-  /// tracker.
+  /// tracker. The clock is only invoked under the tracker's mutex, so a
+  /// non-thread-safe LogicalClock is fine even with concurrent observers.
   FlowTracker(TrackerConfig config, util::Clock* clock);
 
   // ---- Observation (feeding the tracker) ----------------------------------
@@ -89,7 +103,8 @@ class FlowTracker {
   SegmentId observeSegment(SegmentKind kind, std::string_view name,
                            std::string_view document,
                            std::string_view service, std::string_view text,
-                           std::optional<double> threshold = std::nullopt);
+                           std::optional<double> threshold = std::nullopt)
+      BF_EXCLUDES(mutex_);
 
   /// Observes a whole document: one document-kind segment named `docName`
   /// plus one paragraph-kind segment "docName#p<i>" per paragraph.
@@ -104,14 +119,15 @@ class FlowTracker {
       std::optional<double> documentThreshold = std::nullopt);
 
   /// Removes a segment (and its hash associations, lazily).
-  void removeSegmentByName(std::string_view name);
-  void removeSegment(SegmentId id);
+  void removeSegmentByName(std::string_view name) BF_EXCLUDES(mutex_);
+  void removeSegment(SegmentId id) BF_EXCLUDES(mutex_);
 
   /// Updates a segment's disclosure threshold (paper S4.2: authors adjust
   /// T_par/T_doc "according to their requirements and the confidentiality
   /// of the text"). Invalidates cached decisions, since thresholds change
   /// which sources report. Returns false for unknown names.
-  bool setSegmentThreshold(std::string_view name, double threshold);
+  bool setSegmentThreshold(std::string_view name, double threshold)
+      BF_EXCLUDES(mutex_);
 
   // ---- Queries (Algorithm 1) ----------------------------------------------
 
@@ -121,29 +137,35 @@ class FlowTracker {
   [[nodiscard]] std::vector<DisclosureHit> disclosedSources(
       const text::Fingerprint& target, SegmentKind sourceKind,
       SegmentId self = kInvalidSegment,
-      std::string_view selfDocument = {}) const;
+      std::string_view selfDocument = {}) const BF_EXCLUDES(mutex_);
 
   /// Fingerprints `text` and queries paragraph-kind sources without
   /// registering anything — the "would uploading this leak?" path.
   [[nodiscard]] std::vector<DisclosureHit> checkText(
-      std::string_view text, std::string_view excludeDocument = {}) const;
+      std::string_view text, std::string_view excludeDocument = {}) const
+      BF_EXCLUDES(mutex_);
 
   /// Cached per-segment query: disclosing sources of the segment's current
   /// fingerprint. Serves the cached answer when the fingerprint is
-  /// unchanged since the last call.
-  const std::vector<DisclosureHit>& sourcesForSegment(SegmentId id);
+  /// unchanged since the last call. Returns a copy of the hits (the cache
+  /// entry itself may be invalidated by a concurrent observation the moment
+  /// the tracker's mutex is released).
+  [[nodiscard]] std::vector<DisclosureHit> sourcesForSegment(SegmentId id)
+      BF_EXCLUDES(mutex_);
 
   /// Pairwise disclosure score D(source, target) between two registered
   /// segments (used by effectiveness benches).
   [[nodiscard]] double pairwiseDisclosure(SegmentId source,
-                                          SegmentId target) const;
+                                          SegmentId target) const
+      BF_EXCLUDES(mutex_);
 
   /// Attribution (paper S4.1): which passages of the SOURCE segment does
   /// `target` disclose? Returns merged [begin, end) byte ranges into the
   /// source's original text, covering every authoritative source hash that
   /// also appears in the target. Empty if either side is unknown/empty.
   [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
-  attributeDisclosure(SegmentId source, const text::Fingerprint& target) const;
+  attributeDisclosure(SegmentId source, const text::Fingerprint& target) const
+      BF_EXCLUDES(mutex_);
 
   /// The registered segment of `document` whose fingerprint has exactly the
   /// same hash set as `fp` (nullptr if none, or if fp is empty). Lets the
@@ -151,15 +173,23 @@ class FlowTracker {
   /// and reuse its label — including user suppressions.
   [[nodiscard]] const SegmentRecord* findSegmentWithFingerprint(
       std::string_view document, const text::Fingerprint& fp,
-      SegmentKind kind = SegmentKind::kParagraph) const;
+      SegmentKind kind = SegmentKind::kParagraph) const BF_EXCLUDES(mutex_);
 
   // ---- Introspection -------------------------------------------------------
+  // The pointer/reference accessors below escape the tracker's mutex by
+  // design (snapshot export, tests, benches, the plug-in's lockState()
+  // sections). They are safe only while no concurrent mutation runs; the
+  // analysis is disabled for them, and the external-serialisation contract
+  // is documented in the class comment.
 
-  [[nodiscard]] const SegmentRecord* segment(SegmentId id) const {
+  [[nodiscard]] const SegmentRecord* segment(SegmentId id) const
+      BF_NO_THREAD_SAFETY_ANALYSIS {
+    util::MutexLock lock(mutex_);
     return segments_.find(id);
   }
-  [[nodiscard]] const SegmentRecord* segmentByName(
-      std::string_view name) const {
+  [[nodiscard]] const SegmentRecord* segmentByName(std::string_view name) const
+      BF_NO_THREAD_SAFETY_ANALYSIS {
+    util::MutexLock lock(mutex_);
     return segments_.findByName(name);
   }
   /// The hash store for one tracking granularity. Paragraphs and documents
@@ -167,10 +197,12 @@ class FlowTracker {
   /// with hash h") is kind-local: a document fingerprint never steals
   /// authority from its own paragraphs.
   [[nodiscard]] const HashDb& hashDb(
-      SegmentKind kind = SegmentKind::kParagraph) const noexcept {
+      SegmentKind kind = SegmentKind::kParagraph) const noexcept
+      BF_NO_THREAD_SAFETY_ANALYSIS {
     return hashes_[static_cast<std::size_t>(kind)];
   }
-  [[nodiscard]] const SegmentDb& segmentDb() const noexcept {
+  [[nodiscard]] const SegmentDb& segmentDb() const noexcept
+      BF_NO_THREAD_SAFETY_ANALYSIS {
     return segments_;
   }
   [[nodiscard]] const TrackerConfig& config() const noexcept {
@@ -209,15 +241,17 @@ class FlowTracker {
   /// "periodic removal of old fingerprints", S4.4). Segments themselves
   /// stay; they regain associations when next observed. Returns the number
   /// of associations dropped.
-  std::size_t evictAssociationsOlderThan(util::Timestamp cutoff);
+  std::size_t evictAssociationsOlderThan(util::Timestamp cutoff)
+      BF_EXCLUDES(mutex_);
 
   /// Restores a segment exported by flow::exportState(). The id and name
   /// must be unused.
-  void restoreSegment(SegmentRecord record);
+  void restoreSegment(SegmentRecord record) BF_EXCLUDES(mutex_);
 
   /// Restores one hash association with its original first-seen timestamp.
   void restoreAssociation(SegmentKind kind, std::uint64_t hash,
-                          SegmentId segment, util::Timestamp firstSeen);
+                          SegmentId segment, util::Timestamp firstSeen)
+      BF_EXCLUDES(mutex_);
 
  private:
   struct CacheEntry {
@@ -231,12 +265,31 @@ class FlowTracker {
   [[nodiscard]] DisclosureHit makeHit(const SegmentRecord& source,
                                       double score, std::size_t overlap) const;
 
-  [[nodiscard]] HashDb& hashDbFor(SegmentKind kind) noexcept {
+  /// Registers `fp` (already computed, OUTSIDE the mutex) for the segment.
+  SegmentId observeSegmentLocked(SegmentKind kind, std::string_view name,
+                                 std::string_view document,
+                                 std::string_view service,
+                                 text::Fingerprint fp,
+                                 std::optional<double> threshold)
+      BF_REQUIRES(mutex_);
+
+  [[nodiscard]] std::vector<DisclosureHit> disclosedSourcesLocked(
+      const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
+      std::string_view selfDocument) const BF_REQUIRES(mutex_);
+
+  void removeSegmentLocked(SegmentId id) BF_REQUIRES(mutex_);
+
+  [[nodiscard]] HashDb& hashDbFor(SegmentKind kind) noexcept
+      BF_REQUIRES(mutex_) {
+    return hashes_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const HashDb& hashDbLocked(SegmentKind kind) const noexcept
+      BF_REQUIRES(mutex_) {
     return hashes_[static_cast<std::size_t>(kind)];
   }
 
   /// Pushes the current DBhash/DBpar sizes into the registry gauges.
-  void refreshStoreGauges() const noexcept;
+  void refreshStoreGaugesLocked() const noexcept BF_REQUIRES(mutex_);
 
   /// Live per-instance counters behind the TrackerStats view. Incremented
   /// with relaxed atomics from const query paths, which the async decision
@@ -249,11 +302,14 @@ class FlowTracker {
     std::atomic<std::uint64_t> fingerprintsComputed{0};
   };
 
-  TrackerConfig config_;
-  util::Clock* clock_;
-  HashDb hashes_[2];  // indexed by SegmentKind
-  SegmentDb segments_;
-  std::unordered_map<SegmentId, CacheEntry> cache_;
+  TrackerConfig config_;  // immutable after construction
+  /// Serialises the stores and the decision cache; ranked below the
+  /// engine's stateMutex_ in the documented hierarchy.
+  mutable util::Mutex mutex_{util::kRankTracker, "FlowTracker.mutex_"};
+  util::Clock* clock_ BF_PT_GUARDED_BY(mutex_);
+  HashDb hashes_[2] BF_GUARDED_BY(mutex_);  // indexed by SegmentKind
+  SegmentDb segments_ BF_GUARDED_BY(mutex_);
+  std::unordered_map<SegmentId, CacheEntry> cache_ BF_GUARDED_BY(mutex_);
   mutable AtomicStats stats_;
 };
 

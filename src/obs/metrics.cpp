@@ -193,14 +193,14 @@ MetricsRegistry::Entry& MetricsRegistry::entryFor(std::string_view name,
 
 Counter& MetricsRegistry::counter(std::string_view name,
                                   std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& e = entryFor(name, help, MetricKind::kCounter);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& e = entryFor(name, help, MetricKind::kGauge);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -209,7 +209,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help,
                                       std::vector<double> upperBounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& e = entryFor(name, help, MetricKind::kHistogram);
   if (!e.histogram) {
     if (upperBounds.empty()) upperBounds = Histogram::defaultLatencyBucketsMs();
@@ -219,7 +219,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MetricsSnapshot out;
   out.metrics.reserve(metrics_.size());
   for (const auto& [name, entry] : metrics_) {  // std::map → name-sorted
@@ -244,7 +244,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::resetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, entry] : metrics_) {
     (void)name;
     if (entry.counter) entry.counter->reset();

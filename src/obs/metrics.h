@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bf::obs {
 
@@ -202,10 +204,10 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
   Entry& entryFor(std::string_view name, std::string_view help,
-                  MetricKind kind);
+                  MetricKind kind) BF_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> metrics_;
+  mutable util::Mutex mutex_{util::kRankMetrics, "MetricsRegistry.mutex_"};
+  std::map<std::string, Entry, std::less<>> metrics_ BF_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry every bf component reports to.

@@ -54,20 +54,20 @@ TraceLog::TraceLog(std::size_t capacity)
 }
 
 void TraceLog::setCapacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.assign(capacity_, SpanRecord{});
   total_ = 0;
 }
 
 void TraceLog::record(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ring_[total_ % capacity_] = span;
   ++total_;
 }
 
 std::vector<SpanRecord> TraceLog::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<SpanRecord> out;
   const std::uint64_t kept = total_ < capacity_ ? total_ : capacity_;
   out.reserve(kept);
@@ -80,17 +80,17 @@ std::vector<SpanRecord> TraceLog::events() const {
 }
 
 std::uint64_t TraceLog::totalRecorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return total_;
 }
 
 std::uint64_t TraceLog::droppedCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return total_ > capacity_ ? total_ - capacity_ : 0;
 }
 
 void TraceLog::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ring_.assign(capacity_, SpanRecord{});
   total_ = 0;
 }

@@ -18,9 +18,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bf::obs {
 
@@ -71,10 +73,12 @@ class TraceLog {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> ring_;
-  std::size_t capacity_;
-  std::uint64_t total_ = 0;  // next write at total_ % capacity_
+  // Near-innermost rank: spans close (and record here) under any pipeline
+  // lock — engine state, tracker, fault injector.
+  mutable util::Mutex mutex_{util::kRankTrace, "TraceLog.mutex_"};
+  std::vector<SpanRecord> ring_ BF_GUARDED_BY(mutex_);
+  std::size_t capacity_ BF_GUARDED_BY(mutex_);
+  std::uint64_t total_ BF_GUARDED_BY(mutex_) = 0;  // next write: total_ % capacity_
 };
 
 /// RAII span. Use via BF_SPAN; constructing it directly is fine too.

@@ -6,6 +6,7 @@
 // use wall time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace bf::util {
@@ -23,17 +24,25 @@ class Clock {
 
 /// Deterministic clock: every call to now() advances by one tick.
 /// Guarantees strict ordering of observations, which tests rely on.
+/// Atomic: one clock is typically shared by the tracker (internally
+/// locked) and the policy (engine-locked), which run under different
+/// mutexes and may tick concurrently.
 class LogicalClock final : public Clock {
  public:
   explicit LogicalClock(Timestamp start = 0) noexcept : t_(start) {}
-  Timestamp now() override { return t_++; }
+  Timestamp now() override {
+    return t_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Jumps forward; next now() returns at least `t`.
   void advanceTo(Timestamp t) noexcept {
-    if (t > t_) t_ = t;
+    Timestamp cur = t_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !t_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  Timestamp t_;
+  std::atomic<Timestamp> t_;
 };
 
 /// Wall clock in nanoseconds since an unspecified epoch (steady).

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace bf::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// Innermost rank: any code path may log while holding any other lock.
+Mutex g_mutex{kRankLogging, "util::logging.g_mutex"};
 
 const char* levelName(LogLevel l) noexcept {
   switch (l) {
@@ -32,7 +34,7 @@ LogLevel logLevel() noexcept { return g_level.load(); }
 void logMessage(LogLevel level, std::string_view module,
                 std::string_view msg) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
                static_cast<int>(module.size()), module.data(),
                static_cast<int>(msg.size()), msg.data());

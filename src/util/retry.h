@@ -22,7 +22,9 @@
 
 #include <algorithm>
 
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace bf::util {
 
@@ -75,6 +77,10 @@ class Backoff {
 /// back (capped at `capacity`). Under a sustained fault storm the bucket
 /// empties and clients degrade to single attempts instead of multiplying
 /// load on an already-unhealthy backend.
+///
+/// Thread-safe: one budget may be shared by concurrent uploads (the whole
+/// point of bounding AGGREGATE amplification), so the balance is guarded by
+/// an internal leaf mutex.
 class RetryBudget {
  public:
   explicit RetryBudget(double capacity = 10.0,
@@ -83,23 +89,42 @@ class RetryBudget {
         refundPerSuccess_(refundPerSuccess),
         tokens_(capacity) {}
 
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// Re-arms the bucket (full again) with new parameters; replaces the old
+  /// assign-a-fresh-budget idiom, which the internal mutex rules out.
+  void configure(double capacity, double refundPerSuccess = 0.1) noexcept
+      BF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    capacity_ = capacity;
+    refundPerSuccess_ = refundPerSuccess;
+    tokens_ = capacity;
+  }
+
   /// True (and spends a token) iff a full token is available.
-  [[nodiscard]] bool tryWithdraw() noexcept {
+  [[nodiscard]] bool tryWithdraw() noexcept BF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (tokens_ < 1.0) return false;
     tokens_ -= 1.0;
     return true;
   }
 
-  void deposit() noexcept {
+  void deposit() noexcept BF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     tokens_ = std::min(capacity_, tokens_ + refundPerSuccess_);
   }
 
-  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+  [[nodiscard]] double tokens() const noexcept BF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return tokens_;
+  }
 
  private:
-  double capacity_;
-  double refundPerSuccess_;
-  double tokens_;
+  mutable Mutex mutex_{kRankRetryBudget, "RetryBudget.mutex_"};
+  double capacity_ BF_GUARDED_BY(mutex_);
+  double refundPerSuccess_ BF_GUARDED_BY(mutex_);
+  double tokens_ BF_GUARDED_BY(mutex_);
 };
 
 }  // namespace bf::util

@@ -1,0 +1,221 @@
+// Tests for the DecisionEngine's graceful-degradation features: bounded
+// queue with load shedding, per-decision deadlines, the circuit breaker
+// around the disclosure lookup, and the audit trail every degraded decision
+// leaves behind.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/decision_engine.h"
+#include "corpus/text_generator.h"
+#include "tdm/audit.h"
+#include "util/clock.h"
+
+namespace bf::core {
+namespace {
+
+class DegradedTest : public ::testing::Test {
+ protected:
+  DegradedTest()
+      : rng_(7),
+        gen_(&rng_),
+        tracker_(flow::TrackerConfig{}, &clock_),
+        policy_(&clock_) {
+    policy_.services().upsert(
+        {"gdocs", "Google Docs", tdm::TagSet{}, tdm::TagSet{}});
+  }
+
+  DecisionRequest requestFor(const std::string& text, int index = 0) {
+    DecisionRequest req;
+    req.segmentName = "gdocs/target#p" + std::to_string(index);
+    req.documentName = "gdocs/target";
+    req.serviceId = "gdocs";
+    req.text = text;
+    return req;
+  }
+
+  std::size_t degradedAuditCount() const {
+    return policy_.audit()
+        .byKind(tdm::AuditRecord::Kind::kDecisionDegraded)
+        .size();
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  BrowserFlowConfig config_;
+  flow::FlowTracker tracker_;
+  tdm::TdmPolicy policy_;
+};
+
+TEST_F(DegradedTest, QueueOverflowShedsWithAuditRecords) {
+  config_.resilience.maxQueueDepth = 1;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  std::vector<std::future<Decision>> futures;
+  {
+    // Stall the worker: it can pop at most one item and then blocks on the
+    // state mutex, so the queue (capacity 1) fills and later submissions
+    // are shed synchronously.
+    auto stall = engine.lockState();
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(engine.decideAsync(requestFor(gen_.paragraph(3, 5), i)));
+    }
+  }
+  engine.drain();
+
+  int shed = 0;
+  for (auto& f : futures) {
+    const Decision d = f.get();
+    if (d.degraded) {
+      ++shed;
+      EXPECT_NE(d.degradedReason.find("shed"), std::string::npos);
+      EXPECT_EQ(d.action, Decision::Action::kAllow) << "default is fail-open";
+    }
+  }
+  // 5 submissions against capacity 1: one may be in the worker's hands and
+  // one queued, everything else is shed.
+  EXPECT_GE(shed, 3);
+  EXPECT_LE(shed, 4);
+  EXPECT_EQ(degradedAuditCount(), static_cast<std::size_t>(shed))
+      << "every degraded decision leaves an audit record";
+}
+
+TEST_F(DegradedTest, FailClosedShedsAsBlock) {
+  config_.resilience.maxQueueDepth = 1;
+  config_.resilience.degradedMode = DegradedMode::kFailClosed;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  std::vector<std::future<Decision>> futures;
+  {
+    auto stall = engine.lockState();
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(engine.decideAsync(requestFor(gen_.paragraph(3, 5), i)));
+    }
+  }
+  engine.drain();
+
+  bool sawDegraded = false;
+  for (auto& f : futures) {
+    const Decision d = f.get();
+    if (d.degraded) {
+      sawDegraded = true;
+      EXPECT_EQ(d.action, Decision::Action::kBlock);
+    }
+  }
+  EXPECT_TRUE(sawDegraded);
+}
+
+TEST_F(DegradedTest, QueuedPastDeadlineAnsweredDegraded) {
+  config_.resilience.decisionDeadlineMs = 5.0;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  std::future<Decision> first, second;
+  {
+    // First request: popped immediately, then the worker blocks on the
+    // state mutex while the second request ages in the queue.
+    auto stall = engine.lockState();
+    first = engine.decideAsync(requestFor(gen_.paragraph(3, 5), 0));
+    second = engine.decideAsync(requestFor(gen_.paragraph(3, 5), 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  engine.drain();
+
+  // The second request waited >= 50ms behind the stalled worker — far past
+  // its 5ms budget — so it must degrade whatever happened to the first.
+  const Decision d = second.get();
+  EXPECT_TRUE(d.degraded);
+  EXPECT_NE(d.degradedReason.find("deadline"), std::string::npos);
+  EXPECT_EQ(d.action, Decision::Action::kAllow);
+  EXPECT_GE(degradedAuditCount(), 1u);
+}
+
+TEST_F(DegradedTest, BreakerTripsSkipsAndProbes) {
+  // A budget of ~0 makes every disclosure lookup count as slow.
+  config_.resilience.breakerLatencyBudgetMs = 1e-12;
+  config_.resilience.breakerTripThreshold = 3;
+  config_.resilience.breakerOpenDecisions = 2;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  // Three slow lookups trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    const Decision d = engine.decide(requestFor(gen_.paragraph(3, 5), i));
+    EXPECT_FALSE(d.degraded) << "pipeline still runs while counting";
+  }
+  EXPECT_TRUE(engine.breakerOpen());
+
+  // While open, decisions skip the lookup and answer degraded.
+  for (int i = 3; i < 5; ++i) {
+    const Decision d = engine.decide(requestFor(gen_.paragraph(3, 5), i));
+    EXPECT_TRUE(d.degraded);
+    EXPECT_NE(d.degradedReason.find("breaker"), std::string::npos);
+  }
+
+  // Skip allowance spent: the next decision is a half-open probe that runs
+  // the real pipeline; the lookup is still "slow", so the breaker re-arms.
+  const Decision probe = engine.decide(requestFor(gen_.paragraph(3, 5), 5));
+  EXPECT_FALSE(probe.degraded);
+  EXPECT_TRUE(engine.breakerOpen());
+  EXPECT_TRUE(engine.decide(requestFor(gen_.paragraph(3, 5), 6)).degraded);
+
+  EXPECT_EQ(degradedAuditCount(), 3u);
+}
+
+TEST_F(DegradedTest, HealthyProbeClosesBreaker) {
+  config_.resilience.breakerLatencyBudgetMs = 1e-12;
+  config_.resilience.breakerTripThreshold = 1;
+  config_.resilience.breakerOpenDecisions = 1;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  engine.decide(requestFor(gen_.paragraph(3, 5), 0));  // trips
+  ASSERT_TRUE(engine.breakerOpen());
+  EXPECT_TRUE(engine.decide(requestFor(gen_.paragraph(3, 5), 1)).degraded);
+
+  // Raise the latency budget so the half-open probe finds a healthy lookup.
+  ResilienceConfig relaxed = config_.resilience;
+  relaxed.breakerLatencyBudgetMs = 1e9;
+  engine.setResilience(relaxed);
+  const Decision probe = engine.decide(requestFor(gen_.paragraph(3, 5), 2));
+  EXPECT_FALSE(probe.degraded);
+  EXPECT_FALSE(engine.breakerOpen());
+  EXPECT_FALSE(engine.decide(requestFor(gen_.paragraph(3, 5), 3)).degraded);
+}
+
+TEST_F(DegradedTest, BreakerFailClosedBlocksWhileOpen) {
+  config_.resilience.breakerLatencyBudgetMs = 1e-12;
+  config_.resilience.breakerTripThreshold = 1;
+  config_.resilience.breakerOpenDecisions = 5;
+  config_.resilience.degradedMode = DegradedMode::kFailClosed;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  engine.decide(requestFor(gen_.paragraph(3, 5), 0));
+  ASSERT_TRUE(engine.breakerOpen());
+  const Decision d = engine.decide(requestFor(gen_.paragraph(3, 5), 1));
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.action, Decision::Action::kBlock);
+  EXPECT_TRUE(d.violation());
+}
+
+TEST_F(DegradedTest, DegradedMetricTracksAuditLog) {
+  config_.resilience.breakerLatencyBudgetMs = 1e-12;
+  config_.resilience.breakerTripThreshold = 1;
+  config_.resilience.breakerOpenDecisions = 3;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+  const std::uint64_t before =
+      obs::registry().counter("bf_decision_degraded_total").value();
+
+  engine.decide(requestFor(gen_.paragraph(3, 5), 0));  // trips
+  for (int i = 1; i <= 3; ++i) {
+    engine.decide(requestFor(gen_.paragraph(3, 5), i));  // degraded x3
+  }
+  const std::uint64_t after =
+      obs::registry().counter("bf_decision_degraded_total").value();
+  EXPECT_EQ(after - before, 3u);
+  EXPECT_EQ(degradedAuditCount(), 3u);
+}
+
+}  // namespace
+}  // namespace bf::core

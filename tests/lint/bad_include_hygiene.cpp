@@ -1,0 +1,10 @@
+// Fixture: path-escaping, internal, and unresolvable includes must be
+// flagged. Not compiled; selftest input only.
+// bflint-expect: include-hygiene
+#include "../src/util/mutex.h"
+#include <bits/stdc++.h>
+#include "no/such/header.h"
+
+namespace bf::lintfixture {
+int placeholder() { return 0; }
+}  // namespace bf::lintfixture

@@ -1,0 +1,6 @@
+// Fixture: a header without `#pragma once`. Not compiled; selftest input.
+// bflint-expect: missing-pragma-once
+
+namespace bf::lintfixture {
+inline int answer() { return 42; }
+}  // namespace bf::lintfixture

@@ -1,0 +1,15 @@
+// Fixture: raw standard-library locking outside src/util must be flagged.
+// Not compiled; consumed by `scripts/bflint.py --selftest`.
+// bflint-expect: raw-mutex
+#include <mutex>
+
+namespace bf::lintfixture {
+
+std::mutex g_bad;  // should be bf::util::Mutex
+
+int lockedIncrement(int value) {
+  std::lock_guard<std::mutex> lock(g_bad);  // should be bf::util::MutexLock
+  return value + 1;
+}
+
+}  // namespace bf::lintfixture

@@ -1,0 +1,16 @@
+// Fixture: wall-clock time and unseeded randomness outside util/clock.* /
+// util/rng.* must be flagged. Not compiled; selftest input only.
+// bflint-expect: wall-clock
+#include <chrono>
+#include <cstdlib>
+
+namespace bf::lintfixture {
+
+long wallClockNow() {
+  // Non-monotonic and non-deterministic: breaks simulation replay.
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int unseededNoise() { return rand() % 6; }
+
+}  // namespace bf::lintfixture

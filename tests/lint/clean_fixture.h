@@ -1,0 +1,35 @@
+// Fixture: a header every bflint rule should pass. Mentions of banned
+// tokens inside comments and string literals must NOT fire: std::mutex,
+// std::lock_guard, system_clock, rand().
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace bf::lintfixture {
+
+/// steady_clock is monotonic measurement time and explicitly allowed.
+inline long monotonicNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline std::string bannedTokensInStrings() {
+  return "std::mutex, std::condition_variable, rand(, system_clock";
+}
+
+class Guarded {
+ public:
+  void bump() BF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  util::Mutex mutex_;
+  int count_ BF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace bf::lintfixture
