@@ -85,6 +85,12 @@ int main() {
                 "source found: %zu/%zu\n",
                 series.back().first, p95, util::percentile(timesMs, 50),
                 probes - missedSources, probes);
+    bench::result(
+        "{\"bench\":\"fig13\",\"hashes_millions\":" +
+        std::to_string(series.back().first) +
+        ",\"p95_ms\":" + std::to_string(p95) +
+        ",\"median_ms\":" + std::to_string(util::percentile(timesMs, 50)) +
+        "}");
   }
 
   bench::printSeries("p95-response-time", series,
@@ -96,6 +102,8 @@ int main() {
   std::printf("\np95 at %zux database size: %.2fx the initial p95 "
               "(sub-linear if << 10x)\n",
               steps, last / (first > 0 ? first : 1e-9));
+  bench::result("{\"bench\":\"fig13\",\"p95_growth_at_10x\":" +
+                std::to_string(last / (first > 0 ? first : 1e-9)) + "}");
   bench::dumpMetrics();
   return 0;
 }

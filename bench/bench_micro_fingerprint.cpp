@@ -8,6 +8,7 @@
 #include "flow/snapshot.h"
 #include "flow/tracker.h"
 #include "text/aho_corasick.h"
+#include "text/fingerprint_kernel.h"
 #include "text/winnower.h"
 #include "util/clock.h"
 
@@ -47,6 +48,41 @@ void BM_FingerprintText(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_FingerprintText)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FingerprintTextReference(benchmark::State& state) {
+  // The staged pipeline (normalize → hashNgrams → winnow) kept as the
+  // differential-testing reference — and as the pre-fusion baseline this
+  // PR's BENCH_PR4.json compares the fused kernel against.
+  const std::string text = makeText(static_cast<std::size_t>(state.range(0)));
+  const text::FingerprintConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::fingerprintTextReference(text, config));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FingerprintTextReference)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
+
+void BM_FingerprintTextFusedWorkspace(benchmark::State& state) {
+  // The fused kernel against an explicitly reused workspace: the
+  // zero-allocation steady state (fingerprintText's thread-local path adds
+  // only the TLS lookup on top of this).
+  const std::string text = makeText(static_cast<std::size_t>(state.range(0)));
+  const text::FingerprintConfig config;
+  text::FingerprintWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::fingerprintTextFused(text, config, ws));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FingerprintTextFusedWorkspace)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
 
 void BM_FingerprintIntersection(benchmark::State& state) {
   const text::FingerprintConfig config;

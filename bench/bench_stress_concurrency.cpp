@@ -3,16 +3,69 @@
 // upload checks. Reports sustained decision throughput and verifies the
 // engine's serialisation kept the stores coherent.
 //
+// A second phase measures multi-reader QUERY throughput against a loaded
+// tracker, comparing the reader-writer lock's shared path against an
+// emulation of the pre-PR exclusive mutex (every query gated through one
+// bench-side mutex). RESULT lines feed scripts/bench_report.py.
+//
 // (Beyond the paper: its prototype serves one user per browser; an
 // enterprise proxy deployment would multiplex users over one store.)
 
 #include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/decision_engine.h"
 #include "corpus/text_generator.h"
+#include "text/winnower.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
+
+namespace {
+
+/// Multi-reader query phase: `readers` threads issue `queriesEach`
+/// disclosure queries with precomputed fingerprints. With serialise=true,
+/// every query first takes one bench-side mutex, emulating the pre-PR
+/// tracker whose single exclusive mutex serialised all readers; with
+/// serialise=false the queries go straight to the tracker's shared lock.
+/// Returns sustained queries/second.
+double runReaderPhase(bf::flow::FlowTracker& tracker,
+                      const std::vector<bf::text::Fingerprint>& queries,
+                      std::size_t readers, std::size_t queriesEach,
+                      bool serialise) {
+  using namespace bf;
+  util::Mutex gate;  // unranked: a bench fixture, not part of the hierarchy
+  util::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (std::size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      for (std::size_t i = 0; i < queriesEach; ++i) {
+        const text::Fingerprint& fp = queries[(r * 31 + i) % queries.size()];
+        if (serialise) {
+          util::MutexLock lock(gate);
+          auto hits = tracker.disclosedSources(
+              fp, flow::SegmentKind::kParagraph, flow::kInvalidSegment,
+              "probe");
+          if (hits.size() > queries.size()) std::abort();  // keep hits live
+        } else {
+          auto hits = tracker.disclosedSources(
+              fp, flow::SegmentKind::kParagraph, flow::kInvalidSegment,
+              "probe");
+          if (hits.size() > queries.size()) std::abort();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = watch.elapsedMillis() / 1000.0;
+  return static_cast<double>(readers * queriesEach) /
+         (seconds > 0 ? seconds : 1e-9);
+}
+
+}  // namespace
 
 int main() {
   using namespace bf;
@@ -105,6 +158,39 @@ int main() {
   }
   std::printf("post-stress source attribution intact: %zu/%zu\n",
               secrets.size() - misattributed, secrets.size());
+  bench::result("{\"bench\":\"stress\",\"users\":" + std::to_string(users) +
+                ",\"decisions_per_s\":" +
+                std::to_string(static_cast<double>(latency.count) / seconds) +
+                ",\"p50_ms\":" + std::to_string(latency.p50Ms) +
+                ",\"p99_ms\":" + std::to_string(latency.p99Ms) + "}");
+
+  // ---- Multi-reader query scaling ------------------------------------------
+  // Precomputed fingerprints, pure Algorithm-1 queries: this isolates the
+  // tracker's lock from fingerprinting cost. "exclusive" gates every query
+  // through one bench-side mutex (the pre-PR behaviour: a single exclusive
+  // tracker mutex serialised all readers); "shared" exercises the
+  // reader-writer lock's concurrent read path.
+  bench::printHeader("Readers", "multi-reader query throughput");
+  std::vector<text::Fingerprint> queries;
+  queries.reserve(secrets.size());
+  for (const std::string& s : secrets) queries.push_back(tracker.fingerprintOf(s));
+  const std::size_t queriesEach = bench::paperScale() ? 2000 : 500;
+  const unsigned cores = std::thread::hardware_concurrency();
+  for (const bool serialise : {true, false}) {
+    for (const std::size_t readers : {1u, 2u, 4u, 8u}) {
+      const double qps =
+          runReaderPhase(tracker, queries, readers, queriesEach, serialise);
+      const char* mode = serialise ? "exclusive" : "shared";
+      std::printf("mode: %-9s readers: %zu  queries/s: %10.0f\n", mode,
+                  readers, qps);
+      bench::result("{\"bench\":\"multi_reader\",\"mode\":\"" +
+                    std::string(mode) +
+                    "\",\"readers\":" + std::to_string(readers) +
+                    ",\"queries_per_s\":" + std::to_string(qps) +
+                    ",\"hw_cores\":" + std::to_string(cores) + "}");
+    }
+  }
+
   bench::dumpMetrics();
   return misattributed == 0 ? 0 : 1;
 }

@@ -44,6 +44,14 @@ inline void printSeries(const char* name,
   }
 }
 
+/// Emits one machine-readable result line. scripts/bench_report.py greps
+/// stdout for the "RESULT " prefix and parses the rest as a JSON object,
+/// so benches can publish named series without a structured-output mode.
+/// `json` must be a complete JSON object (the caller formats it).
+inline void result(const std::string& json) {
+  std::printf("RESULT %s\n", json.c_str());
+}
+
 /// When BF_METRICS is set, prints the whole obs registry after the figure:
 /// BF_METRICS=json emits the JSON exposition, any other non-empty value
 /// the Prometheus text format. Call at the end of each bench main().

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Run the bench suite and write a machine-readable trajectory file.
+
+Produces BENCH_PR4.json: per-bench throughput / latency series plus the
+peak RSS of each bench process, so performance PRs carry their numbers in
+the repo instead of in prose. Two result channels are understood:
+
+  * google-benchmark JSON (--benchmark_format=json) for the micro benches;
+  * "RESULT {...json...}" lines on stdout for the figure/stress harnesses
+    (see bench::result in bench/bench_util.h).
+
+Usage:
+    scripts/bench_report.py [--build-dir build] [--out BENCH_PR4.json]
+                            [--baseline before.json] [--quick]
+
+--baseline merges a previous report under the "baseline" key so the file
+records the before/after pair. --quick trims iteration counts (used by
+scripts/check.sh when BF_CHECK_BENCH=1) — numbers are noisier but the
+wiring is exercised end to end.
+"""
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+
+
+def run_child(cmd, env=None):
+    """Runs `cmd`, returning (stdout, wall_seconds, peak_rss_bytes).
+
+    Peak RSS comes from os.wait4's rusage (ru_maxrss is KiB on Linux), so
+    it measures the bench process itself, not this script.
+    """
+    full_env = dict(os.environ)
+    if env:
+        full_env.update(env)
+    start = time.monotonic()
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=full_env
+    )
+    out = proc.stdout.read().decode("utf-8", "replace")
+    _, status, rusage = os.wait4(proc.pid, 0)
+    wall = time.monotonic() - start
+    if status != 0:
+        sys.stderr.write(out)
+        raise RuntimeError(f"{cmd[0]} exited with status {status}")
+    return out, wall, rusage.ru_maxrss * 1024
+
+
+def parse_result_lines(stdout):
+    """Extracts the `RESULT {...}` objects a bench printed."""
+    results = []
+    for line in stdout.splitlines():
+        if line.startswith("RESULT "):
+            try:
+                results.append(json.loads(line[len("RESULT "):]))
+            except json.JSONDecodeError:
+                sys.stderr.write(f"unparseable RESULT line: {line}\n")
+    return results
+
+
+def run_micro(build_dir, quick):
+    """bench_micro_fingerprint via google-benchmark's JSON reporter."""
+    binary = os.path.join(build_dir, "bench", "bench_micro_fingerprint")
+    cmd = [binary, "--benchmark_format=json"]
+    if quick:
+        cmd.append(
+            "--benchmark_filter=BM_Fingerprint(Text|TextReference|"
+            "TextFusedWorkspace)/16384"
+        )
+    out, wall, rss = run_child(cmd)
+    data = json.loads(out)
+    benchmarks = []
+    for b in data.get("benchmarks", []):
+        entry = {
+            "name": b["name"],
+            "real_time_ns": b.get("real_time"),
+            "cpu_time_ns": b.get("cpu_time"),
+        }
+        if "bytes_per_second" in b:
+            entry["mb_per_s"] = b["bytes_per_second"] / 1e6
+        benchmarks.append(entry)
+    return {
+        "benchmarks": benchmarks,
+        "wall_s": round(wall, 2),
+        "peak_rss_bytes": rss,
+        "context": {
+            k: data.get("context", {}).get(k)
+            for k in ("num_cpus", "mhz_per_cpu", "library_build_type")
+        },
+    }
+
+
+def run_results_bench(binary, env, quick_env):
+    out, wall, rss = run_child([binary], env={**env, **quick_env})
+    return {
+        "results": parse_result_lines(out),
+        "wall_s": round(wall, 2),
+        "peak_rss_bytes": rss,
+    }
+
+
+def summarize(report):
+    """Derives the headline comparisons the PR's acceptance criteria name."""
+    summary = {}
+    micro = {
+        b["name"]: b
+        for b in report.get("micro_fingerprint", {}).get("benchmarks", [])
+    }
+    ref = micro.get("BM_FingerprintTextReference/16384")
+    fused = micro.get("BM_FingerprintTextFusedWorkspace/16384")
+    if ref and fused and fused.get("mb_per_s"):
+        summary["fingerprint_speedup_vs_reference_16k"] = round(
+            fused["mb_per_s"] / ref["mb_per_s"], 2
+        )
+    readers = [
+        r
+        for r in report.get("stress_concurrency", {}).get("results", [])
+        if r.get("bench") == "multi_reader"
+    ]
+    if readers:
+        summary["multi_reader"] = {
+            f"{r['mode']}_r{r['readers']}": round(r["queries_per_s"])
+            for r in readers
+        }
+        summary["hw_cores"] = readers[0].get("hw_cores")
+    return summary
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_PR4.json")
+    ap.add_argument("--baseline", help="previous report to embed for before/after")
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced iteration counts (check.sh wiring test)")
+    ap.add_argument("--skip", default="",
+                    help="comma-separated benches to skip (micro,fig13,stress)")
+    args = ap.parse_args()
+
+    skip = {s for s in args.skip.split(",") if s}
+    report = {
+        "schema": "bf-bench-report-v1",
+        "generated_by": "scripts/bench_report.py",
+        "build_dir": args.build_dir,
+    }
+
+    if "micro" not in skip:
+        print("==> bench_micro_fingerprint", flush=True)
+        report["micro_fingerprint"] = run_micro(args.build_dir, args.quick)
+
+    if "fig13" not in skip:
+        print("==> bench_fig13_scalability", flush=True)
+        quick_env = {"BF_SCALE": "quick"} if args.quick else {}
+        report["fig13_scalability"] = run_results_bench(
+            os.path.join(args.build_dir, "bench", "bench_fig13_scalability"),
+            {}, quick_env)
+
+    if "stress" not in skip:
+        print("==> bench_stress_concurrency", flush=True)
+        quick_env = (
+            {"BF_STRESS_USERS": "4", "BF_STRESS_DECISIONS": "200"}
+            if args.quick else {}
+        )
+        report["stress_concurrency"] = run_results_bench(
+            os.path.join(args.build_dir, "bench", "bench_stress_concurrency"),
+            {}, quick_env)
+
+    report["summary"] = summarize(report)
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            report["baseline"] = json.load(f)
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"==> wrote {args.out}")
+    if report["summary"]:
+        print(json.dumps(report["summary"], indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,11 @@ cannot enforce:
                       and every sleep variant. The simulation is
                       deterministic; steady_clock (monotonic, measurement
                       only) is explicitly allowed.
+  deque-scratch       std::deque inside src/text. The fingerprint kernel is
+                      the hottest loop in the system; its scratch structures
+                      are flat rings/vectors in a reusable workspace
+                      (text/fingerprint_kernel.h). A deque's chunked nodes
+                      reintroduce pointer-chasing and per-call allocation.
   missing-pragma-once Headers must use `#pragma once`.
   include-hygiene     No `#include "../..."` / `#include "./..."` path
                       escapes, no <bits/...> internals, and every quoted
@@ -73,6 +78,12 @@ WALL_CLOCK_PATTERNS = [
      "sleeping; simulate delays (SimNetwork latency model) instead"),
 ]
 
+DEQUE_PATTERNS = [
+    (re.compile(r"\bstd::deque\b|#\s*include\s*<deque>"),
+     "std::deque in the text hot path; use a flat ring buffer in "
+     "FingerprintWorkspace (text/fingerprint_kernel.h)"),
+]
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 _STRIP_RE = re.compile(
@@ -124,6 +135,8 @@ def lint_file(path: str, fixture_mode: bool = False) -> list[Finding]:
          not fixture_mode and rel.startswith(RAW_MUTEX_ALLOWED_PREFIXES))
     scan(WALL_CLOCK_PATTERNS, "wall-clock",
          not fixture_mode and rel in WALL_CLOCK_ALLOWED)
+    scan(DEQUE_PATTERNS, "deque-scratch",
+         not fixture_mode and not rel.startswith("src/text/"))
 
     if path.endswith((".h", ".hpp")) and not re.search(
             r"^\s*#\s*pragma\s+once\b", code, re.MULTILINE):

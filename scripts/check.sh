@@ -35,4 +35,13 @@ for preset in $PRESETS; do
   fi
 done
 
+# BF_CHECK_BENCH=1 exercises the bench-report pipeline end to end with a
+# short run (noisy numbers, real wiring): every bench must start, emit
+# parseable output, and produce a well-formed report file.
+if [ "${BF_CHECK_BENCH:-0}" = "1" ]; then
+  echo "==> [bench] bench_report.py --quick"
+  python3 scripts/bench_report.py --quick --build-dir build \
+    --out build/bench-report-check.json
+fi
+
 echo "==> all presets green: $PRESETS"

@@ -386,7 +386,7 @@ Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
         fp, kind, flow::kInvalidSegment, documentName);
 
     tdm::UploadDecision check;
-    if (const flow::SegmentRecord* seg =
+    if (const std::optional<flow::SegmentRecord> seg =
             tracker_.findSegmentWithFingerprint(documentName, fp, kind)) {
       // The outgoing text is a tracked segment of this document: its
       // registered label (implicit tags, user suppressions) decides.

@@ -2,85 +2,198 @@
 
 #include <algorithm>
 
+#include "util/hashing.h"
+
 namespace bf::flow {
+
+namespace {
+constexpr std::size_t kInitialSlots = 16;  // power of two
+}  // namespace
+
+std::size_t HashDb::probe(std::uint64_t hash) const noexcept {
+  // Stored hashes are often truncated to 32 bits; re-mix so high slots of
+  // large tables stay uniformly used under linear probing.
+  std::size_t idx = static_cast<std::size_t>(util::mix64(hash)) & mask_;
+  while (slots_[idx].used && slots_[idx].hash != hash) {
+    idx = (idx + 1) & mask_;
+  }
+  return idx;
+}
+
+void HashDb::reserveForInsert() {
+  if (slots_.empty()) {
+    slots_.resize(kInitialSlots);
+    mask_ = kInitialSlots - 1;
+    return;
+  }
+  // Grow at ~70% load. Rehashing moves only the flat Slot structs; the
+  // overflow pool is index-stable and untouched.
+  if ((occupied_ + 1) * 10 < slots_.size() * 7) return;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.used) slots_[probe(s.hash)] = s;
+  }
+}
 
 void HashDb::recordObservation(std::uint64_t hash, SegmentId segment,
                                util::Timestamp ts) {
-  Entry& e = table_[hash];
-  for (const Association& a : e.history) {
-    if (a.segment == segment) return;  // keep original first-seen timestamp
+  reserveForInsert();
+  Slot& s = slots_[probe(hash)];
+  if (!s.used) {
+    s.used = true;
+    s.hash = hash;
+    s.first = Association{segment, ts};
+    s.overflow = kNoOverflow;
+    ++occupied_;
+    ++storedAssociations_;
+    return;
   }
-  // Timestamps come from a monotonic clock, so appends keep the history
-  // sorted; guard anyway against out-of-order callers.
+  // Idempotent per (hash, segment): keep the original first-seen timestamp.
+  if (s.first.segment == segment) return;
+  if (s.overflow != kNoOverflow) {
+    for (const Association& a : overflow_[s.overflow]) {
+      if (a.segment == segment) return;
+    }
+  }
+
+  if (s.overflow == kNoOverflow) {
+    if (!overflowFree_.empty()) {
+      s.overflow = overflowFree_.back();
+      overflowFree_.pop_back();
+      overflow_[s.overflow].clear();
+    } else {
+      s.overflow = static_cast<std::uint32_t>(overflow_.size());
+      overflow_.emplace_back();
+    }
+  }
+  std::vector<Association>& rest = overflow_[s.overflow];
   Association assoc{segment, ts};
-  if (!e.history.empty() && e.history.back().firstSeen > ts) {
-    auto it = std::upper_bound(
-        e.history.begin(), e.history.end(), ts,
-        [](util::Timestamp t, const Association& a) { return t < a.firstSeen; });
-    e.history.insert(it, assoc);
+  if (ts < s.first.firstSeen) {
+    // New oldest: it takes the inline seat; the previous oldest re-enters
+    // the history at the front (it precedes everything in the overflow).
+    std::swap(assoc, s.first);
+    rest.insert(rest.begin(), assoc);
   } else {
-    e.history.push_back(assoc);
+    // Timestamps come from a monotonic clock, so appends keep the history
+    // sorted; guard anyway against out-of-order callers.
+    if (!rest.empty() && rest.back().firstSeen > ts) {
+      auto it = std::upper_bound(rest.begin(), rest.end(), ts,
+                                 [](util::Timestamp t, const Association& a) {
+                                   return t < a.firstSeen;
+                                 });
+      rest.insert(it, assoc);
+    } else {
+      rest.push_back(assoc);
+    }
   }
-  ++liveAssociations_;
+  ++storedAssociations_;
 }
 
 std::optional<SegmentId> HashDb::oldestSegmentWith(std::uint64_t hash) const {
-  auto it = table_.find(hash);
-  if (it == table_.end()) return std::nullopt;
-  for (const Association& a : it->second.history) {
-    if (!isDead(a.segment)) return a.segment;
+  if (slots_.empty()) return std::nullopt;
+  const Slot& s = slots_[probe(hash)];
+  if (!s.used) return std::nullopt;
+  // The inline association IS the oldest owner — the common single-owner
+  // case answers from this one slot.
+  if (!isDead(s.first.segment)) return s.first.segment;
+  if (s.overflow != kNoOverflow) {
+    for (const Association& a : overflow_[s.overflow]) {
+      if (!isDead(a.segment)) return a.segment;
+    }
   }
   return std::nullopt;
 }
 
 std::vector<SegmentId> HashDb::segmentsWith(std::uint64_t hash) const {
   std::vector<SegmentId> out;
-  auto it = table_.find(hash);
-  if (it == table_.end()) return out;
-  out.reserve(it->second.history.size());
-  for (const Association& a : it->second.history) {
-    if (!isDead(a.segment)) out.push_back(a.segment);
+  if (slots_.empty()) return out;
+  const Slot& s = slots_[probe(hash)];
+  if (!s.used) return out;
+  if (!isDead(s.first.segment)) out.push_back(s.first.segment);
+  if (s.overflow != kNoOverflow) {
+    const std::vector<Association>& rest = overflow_[s.overflow];
+    out.reserve(out.size() + rest.size());
+    for (const Association& a : rest) {
+      if (!isDead(a.segment)) out.push_back(a.segment);
+    }
   }
   return out;
 }
 
 std::optional<util::Timestamp> HashDb::firstSeen(std::uint64_t hash,
                                                  SegmentId segment) const {
-  auto it = table_.find(hash);
-  if (it == table_.end()) return std::nullopt;
-  for (const Association& a : it->second.history) {
-    if (a.segment == segment && !isDead(segment)) return a.firstSeen;
+  if (slots_.empty() || isDead(segment)) return std::nullopt;
+  const Slot& s = slots_[probe(hash)];
+  if (!s.used) return std::nullopt;
+  if (s.first.segment == segment) return s.first.firstSeen;
+  if (s.overflow != kNoOverflow) {
+    for (const Association& a : overflow_[s.overflow]) {
+      if (a.segment == segment) return a.firstSeen;
+    }
   }
   return std::nullopt;
 }
 
+template <typename Keep>
+std::size_t HashDb::rebuildFiltered(Keep&& keep) {
+  std::vector<Slot> oldSlots = std::move(slots_);
+  std::vector<std::vector<Association>> oldOverflow = std::move(overflow_);
+  const std::size_t before = storedAssociations_;
+  slots_.clear();
+  overflow_.clear();
+  overflowFree_.clear();
+  mask_ = 0;
+  occupied_ = 0;
+  storedAssociations_ = 0;
+
+  std::vector<Association> hist;
+  for (const Slot& s : oldSlots) {
+    if (!s.used) continue;
+    hist.clear();
+    if (keep(s.first)) hist.push_back(s.first);
+    if (s.overflow != kNoOverflow) {
+      for (const Association& a : oldOverflow[s.overflow]) {
+        if (keep(a)) hist.push_back(a);
+      }
+    }
+    if (hist.empty()) continue;
+    reserveForInsert();
+    Slot& dst = slots_[probe(s.hash)];
+    dst.used = true;
+    dst.hash = s.hash;
+    dst.first = hist.front();
+    dst.overflow = kNoOverflow;
+    if (hist.size() > 1) {
+      dst.overflow = static_cast<std::uint32_t>(overflow_.size());
+      overflow_.emplace_back(hist.begin() + 1, hist.end());
+    }
+    ++occupied_;
+    storedAssociations_ += hist.size();
+  }
+  return before - storedAssociations_;
+}
+
 void HashDb::removeSegment(SegmentId segment) {
-  dead_.emplace(segment, 0);
+  dead_.insert(segment);
   ++removalGeneration_;
+  if (dead_.size() > deadCompactionThreshold_) compactDead();
+}
+
+std::size_t HashDb::compactDead() {
+  if (dead_.empty()) return 0;
+  const std::size_t dropped =
+      rebuildFiltered([this](const Association& a) { return !isDead(a.segment); });
+  dead_.clear();
+  return dropped;
 }
 
 std::size_t HashDb::evictOlderThan(util::Timestamp cutoff) {
-  std::size_t dropped = 0;
-  for (auto it = table_.begin(); it != table_.end();) {
-    auto& hist = it->second.history;
-    const std::size_t before = hist.size();
-    hist.erase(std::remove_if(hist.begin(), hist.end(),
-                              [&](const Association& a) {
-                                return a.firstSeen < cutoff || isDead(a.segment);
-                              }),
-               hist.end());
-    dropped += before - hist.size();
-    if (hist.empty()) {
-      it = table_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (liveAssociations_ >= dropped) {
-    liveAssociations_ -= dropped;
-  } else {
-    liveAssociations_ = 0;
-  }
+  const std::size_t dropped = rebuildFiltered([&](const Association& a) {
+    return a.firstSeen >= cutoff && !isDead(a.segment);
+  });
+  dead_.clear();  // every dead association was just physically purged
   ++removalGeneration_;
   return dropped;
 }

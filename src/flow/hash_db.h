@@ -6,13 +6,25 @@
 //
 // For every fingerprint hash we keep the history of segments that were
 // observed to contain it, ordered by first-seen timestamp. The front of the
-// list answers oldestSegmentWith(h) in O(1) amortised, which both the
+// history answers oldestSegmentWith(h) in O(1) amortised, which both the
 // authoritative-fingerprint computation and Algorithm 1 rely on.
+//
+// Storage is an open-addressing hash table (linear probing, power-of-two
+// capacity) whose slots hold the FIRST association inline: most hashes have
+// exactly one owner, so the Algorithm-1 candidate loop — one
+// oldestSegmentWith probe per target hash — resolves in a single cache line
+// without chasing node pointers. Hashes with multiple owners spill the rest
+// of their history into a pooled overflow vector.
+//
+// Segment removal is lazy (a dead set consulted by lookups) but bounded:
+// once the dead set exceeds a threshold, the store physically compacts the
+// dead associations and clears the set, so neither the tombstones nor the
+// per-lookup isDead probes accumulate forever.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "flow/ids.h"
@@ -28,6 +40,10 @@ class HashDb {
     SegmentId segment;
     util::Timestamp firstSeen;
   };
+
+  /// Dead segments tolerated before removeSegment triggers a physical
+  /// compaction (see setDeadCompactionThreshold).
+  static constexpr std::size_t kDefaultDeadCompactionThreshold = 64;
 
   /// Records that `segment` contains `hash`, first observed at `ts`.
   /// Idempotent per (hash, segment): re-observing keeps the original
@@ -48,26 +64,45 @@ class HashDb {
       std::uint64_t hash, SegmentId segment) const;
 
   /// Marks a segment dead: its associations are skipped by lookups and
-  /// physically removed lazily. Increments the removal generation (used by
-  /// callers to invalidate authoritative-fingerprint caches).
+  /// physically removed by the next compaction (automatic once the dead
+  /// set exceeds the threshold). Increments the removal generation (used
+  /// by callers to invalidate authoritative-fingerprint caches).
   void removeSegment(SegmentId segment);
 
-  /// Drops all associations whose firstSeen < cutoff. Implements the
-  /// paper's "periodic removal of old fingerprints" recommendation (S4.4).
-  /// Returns the number of associations dropped.
+  /// Physically removes every association of a dead segment and clears
+  /// the dead set. Called automatically by removeSegment past the
+  /// threshold; public for tests and explicit maintenance. Returns the
+  /// number of associations dropped.
+  std::size_t compactDead();
+
+  /// Dead segments not yet physically purged.
+  [[nodiscard]] std::size_t deadSegmentCount() const noexcept {
+    return dead_.size();
+  }
+
+  /// Overrides the dead-segment compaction threshold (0 compacts on every
+  /// removal). Tests use small values; production keeps the default, which
+  /// amortises compaction cost over many removals.
+  void setDeadCompactionThreshold(std::size_t threshold) noexcept {
+    deadCompactionThreshold_ = threshold;
+  }
+
+  /// Drops all associations whose firstSeen < cutoff (and purges dead
+  /// ones). Implements the paper's "periodic removal of old fingerprints"
+  /// recommendation (S4.4). Returns the number of associations dropped.
   std::size_t evictOlderThan(util::Timestamp cutoff);
 
   /// Number of distinct hashes with at least one (possibly dead)
   /// association. Benches use this to size the store (paper Fig. 13).
   [[nodiscard]] std::size_t distinctHashCount() const noexcept {
-    return table_.size();
+    return occupied_;
   }
 
-  /// Number of stored associations (for memory accounting in benches).
-  /// Associations of removed segments are counted until physically purged
-  /// by evictOlderThan — removal is lazy.
+  /// Number of physically stored associations (memory accounting in
+  /// benches). Associations of removed segments are counted until the
+  /// next compaction purges them.
   [[nodiscard]] std::size_t associationCount() const noexcept {
-    return liveAssociations_;
+    return storedAssociations_;
   }
 
   /// Monotone counter bumped by removeSegment/evictOlderThan. Callers cache
@@ -80,26 +115,57 @@ class HashDb {
   /// per-hash oldest-first order. Used by snapshot export.
   template <typename Fn>
   void forEachAssociation(Fn&& fn) const {
-    for (const auto& [hash, entry] : table_) {
-      for (const Association& a : entry.history) {
-        if (!isDead(a.segment)) fn(hash, a.segment, a.firstSeen);
+    for (const Slot& slot : slots_) {
+      if (!slot.used) continue;
+      if (!isDead(slot.first.segment)) {
+        fn(slot.hash, slot.first.segment, slot.first.firstSeen);
+      }
+      if (slot.overflow != kNoOverflow) {
+        for (const Association& a : overflow_[slot.overflow]) {
+          if (!isDead(a.segment)) fn(slot.hash, a.segment, a.firstSeen);
+        }
       }
     }
   }
 
  private:
-  struct Entry {
-    std::vector<Association> history;  // ordered by firstSeen ascending
+  static constexpr std::uint32_t kNoOverflow = 0xffffffffu;
+
+  /// One open-addressing slot: the hash, its oldest association inline,
+  /// and (rarely) an index into the overflow pool for the rest of the
+  /// history, kept sorted by firstSeen ascending.
+  struct Slot {
+    std::uint64_t hash = 0;
+    Association first{kInvalidSegment, 0};
+    std::uint32_t overflow = kNoOverflow;
+    bool used = false;
   };
 
-  // Segments marked dead. Associations are purged lazily on lookup.
   [[nodiscard]] bool isDead(SegmentId s) const {
-    return dead_.count(s) != 0;
+    return !dead_.empty() && dead_.count(s) != 0;
   }
 
-  std::unordered_map<std::uint64_t, Entry> table_;
-  std::unordered_map<SegmentId, char> dead_;
-  std::size_t liveAssociations_ = 0;
+  /// Index of `hash`'s slot, or of the empty slot where it would insert.
+  /// Requires a non-empty table.
+  [[nodiscard]] std::size_t probe(std::uint64_t hash) const noexcept;
+
+  /// Ensures capacity for one more distinct hash (grows + rehashes at
+  /// ~70% load).
+  void reserveForInsert();
+
+  /// Rebuilds the table keeping only associations for which `keep` returns
+  /// true. Returns the number of associations dropped.
+  template <typename Keep>
+  std::size_t rebuildFiltered(Keep&& keep);
+
+  std::vector<Slot> slots_;  // power-of-two size; empty until first insert
+  std::size_t mask_ = 0;     // slots_.size() - 1
+  std::size_t occupied_ = 0;
+  std::vector<std::vector<Association>> overflow_;
+  std::vector<std::uint32_t> overflowFree_;  // recyclable overflow_ indices
+  std::unordered_set<SegmentId> dead_;
+  std::size_t deadCompactionThreshold_ = kDefaultDeadCompactionThreshold;
+  std::size_t storedAssociations_ = 0;
   std::uint64_t removalGeneration_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "flow/tracker.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_set>
 
 #include "obs/trace.h"
@@ -55,6 +56,11 @@ const TrackerMetrics& trackerMetrics() {
   return m;
 }
 
+/// observeDocument fans paragraph fingerprinting out across threads once a
+/// document is large enough to amortise thread start-up.
+constexpr std::size_t kMinParagraphsPerWorker = 4;
+constexpr std::size_t kMaxFingerprintWorkers = 8;
+
 }  // namespace
 
 FlowTracker::FlowTracker(TrackerConfig config, util::Clock* clock)
@@ -88,9 +94,11 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
   text::Fingerprint fp = text::fingerprintText(text, config_.fingerprint);
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
-  util::MutexLock lock(mutex_);
-  return observeSegmentLocked(kind, name, document, service, std::move(fp),
-                              threshold);
+  util::SharedMutexLock lock(mutex_);
+  const SegmentId id = observeSegmentLocked(kind, name, document, service,
+                                            std::move(fp), threshold);
+  refreshStoreGaugesLocked();
+  return id;
 }
 
 SegmentId FlowTracker::observeSegmentLocked(SegmentKind kind,
@@ -123,7 +131,6 @@ SegmentId FlowTracker::observeSegmentLocked(SegmentKind kind,
   }
   segments_.updateFingerprint(id, std::move(fp), now);
   if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
-  refreshStoreGaugesLocked();
   return id;
 }
 
@@ -131,30 +138,73 @@ FlowTracker::DocumentObservation FlowTracker::observeDocument(
     std::string_view docName, std::string_view service,
     std::string_view fullText, std::optional<double> paragraphThreshold,
     std::optional<double> documentThreshold) {
-  DocumentObservation out;
-  out.document =
-      observeSegment(SegmentKind::kDocument, docName, docName, service,
-                     fullText, documentThreshold);
+  BF_SPAN("flow.observe_document");
   const auto paras = text::segmentParagraphs(fullText);
-  out.paragraphs.reserve(paras.size());
-  for (const auto& p : paras) {
-    std::string pname = std::string(docName) + "#p" + std::to_string(p.index);
-    out.paragraphs.push_back(observeSegment(SegmentKind::kParagraph, pname,
-                                            docName, service, p.text,
-                                            paragraphThreshold));
+
+  // Fingerprint the document and every paragraph OUTSIDE the lock — pure
+  // CPU over immutable config. Large documents fan the paragraphs out over
+  // a few threads, each hashing through its own thread-local workspace.
+  text::Fingerprint docFp =
+      text::fingerprintText(fullText, config_.fingerprint);
+  std::vector<text::Fingerprint> paraFps(paras.size());
+  const std::size_t workers =
+      std::min({paras.size() / kMinParagraphsPerWorker,
+                static_cast<std::size_t>(std::thread::hardware_concurrency()),
+                kMaxFingerprintWorkers});
+  if (workers > 1) {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < paras.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          paraFps[i] =
+              text::fingerprintText(paras[i].text, config_.fingerprint);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  } else {
+    for (std::size_t i = 0; i < paras.size(); ++i) {
+      paraFps[i] = text::fingerprintText(paras[i].text, config_.fingerprint);
+    }
   }
+  stats_.fingerprintsComputed.fetch_add(paras.size() + 1,
+                                        std::memory_order_relaxed);
+  trackerMetrics().fingerprints->inc(paras.size() + 1);
+
+  // One exclusive section applies every store update, then refreshes the
+  // gauges once — the lock is taken once, not once per paragraph.
+  DocumentObservation out;
+  out.paragraphs.reserve(paras.size());
+  util::SharedMutexLock lock(mutex_);
+  out.document =
+      observeSegmentLocked(SegmentKind::kDocument, docName, docName, service,
+                           std::move(docFp), documentThreshold);
+  for (std::size_t i = 0; i < paras.size(); ++i) {
+    std::string pname =
+        std::string(docName) + "#p" + std::to_string(paras[i].index);
+    out.paragraphs.push_back(observeSegmentLocked(
+        SegmentKind::kParagraph, pname, docName, service,
+        std::move(paraFps[i]), paragraphThreshold));
+  }
+  refreshStoreGaugesLocked();
   return out;
 }
 
 void FlowTracker::removeSegmentByName(std::string_view name) {
-  util::MutexLock lock(mutex_);
+  util::SharedMutexLock lock(mutex_);
   const SegmentRecord* rec = segments_.findByName(name);
   if (rec != nullptr) removeSegmentLocked(rec->id);
+  refreshStoreGaugesLocked();
 }
 
 void FlowTracker::removeSegment(SegmentId id) {
-  util::MutexLock lock(mutex_);
+  util::SharedMutexLock lock(mutex_);
   removeSegmentLocked(id);
+  refreshStoreGaugesLocked();
 }
 
 void FlowTracker::removeSegmentLocked(SegmentId id) {
@@ -167,13 +217,12 @@ void FlowTracker::removeSegmentLocked(SegmentId id) {
   }
   segments_.remove(id);
   cache_.erase(id);
-  refreshStoreGaugesLocked();
 }
 
 std::vector<DisclosureHit> FlowTracker::disclosedSources(
     const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
     std::string_view selfDocument) const {
-  util::MutexLock lock(mutex_);
+  util::SharedReaderLock lock(mutex_);
   return disclosedSourcesLocked(target, sourceKind, self, selfDocument);
 }
 
@@ -253,13 +302,34 @@ std::vector<DisclosureHit> FlowTracker::checkText(
       text::fingerprintText(text, config_.fingerprint);
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
-  util::MutexLock lock(mutex_);
+  util::SharedReaderLock lock(mutex_);
   return disclosedSourcesLocked(fp, SegmentKind::kParagraph, kInvalidSegment,
                                 excludeDocument);
 }
 
 std::vector<DisclosureHit> FlowTracker::sourcesForSegment(SegmentId id) {
-  util::MutexLock lock(mutex_);
+  if (config_.enableCache) {
+    // Fast path under a SHARED hold: an unchanged fingerprint serves the
+    // cached answer without blocking concurrent queries (the per-keystroke
+    // common case of S6.2).
+    util::SharedReaderLock lock(mutex_);
+    const SegmentRecord* rec = segments_.find(id);
+    if (rec == nullptr) return {};
+    const auto it = cache_.find(id);
+    if (it != cache_.end() && it->second.valid &&
+        it->second.fingerprintDigest == digestOf(rec->fingerprint) &&
+        it->second.removalGeneration ==
+            hashDbLocked(rec->kind).removalGeneration()) {
+      stats_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+      trackerMetrics().cacheHits->inc();
+      return it->second.hits;
+    }
+  }
+
+  // Miss (or cache disabled): recompute and store under an exclusive hold.
+  // The stores may have changed between the two holds, so everything is
+  // re-read — including the cache entry another thread may just have filled.
+  util::SharedMutexLock lock(mutex_);
   const SegmentRecord* rec = segments_.find(id);
   if (rec == nullptr) return {};
 
@@ -285,7 +355,7 @@ std::vector<DisclosureHit> FlowTracker::sourcesForSegment(SegmentId id) {
 
 double FlowTracker::pairwiseDisclosure(SegmentId source,
                                        SegmentId target) const {
-  util::MutexLock lock(mutex_);
+  util::SharedReaderLock lock(mutex_);
   const SegmentRecord* src = segments_.find(source);
   const SegmentRecord* tgt = segments_.find(target);
   if (src == nullptr || tgt == nullptr) return 0.0;
@@ -301,7 +371,7 @@ double FlowTracker::pairwiseDisclosure(SegmentId source,
 
 bool FlowTracker::setSegmentThreshold(std::string_view name,
                                       double threshold) {
-  util::MutexLock lock(mutex_);
+  util::SharedMutexLock lock(mutex_);
   const SegmentRecord* rec = segments_.findByName(name);
   if (rec == nullptr) return false;
   segments_.setThreshold(rec->id, threshold);
@@ -311,7 +381,7 @@ bool FlowTracker::setSegmentThreshold(std::string_view name,
 }
 
 std::size_t FlowTracker::evictAssociationsOlderThan(util::Timestamp cutoff) {
-  util::MutexLock lock(mutex_);
+  util::SharedMutexLock lock(mutex_);
   std::size_t dropped = 0;
   dropped += hashDbFor(SegmentKind::kParagraph).evictOlderThan(cutoff);
   dropped += hashDbFor(SegmentKind::kDocument).evictOlderThan(cutoff);
@@ -321,7 +391,7 @@ std::size_t FlowTracker::evictAssociationsOlderThan(util::Timestamp cutoff) {
 }
 
 void FlowTracker::restoreSegment(SegmentRecord record) {
-  util::MutexLock lock(mutex_);
+  util::SharedMutexLock lock(mutex_);
   segments_.restore(std::move(record));
   refreshStoreGaugesLocked();
 }
@@ -331,7 +401,7 @@ void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
                                      util::Timestamp firstSeen) {
   // Called once per association during snapshot import; the store gauges
   // are refreshed by restoreSegment / the next observation instead of here.
-  util::MutexLock lock(mutex_);
+  util::SharedMutexLock lock(mutex_);
   hashDbFor(kind).recordObservation(hash, segment, firstSeen);
 }
 
@@ -339,7 +409,7 @@ std::vector<std::pair<std::size_t, std::size_t>>
 FlowTracker::attributeDisclosure(SegmentId source,
                                  const text::Fingerprint& target) const {
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  util::MutexLock lock(mutex_);
+  util::SharedReaderLock lock(mutex_);
   const SegmentRecord* rec = segments_.find(source);
   if (rec == nullptr || target.empty()) return ranges;
   const HashDb& db = hashDbLocked(rec->kind);
@@ -366,16 +436,16 @@ FlowTracker::attributeDisclosure(SegmentId source,
   return ranges;
 }
 
-const SegmentRecord* FlowTracker::findSegmentWithFingerprint(
+std::optional<SegmentRecord> FlowTracker::findSegmentWithFingerprint(
     std::string_view document, const text::Fingerprint& fp,
     SegmentKind kind) const {
-  if (fp.empty()) return nullptr;
-  util::MutexLock lock(mutex_);
-  const SegmentRecord* found = nullptr;
+  if (fp.empty()) return std::nullopt;
+  util::SharedReaderLock lock(mutex_);
+  std::optional<SegmentRecord> found;
   segments_.forEach([&](const SegmentRecord& rec) {
-    if (found == nullptr && rec.kind == kind && rec.document == document &&
+    if (!found && rec.kind == kind && rec.document == document &&
         rec.fingerprint.sameHashes(fp)) {
-      found = &rec;
+      found = rec;
     }
   });
   return found;

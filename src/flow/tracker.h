@@ -78,16 +78,19 @@ struct TrackerStats {
 };
 
 /// Thread safety: every observation/query entry point is internally
-/// synchronised by one per-tracker mutex (rank util::kRankTracker), so a
-/// tracker can be shared by the async DecisionEngine worker and direct
-/// callers. Accessors that hand out pointers or references into the stores
-/// (segment, segmentByName, findSegmentWithFingerprint, sourcesForSegment's
-/// hit copies excepted — hashDb, segmentDb) are only stable while no
-/// concurrent mutation runs; callers that keep them across operations must
-/// serialise externally (the engine's stateMutex_ provides this on the
-/// decision path). Fingerprinting runs OUTSIDE the mutex: it is pure CPU on
-/// immutable config, so concurrent observers only serialise on store
-/// updates, not on hashing.
+/// synchronised by one per-tracker reader-writer lock (util::SharedMutex,
+/// rank util::kRankTracker), so a tracker can be shared by the async
+/// DecisionEngine worker and direct callers. Queries (disclosedSources,
+/// checkText, pairwiseDisclosure, attributeDisclosure,
+/// findSegmentWithFingerprint, and sourcesForSegment's unchanged-fingerprint
+/// fast path) take the lock SHARED and run concurrently with each other;
+/// observations and removals take it exclusively. Accessors that hand out
+/// pointers or references into the stores (segment, segmentByName — hashDb,
+/// segmentDb) are only stable while no concurrent mutation runs; callers
+/// that keep them across operations must serialise externally (the engine's
+/// stateMutex_ provides this on the decision path). Fingerprinting runs
+/// OUTSIDE the lock: it is pure CPU on immutable config, so concurrent
+/// observers only serialise on store updates, not on hashing.
 class FlowTracker {
  public:
   /// `clock` provides observation timestamps; not owned, must outlive the
@@ -108,6 +111,9 @@ class FlowTracker {
 
   /// Observes a whole document: one document-kind segment named `docName`
   /// plus one paragraph-kind segment "docName#p<i>" per paragraph.
+  /// Batched: all fingerprints are computed outside the lock (in parallel
+  /// for large documents), then applied under ONE exclusive section with a
+  /// single gauge refresh — the lock is taken once, not N+1 times.
   struct DocumentObservation {
     SegmentId document = kInvalidSegment;
     std::vector<SegmentId> paragraphs;
@@ -116,7 +122,8 @@ class FlowTracker {
       std::string_view docName, std::string_view service,
       std::string_view fullText,
       std::optional<double> paragraphThreshold = std::nullopt,
-      std::optional<double> documentThreshold = std::nullopt);
+      std::optional<double> documentThreshold = std::nullopt)
+      BF_EXCLUDES(mutex_);
 
   /// Removes a segment (and its hash associations, lazily).
   void removeSegmentByName(std::string_view name) BF_EXCLUDES(mutex_);
@@ -147,9 +154,11 @@ class FlowTracker {
 
   /// Cached per-segment query: disclosing sources of the segment's current
   /// fingerprint. Serves the cached answer when the fingerprint is
-  /// unchanged since the last call. Returns a copy of the hits (the cache
-  /// entry itself may be invalidated by a concurrent observation the moment
-  /// the tracker's mutex is released).
+  /// unchanged since the last call — that fast path holds the lock SHARED,
+  /// so concurrent cached queries never serialise; only a cache miss
+  /// upgrades to an exclusive hold to store the recomputed answer. Returns
+  /// a copy of the hits (the cache entry itself may be invalidated by a
+  /// concurrent observation the moment the tracker's lock is released).
   [[nodiscard]] std::vector<DisclosureHit> sourcesForSegment(SegmentId id)
       BF_EXCLUDES(mutex_);
 
@@ -168,10 +177,12 @@ class FlowTracker {
       BF_EXCLUDES(mutex_);
 
   /// The registered segment of `document` whose fingerprint has exactly the
-  /// same hash set as `fp` (nullptr if none, or if fp is empty). Lets the
+  /// same hash set as `fp` (nullopt if none, or if fp is empty). Lets the
   /// upload path recognise "this outgoing text IS that tracked paragraph"
-  /// and reuse its label — including user suppressions.
-  [[nodiscard]] const SegmentRecord* findSegmentWithFingerprint(
+  /// and reuse its label — including user suppressions. Returns a COPY of
+  /// the record: a pointer into the store would dangle the moment the lock
+  /// is released and a concurrent observation rehashed the segment table.
+  [[nodiscard]] std::optional<SegmentRecord> findSegmentWithFingerprint(
       std::string_view document, const text::Fingerprint& fp,
       SegmentKind kind = SegmentKind::kParagraph) const BF_EXCLUDES(mutex_);
 
@@ -184,12 +195,12 @@ class FlowTracker {
 
   [[nodiscard]] const SegmentRecord* segment(SegmentId id) const
       BF_NO_THREAD_SAFETY_ANALYSIS {
-    util::MutexLock lock(mutex_);
+    util::SharedReaderLock lock(mutex_);
     return segments_.find(id);
   }
   [[nodiscard]] const SegmentRecord* segmentByName(std::string_view name) const
       BF_NO_THREAD_SAFETY_ANALYSIS {
-    util::MutexLock lock(mutex_);
+    util::SharedReaderLock lock(mutex_);
     return segments_.findByName(name);
   }
   /// The hash store for one tracking granularity. Paragraphs and documents
@@ -265,7 +276,9 @@ class FlowTracker {
   [[nodiscard]] DisclosureHit makeHit(const SegmentRecord& source,
                                       double score, std::size_t overlap) const;
 
-  /// Registers `fp` (already computed, OUTSIDE the mutex) for the segment.
+  /// Registers `fp` (already computed, OUTSIDE the lock) for the segment.
+  /// Does NOT refresh the store gauges — callers batch mutations and
+  /// refresh once per exclusive section.
   SegmentId observeSegmentLocked(SegmentKind kind, std::string_view name,
                                  std::string_view document,
                                  std::string_view service,
@@ -273,9 +286,10 @@ class FlowTracker {
                                  std::optional<double> threshold)
       BF_REQUIRES(mutex_);
 
+  /// Pure read of the stores: runs under a shared OR exclusive hold.
   [[nodiscard]] std::vector<DisclosureHit> disclosedSourcesLocked(
       const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
-      std::string_view selfDocument) const BF_REQUIRES(mutex_);
+      std::string_view selfDocument) const BF_REQUIRES_SHARED(mutex_);
 
   void removeSegmentLocked(SegmentId id) BF_REQUIRES(mutex_);
 
@@ -284,12 +298,12 @@ class FlowTracker {
     return hashes_[static_cast<std::size_t>(kind)];
   }
   [[nodiscard]] const HashDb& hashDbLocked(SegmentKind kind) const noexcept
-      BF_REQUIRES(mutex_) {
+      BF_REQUIRES_SHARED(mutex_) {
     return hashes_[static_cast<std::size_t>(kind)];
   }
 
   /// Pushes the current DBhash/DBpar sizes into the registry gauges.
-  void refreshStoreGaugesLocked() const noexcept BF_REQUIRES(mutex_);
+  void refreshStoreGaugesLocked() const noexcept BF_REQUIRES_SHARED(mutex_);
 
   /// Live per-instance counters behind the TrackerStats view. Incremented
   /// with relaxed atomics from const query paths, which the async decision
@@ -303,9 +317,10 @@ class FlowTracker {
   };
 
   TrackerConfig config_;  // immutable after construction
-  /// Serialises the stores and the decision cache; ranked below the
-  /// engine's stateMutex_ in the documented hierarchy.
-  mutable util::Mutex mutex_{util::kRankTracker, "FlowTracker.mutex_"};
+  /// Reader-writer lock over the stores and the decision cache; ranked
+  /// below the engine's stateMutex_ in the documented hierarchy. Queries
+  /// hold it shared, mutations exclusively.
+  mutable util::SharedMutex mutex_{util::kRankTracker, "FlowTracker.mutex_"};
   util::Clock* clock_ BF_PT_GUARDED_BY(mutex_);
   HashDb hashes_[2] BF_GUARDED_BY(mutex_);  // indexed by SegmentKind
   SegmentDb segments_ BF_GUARDED_BY(mutex_);

@@ -1,7 +1,5 @@
 #include "text/aho_corasick.h"
 
-#include <deque>
-
 namespace bf::text {
 
 AhoCorasick::AhoCorasick() { nodes_.emplace_back(); }
@@ -35,8 +33,11 @@ void AhoCorasick::build() {
   for (const auto& [pattern, id] : patternList_) insertIntoTrie(pattern, id);
 
   // ...then the standard BFS: convert the trie into a DFA where every byte
-  // transition is defined, and fold suffix outputs into each node.
-  std::deque<std::int32_t> queue;
+  // transition is defined, and fold suffix outputs into each node. Every
+  // node enters the queue exactly once, so a flat vector with a read
+  // cursor is the whole queue — no deque chunking.
+  std::vector<std::int32_t> queue;
+  queue.reserve(nodes_.size());
   for (int c = 0; c < kAlphabet; ++c) {
     const std::int32_t child = nodes_[0].next[static_cast<std::size_t>(c)];
     if (child < 0) {
@@ -46,9 +47,8 @@ void AhoCorasick::build() {
       queue.push_back(child);
     }
   }
-  while (!queue.empty()) {
-    const std::int32_t u = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::int32_t u = queue[head];
     Node& nu = nodes_[static_cast<std::size_t>(u)];
     // Inherit outputs reachable through the failure link.
     const auto& failOutputs =

@@ -1,6 +1,7 @@
 #include "text/fingerprint.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace bf::text {
 
@@ -16,6 +17,20 @@ Fingerprint Fingerprint::fromSelected(std::vector<HashedGram> selected) {
   fp.hashes_.erase(std::unique(fp.hashes_.begin(), fp.hashes_.end()),
                    fp.hashes_.end());
   fp.grams_ = std::move(selected);
+  return fp;
+}
+
+Fingerprint Fingerprint::fromSortedParts(std::vector<HashedGram> grams,
+                                         std::vector<std::uint64_t> hashes) {
+  assert(std::is_sorted(grams.begin(), grams.end(),
+                        [](const HashedGram& a, const HashedGram& b) {
+                          return a.pos < b.pos;
+                        }));
+  assert(std::is_sorted(hashes.begin(), hashes.end()));
+  assert(std::adjacent_find(hashes.begin(), hashes.end()) == hashes.end());
+  Fingerprint fp;
+  fp.grams_ = std::move(grams);
+  fp.hashes_ = std::move(hashes);
   return fp;
 }
 

@@ -42,6 +42,14 @@ class Fingerprint {
   /// kept for attribution).
   static Fingerprint fromSelected(std::vector<HashedGram> selected);
 
+  /// Assembles a fingerprint from components the caller already prepared:
+  /// `grams` in position order and `hashes` sorted and de-duplicated
+  /// (debug-asserted). The fused kernel's epilogue: winnowing emits picks
+  /// in position order and the kernel radix-sorts the hash set itself, so
+  /// nothing is left for this factory to do but adopt the vectors.
+  static Fingerprint fromSortedParts(std::vector<HashedGram> grams,
+                                     std::vector<std::uint64_t> hashes);
+
   /// Selected grams in normalized-text position order.
   [[nodiscard]] const std::vector<HashedGram>& grams() const noexcept {
     return grams_;

@@ -1,0 +1,250 @@
+#include "text/fingerprint_kernel.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/hashing.h"
+
+namespace bf::text {
+
+namespace {
+
+/// Smallest power of two >= max(v, 1).
+std::size_t roundPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Normalization as a 256-entry table: 0 means "drop this byte", anything
+/// else is the normalized character. One load + one predictable branch per
+/// byte instead of a compare chain. Must match text::normalize exactly
+/// (lowercase letters and digits kept, uppercase folded, non-ASCII bytes
+/// kept verbatim, everything else dropped) — the differential tests pin
+/// this.
+constexpr std::array<unsigned char, 256> kNormTab = [] {
+  std::array<unsigned char, 256> t{};
+  for (int c = 0; c < 256; ++c) {
+    if (c >= 'a' && c <= 'z') {
+      t[static_cast<std::size_t>(c)] = static_cast<unsigned char>(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      t[static_cast<std::size_t>(c)] =
+          static_cast<unsigned char>(c - 'A' + 'a');
+    } else if (c >= '0' && c <= '9') {
+      t[static_cast<std::size_t>(c)] = static_cast<unsigned char>(c);
+    } else if (c >= 0x80) {
+      t[static_cast<std::size_t>(c)] = static_cast<unsigned char>(c);
+    }
+  }
+  return t;
+}();
+
+}  // namespace
+
+void FingerprintWorkspace::prepare(std::size_t n, std::size_t w) {
+  // The deepest lookback into the character ring is a winnow pick's start
+  // offset: the pick lags the current gram by up to w - 1, whose first
+  // character lags the newest normalized character by another n - 1.
+  const std::size_t charCap = roundPow2(n + w);
+  if (chars_.size() < charCap) {
+    chars_.resize(charCap);
+    charOff_.resize(charCap);
+  }
+  charMask_ = charCap - 1;
+  // Occupancy of the monotonic queue peaks at w + 1: up to w candidates of
+  // the current window plus one not-yet-expired candidate of the previous.
+  const std::size_t ringCap = roundPow2(w + 1);
+  if (ring_.size() < ringCap) ring_.resize(ringCap);
+  ringMask_ = ringCap - 1;
+  ringHead_ = 0;
+  ringTail_ = 0;
+  if (blockKeys_.size() < w) {
+    blockKeys_.resize(w);
+    suffixMin_.resize(w);
+  }
+  selected_.clear();
+}
+
+Fingerprint fingerprintTextFused(std::string_view input,
+                                 const FingerprintConfig& config,
+                                 FingerprintWorkspace& ws) {
+  const std::size_t n = config.ngramChars;
+  const std::size_t w = config.windowHashes();
+  // The normalized text is never longer than the input, so a short input
+  // cannot fill a window (the reference checks norm.size() < windowChars).
+  if (input.size() < config.windowChars) return Fingerprint{};
+  if (n == 0) return Fingerprint{};  // no grams, as in hashNgrams
+
+  const std::uint64_t mask =
+      config.hashBits >= 64 ? ~0ULL : ((1ULL << config.hashBits) - 1);
+  ws.prepare(n, w);
+
+  // Streams the input once: normalize each byte, keep the last n
+  // normalized chars in a flat ring feeding the Karp-Rabin roller, and
+  // hand every finished gram (index, masked hash, original byte offset of
+  // its first char) to `sink`. Returns the normalized length.
+  auto stream = [&](auto&& sink) -> std::size_t {
+    util::KarpRabin roller(n);
+    std::size_t normCount = 0;  // normalized characters consumed so far
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const unsigned char keep = kNormTab[static_cast<unsigned char>(input[i])];
+      if (keep == 0) continue;  // punctuation, whitespace, control: drop
+
+      // Read the character leaving the n-gram window BEFORE overwriting
+      // its slot: when n is a power of two the outgoing index maps to the
+      // same ring slot as the incoming one.
+      const char outgoing =
+          normCount >= n ? ws.chars_[(normCount - n) & ws.charMask_] : '\0';
+      const std::size_t slot = normCount & ws.charMask_;
+      ws.chars_[slot] = static_cast<char>(keep);
+      ws.charOff_[slot] = static_cast<std::uint32_t>(i);
+      ++normCount;
+
+      if (normCount < n) continue;
+      std::uint64_t kr;
+      if (normCount == n) {
+        // First gram: the ring has not wrapped yet (n <= capacity), so the
+        // first n characters are contiguous from slot 0.
+        kr = roller.init(std::string_view(ws.chars_.data(), n));
+      } else {
+        kr = roller.roll(outgoing, static_cast<char>(keep));
+      }
+
+      const std::size_t gram = normCount - n;  // index in the gram sequence
+      sink(gram, util::mix64(kr) & mask,
+           ws.charOff_[gram & ws.charMask_]);
+    }
+    return normCount;
+  };
+
+  // Sentinel distinct from any gram index.
+  std::size_t lastSelected = static_cast<std::size_t>(-1);
+  std::size_t normCount;
+
+  if (config.hashBits <= 32) {
+    // Packed branchless winnow. Each gram becomes one sortable key
+    //
+    //     key = (hash << 32) | (0xFFFFFFFF - gramIndex)
+    //
+    // whose minimum over a window IS robust winnowing's pick: the smallest
+    // hash, ties broken towards the RIGHTMOST gram (larger index ==
+    // smaller inverted low word). The sliding-window minimum then comes
+    // from the two-scan block decomposition (van Herk / Gil-Werman):
+    // grams are grouped into blocks of w; `pfx` carries the running
+    // minimum of the current block and suffixMin_[j] the backward minima
+    // of the previous block, so the window [s, s+w-1] minimum is
+    // min(suffixMin_[s % w], pfx) — about three branchless min ops per
+    // gram instead of a mispredict-prone monotonic-queue pop loop.
+    std::uint64_t pfx = ~0ULL;
+    std::size_t r = 0;  // gram index modulo w, maintained incrementally
+    normCount = stream([&](std::size_t gram, std::uint64_t h,
+                           std::uint32_t origPos) {
+      const std::uint64_t key =
+          (h << 32) |
+          (0xFFFFFFFFULL - static_cast<std::uint32_t>(gram));
+      (void)origPos;  // the pick's offset is read from charOff_ instead
+      pfx = r == 0 ? key : std::min(pfx, key);
+      ws.blockKeys_[r] = key;
+
+      if (gram + 1 >= w) {
+        // Window start s = gram - w + 1, s % w == (r + 1) % w.
+        const std::size_t r2 = r + 1 == w ? 0 : r + 1;
+        const std::uint64_t winKey =
+            r2 == 0 ? pfx : std::min(ws.suffixMin_[r2], pfx);
+        const std::size_t pick =
+            0xFFFFFFFFULL - (winKey & 0xFFFFFFFFULL);
+        if (pick != lastSelected) {
+          // The char ring still holds the pick's start offset: the ring
+          // covers n + w positions and the pick is at most w - 1 grams
+          // behind the newest character's gram.
+          ws.selected_.push_back(
+              {winKey >> 32, ws.charOff_[pick & ws.charMask_]});
+          lastSelected = pick;
+        }
+      }
+      if (r + 1 == w) {
+        // Block complete: backward scan fixes its suffix minima (1 min
+        // per gram amortised) before the next block overwrites it.
+        ws.suffixMin_[w - 1] = ws.blockKeys_[w - 1];
+        for (std::size_t j = w - 1; j-- > 0;) {
+          ws.suffixMin_[j] = std::min(ws.blockKeys_[j], ws.suffixMin_[j + 1]);
+        }
+        r = 0;
+      } else {
+        ++r;
+      }
+    });
+  } else {
+    // Generic path (hashBits > 32): hashes do not fit the packed key, so
+    // winnow with the flat monotonic-queue ring.
+    normCount = stream([&](std::size_t gram, std::uint64_t h,
+                           std::uint32_t origPos) {
+      // Monotonic queue push: ">=" keeps the RIGHTMOST of equal hashes
+      // (robust winnowing tie-break, identical to the reference winnow()).
+      while (ws.ringTail_ != ws.ringHead_ &&
+             ws.ring_[(ws.ringTail_ - 1) & ws.ringMask_].hash >= h) {
+        --ws.ringTail_;
+      }
+      ws.ring_[ws.ringTail_ & ws.ringMask_] = {
+          h, static_cast<std::uint32_t>(gram), origPos};
+      ++ws.ringTail_;
+
+      if (gram + 1 < w) return;  // window not yet full
+      const std::size_t windowStart = gram + 1 - w;
+      while (ws.ring_[ws.ringHead_ & ws.ringMask_].gramIndex < windowStart) {
+        ++ws.ringHead_;
+      }
+      const FingerprintWorkspace::Candidate& pick =
+          ws.ring_[ws.ringHead_ & ws.ringMask_];
+      if (pick.gramIndex != lastSelected) {
+        ws.selected_.push_back({pick.hash, pick.origPos});
+        lastSelected = pick.gramIndex;
+      }
+    });
+  }
+
+  if (normCount < config.windowChars || ws.selected_.empty()) {
+    return Fingerprint{};
+  }
+
+  // Epilogue. Winnowing emits strictly increasing pick indices, so
+  // selected_ is already in position order and the fingerprint's gram
+  // vector is a straight copy. The hash set is sorted with an LSD radix
+  // over the significant bytes (ping-ponging through radixTmp_): the
+  // selected hashes are effectively random, so a comparison sort would
+  // mispredict on nearly every compare and dominate the whole kernel.
+  std::vector<HashedGram> grams(ws.selected_.begin(), ws.selected_.end());
+  std::vector<std::uint64_t> hashes;
+  const std::size_t count = grams.size();
+  hashes.reserve(count);
+  std::uint64_t maxBits = 0;  // OR of all hashes: bounds the radix passes
+  for (const auto& g : grams) {
+    hashes.push_back(g.hash);
+    maxBits |= g.hash;
+  }
+  if (ws.radixTmp_.size() < count) ws.radixTmp_.resize(count);
+  std::uint64_t* src = hashes.data();
+  std::uint64_t* dst = ws.radixTmp_.data();
+  for (unsigned shift = 0; shift < 64 && (maxBits >> shift) != 0;
+       shift += 8) {
+    std::uint32_t buckets[257] = {0};
+    for (std::size_t k = 0; k < count; ++k) {
+      ++buckets[((src[k] >> shift) & 0xFF) + 1];
+    }
+    for (int b = 0; b < 256; ++b) buckets[b + 1] += buckets[b];
+    for (std::size_t k = 0; k < count; ++k) {
+      dst[buckets[(src[k] >> shift) & 0xFF]++] = src[k];
+    }
+    std::swap(src, dst);
+  }
+  if (src != hashes.data()) std::copy(src, src + count, hashes.data());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return Fingerprint::fromSortedParts(std::move(grams), std::move(hashes));
+}
+
+FingerprintWorkspace& threadLocalFingerprintWorkspace() {
+  thread_local FingerprintWorkspace ws;
+  return ws;
+}
+
+}  // namespace bf::text

@@ -1,0 +1,114 @@
+// Fused fingerprint kernel — the allocation-lean fast path behind
+// fingerprintText (paper S4.1, steps S1-S4 in one pass).
+//
+// The reference pipeline (normalizer.h → ngram_hasher.h → winnower.h)
+// materialises three throwaway buffers per call: the normalized string +
+// offset map, the full n-gram hash sequence (16 bytes per character), and
+// the winnowing deque. The fused kernel streams the input once instead:
+// each byte is normalized via a 256-entry table, rolled into the
+// Karp-Rabin hash, and winnowed with a branchless block-minimum (van Herk
+// / Gil-Werman over packed (hash, ~index) keys; a flat monotonic-queue
+// ring serves configs whose hashes exceed 32 bits). The selected hash set
+// is radix-sorted, so the only allocations that survive a call are the two
+// vectors owned by the returned Fingerprint (~2/(w+1) of the input under
+// winnowing). All scratch lives in a reusable FingerprintWorkspace,
+// typically thread-local, so steady-state fingerprinting performs no
+// scratch allocation at all.
+//
+// The two implementations are differentially tested to be byte-identical
+// (hashes AND original-offset positions) in tests/text/fused_kernel_test.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/fingerprint.h"
+
+namespace bf::text {
+
+/// Reusable scratch for fingerprintTextFused. Buffers grow to fit the
+/// largest (ngramChars, windowChars) configuration seen and are then
+/// reused allocation-free; the per-call content is reset by the kernel.
+/// NOT thread-safe: use one workspace per thread (see
+/// threadLocalFingerprintWorkspace()).
+class FingerprintWorkspace {
+ public:
+  FingerprintWorkspace() = default;
+  FingerprintWorkspace(const FingerprintWorkspace&) = delete;
+  FingerprintWorkspace& operator=(const FingerprintWorkspace&) = delete;
+
+  /// Capacity currently held by the scratch buffers, in bytes (telemetry /
+  /// tests only).
+  [[nodiscard]] std::size_t scratchBytes() const noexcept {
+    return chars_.capacity() * sizeof(char) +
+           charOff_.capacity() * sizeof(std::uint32_t) +
+           ring_.capacity() * sizeof(Candidate) +
+           blockKeys_.capacity() * sizeof(std::uint64_t) +
+           suffixMin_.capacity() * sizeof(std::uint64_t) +
+           radixTmp_.capacity() * sizeof(std::uint64_t) +
+           selected_.capacity() * sizeof(HashedGram);
+  }
+
+ private:
+  friend Fingerprint fingerprintTextFused(std::string_view input,
+                                          const FingerprintConfig& config,
+                                          FingerprintWorkspace& ws);
+
+  /// One n-gram hash inside the winnowing window.
+  struct Candidate {
+    std::uint64_t hash;
+    std::uint32_t gramIndex;  ///< index in the gram sequence (tie-breaks)
+    std::uint32_t origPos;    ///< original byte offset of the gram's start
+  };
+
+  /// Ensures ring capacities for n-gram length `n` and window `w` and
+  /// resets per-call state.
+  void prepare(std::size_t n, std::size_t w);
+
+  // Ring of the last n + w normalized characters (and their original byte
+  // offsets), indexed by normalized position & charMask_. Sized past the
+  // n-gram lookback so a winnow pick — up to w - 1 grams behind the
+  // current one — can read its original start offset directly.
+  std::vector<char> chars_;
+  std::vector<std::uint32_t> charOff_;
+  std::size_t charMask_ = 0;
+
+  // Flat ring buffer replacing the winnowing monotonic deque (the generic
+  // path, hashBits > 32). head_/tail_ are monotone counters; slots are
+  // tail_ & ringMask_. Occupancy never exceeds w + 1, so the ring never
+  // overflows.
+  std::vector<Candidate> ring_;
+  std::size_t ringMask_ = 0;
+  std::size_t ringHead_ = 0;
+  std::size_t ringTail_ = 0;
+
+  // Scratch for the branchless block-minimum winnow (the packed path,
+  // hashBits <= 32; see kernel comments): one w-gram block of packed
+  // (hash, ~index) keys and its suffix minima.
+  std::vector<std::uint64_t> blockKeys_;
+  std::vector<std::uint64_t> suffixMin_;
+
+  // Ping-pong buffer for the epilogue's LSD radix sort of the selected
+  // hash set.
+  std::vector<std::uint64_t> radixTmp_;
+
+  // Winnow-selected grams (original-offset positions). The only buffer
+  // whose size scales with the fingerprint, not the input.
+  std::vector<HashedGram> selected_;
+};
+
+/// Computes the winnowed fingerprint of `input` under `config` in a single
+/// streaming pass using `ws` for all scratch. Produces a fingerprint
+/// byte-identical to the reference fingerprintTextReference (same hashes,
+/// same original-offset positions, same tie-breaks).
+[[nodiscard]] Fingerprint fingerprintTextFused(std::string_view input,
+                                               const FingerprintConfig& config,
+                                               FingerprintWorkspace& ws);
+
+/// The calling thread's workspace. Lets call sites that cannot thread a
+/// workspace through (FlowTracker's public fingerprint paths) still reuse
+/// scratch across calls.
+[[nodiscard]] FingerprintWorkspace& threadLocalFingerprintWorkspace();
+
+}  // namespace bf::text

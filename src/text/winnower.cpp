@@ -1,6 +1,6 @@
 #include "text/winnower.h"
 
-#include <deque>
+#include "text/fingerprint_kernel.h"
 
 namespace bf::text {
 
@@ -11,20 +11,33 @@ std::vector<HashedGram> winnow(const std::vector<HashedGram>& grams,
   const std::size_t w = windowHashes;
   if (grams.size() < w) return selected;  // cannot fill a single window
 
-  // Monotonic deque of indices; front is the index of the rightmost minimal
+  // Monotonic queue of indices; front is the index of the rightmost minimal
   // hash in the current window. Using ">=" when popping keeps the rightmost
-  // of equal hashes (robust winnowing tie-break).
-  std::deque<std::size_t> dq;
+  // of equal hashes (robust winnowing tie-break). Backed by a vector with a
+  // head cursor (pop_front = ++head) — the hot path uses the flat ring in
+  // fingerprint_kernel.cpp; this reference copy stays deque-free too so the
+  // std::deque ban in src/text (scripts/bflint.py) holds tree-wide.
+  std::vector<std::size_t> queue;
+  queue.reserve(w + 1);
+  std::size_t head = 0;
   std::size_t lastSelected = static_cast<std::size_t>(-1);
   for (std::size_t i = 0; i < grams.size(); ++i) {
-    while (!dq.empty() && grams[dq.back()].hash >= grams[i].hash) {
-      dq.pop_back();
+    while (queue.size() > head && grams[queue.back()].hash >= grams[i].hash) {
+      queue.pop_back();
     }
-    dq.push_back(i);
+    if (head > w) {
+      // Compact the dead prefix. Each compaction moves at most the w live
+      // entries and reclaims > w slots, so the cost is amortised O(1) per
+      // gram and the storage stays O(w).
+      queue.erase(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+    queue.push_back(i);
     if (i + 1 < w) continue;
     const std::size_t windowStart = i + 1 - w;
-    while (dq.front() < windowStart) dq.pop_front();
-    const std::size_t pick = dq.front();
+    while (queue[head] < windowStart) ++head;
+    const std::size_t pick = queue[head];
     // The same gram is typically minimal across many consecutive windows;
     // record it once. This is what keeps fingerprints sparse.
     if (pick != lastSelected) {
@@ -37,6 +50,12 @@ std::vector<HashedGram> winnow(const std::vector<HashedGram>& grams,
 
 Fingerprint fingerprintText(std::string_view input,
                             const FingerprintConfig& config) {
+  return fingerprintTextFused(input, config,
+                              threadLocalFingerprintWorkspace());
+}
+
+Fingerprint fingerprintTextReference(std::string_view input,
+                                     const FingerprintConfig& config) {
   const NormalizedText norm = normalize(input);
   if (norm.size() < config.windowChars) return Fingerprint{};
   const std::vector<HashedGram> grams =

@@ -21,8 +21,19 @@ namespace bf::text {
 /// an EMPTY fingerprint: the paper reports exactly this as "a systematic,
 /// small number of false negatives for short paragraphs without enough
 /// characters to fill a fingerprinting window" (S6.1).
+///
+/// Implemented by the fused single-pass kernel (text/fingerprint_kernel.h)
+/// with the calling thread's reusable workspace; byte-identical to the
+/// staged reference pipeline below.
 [[nodiscard]] Fingerprint fingerprintText(std::string_view input,
                                           const FingerprintConfig& config);
+
+/// The original three-stage pipeline (normalize → hashNgrams → winnow),
+/// kept as the REFERENCE implementation: differential tests prove the
+/// fused kernel produces identical fingerprints, and the perf benches use
+/// it as the pre-fusion baseline.
+[[nodiscard]] Fingerprint fingerprintTextReference(
+    std::string_view input, const FingerprintConfig& config);
 
 /// Winnows an already-hashed gram sequence. Exposed for tests and for the
 /// document-level pass, which reuses the paragraph gram streams.

@@ -106,5 +106,94 @@ TEST(HashDb, EvictPurgesDeadAssociations) {
   EXPECT_EQ(db.distinctHashCount(), 0u);
 }
 
+TEST(HashDb, CompactDeadShrinksStore) {
+  // The tombstone fix: physically removing a dead segment's associations
+  // must shrink the store and clear the dead set, so lookups stop paying
+  // the isDead probe for segments removed long ago.
+  HashDb db;
+  for (std::uint64_t h = 0; h < 100; ++h) {
+    db.recordObservation(h, 1, 10);
+    db.recordObservation(h, 2, 20);
+  }
+  ASSERT_EQ(db.associationCount(), 200u);
+  db.setDeadCompactionThreshold(1000);  // keep removal lazy for this test
+  db.removeSegment(1);
+  EXPECT_EQ(db.deadSegmentCount(), 1u);
+  EXPECT_EQ(db.associationCount(), 200u);  // lazy: nothing purged yet
+
+  const std::size_t dropped = db.compactDead();
+  EXPECT_EQ(dropped, 100u);
+  EXPECT_EQ(db.associationCount(), 100u);  // store physically shrank
+  EXPECT_EQ(db.deadSegmentCount(), 0u);    // tombstones cleared
+  for (std::uint64_t h = 0; h < 100; ++h) {
+    EXPECT_EQ(*db.oldestSegmentWith(h), 2u);
+  }
+  // Compacting an already-clean store is a no-op.
+  EXPECT_EQ(db.compactDead(), 0u);
+}
+
+TEST(HashDb, RemovalAutoCompactsPastThreshold) {
+  HashDb db;
+  db.setDeadCompactionThreshold(2);
+  for (std::uint64_t h = 0; h < 10; ++h) {
+    db.recordObservation(h, 1, 10);
+    db.recordObservation(h, 2, 20);
+    db.recordObservation(h, 3, 30);
+    db.recordObservation(h + 100, 4, 40);
+  }
+  db.removeSegment(1);
+  db.removeSegment(2);
+  EXPECT_EQ(db.deadSegmentCount(), 2u);    // at the threshold: still lazy
+  EXPECT_EQ(db.associationCount(), 40u);
+  db.removeSegment(3);                     // exceeds it: compacts
+  EXPECT_EQ(db.deadSegmentCount(), 0u);
+  EXPECT_EQ(db.associationCount(), 10u);   // only segment 4's remain
+  EXPECT_EQ(db.distinctHashCount(), 10u);  // hashes 0..9 fully gone
+  for (std::uint64_t h = 0; h < 10; ++h) {
+    EXPECT_FALSE(db.oldestSegmentWith(h).has_value());
+    EXPECT_EQ(*db.oldestSegmentWith(h + 100), 4u);
+  }
+}
+
+TEST(HashDb, ZeroThresholdCompactsOnEveryRemoval) {
+  HashDb db;
+  db.setDeadCompactionThreshold(0);
+  db.recordObservation(1, 1, 10);
+  db.recordObservation(1, 2, 20);
+  db.removeSegment(1);
+  EXPECT_EQ(db.deadSegmentCount(), 0u);
+  EXPECT_EQ(db.associationCount(), 1u);
+  EXPECT_EQ(*db.oldestSegmentWith(1), 2u);
+}
+
+TEST(HashDb, ObservationAfterCompactionRebuildsHistory) {
+  // A compacted-away segment can be re-observed later (e.g. restored from
+  // a snapshot or re-created under the same id) without tombstone residue.
+  HashDb db;
+  db.setDeadCompactionThreshold(0);
+  db.recordObservation(1, 1, 10);
+  db.removeSegment(1);
+  ASSERT_FALSE(db.oldestSegmentWith(1).has_value());
+  db.recordObservation(1, 1, 99);
+  EXPECT_EQ(*db.oldestSegmentWith(1), 1u);
+  EXPECT_EQ(*db.firstSeen(1, 1), 99u);  // fresh observation, fresh time
+}
+
+TEST(HashDb, ManyHashesSurviveRehashing) {
+  // Growth past several load-factor doublings must keep every history
+  // intact (the rehash moves slots; overflow indices must stay valid).
+  HashDb db;
+  for (std::uint64_t h = 0; h < 5000; ++h) {
+    db.recordObservation(h, (h % 7) + 1, h);
+    if (h % 3 == 0) db.recordObservation(h, (h % 7) + 2, h + 1);
+  }
+  EXPECT_EQ(db.distinctHashCount(), 5000u);
+  for (std::uint64_t h = 0; h < 5000; ++h) {
+    ASSERT_TRUE(db.oldestSegmentWith(h).has_value()) << h;
+    EXPECT_EQ(*db.oldestSegmentWith(h), (h % 7) + 1) << h;
+    EXPECT_EQ(db.segmentsWith(h).size(), h % 3 == 0 ? 2u : 1u) << h;
+  }
+}
+
 }  // namespace
 }  // namespace bf::flow

@@ -124,6 +124,80 @@ TEST_F(TrackerConcurrencyTest, RemovalsRaceQueriesWithoutCorruption) {
   EXPECT_NE(tracker_.segmentByName("keeper#p0"), nullptr);
 }
 
+TEST_F(TrackerConcurrencyTest, DocumentObserversRaceReadersCoherently) {
+  // observeDocument's batched path (fingerprints outside the lock, one
+  // exclusive apply) racing shared-mode readers: queries must never see a
+  // half-applied document, and every document must land intact.
+  util::Rng seedRng(11);
+  corpus::TextGenerator seedGen(&seedRng);
+  const std::string secret = seedGen.paragraph(7, 8);
+  tracker_.observeSegment(SegmentKind::kParagraph, "secret#p0", "secret",
+                          "internal", secret);
+  const text::Fingerprint secretFp = tracker_.fingerprintOf(secret);
+
+  constexpr int kWriters = 2;
+  constexpr int kDocsPerWriter = 12;
+  constexpr int kQueriesPerReader = 150;
+
+  // Readers run a BOUNDED number of queries rather than spinning until the
+  // writers finish: a precomputed-fingerprint query spends its whole
+  // iteration inside the shared hold, and pthread's reader-preferring
+  // rwlock would let an unbounded reader stream starve the writers'
+  // exclusive acquisitions (pathological on one core).
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        // Shared-mode query with a precomputed fingerprint: pure read.
+        const auto hits = tracker_.disclosedSources(
+            secretFp, SegmentKind::kParagraph, kInvalidSegment, "probe");
+        ASSERT_FALSE(hits.empty());
+        EXPECT_EQ(hits[0].sourceName, "secret#p0");
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      util::Rng rng(static_cast<std::uint64_t>(w) * 97 + 13);
+      corpus::TextGenerator gen(&rng);
+      for (int d = 0; d < kDocsPerWriter; ++d) {
+        std::string doc = secret;  // every document embeds the secret...
+        for (int p = 0; p < 8; ++p) {  // ...plus fresh paragraphs
+          doc += "\n\n" + gen.paragraph(3, 6);
+        }
+        const std::string name =
+            "w" + std::to_string(w) + "/doc" + std::to_string(d);
+        const auto obs = tracker_.observeDocument(name, "ext", doc);
+        EXPECT_EQ(obs.paragraphs.size(), 9u);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (auto& t : readers) t.join();
+
+  // Every document landed whole: document segment plus all 9 paragraphs.
+  for (int w = 0; w < kWriters; ++w) {
+    for (int d = 0; d < kDocsPerWriter; ++d) {
+      const std::string name =
+          "w" + std::to_string(w) + "/doc" + std::to_string(d);
+      ASSERT_NE(tracker_.segmentByName(name), nullptr) << name;
+      for (int p = 0; p < 9; ++p) {
+        EXPECT_NE(
+            tracker_.segmentByName(name + "#p" + std::to_string(p)),
+            nullptr)
+            << name << "#p" << p;
+      }
+    }
+  }
+  // The embedded secret still attributes to the original source (it is the
+  // oldest observer of those hashes).
+  const auto hits = tracker_.checkText(secret, "probe");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].sourceName, "secret#p0");
+}
+
 TEST_F(TrackerConcurrencyTest, SourcesForSegmentReturnsStableCopies) {
   util::Rng rng(3);
   corpus::TextGenerator gen(&rng);

@@ -4,6 +4,7 @@
 
 #include "corpus/text_generator.h"
 #include "flow/tracker.h"
+#include "text/segmenter.h"
 #include "util/clock.h"
 
 namespace bf::flow {
@@ -160,22 +161,25 @@ TEST(TrackerProperties, FindSegmentWithFingerprintMatchesExactly) {
   tracker.observeSegment(SegmentKind::kParagraph, "doc#p0", "doc", "svc", a);
   tracker.observeSegment(SegmentKind::kParagraph, "doc#p1", "doc", "svc", b);
 
-  const auto* hit =
+  const std::optional<SegmentRecord> hit =
       tracker.findSegmentWithFingerprint("doc", tracker.fingerprintOf(a));
-  ASSERT_NE(hit, nullptr);
+  ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->name, "doc#p0");
   // Different document: no match.
-  EXPECT_EQ(tracker.findSegmentWithFingerprint("other",
-                                               tracker.fingerprintOf(a)),
-            nullptr);
+  EXPECT_FALSE(tracker
+                   .findSegmentWithFingerprint("other",
+                                               tracker.fingerprintOf(a))
+                   .has_value());
   // Unrelated text: no match.
-  EXPECT_EQ(tracker.findSegmentWithFingerprint(
-                "doc", tracker.fingerprintOf(gen.paragraph(6, 8))),
-            nullptr);
+  EXPECT_FALSE(tracker
+                   .findSegmentWithFingerprint(
+                       "doc", tracker.fingerprintOf(gen.paragraph(6, 8)))
+                   .has_value());
   // Empty fingerprint never matches.
-  EXPECT_EQ(tracker.findSegmentWithFingerprint("doc",
-                                               tracker.fingerprintOf("x")),
-            nullptr);
+  EXPECT_FALSE(tracker
+                   .findSegmentWithFingerprint("doc",
+                                               tracker.fingerprintOf("x"))
+                   .has_value());
 }
 
 TEST(TrackerProperties, ObserveDocumentAppliesThresholdOverrides) {
@@ -188,6 +192,63 @@ TEST(TrackerProperties, ObserveDocumentAppliesThresholdOverrides) {
   EXPECT_DOUBLE_EQ(tracker.segment(obs.document)->threshold, 0.9);
   for (SegmentId pid : obs.paragraphs) {
     EXPECT_DOUBLE_EQ(tracker.segment(pid)->threshold, 0.2);
+  }
+}
+
+TEST(TrackerProperties, ObserveDocumentEquivalentToSegmentLoop) {
+  // The batched path (fingerprints outside the lock, possibly in parallel,
+  // one exclusive apply) must produce exactly the state the old
+  // one-observeSegment-per-segment loop produced: same names, kinds,
+  // thresholds, fingerprints, and query answers.
+  util::Rng rng(17);
+  corpus::TextGenerator gen(&rng);
+  std::string doc;
+  for (int p = 0; p < 10; ++p) {  // 10 paragraphs: enough to fan out on
+    if (!doc.empty()) doc += "\n\n";  // multicore machines
+    doc += gen.paragraph(3 + p % 4, 8);
+  }
+
+  util::LogicalClock clockA;
+  FlowTracker batched(TrackerConfig{}, &clockA);
+  const auto obs = batched.observeDocument("doc", "svc", doc, 0.3, 0.1);
+
+  util::LogicalClock clockB;
+  FlowTracker looped(TrackerConfig{}, &clockB);
+  looped.observeSegment(SegmentKind::kDocument, "doc", "doc", "svc", doc,
+                        0.1);
+  const auto paras = text::segmentParagraphs(doc);
+  ASSERT_EQ(obs.paragraphs.size(), paras.size());
+  for (const auto& para : paras) {
+    looped.observeSegment(SegmentKind::kParagraph,
+                          "doc#p" + std::to_string(para.index), "doc", "svc",
+                          para.text, 0.3);
+  }
+
+  // Identical per-segment state...
+  for (std::size_t i = 0; i <= paras.size(); ++i) {
+    const SegmentId id = i == 0 ? obs.document : obs.paragraphs[i - 1];
+    const SegmentRecord* a = batched.segment(id);
+    ASSERT_NE(a, nullptr);
+    const SegmentRecord* b = looped.segmentByName(a->name);
+    ASSERT_NE(b, nullptr) << a->name;
+    EXPECT_EQ(a->kind, b->kind);
+    EXPECT_EQ(a->document, b->document);
+    EXPECT_EQ(a->service, b->service);
+    EXPECT_DOUBLE_EQ(a->threshold, b->threshold);
+    EXPECT_TRUE(a->fingerprint.sameHashes(b->fingerprint)) << a->name;
+  }
+  EXPECT_EQ(batched.stats().fingerprintsComputed,
+            looped.stats().fingerprintsComputed);
+
+  // ...and identical query answers for a probe against each paragraph.
+  for (const auto& para : paras) {
+    const auto hitsA = batched.checkText(para.text, "probe");
+    const auto hitsB = looped.checkText(para.text, "probe");
+    ASSERT_EQ(hitsA.size(), hitsB.size());
+    for (std::size_t i = 0; i < hitsA.size(); ++i) {
+      EXPECT_EQ(hitsA[i].sourceName, hitsB[i].sourceName);
+      EXPECT_DOUBLE_EQ(hitsA[i].score, hitsB[i].score);
+    }
   }
 }
 

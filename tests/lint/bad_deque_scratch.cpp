@@ -1,0 +1,15 @@
+// bflint fixture: std::deque is banned in src/text — the fingerprint
+// kernel's scratch must be flat (FingerprintWorkspace ring buffers), not a
+// chunked node container.
+// bflint-expect: deque-scratch
+#include <deque>
+
+namespace bf::text {
+
+inline int slowMonotonicQueue() {
+  std::deque<int> q;
+  q.push_back(1);
+  return q.front();
+}
+
+}  // namespace bf::text
