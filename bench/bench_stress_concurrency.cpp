@@ -11,7 +11,11 @@
 // (Beyond the paper: its prototype serves one user per browser; an
 // enterprise proxy deployment would multiplex users over one store.)
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +23,7 @@
 #include "bench_util.h"
 #include "core/decision_engine.h"
 #include "corpus/text_generator.h"
+#include "flow/wal.h"
 #include "text/winnower.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
@@ -190,6 +195,84 @@ int main() {
                     ",\"hw_cores\":" + std::to_string(cores) + "}");
     }
   }
+
+  // ---- WAL append overhead -------------------------------------------------
+  // The stress workload's decision loop (keystroke edits + periodic secret
+  // pastes, synchronous decide so worker scheduling adds no noise), run
+  // with and without a write-ahead log attached. Checkpointing is disabled
+  // so the delta is pure per-mutation framing + write(); checkpoint and
+  // fsync costs are bench_recovery's subject. Acceptance target: < 5% —
+  // fingerprint + disclosure query + policy work per decision dwarfs one
+  // log append.
+  bench::printHeader("WAL", "append overhead on the decision path");
+  const std::size_t walDecisions = bench::paperScale() ? 8000 : 2000;
+  std::vector<std::string> walPastes;
+  {
+    util::Rng walRng(17);
+    corpus::TextGenerator walGen(&walRng);
+    for (int i = 0; i < 20; ++i) walPastes.push_back(walGen.paragraph(4, 6));
+  }
+  const std::string walDir =
+      "/tmp/bf_stress_wal_" + std::to_string(static_cast<long>(getpid()));
+  auto runDecisionLoop = [&](bool withWal) -> double {
+    util::LogicalClock walClock;
+    flow::FlowTracker walTracker(flow::TrackerConfig{}, &walClock);
+    tdm::TdmPolicy walPolicy(&walClock);
+    walPolicy.services().upsert(
+        {"internal", "Internal", tdm::TagSet{"in"}, tdm::TagSet{"in"}});
+    core::DecisionEngine walEngine(config, &walTracker, &walPolicy);
+    std::unique_ptr<flow::DurabilityManager> walMgr;
+    if (withWal) {
+      (void)std::system(("rm -rf '" + walDir + "'").c_str());
+      flow::DurabilityConfig walCfg;
+      walCfg.directory = walDir;
+      walCfg.checkpointEveryRecords = 1ull << 30;
+      walMgr = std::make_unique<flow::DurabilityManager>(walCfg);
+      if (!walMgr->recoverAndAttach(walTracker).ok()) std::abort();
+      walEngine.setDurability(walMgr.get());
+    }
+    util::Stopwatch walWatch;
+    std::string text;
+    for (std::size_t i = 0; i < walDecisions; ++i) {
+      if (i % 50 == 0) {
+        text = (i % 100 == 0) ? walPastes[(i / 100) % walPastes.size()]
+                              : walPastes[(i / 50) % walPastes.size()];
+      } else {
+        text += static_cast<char>('a' + (i % 26));
+      }
+      core::DecisionRequest req;
+      req.segmentName = "wal/d" + std::to_string(i / 50) + "#p0";
+      req.documentName = "wal/d" + std::to_string(i / 50);
+      req.serviceId = "https://ext.example";
+      req.text = text;
+      (void)walEngine.decide(std::move(req));
+    }
+    const double elapsed = walWatch.elapsedMillis();
+    walEngine.setDurability(nullptr);
+    walTracker.attachWal(nullptr);
+    return elapsed;
+  };
+  // Warm-up (page cache, lazy tables), then interleaved min-of-3: the
+  // minimum discards scheduler spikes, which on a small container are far
+  // larger than the effect being measured.
+  (void)runDecisionLoop(false);
+  double baseMs = 1e100;
+  double walMs = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    baseMs = std::min(baseMs, runDecisionLoop(false));
+    walMs = std::min(walMs, runDecisionLoop(true));
+  }
+  const double overheadPct =
+      baseMs > 0 ? (walMs - baseMs) / baseMs * 100.0 : 0.0;
+  std::printf(
+      "decisions: %zu  base: %.1f ms  wal: %.1f ms  overhead: %+.2f%%\n",
+      walDecisions, baseMs, walMs, overheadPct);
+  bench::result("{\"bench\":\"wal_overhead\",\"decisions\":" +
+                std::to_string(walDecisions) + ",\"base_ms\":" +
+                std::to_string(baseMs) + ",\"wal_ms\":" +
+                std::to_string(walMs) + ",\"overhead_pct\":" +
+                std::to_string(overheadPct) + "}");
+  (void)std::system(("rm -rf '" + walDir + "'").c_str());
 
   bench::dumpMetrics();
   return misattributed == 0 ? 0 : 1;

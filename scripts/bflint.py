@@ -21,6 +21,12 @@ cannot enforce:
                       are flat rings/vectors in a reusable workspace
                       (text/fingerprint_kernel.h). A deque's chunked nodes
                       reintroduce pointer-chasing and per-call allocation.
+  state-file-io       std::ofstream / std::fstream inside src/flow outside
+                      snapshot.cpp and wal.cpp. Durable disclosure state has
+                      exactly two writers: checkpoints (snapshot.cpp, CRC
+                      trailer + keyed tag) and the WAL (wal.cpp, CRC-framed
+                      records). A direct stream write would bypass the
+                      framing that makes crash recovery trustworthy.
   missing-pragma-once Headers must use `#pragma once`.
   include-hygiene     No `#include "../..."` / `#include "./..."` path
                       escapes, no <bits/...> internals, and every quoted
@@ -84,6 +90,18 @@ DEQUE_PATTERNS = [
      "FingerprintWorkspace (text/fingerprint_kernel.h)"),
 ]
 
+STATE_FILE_IO_ALLOWED = (
+    "src/flow/snapshot.cpp",
+    "src/flow/wal.cpp",
+)
+
+STATE_FILE_IO_PATTERNS = [
+    (re.compile(r"\bstd::(ofstream|fstream)\b"),
+     "direct state-file write; durable disclosure state is written only by "
+     "flow/snapshot.cpp (checksummed checkpoints) and flow/wal.cpp "
+     "(CRC-framed log appends) — route writes through them"),
+]
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 _STRIP_RE = re.compile(
@@ -137,6 +155,9 @@ def lint_file(path: str, fixture_mode: bool = False) -> list[Finding]:
          not fixture_mode and rel in WALL_CLOCK_ALLOWED)
     scan(DEQUE_PATTERNS, "deque-scratch",
          not fixture_mode and not rel.startswith("src/text/"))
+    scan(STATE_FILE_IO_PATTERNS, "state-file-io",
+         not fixture_mode and (not rel.startswith("src/flow/") or
+                               rel in STATE_FILE_IO_ALLOWED))
 
     if path.endswith((".h", ".hpp")) and not re.search(
             r"^\s*#\s*pragma\s+once\b", code, re.MULTILINE):

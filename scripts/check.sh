@@ -33,6 +33,15 @@ for preset in $PRESETS; do
     BF_STRESS_USERS=8 BF_STRESS_DECISIONS=50 \
       "build-tsan/bench/bench_stress_concurrency"
   fi
+  if [ "$preset" = "default" ]; then
+    # Crash-recovery fuzz at a pinned seed: the same 500 corruption trials
+    # on every machine and every run, so a red leg is a real regression in
+    # the WAL/checkpoint recovery path, never fuzz luck (ctest already runs
+    # the default configuration; this leg pins it explicitly).
+    echo "==> [default] recovery fuzz, fixed seed"
+    BF_RECOVERY_FUZZ_SEED=20260805 BF_RECOVERY_FUZZ_TRIALS=500 \
+      "build/tests/recovery_fuzz_test"
+  fi
 done
 
 # BF_CHECK_BENCH=1 exercises the bench-report pipeline end to end with a

@@ -1,5 +1,6 @@
 #include "core/decision_engine.h"
 
+#include "flow/wal.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
 
@@ -199,7 +200,26 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
   decision.responseTimeMs = watch.elapsedMillis();
   latency_->observe(decision.responseTimeMs);
   actionCounters_[static_cast<int>(decision.action)]->inc();
+
+  // Periodic durability checkpoint, driven from the decision path while
+  // stateMutex_ is still held (pipeline mutations quiesced — the contract
+  // DurabilityManager::checkpoint requires). A failed checkpoint is counted
+  // by bf_checkpoint_failures_total and surfaces via durabilityHealthy();
+  // the decision itself is already made and is returned regardless.
+  if (durability_ != nullptr) {
+    (void)durability_->checkpointIfDue(*tracker_);
+  }
   return decision;
+}
+
+void DecisionEngine::setDurability(flow::DurabilityManager* durability) {
+  util::MutexLock lock(stateMutex_);
+  durability_ = durability;
+}
+
+bool DecisionEngine::durabilityHealthy() const {
+  util::MutexLock lock(stateMutex_);
+  return durability_ == nullptr || durability_->healthy();
 }
 
 std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {

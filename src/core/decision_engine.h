@@ -38,6 +38,10 @@
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
+namespace bf::flow {
+class DurabilityManager;
+}  // namespace bf::flow
+
 namespace bf::core {
 
 /// One unit of work: "this text now exists in segment X of service Y; may
@@ -160,6 +164,21 @@ class DecisionEngine {
   /// are answered degraded instead of running the lookup).
   [[nodiscard]] bool breakerOpen() const BF_EXCLUDES(stateMutex_);
 
+  /// Attaches the durability manager (flow/wal.h; not owned, may be null).
+  /// The engine then drives periodic checkpointing from the decision path:
+  /// after each decision — while still holding stateMutex_, which quiesces
+  /// pipeline mutations — it rolls a checkpoint once the manager reports
+  /// one due. Durability failures NEVER degrade decisions (availability
+  /// over durability): the WAL/checkpoint metrics record them and
+  /// durabilityHealthy() turns false, but the pipeline keeps answering.
+  void setDurability(flow::DurabilityManager* durability)
+      BF_EXCLUDES(stateMutex_);
+
+  /// False when the attached durability manager stopped persisting
+  /// (WAL append failures or a failed checkpoint). True when healthy or
+  /// when no manager is attached.
+  [[nodiscard]] bool durabilityHealthy() const BF_EXCLUDES(stateMutex_);
+
   /// Replaces the resilience knobs at runtime (operators tune shedding /
   /// breaker thresholds without restarting the engine). Does not reset
   /// breaker state: an open breaker still needs a healthy probe to close.
@@ -208,6 +227,7 @@ class DecisionEngine {
   flow::FlowTracker* tracker_;
   tdm::TdmPolicy* policy_;
   SecretGuard* guard_ = nullptr;
+  flow::DurabilityManager* durability_ BF_GUARDED_BY(stateMutex_) = nullptr;
 
   // One mutex serialises tracker/policy access between the caller thread
   // and the worker; the paper's engine likewise processes decisions one at

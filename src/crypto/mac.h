@@ -1,0 +1,38 @@
+// Keyed integrity tag for encrypted state files (encrypt-then-MAC).
+//
+// ChaCha20 in counter mode is malleable: flipping ciphertext bit i flips
+// plaintext bit i, so an unauthenticated encrypted snapshot could be
+// imported with silently altered hashes whenever the parse still succeeds
+// (the original satellite bug this module fixes). Snapshot v2 therefore
+// appends a 16-byte keyed tag over the whole ciphertext envelope, verified
+// BEFORE decryption or parsing.
+//
+// Construction: the message is absorbed into four 64-bit lanes by chained
+// SplitMix64 finalisers seeded from the key (length-extended, position
+// bound), then the lane state is whitened through one ChaCha20 block keyed
+// with the MAC key. This is NOT a general-purpose MAC (the compression is
+// not cryptographic); it is collision-resistant against the threat model
+// the snapshot format defends against — storage bit-rot, torn writes and
+// ciphertext malleability without the key — matching the strength of the
+// repo's existing fnv1a64-based key derivation. A production deployment
+// would swap in Poly1305 behind the same 16-byte interface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/chacha20.h"
+
+namespace bf::crypto {
+
+using Tag128 = std::array<std::uint8_t, 16>;
+
+/// 16-byte keyed tag over `data`. Deterministic; key-dependent through
+/// both the absorb seeds and the ChaCha20 whitening block.
+[[nodiscard]] Tag128 keyedTag(const Key256& key, std::string_view data);
+
+/// Constant-time-ish tag comparison (single pass, no early exit).
+[[nodiscard]] bool tagEquals(const Tag128& a, const Tag128& b) noexcept;
+
+}  // namespace bf::crypto

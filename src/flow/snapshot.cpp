@@ -1,16 +1,20 @@
 #include "flow/snapshot.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "crypto/chacha20.h"
+#include "crypto/mac.h"
 #include "util/binary_io.h"
+#include "util/crc32c.h"
 #include "util/hashing.h"
 
 namespace bf::flow {
@@ -19,6 +23,8 @@ namespace {
 
 constexpr std::string_view kPlainMagic = "BFSNAPP1";
 constexpr std::string_view kEncMagic = "BFSNAPE1";
+constexpr std::string_view kPlainMagicV2 = "BFSNAPP2";
+constexpr std::string_view kEncMagicV2 = "BFSNAPE2";
 
 crypto::Key256 deriveKey(std::string_view secret) {
   crypto::Key256 key{};
@@ -33,12 +39,24 @@ crypto::Key256 deriveKey(std::string_view secret) {
   return key;
 }
 
-}  // namespace
+/// Independent key for the integrity tag (encrypt-then-MAC wants distinct
+/// cipher and MAC keys; the domain constant separates the derivations).
+crypto::Key256 deriveMacKey(std::string_view secret) {
+  crypto::Key256 key{};
+  std::uint64_t h = util::mix64(util::fnv1a64(secret) ^ 0x4D414331ULL);  // "MAC1"
+  for (int i = 0; i < 4; ++i) {
+    h = util::mix64(h + static_cast<std::uint64_t>(i) + 0x7A61ULL);
+    for (int b = 0; b < 8; ++b) {
+      key[static_cast<std::size_t>(i * 8 + b)] =
+          static_cast<std::uint8_t>(h >> (8 * b));
+    }
+  }
+  return key;
+}
 
-std::string exportState(const FlowTracker& tracker) {
-  std::string out;
-  out.append(kPlainMagic);
-
+/// Serialises the state body shared by the v1 and v2 formats (everything
+/// after the magic / sequence header).
+void appendStateBody(const FlowTracker& tracker, std::string& out) {
   // Segments, ordered by id for determinism.
   std::vector<const SegmentRecord*> segments;
   tracker.segmentDb().forEach(
@@ -89,37 +107,58 @@ std::string exportState(const FlowTracker& tracker) {
       util::putU64(out, a.ts);
     }
   }
-  return out;
 }
 
-util::Result<util::Timestamp> importState(FlowTracker& tracker,
-                                          std::string_view blob) {
-  using R = util::Result<util::Timestamp>;
-  if (tracker.segmentDb().size() != 0) {
-    return R::error("importState requires an empty tracker");
-  }
-  if (blob.substr(0, kPlainMagic.size()) != kPlainMagic) {
-    return R::error("not a BrowserFlow snapshot (bad magic)");
-  }
-  util::BinaryReader r(blob.substr(kPlainMagic.size()));
-  util::Timestamp maxTs = 0;
-
-  // Parse the ENTIRE blob into staging structures before touching the
-  // tracker, so a truncated or corrupt snapshot leaves it empty (all or
-  // nothing) instead of half-restored.
+/// Fully parsed, validated state waiting to be applied (all-or-nothing).
+struct StagedState {
+  struct Assoc {
+    SegmentKind kind;
+    std::uint64_t hash;
+    SegmentId segment;
+    util::Timestamp ts;
+  };
   std::vector<SegmentRecord> segments;
+  std::vector<Assoc> assocs;
+  util::Timestamp maxTs = 0;
+};
+
+/// True for a threshold a live record may legally carry: D(A,B) scores are
+/// ratios in [0, 1], so anything outside that range (or non-finite) is a
+/// corrupt or hostile blob, not a configuration.
+bool validThreshold(double t) noexcept {
+  return std::isfinite(t) && t >= 0.0 && t <= 1.0;
+}
+
+bool validKindByte(std::uint8_t k) noexcept {
+  return k == static_cast<std::uint8_t>(SegmentKind::kParagraph) ||
+         k == static_cast<std::uint8_t>(SegmentKind::kDocument);
+}
+
+/// Parses the state body from `r` into `staged`. Returns an empty string on
+/// success, an error message otherwise. Untrusted bytes are validated here,
+/// BEFORE anything touches the tracker: enum bytes must name a known
+/// SegmentKind and thresholds must be finite and in range — a corrupt blob
+/// must never static_cast its way into live records.
+std::string parseStateBody(util::BinaryReader& r, StagedState& staged) {
   const std::uint64_t segmentCount = r.u64();
   for (std::uint64_t i = 0; i < segmentCount && r.ok(); ++i) {
     SegmentRecord rec;
     rec.id = r.u64();
-    rec.kind = static_cast<SegmentKind>(r.u8());
+    const std::uint8_t kindByte = r.u8();
+    if (r.ok() && !validKindByte(kindByte)) {
+      return "unknown SegmentKind byte " + std::to_string(kindByte);
+    }
+    rec.kind = static_cast<SegmentKind>(kindByte);
     rec.name = r.str();
     rec.document = r.str();
     rec.service = r.str();
     rec.threshold = r.f64();
+    if (r.ok() && !validThreshold(rec.threshold)) {
+      return "threshold out of range for segment '" + rec.name + "'";
+    }
     rec.createdAt = r.u64();
     rec.updatedAt = r.u64();
-    maxTs = std::max({maxTs, rec.createdAt, rec.updatedAt});
+    staged.maxTs = std::max({staged.maxTs, rec.createdAt, rec.updatedAt});
     const std::uint64_t gramCount = r.u64();
     std::vector<text::HashedGram> grams;
     // Cap the reserve: a corrupt length prefix must not force a huge
@@ -133,16 +172,9 @@ util::Result<util::Timestamp> importState(FlowTracker& tracker,
     }
     rec.fingerprint = text::Fingerprint::fromSelected(std::move(grams));
     if (!r.ok()) break;
-    segments.push_back(std::move(rec));
+    staged.segments.push_back(std::move(rec));
   }
 
-  struct Assoc {
-    SegmentKind kind;
-    std::uint64_t hash;
-    SegmentId segment;
-    util::Timestamp ts;
-  };
-  std::vector<Assoc> assocs;
   for (SegmentKind kind :
        {SegmentKind::kParagraph, SegmentKind::kDocument}) {
     const std::uint64_t count = r.u64();
@@ -150,31 +182,156 @@ util::Result<util::Timestamp> importState(FlowTracker& tracker,
       const std::uint64_t hash = r.u64();
       const SegmentId segment = r.u64();
       const util::Timestamp ts = r.u64();
-      maxTs = std::max(maxTs, ts);
-      assocs.push_back({kind, hash, segment, ts});
+      staged.maxTs = std::max(staged.maxTs, ts);
+      staged.assocs.push_back({kind, hash, segment, ts});
     }
   }
 
-  if (!r.ok() || !r.atEnd()) {
-    return R::error("snapshot truncated or corrupt");
+  if (!r.ok() || !r.atEnd()) return "snapshot truncated or corrupt";
+  return {};
+}
+
+/// Crash-safe whole-file write: full content to a sibling temp file,
+/// fsync, atomic rename over the target, then fsync the directory so the
+/// rename itself is durable. A crash or disk-full mid-write can never
+/// leave a truncated file at `path`. The temp name is unique per process
+/// and per call: concurrent saves to the same path must never share a
+/// temp file, or interleaved writes could be renamed over the target.
+util::Status atomicWriteFile(const std::string& path,
+                             std::string_view fileData) {
+  static std::atomic<std::uint64_t> tmpCounter{0};
+  const std::string tmpPath =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
+  const int fd = ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return util::Status::error("cannot open for writing: " + tmpPath);
+  const char* p = fileData.data();
+  std::size_t remaining = fileData.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n <= 0) {
+      ::close(fd);
+      std::remove(tmpPath.c_str());
+      return util::Status::error("write failed: " + tmpPath);
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmpPath.c_str());
+    return util::Status::error("fsync failed: " + tmpPath);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmpPath.c_str());
+    return util::Status::error("close failed: " + tmpPath);
+  }
+  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+    std::remove(tmpPath.c_str());
+    return util::Status::error("rename failed: " + tmpPath + " -> " + path);
+  }
+  // Durable rename: fsync the containing directory (best effort — some
+  // filesystems reject O_RDONLY directory fsync; the rename is still
+  // atomic, just not yet journalled).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string exportState(const FlowTracker& tracker) {
+  std::string out;
+  out.append(kPlainMagic);
+  appendStateBody(tracker, out);
+  return out;
+}
+
+std::string exportStateV2(const FlowTracker& tracker, std::uint64_t sequence) {
+  std::string out;
+  out.append(kPlainMagicV2);
+  util::putU64(out, sequence);
+  appendStateBody(tracker, out);
+  util::putU32(out, util::maskCrc32c(util::crc32c(out)));
+  return out;
+}
+
+util::Result<SnapshotInfo> importStateEx(FlowTracker& tracker,
+                                         std::string_view blob) {
+  using R = util::Result<SnapshotInfo>;
+  if (tracker.segmentDb().size() != 0) {
+    return R::error("importState requires an empty tracker");
   }
 
+  SnapshotInfo info;
+  std::string_view body;
+  if (blob.substr(0, kPlainMagicV2.size()) == kPlainMagicV2) {
+    // v2: magic + u64 sequence + body + u32 masked CRC trailer.
+    constexpr std::size_t kHeader = 8 + 8;
+    if (blob.size() < kHeader + 4) return R::error("snapshot truncated");
+    const std::string_view trailer = blob.substr(blob.size() - 4);
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<std::uint32_t>(
+                    static_cast<unsigned char>(trailer[static_cast<std::size_t>(i)]))
+                << (8 * i);
+    }
+    const std::uint32_t actual =
+        util::crc32c(blob.substr(0, blob.size() - 4));
+    if (util::unmaskCrc32c(stored) != actual) {
+      return R::error("snapshot CRC mismatch");
+    }
+    util::BinaryReader seqReader(blob.substr(kPlainMagicV2.size(), 8));
+    info.sequence = seqReader.u64();
+    body = blob.substr(kHeader, blob.size() - kHeader - 4);
+  } else if (blob.substr(0, kPlainMagic.size()) == kPlainMagic) {
+    // v1: magic + body, no trailer, sequence 0.
+    body = blob.substr(kPlainMagic.size());
+  } else {
+    return R::error("not a BrowserFlow snapshot (bad magic)");
+  }
+
+  // Parse the ENTIRE body into staging structures before touching the
+  // tracker, so a truncated or corrupt snapshot leaves it empty (all or
+  // nothing) instead of half-restored.
+  util::BinaryReader r(body);
+  StagedState staged;
+  if (std::string err = parseStateBody(r, staged); !err.empty()) {
+    return R::error(err);
+  }
+  info.maxTimestamp = staged.maxTs;
+
   // Validated end to end — now apply.
-  for (SegmentRecord& rec : segments) tracker.restoreSegment(std::move(rec));
-  for (const Assoc& a : assocs) {
+  for (SegmentRecord& rec : staged.segments) {
+    tracker.restoreSegment(std::move(rec));
+  }
+  for (const StagedState::Assoc& a : staged.assocs) {
     tracker.restoreAssociation(a.kind, a.hash, a.segment, a.ts);
   }
-  return maxTs;
+  return info;
+}
+
+util::Result<util::Timestamp> importState(FlowTracker& tracker,
+                                          std::string_view blob) {
+  using R = util::Result<util::Timestamp>;
+  auto result = importStateEx(tracker, blob);
+  if (!result.ok()) return R::error(result.errorMessage());
+  return result.value().maxTimestamp;
 }
 
 util::Status saveSnapshot(const FlowTracker& tracker, const std::string& path,
-                          std::string_view secret) {
-  std::string blob = exportState(tracker);
+                          std::string_view secret, std::uint64_t sequence) {
+  std::string blob = exportStateV2(tracker, sequence);
   std::string fileData;
   if (secret.empty()) {
     fileData = std::move(blob);
   } else {
-    fileData.append(kEncMagic);
+    fileData.append(kEncMagicV2);
     // Nonce derived from content + secret: snapshots are whole-file
     // rewrites, so nonce reuse would require identical (content, secret) —
     // which produces identical ciphertext, leaking nothing new.
@@ -192,45 +349,54 @@ util::Status saveSnapshot(const FlowTracker& tracker, const std::string& path,
     }
     fileData.append(reinterpret_cast<const char*>(nonce.data()), nonce.size());
     fileData += crypto::chacha20Xor(blob, deriveKey(secret), nonce);
+    // Encrypt-then-MAC: the tag covers magic, nonce and ciphertext, so any
+    // bit flip anywhere in the envelope fails verification BEFORE the
+    // malleable stream cipher could smuggle altered plaintext to the
+    // parser.
+    const crypto::Tag128 tag = crypto::keyedTag(deriveMacKey(secret), fileData);
+    fileData.append(reinterpret_cast<const char*>(tag.data()), tag.size());
   }
-  // Crash-safe write: the full snapshot goes to a sibling temp file which
-  // is renamed over the target only after a clean close, so a crash or
-  // disk-full mid-write can never leave a truncated snapshot at `path`
-  // (rename within one directory is atomic on POSIX). The temp name is
-  // unique per process and per call: concurrent saves to the same path
-  // must never share a temp file, or interleaved writes could be renamed
-  // over the target.
-  static std::atomic<std::uint64_t> tmpCounter{0};
-  const std::string tmpPath =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
-      std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
-    if (!out) return util::Status::error("cannot open for writing: " + tmpPath);
-    out.write(fileData.data(), static_cast<std::streamsize>(fileData.size()));
-    out.close();
-    if (!out) {
-      std::remove(tmpPath.c_str());
-      return util::Status::error("write failed: " + tmpPath);
-    }
-  }
-  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
-    std::remove(tmpPath.c_str());
-    return util::Status::error("rename failed: " + tmpPath + " -> " + path);
-  }
-  return {};
+  return atomicWriteFile(path, fileData);
 }
 
-util::Result<util::Timestamp> loadSnapshot(FlowTracker& tracker,
-                                           const std::string& path,
-                                           std::string_view secret) {
-  using R = util::Result<util::Timestamp>;
+util::Result<SnapshotInfo> loadSnapshotEx(FlowTracker& tracker,
+                                          const std::string& path,
+                                          std::string_view secret) {
+  using R = util::Result<SnapshotInfo>;
   std::ifstream in(path, std::ios::binary);
   if (!in) return R::error("cannot open: " + path);
   std::string fileData((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
 
+  if (fileData.substr(0, kEncMagicV2.size()) == kEncMagicV2) {
+    if (secret.empty()) return R::error("snapshot is encrypted; secret needed");
+    const std::size_t header = kEncMagicV2.size();
+    if (fileData.size() < header + 12 + sizeof(crypto::Tag128)) {
+      return R::error("snapshot truncated");
+    }
+    // Authenticate the whole envelope before decrypting anything.
+    const std::size_t tagOffset = fileData.size() - sizeof(crypto::Tag128);
+    crypto::Tag128 stored{};
+    std::memcpy(stored.data(), fileData.data() + tagOffset, stored.size());
+    const crypto::Tag128 actual = crypto::keyedTag(
+        deriveMacKey(secret),
+        std::string_view(fileData).substr(0, tagOffset));
+    if (!crypto::tagEquals(stored, actual)) {
+      return R::error("snapshot authentication failed (corrupt or wrong key)");
+    }
+    crypto::Nonce96 nonce{};
+    for (std::size_t i = 0; i < 12; ++i) {
+      nonce[i] = static_cast<std::uint8_t>(fileData[header + i]);
+    }
+    const std::string blob = crypto::chacha20Xor(
+        std::string_view(fileData).substr(header + 12,
+                                          tagOffset - header - 12),
+        deriveKey(secret), nonce);
+    return importStateEx(tracker, blob);
+  }
+
   if (fileData.substr(0, kEncMagic.size()) == kEncMagic) {
+    // Legacy v1 encrypted snapshot: unauthenticated (migration path only).
     if (secret.empty()) return R::error("snapshot is encrypted; secret needed");
     const std::size_t header = kEncMagic.size();
     if (fileData.size() < header + 12) return R::error("snapshot truncated");
@@ -241,9 +407,19 @@ util::Result<util::Timestamp> loadSnapshot(FlowTracker& tracker,
     const std::string blob = crypto::chacha20Xor(
         std::string_view(fileData).substr(header + 12), deriveKey(secret),
         nonce);
-    return importState(tracker, blob);
+    return importStateEx(tracker, blob);
   }
-  return importState(tracker, fileData);
+
+  return importStateEx(tracker, fileData);
+}
+
+util::Result<util::Timestamp> loadSnapshot(FlowTracker& tracker,
+                                           const std::string& path,
+                                           std::string_view secret) {
+  using R = util::Result<util::Timestamp>;
+  auto result = loadSnapshotEx(tracker, path, secret);
+  if (!result.ok()) return R::error(result.errorMessage());
+  return result.value().maxTimestamp;
 }
 
 }  // namespace bf::flow

@@ -10,9 +10,27 @@
 // fingerprints, thresholds and metadata) and all hash associations (with
 // first-seen timestamps, preserving authority ordering) into a portable
 // little-endian binary blob. saveSnapshot()/loadSnapshot() add the at-rest
-// ChaCha20 encryption layer and file I/O.
+// encryption layer and file I/O.
+//
+// Formats (DESIGN.md §11):
+//  - v1 plain "BFSNAPP1": magic + body. No integrity check beyond the
+//    bounds-checked parse. Still readable; no longer written.
+//  - v2 plain "BFSNAPP2": magic + u64 checkpoint sequence + body + trailing
+//    masked CRC32C over everything before the trailer. The sequence links
+//    a checkpoint to the write-ahead log that continues it (flow/wal.h).
+//  - v1 encrypted "BFSNAPE1": magic + nonce + ChaCha20(blob). Readable for
+//    migration; unauthenticated, so a flipped ciphertext bit could import
+//    as wrong hashes — which is why it is no longer written.
+//  - v2 encrypted "BFSNAPE2": magic + nonce + ChaCha20(v2 plain blob) +
+//    16-byte keyed tag over magic||nonce||ciphertext (crypto/mac.h),
+//    verified BEFORE decryption (encrypt-then-MAC).
+//
+// Every import validates untrusted bytes before they become live records:
+// unknown SegmentKind values and non-finite / out-of-range thresholds
+// reject the whole blob (all-or-nothing, tracker left empty).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "flow/tracker.h"
@@ -20,26 +38,56 @@
 
 namespace bf::flow {
 
-/// Serialises the tracker's full state. Deterministic ordering (segments by
-/// id, associations by hash within kind), so equal states produce equal
-/// blobs.
+/// What a successfully imported snapshot contained.
+struct SnapshotInfo {
+  /// Largest timestamp in the snapshot: the caller must advance the
+  /// tracker's clock past it so new observations sort after restored ones
+  /// (LogicalClock::advanceTo).
+  util::Timestamp maxTimestamp = 0;
+  /// Checkpoint sequence number recorded at save time (0 for v1 blobs and
+  /// plain saves outside the durability manager). WAL records with
+  /// sequence > this continue the state (flow/wal.h).
+  std::uint64_t sequence = 0;
+};
+
+/// Serialises the tracker's full state as a v1 plain blob (legacy format,
+/// kept for deployment bundles and as the deterministic canonical form:
+/// equal states produce equal blobs — segments ordered by id, associations
+/// by hash within kind).
 [[nodiscard]] std::string exportState(const FlowTracker& tracker);
 
-/// Restores state exported by exportState() into `tracker`, which must be
-/// EMPTY (freshly constructed). Returns the largest timestamp contained in
-/// the snapshot: the caller must advance the tracker's clock past it so
-/// that new observations sort after restored ones (LogicalClock::advanceTo).
+/// Serialises as a v2 plain blob: checkpoint `sequence` + body + CRC32C
+/// trailer. Deterministic like exportState().
+[[nodiscard]] std::string exportStateV2(const FlowTracker& tracker,
+                                        std::uint64_t sequence);
+
+/// Restores state exported by exportState()/exportStateV2() into `tracker`,
+/// which must be EMPTY (freshly constructed). Accepts v1 and v2 blobs; v2
+/// blobs are rejected on CRC mismatch.
+[[nodiscard]] util::Result<SnapshotInfo> importStateEx(FlowTracker& tracker,
+                                                       std::string_view blob);
+
+/// importStateEx() returning only the timestamp (compatibility shim).
 [[nodiscard]] util::Result<util::Timestamp> importState(FlowTracker& tracker,
                                                         std::string_view blob);
 
-/// Writes the tracker state to `path`, encrypted with a key derived from
-/// `secret` (empty secret = plaintext snapshot).
+/// Writes the tracker state to `path` in v2 format, encrypted with a key
+/// derived from `secret` (empty secret = plaintext snapshot). Crash-safe:
+/// full temp-file write + fsync + atomic rename. `sequence` is the
+/// checkpoint sequence stored in the blob (0 outside the durability
+/// manager).
 [[nodiscard]] util::Status saveSnapshot(const FlowTracker& tracker,
                                         const std::string& path,
-                                        std::string_view secret);
+                                        std::string_view secret,
+                                        std::uint64_t sequence = 0);
 
-/// Loads a snapshot written by saveSnapshot() into an empty tracker.
-/// Returns the largest restored timestamp (see importState).
+/// Loads a snapshot written by saveSnapshot() — any format version — into
+/// an empty tracker. Encrypted v2 files are authenticated before parsing:
+/// a bit-flipped blob fails the tag check and is rejected.
+[[nodiscard]] util::Result<SnapshotInfo> loadSnapshotEx(
+    FlowTracker& tracker, const std::string& path, std::string_view secret);
+
+/// loadSnapshotEx() returning only the timestamp (compatibility shim).
 [[nodiscard]] util::Result<util::Timestamp> loadSnapshot(
     FlowTracker& tracker, const std::string& path, std::string_view secret);
 

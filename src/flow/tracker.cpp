@@ -4,6 +4,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "flow/wal.h"
 #include "obs/trace.h"
 #include "text/segmenter.h"
 #include "util/hashing.h"
@@ -120,8 +121,14 @@ SegmentId FlowTracker::observeSegmentLocked(SegmentKind kind,
     id = existing->id;
     if (threshold) segments_.setThreshold(id, *threshold);
     // Unchanged fingerprint: nothing to record and the cached disclosure
-    // answer stays valid (the per-keystroke fast path of S6.2).
-    if (existing->fingerprint.sameHashes(fp)) return id;
+    // answer stays valid (the per-keystroke fast path of S6.2). A threshold
+    // change is still durable state, so it is the one thing logged.
+    if (existing->fingerprint.sameHashes(fp)) {
+      if (wal_ != nullptr && threshold) {
+        wal_->logThresholdChanged(name, *threshold);
+      }
+      return id;
+    }
   }
 
   const util::Timestamp now = clock_->now();
@@ -131,6 +138,15 @@ SegmentId FlowTracker::observeSegmentLocked(SegmentKind kind,
   }
   segments_.updateFingerprint(id, std::move(fp), now);
   if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
+  if (wal_ != nullptr) {
+    // Log the POST-mutation record: replaying it recreates the segment with
+    // its effective threshold and timestamps, and re-records its hash
+    // associations at updatedAt (HashDb idempotency keeps earlier
+    // first-seen timestamps, exactly as the live path did).
+    if (const SegmentRecord* rec = segments_.find(id); rec != nullptr) {
+      wal_->logSegmentObserved(*rec);
+    }
+  }
   return id;
 }
 
@@ -217,6 +233,7 @@ void FlowTracker::removeSegmentLocked(SegmentId id) {
   }
   segments_.remove(id);
   cache_.erase(id);
+  if (wal_ != nullptr) wal_->logSegmentRemoved(id);
 }
 
 std::vector<DisclosureHit> FlowTracker::disclosedSources(
@@ -377,6 +394,7 @@ bool FlowTracker::setSegmentThreshold(std::string_view name,
   segments_.setThreshold(rec->id, threshold);
   // A source's threshold changes every other segment's query outcome.
   cache_.clear();
+  if (wal_ != nullptr) wal_->logThresholdChanged(name, threshold);
   return true;
 }
 
@@ -386,12 +404,14 @@ std::size_t FlowTracker::evictAssociationsOlderThan(util::Timestamp cutoff) {
   dropped += hashDbFor(SegmentKind::kParagraph).evictOlderThan(cutoff);
   dropped += hashDbFor(SegmentKind::kDocument).evictOlderThan(cutoff);
   cache_.clear();  // authority may have shifted wholesale
+  if (wal_ != nullptr) wal_->logAssociationsEvicted(cutoff);
   refreshStoreGaugesLocked();
   return dropped;
 }
 
 void FlowTracker::restoreSegment(SegmentRecord record) {
   util::SharedMutexLock lock(mutex_);
+  if (wal_ != nullptr) wal_->logSegmentObserved(record);
   segments_.restore(std::move(record));
   refreshStoreGaugesLocked();
 }
@@ -403,6 +423,31 @@ void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
   // are refreshed by restoreSegment / the next observation instead of here.
   util::SharedMutexLock lock(mutex_);
   hashDbFor(kind).recordObservation(hash, segment, firstSeen);
+  if (wal_ != nullptr) wal_->logAssociationAdded(kind, hash, segment, firstSeen);
+}
+
+void FlowTracker::attachWal(WriteAheadLog* wal) {
+  util::SharedMutexLock lock(mutex_);
+  wal_ = wal;
+}
+
+void FlowTracker::replaySegmentObserved(SegmentRecord record) {
+  util::SharedMutexLock lock(mutex_);
+  const SegmentRecord* existing = segments_.findByName(record.name);
+  const SegmentId id = existing != nullptr ? existing->id : record.id;
+  HashDb& db = hashDbFor(record.kind);
+  for (std::uint64_t h : record.fingerprint.hashes()) {
+    db.recordObservation(h, id, record.updatedAt);
+  }
+  if (existing == nullptr) {
+    segments_.restore(std::move(record));
+  } else {
+    segments_.setThreshold(id, record.threshold);
+    segments_.updateFingerprint(id, std::move(record.fingerprint),
+                                record.updatedAt);
+  }
+  if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
+  refreshStoreGaugesLocked();
 }
 
 std::vector<std::pair<std::size_t, std::size_t>>

@@ -33,6 +33,8 @@
 
 namespace bf::flow {
 
+class WriteAheadLog;
+
 /// Tracker configuration. Fingerprint defaults follow the paper's
 /// evaluation setup (S6.1): 32-bit hashes, 15-char n-grams, 30-char
 /// windows, T_par = T_doc = 0.5.
@@ -264,6 +266,22 @@ class FlowTracker {
                           SegmentId segment, util::Timestamp firstSeen)
       BF_EXCLUDES(mutex_);
 
+  // ---- Durability (flow/wal.h) ----------------------------------------------
+
+  /// Attaches a write-ahead log: every subsequent mutation appends one
+  /// record inside the same exclusive-lock section that applies it, so the
+  /// log order is exactly the mutation order. Pass nullptr to detach (the
+  /// recovery path replays with the WAL detached so replay is not
+  /// re-logged). The log is not owned and must outlive the attachment.
+  void attachWal(WriteAheadLog* wal) BF_EXCLUDES(mutex_);
+
+  /// Applies one WAL kSegmentObserved record: create-or-update the segment
+  /// with the exact recorded ids, timestamps and fingerprint, recording the
+  /// fingerprint's hash associations at the record's updatedAt (idempotent
+  /// per (hash, segment), so re-observed hashes keep their original
+  /// first-seen — the same outcome the live observation produced).
+  void replaySegmentObserved(SegmentRecord record) BF_EXCLUDES(mutex_);
+
  private:
   struct CacheEntry {
     std::uint64_t fingerprintDigest = 0;
@@ -324,6 +342,9 @@ class FlowTracker {
   util::Clock* clock_ BF_PT_GUARDED_BY(mutex_);
   HashDb hashes_[2] BF_GUARDED_BY(mutex_);  // indexed by SegmentKind
   SegmentDb segments_ BF_GUARDED_BY(mutex_);
+  /// Optional durability log; mutations append to it while still holding
+  /// the exclusive lock (flow/wal.h). Not owned.
+  WriteAheadLog* wal_ BF_GUARDED_BY(mutex_) = nullptr;
   std::unordered_map<SegmentId, CacheEntry> cache_ BF_GUARDED_BY(mutex_);
   mutable AtomicStats stats_;
 };

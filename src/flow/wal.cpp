@@ -1,0 +1,694 @@
+#include "flow/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "flow/snapshot.h"
+#include "obs/metrics.h"
+#include "util/binary_io.h"
+#include "util/crc32c.h"
+
+namespace bf::flow {
+
+namespace {
+
+constexpr std::string_view kWalMagic = "BFWAL001";
+constexpr std::size_t kWalHeaderBytes = 8 + 8;  // magic + baseSequence
+/// Frames larger than this cannot have been written by us: treat the length
+/// prefix itself as corrupt instead of trusting it.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+/// User-space frame buffer flush threshold: one write() per this many
+/// bytes instead of one per record keeps the syscall off the decision
+/// path (bench_stress_concurrency's wal_overhead phase).
+constexpr std::size_t kFlushBytes = 64u << 10;
+
+/// Durability metrics, resolved once (same pattern as trackerMetrics()).
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* appendFailures;
+  obs::Counter* bytesWritten;
+  obs::Counter* syncs;
+  obs::Counter* checkpoints;
+  obs::Counter* checkpointFailures;
+  obs::Gauge* checkpointLastMs;
+  obs::Counter* recoveryRuns;
+  obs::Counter* recoveryReplayedRecords;
+  obs::Counter* recoveryDiscardedBytes;
+  obs::Counter* recoveryFallbacks;
+  obs::Gauge* recoveryLastReplayMs;
+};
+
+const WalMetrics& walMetrics() {
+  static const WalMetrics m = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    WalMetrics out;
+    out.appends =
+        &r.counter("bf_wal_appends_total", "WAL records appended");
+    out.appendFailures = &r.counter(
+        "bf_wal_append_failures_total",
+        "WAL appends dropped (I/O failure or injected fault); the log is "
+        "unhealthy until the next successful checkpoint rotation");
+    out.bytesWritten =
+        &r.counter("bf_wal_bytes_written_total", "Bytes appended to the WAL");
+    out.syncs = &r.counter("bf_wal_syncs_total", "WAL fsync calls");
+    out.checkpoints =
+        &r.counter("bf_checkpoints_total", "Durability checkpoints written");
+    out.checkpointFailures = &r.counter("bf_checkpoint_failures_total",
+                                        "Durability checkpoints that failed");
+    out.checkpointLastMs = &r.gauge(
+        "bf_checkpoint_last_ms", "Wall time of the last checkpoint write");
+    out.recoveryRuns =
+        &r.counter("bf_recovery_runs_total", "Crash recoveries performed");
+    out.recoveryReplayedRecords =
+        &r.counter("bf_recovery_replayed_records_total",
+                   "WAL records replayed during recovery");
+    out.recoveryDiscardedBytes =
+        &r.counter("bf_recovery_discarded_bytes_total",
+                   "WAL bytes discarded at torn/corrupt tails");
+    out.recoveryFallbacks =
+        &r.counter("bf_recovery_fallback_checkpoints_total",
+                   "Recoveries that skipped a corrupt newest checkpoint");
+    out.recoveryLastReplayMs = &r.gauge(
+        "bf_recovery_last_replay_ms",
+        "Checkpoint load + WAL replay wall time of the last recovery");
+    return out;
+  }();
+  return m;
+}
+
+bool writeAll(int fd, std::string_view data) {
+  const char* p = data.data();
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// ---- WriteAheadLog ----------------------------------------------------------
+
+WriteAheadLog::~WriteAheadLog() { close(); }
+
+util::Status WriteAheadLog::open(const std::string& path,
+                                 std::uint64_t baseSequence,
+                                 bool syncEachAppend) {
+  util::MutexLock lock(mutex_);
+  closeLocked();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    healthy_ = false;
+    return util::Status::error("cannot open WAL: " + path);
+  }
+  std::string header;
+  header.append(kWalMagic);
+  util::putU64(header, baseSequence);
+  if (!writeAll(fd_, header) || ::fsync(fd_) != 0) {
+    closeLocked();
+    healthy_ = false;
+    return util::Status::error("cannot write WAL header: " + path);
+  }
+  walMetrics().syncs->inc();
+  path_ = path;
+  nextSeq_ = baseSequence + 1;
+  appended_ = 0;
+  syncEachAppend_ = syncEachAppend;
+  healthy_ = true;
+  return {};
+}
+
+void WriteAheadLog::close() {
+  util::MutexLock lock(mutex_);
+  closeLocked();
+  healthy_ = false;
+}
+
+void WriteAheadLog::closeLocked() {
+  if (fd_ >= 0) {
+    (void)flushLocked();
+    (void)::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  bufferedRecords_ = 0;
+}
+
+util::Status WriteAheadLog::rotate(const std::string& path,
+                                   std::uint64_t baseSequence) {
+  // open() already closes the previous file after taking the lock; rotate
+  // is just open() with checkpoint-supplied parameters.
+  return open(path, baseSequence, syncEachAppend());
+}
+
+bool WriteAheadLog::syncEachAppend() const {
+  util::MutexLock lock(mutex_);
+  return syncEachAppend_;
+}
+
+void WriteAheadLog::append(WalRecordType type, const std::string& body) {
+  util::MutexLock lock(mutex_);
+  if (failNext_ > 0) {
+    --failNext_;
+    healthy_ = false;
+    walMetrics().appendFailures->inc();
+    return;
+  }
+  if (fd_ < 0) {
+    walMetrics().appendFailures->inc();
+    return;
+  }
+  // Serialise the frame directly into the flush buffer, then patch the
+  // length/CRC prefix in place — no intermediate payload copy.
+  const std::size_t frameStart = buffer_.size();
+  buffer_.append(8, '\0');  // u32 payloadLen | u32 maskedCrc placeholders
+  util::putU64(buffer_, nextSeq_);
+  util::putU8(buffer_, static_cast<std::uint8_t>(type));
+  buffer_.append(body);
+  const std::size_t payloadLen = buffer_.size() - frameStart - 8;
+  const std::string_view payload(buffer_.data() + frameStart + 8, payloadLen);
+  const std::uint32_t crc = util::maskCrc32c(util::crc32c(payload));
+  for (int i = 0; i < 4; ++i) {
+    buffer_[frameStart + i] =
+        static_cast<char>(static_cast<std::uint32_t>(payloadLen) >> (8 * i));
+    buffer_[frameStart + 4 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  const std::size_t frameSize = 8 + payloadLen;
+  ++bufferedRecords_;
+  ++nextSeq_;
+  ++appended_;
+  walMetrics().appends->inc();
+  walMetrics().bytesWritten->inc(frameSize);
+
+  // One write() per kFlushBytes keeps the syscall off the per-keystroke
+  // path; the fsync boundary (checkpoint / sync() / syncEachAppend) is
+  // what the durability guarantee rests on either way.
+  if (buffer_.size() >= kFlushBytes || syncEachAppend_) {
+    if (!flushLocked()) return;
+  }
+  if (syncEachAppend_) {
+    if (::fsync(fd_) != 0) {
+      healthy_ = false;
+      walMetrics().appendFailures->inc();
+      return;
+    }
+    walMetrics().syncs->inc();
+  }
+}
+
+bool WriteAheadLog::flushLocked() {
+  if (buffer_.empty()) return true;
+  const bool wrote = fd_ >= 0 && writeAll(fd_, buffer_);
+  if (!wrote) {
+    // The tracker mutations already happened; durability degrades, the
+    // mutations do not roll back (availability over durability). The
+    // sequences of the dropped frames ARE rolled back: the next accepted
+    // record reuses them, so replay never meets a gap, and the next
+    // checkpoint re-bases the log wholesale.
+    healthy_ = false;
+    walMetrics().appendFailures->inc(bufferedRecords_);
+    nextSeq_ -= bufferedRecords_;
+    appended_ -= bufferedRecords_;
+  }
+  buffer_.clear();
+  bufferedRecords_ = 0;
+  return wrote;
+}
+
+void WriteAheadLog::logSegmentObserved(const SegmentRecord& rec) {
+  std::string body;
+  body.reserve(75 + rec.name.size() + rec.document.size() +
+               rec.service.size() + rec.fingerprint.grams().size() * 12);
+  util::putU64(body, rec.id);
+  util::putU8(body, static_cast<std::uint8_t>(rec.kind));
+  util::putStr(body, rec.name);
+  util::putStr(body, rec.document);
+  util::putStr(body, rec.service);
+  util::putF64(body, rec.threshold);
+  util::putU64(body, rec.createdAt);
+  util::putU64(body, rec.updatedAt);
+  const auto& grams = rec.fingerprint.grams();
+  util::putU64(body, grams.size());
+  for (const auto& g : grams) {
+    util::putU64(body, g.hash);
+    util::putU32(body, g.pos);
+  }
+  append(WalRecordType::kSegmentObserved, body);
+}
+
+void WriteAheadLog::logAssociationAdded(SegmentKind kind, std::uint64_t hash,
+                                        SegmentId segment,
+                                        util::Timestamp firstSeen) {
+  std::string body;
+  util::putU8(body, static_cast<std::uint8_t>(kind));
+  util::putU64(body, hash);
+  util::putU64(body, segment);
+  util::putU64(body, firstSeen);
+  append(WalRecordType::kAssociationAdded, body);
+}
+
+void WriteAheadLog::logSegmentRemoved(SegmentId id) {
+  std::string body;
+  util::putU64(body, id);
+  append(WalRecordType::kSegmentRemoved, body);
+}
+
+void WriteAheadLog::logThresholdChanged(std::string_view name,
+                                        double threshold) {
+  std::string body;
+  util::putStr(body, name);
+  util::putF64(body, threshold);
+  append(WalRecordType::kThresholdChanged, body);
+}
+
+void WriteAheadLog::logAssociationsEvicted(util::Timestamp cutoff) {
+  std::string body;
+  util::putU64(body, cutoff);
+  append(WalRecordType::kAssociationsEvicted, body);
+}
+
+util::Status WriteAheadLog::sync() {
+  util::MutexLock lock(mutex_);
+  if (fd_ < 0) return util::Status::error("WAL not open");
+  if (!flushLocked()) {
+    return util::Status::error("WAL flush failed: " + path_);
+  }
+  if (::fsync(fd_) != 0) {
+    healthy_ = false;
+    return util::Status::error("WAL fsync failed: " + path_);
+  }
+  walMetrics().syncs->inc();
+  return {};
+}
+
+bool WriteAheadLog::healthy() const {
+  util::MutexLock lock(mutex_);
+  return healthy_;
+}
+
+std::uint64_t WriteAheadLog::nextSequence() const {
+  util::MutexLock lock(mutex_);
+  return nextSeq_;
+}
+
+std::uint64_t WriteAheadLog::appendedRecords() const {
+  util::MutexLock lock(mutex_);
+  return appended_;
+}
+
+void WriteAheadLog::failNextAppends(int n) {
+  util::MutexLock lock(mutex_);
+  failNext_ = n;
+}
+
+// ---- Replay -----------------------------------------------------------------
+
+namespace {
+
+/// True for a threshold a replayed record may carry — same bounds the
+/// snapshot importer enforces (flow/snapshot.cpp).
+bool validThreshold(double t) noexcept {
+  return std::isfinite(t) && t >= 0.0 && t <= 1.0;
+}
+
+bool validKindByte(std::uint8_t k) noexcept {
+  return k == static_cast<std::uint8_t>(SegmentKind::kParagraph) ||
+         k == static_cast<std::uint8_t>(SegmentKind::kDocument);
+}
+
+/// Applies one validated record payload (past sequence + type) to the
+/// tracker. Returns false when the body does not parse exactly or carries
+/// out-of-range values — the frame is then treated as corrupt.
+bool applyRecord(FlowTracker& tracker, WalRecordType type,
+                 std::string_view body, util::Timestamp& maxTs) {
+  util::BinaryReader r(body);
+  switch (type) {
+    case WalRecordType::kSegmentObserved: {
+      SegmentRecord rec;
+      rec.id = r.u64();
+      const std::uint8_t kindByte = r.u8();
+      if (!validKindByte(kindByte)) return false;
+      rec.kind = static_cast<SegmentKind>(kindByte);
+      rec.name = r.str();
+      rec.document = r.str();
+      rec.service = r.str();
+      rec.threshold = r.f64();
+      if (r.ok() && !validThreshold(rec.threshold)) return false;
+      rec.createdAt = r.u64();
+      rec.updatedAt = r.u64();
+      const std::uint64_t gramCount = r.u64();
+      std::vector<text::HashedGram> grams;
+      grams.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(gramCount, 1u << 20)));
+      for (std::uint64_t g = 0; g < gramCount && r.ok(); ++g) {
+        const std::uint64_t hash = r.u64();
+        const std::uint32_t pos = r.u32();
+        grams.push_back({hash, pos});
+      }
+      rec.fingerprint = text::Fingerprint::fromSelected(std::move(grams));
+      if (!r.ok() || !r.atEnd()) return false;
+      maxTs = std::max({maxTs, rec.createdAt, rec.updatedAt});
+      tracker.replaySegmentObserved(std::move(rec));
+      return true;
+    }
+    case WalRecordType::kAssociationAdded: {
+      const std::uint8_t kindByte = r.u8();
+      if (!validKindByte(kindByte)) return false;
+      const std::uint64_t hash = r.u64();
+      const SegmentId segment = r.u64();
+      const util::Timestamp ts = r.u64();
+      if (!r.ok() || !r.atEnd()) return false;
+      maxTs = std::max(maxTs, ts);
+      tracker.restoreAssociation(static_cast<SegmentKind>(kindByte), hash,
+                                 segment, ts);
+      return true;
+    }
+    case WalRecordType::kSegmentRemoved: {
+      const SegmentId id = r.u64();
+      if (!r.ok() || !r.atEnd()) return false;
+      tracker.removeSegment(id);
+      return true;
+    }
+    case WalRecordType::kThresholdChanged: {
+      const std::string name = r.str();
+      const double threshold = r.f64();
+      if (!r.ok() || !r.atEnd()) return false;
+      if (!validThreshold(threshold)) return false;
+      (void)tracker.setSegmentThreshold(name, threshold);
+      return true;
+    }
+    case WalRecordType::kAssociationsEvicted: {
+      const util::Timestamp cutoff = r.u64();
+      if (!r.ok() || !r.atEnd()) return false;
+      (void)tracker.evictAssociationsOlderThan(cutoff);
+      return true;
+    }
+  }
+  return false;  // unknown type
+}
+
+}  // namespace
+
+WalReplayResult replayWalFile(FlowTracker& tracker, const std::string& path,
+                              std::uint64_t nextExpected, std::uint64_t cap) {
+  WalReplayResult out;
+  out.lastSequence = nextExpected == 0 ? 0 : nextExpected - 1;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.sawCorruption = true;
+    return out;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  if (data.size() < kWalHeaderBytes ||
+      std::string_view(data).substr(0, kWalMagic.size()) != kWalMagic) {
+    out.sawCorruption = true;
+    out.discardedBytes = data.size();
+    return out;
+  }
+
+  std::size_t pos = kWalHeaderBytes;
+  std::uint64_t next = nextExpected;
+  while (pos < data.size()) {
+    // Frame header: u32 len + u32 masked CRC.
+    if (data.size() - pos < 8) break;  // torn header
+    util::BinaryReader hdr(std::string_view(data).substr(pos, 8));
+    const std::uint32_t len = hdr.u32();
+    const std::uint32_t storedCrc = hdr.u32();
+    if (len < 9 || len > kMaxFrameBytes || data.size() - pos - 8 < len) {
+      break;  // impossible length or torn payload
+    }
+    const std::string_view payload = std::string_view(data).substr(pos + 8, len);
+    if (util::unmaskCrc32c(storedCrc) != util::crc32c(payload)) break;
+
+    util::BinaryReader pr(payload);
+    const std::uint64_t seq = pr.u64();
+    const WalRecordType type = static_cast<WalRecordType>(pr.u8());
+    if (seq >= next && seq > cap) {
+      // Clean stop at the oracle cap: nothing here is corrupt, the caller
+      // just does not want records past `cap`.
+      pos += 8 + len;
+      continue;
+    }
+    if (seq < next) {
+      // Already covered by the checkpoint (or an earlier log).
+      ++out.skipped;
+      pos += 8 + len;
+      continue;
+    }
+    if (seq != next) break;  // sequence gap: the prefix ends here
+    if (!applyRecord(tracker, type, payload.substr(9), out.maxTimestamp)) {
+      break;  // unparseable body counts as corruption
+    }
+    ++out.applied;
+    out.lastSequence = seq;
+    ++next;
+    pos += 8 + len;
+  }
+  if (pos < data.size()) {
+    out.sawCorruption = true;
+    out.discardedBytes = data.size() - pos;
+  }
+  return out;
+}
+
+// ---- DurabilityManager ------------------------------------------------------
+
+namespace {
+
+/// Parses "<prefix><16 hex digits><suffix>" names; returns the sequence or
+/// nullopt when the name does not match.
+std::optional<std::uint64_t> parseSeqName(std::string_view name,
+                                          std::string_view prefix,
+                                          std::string_view suffix) {
+  if (name.size() != prefix.size() + 16 + suffix.size()) return std::nullopt;
+  if (name.substr(0, prefix.size()) != prefix) return std::nullopt;
+  if (name.substr(prefix.size() + 16) != suffix) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (char c : name.substr(prefix.size(), 16)) {
+    seq <<= 4;
+    if (c >= '0' && c <= '9') {
+      seq |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      seq |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return seq;
+}
+
+std::string seqName(std::string_view prefix, std::uint64_t seq,
+                    std::string_view suffix) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(seq));
+  std::string out(prefix);
+  out += hex;
+  out += suffix;
+  return out;
+}
+
+/// Sequences of all files named <prefix><seq><suffix> in `dir`, sorted
+/// ascending.
+std::vector<std::uint64_t> listSeqFiles(const std::string& dir,
+                                        std::string_view prefix,
+                                        std::string_view suffix) {
+  std::vector<std::uint64_t> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    if (auto seq = parseSeqName(e->d_name, prefix, suffix)) {
+      out.push_back(*seq);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t fileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(DurabilityConfig config)
+    : config_(std::move(config)) {}
+
+DurabilityManager::~DurabilityManager() { wal_.close(); }
+
+std::string DurabilityManager::checkpointPath(std::uint64_t seq) const {
+  return config_.directory + "/" + seqName("checkpoint-", seq, ".bfc");
+}
+
+std::string DurabilityManager::walPath(std::uint64_t seq) const {
+  return config_.directory + "/" + seqName("wal-", seq, ".bfw");
+}
+
+void DurabilityManager::pruneGenerations(std::uint64_t currentSeq) {
+  if (config_.keepGenerations == 0) return;  // keep everything
+  const auto checkpoints =
+      listSeqFiles(config_.directory, "checkpoint-", ".bfc");
+  // Keep the newest keepGenerations checkpoints; every WAL whose base
+  // sequence is >= the oldest kept checkpoint is still needed to roll that
+  // checkpoint forward (logs rotate AT checkpoints, so wal-<S> holds only
+  // records with sequence > S).
+  if (checkpoints.size() <= config_.keepGenerations) return;
+  const std::uint64_t oldestKept =
+      checkpoints[checkpoints.size() - config_.keepGenerations];
+  for (std::uint64_t seq : checkpoints) {
+    if (seq < oldestKept) std::remove(checkpointPath(seq).c_str());
+  }
+  for (std::uint64_t seq : listSeqFiles(config_.directory, "wal-", ".bfw")) {
+    if (seq < oldestKept && seq != currentSeq) {
+      std::remove(walPath(seq).c_str());
+    }
+  }
+}
+
+util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
+    FlowTracker& tracker) {
+  using R = util::Result<RecoveryStats>;
+  const auto start = std::chrono::steady_clock::now();
+  const WalMetrics& m = walMetrics();
+  m.recoveryRuns->inc();
+
+  ::mkdir(config_.directory.c_str(), 0755);  // EEXIST is fine
+
+  RecoveryStats stats;
+
+  // 1. Newest checkpoint that loads (import is all-or-nothing, so a failed
+  //    attempt leaves the tracker empty for the next candidate).
+  const auto checkpoints =
+      listSeqFiles(config_.directory, "checkpoint-", ".bfc");
+  bool loaded = false;
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    auto info = loadSnapshotEx(tracker, checkpointPath(*it), config_.secret);
+    if (info.ok()) {
+      stats.checkpointSequence = info.value().sequence;
+      stats.maxTimestamp = info.value().maxTimestamp;
+      loaded = true;
+      break;
+    }
+    stats.usedFallbackCheckpoint = true;
+    m.recoveryFallbacks->inc();
+  }
+  if (!loaded) stats.checkpointSequence = 0;  // cold start / all corrupt
+
+  // 2. Replay every log in base-sequence order until the first torn frame
+  //    or gap. Logs entirely below the checkpoint just skip through.
+  std::uint64_t next = stats.checkpointSequence + 1;
+  const auto wals = listSeqFiles(config_.directory, "wal-", ".bfw");
+  bool stopped = false;
+  for (std::size_t i = 0; i < wals.size(); ++i) {
+    if (stopped) {
+      // Unreachable tail: a later log cannot continue a broken prefix.
+      stats.discardedBytes += fileSize(walPath(wals[i]));
+      continue;
+    }
+    const WalReplayResult r = replayWalFile(tracker, walPath(wals[i]), next);
+    stats.replayedRecords += r.applied;
+    stats.discardedBytes += r.discardedBytes;
+    stats.maxTimestamp = std::max(stats.maxTimestamp, r.maxTimestamp);
+    if (r.applied > 0) next = r.lastSequence + 1;
+    if (r.sawCorruption) stopped = true;
+  }
+  stats.lastSequence = next - 1;
+  m.recoveryReplayedRecords->inc(stats.replayedRecords);
+  m.recoveryDiscardedBytes->inc(stats.discardedBytes);
+
+  // 3. Make the recovered state durable NOW: fresh checkpoint at the
+  //    recovered sequence, fresh log continuing from it. Old generations
+  //    (including any corrupt files) are pruned per config.
+  if (util::Status s = saveSnapshot(tracker, checkpointPath(stats.lastSequence),
+                                    config_.secret, stats.lastSequence);
+      !s.ok()) {
+    m.checkpointFailures->inc();
+    return R::error("post-recovery checkpoint failed: " + s.errorMessage());
+  }
+  m.checkpoints->inc();
+  if (util::Status s =
+          wal_.open(walPath(stats.lastSequence), stats.lastSequence,
+                    config_.syncEachAppend);
+      !s.ok()) {
+    return R::error(s.errorMessage());
+  }
+  pruneGenerations(stats.lastSequence);
+  tracker.attachWal(&wal_);
+  attached_ = true;
+  lastCheckpointOk_ = true;
+
+  stats.replayMillis = millisSince(start);
+  m.recoveryLastReplayMs->set(stats.replayMillis);
+  lastRecovery_ = stats;
+  return stats;
+}
+
+util::Status DurabilityManager::checkpoint(const FlowTracker& tracker) {
+  const auto start = std::chrono::steady_clock::now();
+  const WalMetrics& m = walMetrics();
+  // The caller quiesced mutations, so the last assigned sequence is stable
+  // and the exported state contains exactly the records up to it.
+  const std::uint64_t seq = wal_.nextSequence() - 1;
+  if (util::Status s =
+          saveSnapshot(tracker, checkpointPath(seq), config_.secret, seq);
+      !s.ok()) {
+    m.checkpointFailures->inc();
+    lastCheckpointOk_ = false;
+    return s;
+  }
+  m.checkpoints->inc();
+  if (util::Status s = wal_.rotate(walPath(seq), seq); !s.ok()) {
+    lastCheckpointOk_ = false;
+    return s;
+  }
+  pruneGenerations(seq);
+  lastCheckpointOk_ = true;
+  m.checkpointLastMs->set(millisSince(start));
+  return {};
+}
+
+bool DurabilityManager::checkpointDue() const {
+  return attached_ &&
+         wal_.appendedRecords() >= config_.checkpointEveryRecords;
+}
+
+util::Status DurabilityManager::checkpointIfDue(const FlowTracker& tracker) {
+  if (!checkpointDue()) return {};
+  return checkpoint(tracker);
+}
+
+bool DurabilityManager::healthy() const {
+  return attached_ && lastCheckpointOk_ && wal_.healthy();
+}
+
+}  // namespace bf::flow

@@ -1,0 +1,250 @@
+// Write-ahead log + checkpointing for the flow tracker (DESIGN.md §11).
+//
+// The snapshot layer (flow/snapshot.h) persists state only when someone
+// calls saveSnapshot(); everything observed since the last save dies with
+// the process. This module closes that window with the classic
+// checkpoint-plus-log design:
+//
+//  - every tracker mutation appends one CRC32C-framed record to an
+//    append-only WAL file (the append runs inside the tracker's exclusive
+//    lock section, so the log order IS the mutation order);
+//  - recovery loads the newest valid checkpoint (snapshot v2), then
+//    replays the WAL tail in sequence order, discarding the first torn or
+//    corrupt frame and everything after it — the recovered state is always
+//    a prefix of the pre-crash history, never a mix;
+//  - a monotonic sequence number links the two: a checkpoint written at
+//    sequence S makes every record with sequence <= S redundant, so the
+//    log can be rotated.
+//
+// WAL file layout (little-endian):
+//   header : 8-byte magic "BFWAL001" + u64 baseSequence
+//   frame  : u32 payloadLen | u32 maskedCrc32c(payload) | payload
+//   payload: u64 sequence | u8 recordType | type-specific body
+//
+// The CRC is masked (util/crc32c.h) so a frame whose payload happens to
+// contain a valid frame image still fails verification when the framing
+// shifts. A frame is discarded — together with everything after it — when
+// it is torn (fewer bytes than the header promises), its CRC mismatches,
+// its type is unknown, its body does not parse exactly, or its sequence
+// breaks continuity.
+//
+// Durability levels: frames buffer in user space and reach the kernel once
+// 64 KiB accumulates, on sync()/rotate()/close(), or on every append with
+// syncEachAppend (bench_recovery measures the fsync cost); fsync runs at
+// those same boundaries. The guarantee was always fsync-granularity —
+// buffering narrows only the window against a SIGKILL between checkpoints,
+// and keeps the append cost off the per-keystroke decision path. A failed
+// append or flush NEVER fails the tracker mutation — availability over
+// durability: the log latches unhealthy, bf_wal_append_failures_total
+// counts, sequences of unwritten frames are rolled back so the log never
+// carries a gap, and the next successful checkpoint makes the state
+// durable again.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/segment_db.h"
+#include "flow/tracker.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace bf::flow {
+
+enum class WalRecordType : std::uint8_t {
+  kSegmentObserved = 1,      ///< full post-mutation segment record + grams
+  kAssociationAdded = 2,     ///< one restored hash association
+  kSegmentRemoved = 3,       ///< segment id
+  kThresholdChanged = 4,     ///< segment name + new threshold
+  kAssociationsEvicted = 5,  ///< eviction cutoff timestamp
+};
+
+/// Append-only log of tracker mutations. Thread-safe (own mutex, rank
+/// util::kRankWal — nests inside the tracker's lock, whose exclusive
+/// sections are where every append originates).
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Creates (or truncates) the log file at `path` and writes the header.
+  /// Records appended afterwards get sequences baseSequence+1, +2, ...
+  [[nodiscard]] util::Status open(const std::string& path,
+                                  std::uint64_t baseSequence,
+                                  bool syncEachAppend) BF_EXCLUDES(mutex_);
+
+  /// fsync + close; further appends are dropped (and counted as failures).
+  void close() BF_EXCLUDES(mutex_);
+
+  /// Closes the current file and opens a fresh one (checkpoint rotation).
+  [[nodiscard]] util::Status rotate(const std::string& path,
+                                    std::uint64_t baseSequence)
+      BF_EXCLUDES(mutex_);
+
+  // ---- Emission (called from the tracker's exclusive sections) ------------
+
+  void logSegmentObserved(const SegmentRecord& rec) BF_EXCLUDES(mutex_);
+  void logAssociationAdded(SegmentKind kind, std::uint64_t hash,
+                           SegmentId segment, util::Timestamp firstSeen)
+      BF_EXCLUDES(mutex_);
+  void logSegmentRemoved(SegmentId id) BF_EXCLUDES(mutex_);
+  void logThresholdChanged(std::string_view name, double threshold)
+      BF_EXCLUDES(mutex_);
+  void logAssociationsEvicted(util::Timestamp cutoff) BF_EXCLUDES(mutex_);
+
+  /// fsync the log file (checkpoint boundary / explicit durability point).
+  [[nodiscard]] util::Status sync() BF_EXCLUDES(mutex_);
+
+  // ---- Introspection ------------------------------------------------------
+
+  /// False after any append/open failure since the last successful
+  /// open/rotate. An unhealthy log keeps accepting (and dropping) appends.
+  [[nodiscard]] bool healthy() const BF_EXCLUDES(mutex_);
+  /// Sequence the NEXT appended record will get.
+  [[nodiscard]] std::uint64_t nextSequence() const BF_EXCLUDES(mutex_);
+  /// Records appended (successfully) since open/rotate.
+  [[nodiscard]] std::uint64_t appendedRecords() const BF_EXCLUDES(mutex_);
+  [[nodiscard]] bool syncEachAppend() const BF_EXCLUDES(mutex_);
+
+  /// Test hook: force the next `n` appends to fail without touching the
+  /// file (exercises the unhealthy path deterministically).
+  void failNextAppends(int n) BF_EXCLUDES(mutex_);
+
+ private:
+  void append(WalRecordType type, const std::string& body)
+      BF_EXCLUDES(mutex_);
+  /// write()s the user-space frame buffer. On failure the buffered frames
+  /// are dropped and their sequences rolled back (the log stays gap-free);
+  /// the log latches unhealthy. Returns false on failure.
+  bool flushLocked() BF_REQUIRES(mutex_);
+  void closeLocked() BF_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_{util::kRankWal, "WriteAheadLog.mutex_"};
+  int fd_ BF_GUARDED_BY(mutex_) = -1;
+  std::string path_ BF_GUARDED_BY(mutex_);
+  std::uint64_t nextSeq_ BF_GUARDED_BY(mutex_) = 1;
+  std::uint64_t appended_ BF_GUARDED_BY(mutex_) = 0;
+  bool syncEachAppend_ BF_GUARDED_BY(mutex_) = false;
+  bool healthy_ BF_GUARDED_BY(mutex_) = false;
+  int failNext_ BF_GUARDED_BY(mutex_) = 0;
+  std::string buffer_ BF_GUARDED_BY(mutex_);  ///< frames not yet write()n
+  std::uint64_t bufferedRecords_ BF_GUARDED_BY(mutex_) = 0;
+};
+
+/// Outcome of replaying one WAL file into a tracker.
+struct WalReplayResult {
+  std::uint64_t applied = 0;         ///< records applied to the tracker
+  std::uint64_t skipped = 0;         ///< valid records with seq <= floor
+  std::uint64_t discardedBytes = 0;  ///< bytes after the first bad frame
+  std::uint64_t lastSequence = 0;    ///< highest sequence applied or skipped
+  util::Timestamp maxTimestamp = 0;  ///< largest timestamp in applied records
+  bool sawCorruption = false;        ///< hit a torn/corrupt frame or seq gap
+};
+
+/// Replays the WAL file at `path` into `tracker`: applies every valid
+/// record with floor < sequence <= cap, in order, requiring exact sequence
+/// continuity from `nextExpected` (records below it are skipped as already
+/// covered by the checkpoint). Stops at the first torn/corrupt frame or
+/// sequence gap; everything after it is counted in discardedBytes. The
+/// tracker's WAL should be detached while replaying (recovery must not
+/// re-log its own replay).
+[[nodiscard]] WalReplayResult replayWalFile(
+    FlowTracker& tracker, const std::string& path, std::uint64_t nextExpected,
+    std::uint64_t cap = ~std::uint64_t{0});
+
+/// Configuration of the durability manager.
+struct DurabilityConfig {
+  /// Directory holding checkpoint-<seq>.bfc and wal-<seq>.bfw files
+  /// (created if missing).
+  std::string directory;
+  /// Snapshot encryption secret (empty = plaintext checkpoints).
+  std::string secret;
+  /// checkpointIfDue() rolls a new checkpoint once this many records have
+  /// been appended since the last one.
+  std::uint64_t checkpointEveryRecords = 4096;
+  /// fsync the WAL on every append (maximum durability; bench_recovery
+  /// quantifies the cost) instead of only at checkpoint boundaries.
+  bool syncEachAppend = false;
+  /// Checkpoint/WAL generations kept after a successful checkpoint. 2 makes
+  /// a corrupt newest checkpoint self-healing (the previous checkpoint plus
+  /// both logs replay to the same state). 0 keeps everything (the fuzz
+  /// harness's oracle mode).
+  std::size_t keepGenerations = 2;
+};
+
+/// What recovery found and did.
+struct RecoveryStats {
+  std::uint64_t checkpointSequence = 0;  ///< sequence of the loaded checkpoint
+  std::uint64_t replayedRecords = 0;     ///< WAL records applied
+  std::uint64_t discardedBytes = 0;      ///< bytes dropped at the torn tail
+  std::uint64_t lastSequence = 0;        ///< sequence of the recovered state
+  util::Timestamp maxTimestamp = 0;      ///< advance the clock past this
+  bool usedFallbackCheckpoint = false;   ///< newest checkpoint was corrupt
+  double replayMillis = 0.0;             ///< load + replay wall time
+};
+
+/// Owns the WAL + checkpoint lifecycle for one tracker.
+///
+/// Thread safety: recoverAndAttach() and checkpoint*() require QUIESCED
+/// tracker mutations — the same external-serialisation contract as
+/// flow::exportState() (the engine's lockState() provides it on the
+/// decision path). The WAL itself is internally synchronised, so tracker
+/// mutations from any thread log safely between those calls.
+class DurabilityManager {
+ public:
+  explicit DurabilityManager(DurabilityConfig config);
+  ~DurabilityManager();
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Recovers `tracker` (which must be empty) from the directory: newest
+  /// valid checkpoint, then the WAL tail. Afterwards writes a fresh
+  /// checkpoint, rotates the log, prunes old generations, and attaches the
+  /// WAL to the tracker so new mutations are logged. The caller must
+  /// advance the tracker's clock past RecoveryStats::maxTimestamp.
+  [[nodiscard]] util::Result<RecoveryStats> recoverAndAttach(
+      FlowTracker& tracker);
+
+  /// Writes a checkpoint of the tracker's current state, rotates the WAL
+  /// and prunes old generations. Mutations must be quiesced.
+  [[nodiscard]] util::Status checkpoint(const FlowTracker& tracker);
+
+  /// True once checkpointEveryRecords appends have accumulated.
+  [[nodiscard]] bool checkpointDue() const;
+
+  /// checkpoint() when due, no-op otherwise.
+  [[nodiscard]] util::Status checkpointIfDue(const FlowTracker& tracker);
+
+  /// Healthy = WAL accepting appends and the last checkpoint attempt (if
+  /// any) succeeded. An unhealthy manager never blocks tracker mutations.
+  [[nodiscard]] bool healthy() const;
+
+  [[nodiscard]] WriteAheadLog& wal() noexcept { return wal_; }
+  [[nodiscard]] const RecoveryStats& lastRecovery() const noexcept {
+    return lastRecovery_;
+  }
+  [[nodiscard]] const DurabilityConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::string checkpointPath(std::uint64_t seq) const;
+  [[nodiscard]] std::string walPath(std::uint64_t seq) const;
+  void pruneGenerations(std::uint64_t keepFromSeq);
+
+  DurabilityConfig config_;
+  WriteAheadLog wal_;
+  std::uint64_t recordsAtLastCheckpoint_ = 0;
+  bool attached_ = false;
+  bool lastCheckpointOk_ = true;
+  RecoveryStats lastRecovery_;
+};
+
+}  // namespace bf::flow

@@ -136,6 +136,11 @@ std::uint64_t MetricsSnapshot::counterValue(
                                                            : 0;
 }
 
+double MetricsSnapshot::gaugeValue(std::string_view name) const noexcept {
+  const MetricValue* m = find(name);
+  return (m != nullptr && m->kind == MetricKind::kGauge) ? m->gaugeValue : 0.0;
+}
+
 MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
   MetricsSnapshot out;
   out.metrics.reserve(metrics.size());

@@ -166,6 +166,8 @@ class MetricsSnapshot {
   [[nodiscard]] const MetricValue* find(std::string_view name) const noexcept;
   /// Convenience: counter value by name, 0 if absent.
   [[nodiscard]] std::uint64_t counterValue(std::string_view name) const noexcept;
+  /// Convenience: gauge level by name, 0.0 if absent.
+  [[nodiscard]] double gaugeValue(std::string_view name) const noexcept;
 
   /// Returns this snapshot minus `earlier`: counter values and histogram
   /// bucket counts/count/sum are subtracted per name (clamped at 0 if the

@@ -15,10 +15,14 @@ inline void putU8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
 }
 inline void putU32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.append(b, 4);
 }
 inline void putU64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.append(b, 8);
 }
 inline void putF64(std::string& out, double v) {
   std::uint64_t bits;

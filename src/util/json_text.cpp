@@ -1,6 +1,7 @@
 #include "util/json_text.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace bf::util {
 
@@ -8,6 +9,27 @@ namespace {
 
 bool isJsonSpace(char c) noexcept {
   return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Parses the four hex digits of a \uXXXX escape whose 'u' sits at index
+/// `u` of `s`. Returns the code unit, or nullopt on underrun / non-hex.
+std::optional<unsigned> parseHex4(std::string_view s, std::size_t u) {
+  if (u + 4 >= s.size()) return std::nullopt;
+  unsigned cp = 0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const char c = s[u + k];
+    cp <<= 4;
+    if (c >= '0' && c <= '9') {
+      cp |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      cp |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      cp |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return cp;
 }
 
 /// Lexes a JSON string starting at the opening quote `begin`. On success
@@ -91,40 +113,42 @@ std::string unescapeJsonString(std::string_view escaped) {
         out.push_back('\f');
         break;
       case 'u': {
-        // \uXXXX: decode BMP code points to UTF-8 (surrogates left as-is).
-        if (i + 4 < escaped.size()) {
-          unsigned cp = 0;
-          bool ok = true;
-          for (int k = 1; k <= 4; ++k) {
-            const char c = escaped[i + static_cast<std::size_t>(k)];
-            cp <<= 4;
-            if (c >= '0' && c <= '9') {
-              cp |= static_cast<unsigned>(c - '0');
-            } else if (c >= 'a' && c <= 'f') {
-              cp |= static_cast<unsigned>(c - 'a' + 10);
-            } else if (c >= 'A' && c <= 'F') {
-              cp |= static_cast<unsigned>(c - 'A' + 10);
-            } else {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) {
-            i += 4;
-            if (cp < 0x80) {
-              out.push_back(static_cast<char>(cp));
-            } else if (cp < 0x800) {
-              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-            } else {
-              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-            }
-            break;
+        // \uXXXX: decode to UTF-8. A UTF-16 high surrogate followed by a
+        // \uXXXX low surrogate combines into one astral code point and is
+        // emitted as proper 4-byte UTF-8 — NOT as two 3-byte CESU-8
+        // triples, which would fingerprint differently from the same text
+        // arriving raw and make disclosure queries miss it. A lone
+        // surrogate keeps the historical 3-byte output.
+        const std::optional<unsigned> first = parseHex4(escaped, i);
+        if (!first) {
+          out.push_back('u');  // malformed \u: keep literally
+          break;
+        }
+        i += 4;
+        unsigned cp = *first;
+        if (cp >= 0xD800 && cp <= 0xDBFF && i + 2 < escaped.size() &&
+            escaped[i + 1] == '\\' && escaped[i + 2] == 'u') {
+          const std::optional<unsigned> second = parseHex4(escaped, i + 2);
+          if (second && *second >= 0xDC00 && *second <= 0xDFFF) {
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (*second - 0xDC00);
+            i += 6;  // consume "\uXXXX" of the low surrogate
           }
         }
-        out.push_back('u');  // malformed \u: keep literally
+        if (cp < 0x80) {
+          out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
         break;
       }
       default:

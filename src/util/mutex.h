@@ -19,6 +19,8 @@
 //   kRankEngineQueue   (20)  core::DecisionEngine::queueMutex_
 //   kRankPendingAudits (30)  core::DecisionEngine::pendingAuditsMutex_
 //   kRankTracker       (40)  flow::FlowTracker::mutex_
+//   kRankWal           (50)  flow::WriteAheadLog::mutex_ (appends run under
+//                            the tracker's exclusive sections)
 //   kRankFaultInjector (60)  cloud::FaultInjector::mutex_
 //   kRankRetryBudget   (70)  util::RetryBudget::mutex_
 //   kRankMetrics       (80)  obs::MetricsRegistry::mutex_
@@ -53,6 +55,7 @@ inline constexpr int kRankEngineState = 10;
 inline constexpr int kRankEngineQueue = 20;
 inline constexpr int kRankPendingAudits = 30;
 inline constexpr int kRankTracker = 40;
+inline constexpr int kRankWal = 50;
 inline constexpr int kRankFaultInjector = 60;
 inline constexpr int kRankRetryBudget = 70;
 inline constexpr int kRankMetrics = 80;

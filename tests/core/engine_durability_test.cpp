@@ -1,0 +1,151 @@
+// DecisionEngine + DurabilityManager wiring: the engine drives periodic
+// checkpointing from the decision path, and durability failures never
+// degrade decisions (DESIGN.md §11).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/decision_engine.h"
+#include "corpus/text_generator.h"
+#include "flow/snapshot.h"
+#include "flow/wal.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace bf::core {
+namespace {
+
+class EngineDurabilityTest : public ::testing::Test {
+ protected:
+  EngineDurabilityTest()
+      : rng_(11),
+        gen_(&rng_),
+        tracker_(flow::TrackerConfig{}, &clock_),
+        policy_(&clock_),
+        engine_(config_, &tracker_, &policy_) {
+    dir_ = "/tmp/bf_engine_durability_" +
+           std::to_string(static_cast<long>(::getpid())) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    (void)std::system(("rm -rf '" + dir_ + "'").c_str());
+    policy_.services().upsert({"itool", "Interview Tool",
+                               tdm::TagSet{"ti"}, tdm::TagSet{"ti"}});
+    policy_.services().upsert(
+        {"gdocs", "Google Docs", tdm::TagSet{}, tdm::TagSet{}});
+  }
+
+  ~EngineDurabilityTest() override {
+    (void)std::system(("rm -rf '" + dir_ + "'").c_str());
+  }
+
+  flow::DurabilityConfig configFor(std::uint64_t checkpointEvery) {
+    flow::DurabilityConfig cfg;
+    cfg.directory = dir_;
+    cfg.checkpointEveryRecords = checkpointEvery;
+    return cfg;
+  }
+
+  DecisionRequest requestFor(const std::string& name,
+                             const std::string& text) {
+    DecisionRequest req;
+    req.segmentName = "gdocs/" + name + "#p0";
+    req.documentName = "gdocs/" + name;
+    req.serviceId = "gdocs";
+    req.text = text;
+    return req;
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  BrowserFlowConfig config_;
+  flow::FlowTracker tracker_;
+  tdm::TdmPolicy policy_;
+  DecisionEngine engine_;
+  std::string dir_;
+};
+
+TEST_F(EngineDurabilityTest, HealthyWithoutAManagerAttached) {
+  EXPECT_TRUE(engine_.durabilityHealthy());
+}
+
+TEST_F(EngineDurabilityTest, DecisionPathDrivesPeriodicCheckpoints) {
+  flow::DurabilityManager mgr(configFor(/*checkpointEvery=*/3));
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  engine_.setDurability(&mgr);
+  EXPECT_TRUE(engine_.durabilityHealthy());
+
+  const auto before = obs::registry().snapshot();
+  // Each decision observes one new segment => one WAL record; at three
+  // records the post-decision checkpointIfDue must roll a checkpoint
+  // while still holding the engine's state mutex.
+  for (int i = 0; i < 7; ++i) {
+    const Decision d = engine_.decide(
+        requestFor("doc" + std::to_string(i), gen_.paragraph(4, 6)));
+    EXPECT_FALSE(d.degraded);
+  }
+  const auto delta = obs::registry().snapshot().diff(before);
+  EXPECT_GE(delta.counterValue("bf_checkpoints_total"), 2u);
+  EXPECT_TRUE(engine_.durabilityHealthy());
+}
+
+TEST_F(EngineDurabilityTest, StateSurvivesCrashAndAnswersSameDecisions) {
+  const std::string secret = gen_.paragraph(6, 9);
+  {
+    flow::DurabilityManager mgr(configFor(1u << 30));
+    ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+    engine_.setDurability(&mgr);
+    tracker_.observeSegment(flow::SegmentKind::kParagraph, "itool/eval#p0",
+                            "itool/eval", "itool", secret);
+    policy_.onSegmentObserved("itool/eval#p0", "itool");
+    const Decision live = engine_.decide(requestFor("leak", secret));
+    EXPECT_EQ(live.action, Decision::Action::kWarn);
+    engine_.setDurability(nullptr);
+    tracker_.attachWal(nullptr);
+  }  // "crash": the manager (and its WAL fd) is gone
+
+  // A new process: fresh tracker, policy, engine — recovered from disk.
+  util::LogicalClock clock2;
+  flow::FlowTracker restored(flow::TrackerConfig{}, &clock2);
+  flow::DurabilityManager mgr2(configFor(1u << 30));
+  auto stats = mgr2.recoverAndAttach(restored);
+  ASSERT_TRUE(stats.ok()) << stats.errorMessage();
+  clock2.advanceTo(stats.value().maxTimestamp + 1);
+
+  tdm::TdmPolicy policy2(&clock2);
+  policy2.services().upsert({"itool", "Interview Tool",
+                             tdm::TagSet{"ti"}, tdm::TagSet{"ti"}});
+  policy2.services().upsert(
+      {"gdocs", "Google Docs", tdm::TagSet{}, tdm::TagSet{}});
+  policy2.onSegmentObserved("itool/eval#p0", "itool");
+  DecisionEngine engine2(config_, &restored, &policy2);
+  engine2.setDurability(&mgr2);
+
+  const Decision d = engine2.decide(requestFor("leak2", secret));
+  EXPECT_EQ(d.action, Decision::Action::kWarn);
+  ASSERT_FALSE(d.hits.empty());
+  EXPECT_EQ(d.hits[0].sourceName, "itool/eval#p0");
+}
+
+TEST_F(EngineDurabilityTest, WalFailureTurnsUnhealthyButDecisionsContinue) {
+  flow::DurabilityManager mgr(configFor(1u << 30));
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  engine_.setDurability(&mgr);
+  ASSERT_TRUE(engine_.durabilityHealthy());
+
+  mgr.wal().failNextAppends(1);
+  const Decision d =
+      engine_.decide(requestFor("doc", gen_.paragraph(4, 6)));
+  EXPECT_FALSE(d.degraded);  // durability loss never degrades decisions
+  EXPECT_EQ(d.action, Decision::Action::kAllow);
+  EXPECT_FALSE(engine_.durabilityHealthy());
+
+  // Detaching restores the no-manager default.
+  engine_.setDurability(nullptr);
+  EXPECT_TRUE(engine_.durabilityHealthy());
+  tracker_.attachWal(nullptr);
+}
+
+}  // namespace
+}  // namespace bf::core

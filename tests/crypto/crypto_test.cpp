@@ -4,6 +4,7 @@
 #include <set>
 
 #include "crypto/chacha20.h"
+#include "crypto/mac.h"
 #include "crypto/sealer.h"
 
 namespace bf::crypto {
@@ -182,6 +183,63 @@ TEST(Sealer, SameSecretDifferentInstancesInteroperate) {
   const auto back = b.unseal(a.seal("cross-instance payload"));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(*back, "cross-instance payload");
+}
+
+namespace {
+Key256 macTestKey(std::uint8_t fill) {
+  Key256 key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(fill + i);
+  }
+  return key;
+}
+}  // namespace
+
+TEST(KeyedTag, DeterministicForSameKeyAndData) {
+  const Key256 key = macTestKey(0x10);
+  const Tag128 a = keyedTag(key, "snapshot ciphertext");
+  const Tag128 b = keyedTag(key, "snapshot ciphertext");
+  EXPECT_TRUE(tagEquals(a, b));
+}
+
+TEST(KeyedTag, DifferentKeysProduceDifferentTags) {
+  const Tag128 a = keyedTag(macTestKey(0x10), "snapshot ciphertext");
+  const Tag128 b = keyedTag(macTestKey(0x11), "snapshot ciphertext");
+  EXPECT_FALSE(tagEquals(a, b));
+}
+
+TEST(KeyedTag, AnySingleBitFlipChangesTheTag) {
+  // The tag defends encrypted snapshots against ChaCha20 malleability:
+  // every 1-bit ciphertext change must be visible in the tag.
+  const Key256 key = macTestKey(0x42);
+  const std::string data = "BFSNAPE2 envelope bytes under test 0123456789";
+  const Tag128 clean = keyedTag(key, data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(
+          static_cast<unsigned char>(flipped[byte]) ^ (1u << bit));
+      EXPECT_FALSE(tagEquals(keyedTag(key, flipped), clean))
+          << "tag blind to flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(KeyedTag, LengthAndPositionBound) {
+  const Key256 key = macTestKey(0x07);
+  // Moving a boundary byte between "prefix" and "suffix" must not collide.
+  EXPECT_FALSE(tagEquals(keyedTag(key, "ab"),
+                         keyedTag(key, std::string("a\0b", 3))));
+  EXPECT_FALSE(tagEquals(keyedTag(key, "abc"), keyedTag(key, "ab")));
+  EXPECT_FALSE(tagEquals(keyedTag(key, ""), keyedTag(key, std::string(1, 0))));
+}
+
+TEST(KeyedTag, EmptyMessageHasAStableKeyedValue) {
+  const Tag128 a = keyedTag(macTestKey(0x00), "");
+  const Tag128 b = keyedTag(macTestKey(0x00), "");
+  const Tag128 c = keyedTag(macTestKey(0x01), "");
+  EXPECT_TRUE(tagEquals(a, b));
+  EXPECT_FALSE(tagEquals(a, c));
 }
 
 }  // namespace

@@ -1,0 +1,372 @@
+// Tests for the write-ahead log and the durability manager (DESIGN.md §11):
+// replay fidelity, torn-tail discard, checkpoint rotation and fallback.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/text_generator.h"
+#include "flow/snapshot.h"
+#include "flow/wal.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace bf::flow {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() : rng_(7), gen_(&rng_), tracker_(TrackerConfig{}, &clock_) {
+    dir_ = "/tmp/bf_wal_test_" +
+           std::to_string(static_cast<long>(::getpid())) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)std::system(cmd.c_str());
+    ::mkdir(dir_.c_str(), 0755);
+  }
+
+  ~WalTest() override {
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)std::system(cmd.c_str());
+  }
+
+  /// Canonical state for equality checks.
+  static std::string canon(const FlowTracker& t) { return exportState(t); }
+
+  DurabilityConfig configFor(std::uint64_t checkpointEvery = 1u << 30) {
+    DurabilityConfig cfg;
+    cfg.directory = dir_;
+    cfg.checkpointEveryRecords = checkpointEvery;
+    return cfg;
+  }
+
+  /// Runs a small mutation workload through the tracker.
+  void workload() {
+    for (int i = 0; i < 6; ++i) {
+      tracker_.observeSegment(SegmentKind::kParagraph,
+                              "w#p" + std::to_string(i), "w", "svc",
+                              gen_.paragraph(5, 8));
+    }
+    tracker_.removeSegmentByName("w#p3");
+    ASSERT_TRUE(tracker_.setSegmentThreshold("w#p1", 0.7));
+  }
+
+  /// Recovers a fresh tracker from `dir_` with a fresh manager; returns its
+  /// canonical state.
+  std::string recoverFresh(RecoveryStats* statsOut = nullptr) {
+    util::LogicalClock clock2;
+    FlowTracker restored(TrackerConfig{}, &clock2);
+    DurabilityManager mgr(configFor());
+    auto stats = mgr.recoverAndAttach(restored);
+    EXPECT_TRUE(stats.ok()) << stats.errorMessage();
+    if (!stats.ok()) return {};
+    if (statsOut != nullptr) *statsOut = stats.value();
+    clock2.advanceTo(stats.value().maxTimestamp + 1);
+    restored.attachWal(nullptr);  // comparisons only; stop logging
+    return canon(restored);
+  }
+
+  util::LogicalClock clock_;
+  util::Rng rng_;
+  corpus::TextGenerator gen_;
+  FlowTracker tracker_;
+  std::string dir_;
+};
+
+TEST_F(WalTest, RecoverReplaysEveryMutationKind) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  workload();
+  const util::Timestamp cutoff = clock_.now();
+  tracker_.observeSegment(SegmentKind::kParagraph, "late#p0", "late", "svc",
+                          gen_.paragraph(5, 8));
+  tracker_.evictAssociationsOlderThan(cutoff);
+  const std::string live = canon(tracker_);
+  // Recovery runs against the directory while this manager is live:
+  // materialise the buffered tail first (a crash would do it via close()).
+  ASSERT_TRUE(mgr.wal().sync().ok());
+
+  RecoveryStats stats;
+  EXPECT_EQ(recoverFresh(&stats), live);
+  EXPECT_GT(stats.replayedRecords, 0u);
+  EXPECT_EQ(stats.discardedBytes, 0u);
+}
+
+TEST_F(WalTest, RecoveredStateAnswersSameQueries) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  const std::string secretText = gen_.paragraph(8, 8);
+  tracker_.observeSegment(SegmentKind::kParagraph, "s#p0", "s", "svc",
+                          secretText);
+  ASSERT_TRUE(mgr.wal().sync().ok());
+
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  DurabilityManager mgr2(configFor());
+  auto stats = mgr2.recoverAndAttach(restored);
+  ASSERT_TRUE(stats.ok());
+  clock2.advanceTo(stats.value().maxTimestamp + 1);
+  const auto hits = restored.checkText(secretText, "probe");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].sourceName, "s#p0");
+}
+
+TEST_F(WalTest, TornTailIsDiscardedPrefixSurvives) {
+  {
+    DurabilityManager mgr(configFor());
+    ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+    workload();
+  }
+  // State after only the first observation (sequence 1): replay of a log
+  // truncated inside record 2 must land exactly there.
+  const std::string walFile = dir_ + "/wal-0000000000000000.bfw";
+  std::string data = readFile(walFile);
+  ASSERT_GT(data.size(), 40u);
+  // Find the end of frame 1: header(16) + 8 + len1.
+  std::uint32_t len1 = 0;
+  for (int i = 0; i < 4; ++i) {
+    len1 |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(data[16 + static_cast<size_t>(i)]))
+            << (8 * i);
+  }
+  const std::size_t endOfFirst = 16 + 8 + len1;
+  ASSERT_LT(endOfFirst, data.size());
+  data.resize(endOfFirst + 5);  // tear frame 2 mid-header/payload
+  writeFile(walFile, data);
+  // Remove the post-recovery checkpoint so replay must come from the WAL.
+  std::remove((dir_ + "/checkpoint-0000000000000000.bfc").c_str());
+
+  RecoveryStats stats;
+  const std::string recovered = recoverFresh(&stats);
+  EXPECT_EQ(stats.lastSequence, 1u);
+  EXPECT_EQ(stats.replayedRecords, 1u);
+  EXPECT_GT(stats.discardedBytes, 0u);
+
+  // Oracle: one observation applied to a fresh tracker.
+  util::LogicalClock clock3;
+  util::Rng rng3(7);
+  corpus::TextGenerator gen3(&rng3);
+  FlowTracker oracle(TrackerConfig{}, &clock3);
+  oracle.observeSegment(SegmentKind::kParagraph, "w#p0", "w", "svc",
+                        gen3.paragraph(5, 8));
+  EXPECT_EQ(recovered, canon(oracle));
+}
+
+TEST_F(WalTest, CorruptFrameStopsReplayAtPrefix) {
+  {
+    DurabilityManager mgr(configFor());
+    ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+    workload();
+  }
+  const std::string walFile = dir_ + "/wal-0000000000000000.bfw";
+  std::string data = readFile(walFile);
+  // Flip one byte in the middle of the log: every record after the broken
+  // frame is unreachable even if its own CRC is fine.
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
+  writeFile(walFile, data);
+  std::remove((dir_ + "/checkpoint-0000000000000000.bfc").c_str());
+
+  RecoveryStats stats;
+  const std::string recovered = recoverFresh(&stats);
+  EXPECT_FALSE(recovered.empty());
+  EXPECT_GT(stats.discardedBytes, 0u);
+  EXPECT_LT(stats.lastSequence, 8u);  // workload appended 8 records
+}
+
+TEST_F(WalTest, CheckpointRotatesAndRecovers) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  workload();
+  ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+  // Post-checkpoint mutations land in the rotated log.
+  tracker_.observeSegment(SegmentKind::kParagraph, "post#p0", "post", "svc",
+                          gen_.paragraph(5, 8));
+  const std::string live = canon(tracker_);
+  ASSERT_TRUE(mgr.wal().sync().ok());
+
+  RecoveryStats stats;
+  EXPECT_EQ(recoverFresh(&stats), live);
+  EXPECT_GT(stats.checkpointSequence, 0u);
+  EXPECT_EQ(stats.replayedRecords, 1u);  // only the post-checkpoint record
+}
+
+TEST_F(WalTest, CheckpointEveryNRecordsTriggersViaIfDue) {
+  DurabilityManager mgr(configFor(/*checkpointEvery=*/4));
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  const auto before = obs::registry().snapshot();
+  for (int i = 0; i < 9; ++i) {
+    tracker_.observeSegment(SegmentKind::kParagraph,
+                            "d#p" + std::to_string(i), "d", "svc",
+                            gen_.paragraph(4, 6));
+    ASSERT_TRUE(mgr.checkpointIfDue(tracker_).ok());
+  }
+  const auto delta = obs::registry().snapshot().diff(before);
+  EXPECT_GE(delta.counterValue("bf_checkpoints_total"), 2u);
+  ASSERT_TRUE(mgr.wal().sync().ok());
+  EXPECT_EQ(recoverFresh(), canon(tracker_));
+}
+
+TEST_F(WalTest, CorruptNewestCheckpointFallsBackToOlderGeneration) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  workload();
+  ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+  tracker_.observeSegment(SegmentKind::kParagraph, "tail#p0", "tail", "svc",
+                          gen_.paragraph(5, 8));
+  const std::string live = canon(tracker_);
+  ASSERT_TRUE(mgr.wal().sync().ok());
+
+  // Corrupt the NEWEST checkpoint; the previous generation plus the full
+  // log chain must reproduce the same state (keepGenerations = 2).
+  std::uint64_t newest = 0;
+  std::string newestPath;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(seq));
+    const std::string p = dir_ + "/checkpoint-" + hex + ".bfc";
+    std::ifstream probe(p);
+    if (probe.good() && seq >= newest) {
+      newest = seq;
+      newestPath = p;
+    }
+  }
+  ASSERT_FALSE(newestPath.empty());
+  ASSERT_GT(newest, 0u);
+  std::string data = readFile(newestPath);
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x01);
+  writeFile(newestPath, data);
+
+  RecoveryStats stats;
+  EXPECT_EQ(recoverFresh(&stats), live);
+  EXPECT_TRUE(stats.usedFallbackCheckpoint);
+}
+
+TEST_F(WalTest, AppendFailureLatchesUnhealthyButMutationsSucceed) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  EXPECT_TRUE(mgr.healthy());
+  const auto before = obs::registry().snapshot();
+  mgr.wal().failNextAppends(2);
+  const SegmentId id = tracker_.observeSegment(
+      SegmentKind::kParagraph, "x#p0", "x", "svc", gen_.paragraph(5, 8));
+  EXPECT_NE(id, kInvalidSegment);  // the mutation itself never fails
+  EXPECT_FALSE(mgr.healthy());
+  const auto delta = obs::registry().snapshot().diff(before);
+  EXPECT_GE(delta.counterValue("bf_wal_append_failures_total"), 1u);
+  // A checkpoint rotation restores health.
+  ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+  EXPECT_TRUE(mgr.healthy());
+  EXPECT_EQ(recoverFresh(), canon(tracker_));
+}
+
+TEST_F(WalTest, PruneKeepsConfiguredGenerations) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  for (int round = 0; round < 5; ++round) {
+    tracker_.observeSegment(SegmentKind::kParagraph,
+                            "r#p" + std::to_string(round), "r", "svc",
+                            gen_.paragraph(4, 6));
+    ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+  }
+  int checkpoints = 0;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(seq));
+    std::ifstream probe(dir_ + "/checkpoint-" + hex + ".bfc");
+    if (probe.good()) ++checkpoints;
+  }
+  EXPECT_EQ(checkpoints, 2);  // keepGenerations default
+  EXPECT_EQ(recoverFresh(), canon(tracker_));
+}
+
+TEST_F(WalTest, EncryptedCheckpointsRoundTrip) {
+  DurabilityConfig cfg = configFor();
+  cfg.secret = "org-secret";
+  {
+    DurabilityManager mgr(cfg);
+    ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+    workload();
+    ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+  }
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  DurabilityManager mgr2(cfg);
+  auto stats = mgr2.recoverAndAttach(restored);
+  ASSERT_TRUE(stats.ok()) << stats.errorMessage();
+  restored.attachWal(nullptr);
+  EXPECT_EQ(canon(restored), canon(tracker_));
+}
+
+TEST_F(WalTest, ReplaySkipsRecordsCoveredByCheckpoint) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  workload();
+  ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+
+  // Recovery must not double-apply pre-checkpoint records even when the
+  // old log generation is still on disk (keepGenerations includes it).
+  RecoveryStats stats;
+  EXPECT_EQ(recoverFresh(&stats), canon(tracker_));
+  EXPECT_EQ(stats.replayedRecords, 0u);
+}
+
+TEST_F(WalTest, RecoveryMetricsAreRecorded) {
+  {
+    DurabilityManager mgr(configFor());
+    ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+    workload();
+  }
+  const auto before = obs::registry().snapshot();
+  RecoveryStats stats;
+  (void)recoverFresh(&stats);
+  const auto now = obs::registry().snapshot();
+  const auto delta = now.diff(before);
+  EXPECT_GE(delta.counterValue("bf_recovery_runs_total"), 1u);
+  EXPECT_GE(delta.counterValue("bf_recovery_replayed_records_total"),
+            stats.replayedRecords);
+  EXPECT_GE(now.gaugeValue("bf_recovery_last_replay_ms"), 0.0);
+}
+
+TEST_F(WalTest, WalFileWithBadMagicIsDiscardedEntirely) {
+  {
+    DurabilityManager mgr(configFor());
+    ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+    workload();
+  }
+  const std::string walFile = dir_ + "/wal-0000000000000000.bfw";
+  std::string data = readFile(walFile);
+  data[0] = 'X';
+  writeFile(walFile, data);
+  std::remove((dir_ + "/checkpoint-0000000000000000.bfc").c_str());
+
+  RecoveryStats stats;
+  const std::string recovered = recoverFresh(&stats);
+  EXPECT_EQ(stats.replayedRecords, 0u);
+  EXPECT_EQ(stats.discardedBytes, data.size());
+  // Nothing replayable: recovery lands on the empty state.
+  util::LogicalClock clock3;
+  FlowTracker empty(TrackerConfig{}, &clock3);
+  EXPECT_EQ(recovered, canon(empty));
+}
+
+}  // namespace
+}  // namespace bf::flow

@@ -1,0 +1,17 @@
+// bflint fixture: durable disclosure state has exactly two writers —
+// flow/snapshot.cpp (checksummed checkpoints) and flow/wal.cpp (CRC-framed
+// log appends). A bare std::ofstream in src/flow would write state bytes
+// no recovery path can validate.
+// bflint-expect: state-file-io
+#include <fstream>
+#include <string>
+
+namespace bf::flow {
+
+inline void rogueStateWriter(const std::string& path,
+                             const std::string& state) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(state.data(), static_cast<std::streamsize>(state.size()));
+}
+
+}  // namespace bf::flow

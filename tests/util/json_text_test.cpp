@@ -1,6 +1,7 @@
 // Tests for the JSON string-field scanner/rewriter.
 #include <gtest/gtest.h>
 
+#include "text/winnower.h"
 #include "util/json_text.h"
 
 namespace bf::util {
@@ -107,6 +108,66 @@ TEST(JsonText, LooksLikeJson) {
 TEST(JsonText, EscapeUnescapeRoundTrip) {
   const std::string nasty = "quote\" backslash\\ nl\n tab\t ctrl\x01 end";
   EXPECT_EQ(unescapeJsonString(escapeJsonString(nasty)), nasty);
+}
+
+TEST(JsonText, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 arrives as the UTF-16 pair D83D DE00 and must come out as the
+  // single 4-byte UTF-8 code point, not two CESU-8 triples.
+  EXPECT_EQ(unescapeJsonString(R"(😀)"), "\xF0\x9F\x98\x80");
+  // First and last astral plane-1 code points via their pairs.
+  EXPECT_EQ(unescapeJsonString(R"(𐀀)"), "\xF0\x90\x80\x80");
+  EXPECT_EQ(unescapeJsonString(R"(􏿿)"), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonText, LoneSurrogateKeepsHistoricalThreeByteOutput) {
+  // A high surrogate with no low surrogate after it (or a bare low
+  // surrogate) has no valid decoding; the historical 3-byte output stays.
+  EXPECT_EQ(unescapeJsonString(R"(\ud83d)"), "\xED\xA0\xBD");
+  EXPECT_EQ(unescapeJsonString(R"(\ud83dX)"), "\xED\xA0\xBDX");
+  EXPECT_EQ(unescapeJsonString(R"(\ude00)"), "\xED\xB8\x80");
+  // High surrogate followed by a NON-surrogate escape: both decode alone.
+  EXPECT_EQ(unescapeJsonString(R"(\ud83dA)"), "\xED\xA0\xBD" "A");
+}
+
+TEST(JsonText, MalformedUnicodeEscapeKeptLiteral) {
+  EXPECT_EQ(unescapeJsonString(R"(\uZZZZ)"), "uZZZZ");
+  EXPECT_EQ(unescapeJsonString(R"(\u12)"), "u12");
+}
+
+TEST(JsonText, ScanDecodesSurrogatePairsInFieldValues) {
+  const auto fields =
+      scanJsonStringFields(R"({"t": "ok 😀 done"})");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].value, "ok \xF0\x9F\x98\x80 done");
+}
+
+TEST(JsonText, DecodedEscapesFingerprintIdenticallyToRawText) {
+  // The disclosure pipeline fingerprints upload bodies after JSON
+  // unescaping. The same emoji-bearing text must produce the same
+  // fingerprint whether it arrives raw or \uXXXX-escaped — CESU-8 triples
+  // from naive surrogate decoding would shift every n-gram and the copy
+  // would sail past the tracker unrecognised.
+  const std::string raw =
+      "Grinning \xF0\x9F\x98\x80 faces \xF0\x9F\x98\x80 fill the meeting "
+      "notes \xF0\x9F\x98\x80 before the quarterly budget review today.";
+  std::string escaped;
+  for (std::size_t i = 0; i < raw.size();) {
+    if (raw.compare(i, 4, "\xF0\x9F\x98\x80") == 0) {
+      escaped += R"(😀)";
+      i += 4;
+    } else {
+      escaped.push_back(raw[i]);
+      ++i;
+    }
+  }
+  const std::string decoded = unescapeJsonString(escaped);
+  EXPECT_EQ(decoded, raw);
+
+  const text::FingerprintConfig cfg;
+  const auto fpRaw = text::fingerprintText(raw, cfg);
+  const auto fpDecoded = text::fingerprintText(decoded, cfg);
+  ASSERT_FALSE(fpRaw.empty());
+  EXPECT_TRUE(fpDecoded.sameHashes(fpRaw));
 }
 
 }  // namespace
