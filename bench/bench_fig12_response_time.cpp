@@ -37,8 +37,12 @@ void typeText(core::DecisionEngine& engine, const std::string& segment,
   typed.reserve(text.size());
   for (char c : text) {
     typed += c;
-    engine.decide({segment, doc, "https://docs.google.com", typed,
-                   flow::SegmentKind::kParagraph});
+    core::DecisionRequest req;
+    req.segmentName = segment;
+    req.documentName = doc;
+    req.serviceId = "https://docs.google.com";
+    req.text = typed;
+    engine.decide(req);
   }
 }
 
@@ -140,8 +144,12 @@ int main() {
       const std::string text =
           original.substr(0, k) +
           (k < edited.size() ? edited.substr(k) : std::string{});
-      engine.decide({"w3doc#p0", "w3doc", "https://docs.google.com", text,
-                     flow::SegmentKind::kParagraph});
+      core::DecisionRequest req;
+      req.segmentName = "w3doc#p0";
+      req.documentName = "w3doc";
+      req.serviceId = "https://docs.google.com";
+      req.text = text;
+      engine.decide(req);
     }
   }
   const auto w3 = engine.latencyData();

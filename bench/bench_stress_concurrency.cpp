@@ -24,6 +24,7 @@
 #include "core/decision_engine.h"
 #include "corpus/text_generator.h"
 #include "flow/wal.h"
+#include "obs/stage.h"
 #include "text/winnower.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
@@ -273,6 +274,41 @@ int main() {
                 std::to_string(walMs) + ",\"overhead_pct\":" +
                 std::to_string(overheadPct) + "}");
   (void)std::system(("rm -rf '" + walDir + "'").c_str());
+
+  // ---- Provenance overhead -------------------------------------------------
+  // The same synchronous decision loop with provenance (trace contexts,
+  // stage timers, flight-recorder ids) on vs off. Acceptance target: < 3%
+  // on the decision path — the per-decision cost is a handful of TSC reads
+  // and one atomic id, which real work (fingerprint + query + policy)
+  // should dwarf. scripts/bench_gate.py enforces the budget.
+  bench::printHeader("Provenance", "trace/stage attribution overhead");
+  auto runProvenanceLoop = [&](bool enabled) -> double {
+    obs::setProvenanceEnabled(enabled);
+    const double ms = runDecisionLoop(false);
+    obs::setProvenanceEnabled(true);
+    return ms;
+  };
+  (void)runProvenanceLoop(true);  // warm-up
+  // Interleaved min-of-N with early exit: scheduler noise only inflates
+  // the min-based estimate, so stop once it is comfortably under budget.
+  double provOffMs = 1e100;
+  double provOnMs = 1e100;
+  double provOverheadPct = 1e100;
+  for (int rep = 0; rep < 7; ++rep) {
+    provOffMs = std::min(provOffMs, runProvenanceLoop(false));
+    provOnMs = std::min(provOnMs, runProvenanceLoop(true));
+    provOverheadPct =
+        provOffMs > 0 ? (provOnMs - provOffMs) / provOffMs * 100.0 : 0.0;
+    if (rep >= 2 && provOverheadPct < 2.0) break;
+  }
+  std::printf(
+      "decisions: %zu  off: %.1f ms  on: %.1f ms  overhead: %+.2f%%\n",
+      walDecisions, provOffMs, provOnMs, provOverheadPct);
+  bench::result("{\"bench\":\"provenance_overhead\",\"decisions\":" +
+                std::to_string(walDecisions) + ",\"base_ms\":" +
+                std::to_string(provOffMs) + ",\"provenance_ms\":" +
+                std::to_string(provOnMs) + ",\"overhead_pct\":" +
+                std::to_string(provOverheadPct) + "}");
 
   bench::dumpMetrics();
   return misattributed == 0 ? 0 : 1;

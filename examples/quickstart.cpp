@@ -49,8 +49,12 @@ int main() {
   const std::string pasted =
       "the candidate showed outstanding systems design depth, walking "
       "through a replicated log design with clear failure-mode reasoning.";
-  core::Decision d1 = engine.decide({"gdocs/doc1#p0", "gdocs/doc1", "gdocs",
-                                     pasted, flow::SegmentKind::kParagraph});
+  core::DecisionRequest pasteReq;
+  pasteReq.segmentName = "gdocs/doc1#p0";
+  pasteReq.documentName = "gdocs/doc1";
+  pasteReq.serviceId = "gdocs";
+  pasteReq.text = pasted;
+  core::Decision d1 = engine.decide(pasteReq);
   std::printf("paste of evaluation into Google Docs:\n");
   std::printf("  violation = %s\n", d1.violation() ? "YES" : "no");
   for (const auto& hit : d1.hits) {
@@ -71,19 +75,21 @@ int main() {
   }
 
   // Scenario B: an unrelated note is free to go anywhere.
-  core::Decision d2 = engine.decide(
-      {"gdocs/doc1#p1", "gdocs/doc1", "gdocs",
-       "Lunch options near the Trento conference venue include three "
-       "trattorias, two pizzerias, and an excellent gelato place.",
-       flow::SegmentKind::kParagraph});
+  core::DecisionRequest noteReq;
+  noteReq.segmentName = "gdocs/doc1#p1";
+  noteReq.documentName = "gdocs/doc1";
+  noteReq.serviceId = "gdocs";
+  noteReq.text =
+      "Lunch options near the Trento conference venue include three "
+      "trattorias, two pizzerias, and an excellent gelato place.";
+  core::Decision d2 = engine.decide(noteReq);
   std::printf("unrelated note into Google Docs:\n  violation = %s\n",
               d2.violation() ? "YES" : "no");
 
   // Scenario C: the user declassifies the copy (audited), then re-checks.
   policy.suppressTag("alice", "gdocs/doc1#p0", "ti",
                      "anonymised before sharing with the panel");
-  core::Decision d3 = engine.decide({"gdocs/doc1#p0", "gdocs/doc1", "gdocs",
-                                     pasted, flow::SegmentKind::kParagraph});
+  core::Decision d3 = engine.decide(pasteReq);
   std::printf("after tag suppression:\n  violation = %s\n",
               d3.violation() ? "YES" : "no");
   std::printf("audit records: %zu\n", policy.audit().size());

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""bench_gate -- the bench regression gate.
+
+Runs a fresh bench sweep (via scripts/bench_report.py's runners), diffs the
+headline numbers against the newest committed BENCH_PR*.json, and fails
+when the decision path got slower:
+
+  * micro-fingerprint throughput (BM_FingerprintTextFusedWorkspace/16384
+    MB/s) regressing by more than --max-regression percent;
+  * multi-reader scaling (each multi_reader mode/reader-count QPS)
+    regressing by more than --max-regression percent;
+  * provenance overhead (the stress bench's interleaved on/off comparison)
+    at or above --max-overhead percent of the decision path.
+
+The fresh report plus the per-check verdicts are written to --out
+(BENCH_PR6.json by default), so the PR carries its numbers and the gate's
+reasoning in one artifact.
+
+Usage:
+    scripts/bench_gate.py [--build-dir build] [--baseline BENCH_PR4.json]
+                          [--out BENCH_PR6.json] [--max-regression 10]
+                          [--max-overhead 3] [--smoke]
+
+--smoke (used by scripts/check.sh when BF_CHECK_BENCH=1) runs the quick
+bench configuration and only checks the wiring: the sweep must run, the
+RESULT channels must parse, the provenance phase must report, and the
+baseline must load. Quick-run numbers are far too noisy to gate on, so
+smoke mode never fails on a percentage and writes its artifact to the
+build tree instead of BENCH_PR6.json.
+
+Exit status: 0 when every check passes, 1 on any regression (or, in smoke
+mode, any wiring breakage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPT_DIR)
+sys.path.insert(0, SCRIPT_DIR)
+
+import bench_report  # noqa: E402  (sibling module, not a package)
+
+MICRO_HEADLINE = "BM_FingerprintTextFusedWorkspace/16384"
+
+
+def newest_baseline(exclude: str) -> str | None:
+    """The highest-numbered bench report BENCH_PR<N>.json in the repo root.
+
+    This run's own --out also matches the name pattern, so it is excluded
+    explicitly, and anything unreadable or schema-foreign is skipped —
+    a gate artifact is itself a bf-bench-report-v1 (with an extra "gate"
+    key), so last PR's gate output is next PR's baseline.
+    """
+    best, best_n = None, -1
+    for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_PR*.json")):
+        if os.path.abspath(path) == os.path.abspath(exclude):
+            continue
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", os.path.basename(path))
+        if m is None or int(m.group(1)) <= best_n:
+            continue
+        try:
+            with open(path) as f:
+                if json.load(f).get("schema") != "bf-bench-report-v1":
+                    continue
+        except (OSError, json.JSONDecodeError):
+            continue
+        best, best_n = path, int(m.group(1))
+    return best
+
+
+def run_fresh_report(build_dir: str, quick: bool) -> dict:
+    report = {
+        "schema": "bf-bench-report-v1",
+        "generated_by": "scripts/bench_gate.py",
+        "build_dir": build_dir,
+    }
+    print("==> bench_micro_fingerprint", flush=True)
+    report["micro_fingerprint"] = bench_report.run_micro(build_dir, quick)
+    print("==> bench_stress_concurrency", flush=True)
+    quick_env = (
+        {"BF_STRESS_USERS": "4", "BF_STRESS_DECISIONS": "200"} if quick else {}
+    )
+    report["stress_concurrency"] = bench_report.run_results_bench(
+        os.path.join(build_dir, "bench", "bench_stress_concurrency"),
+        {}, quick_env)
+    report["summary"] = bench_report.summarize(report)
+    return report
+
+
+def micro_mb_per_s(report: dict, name: str):
+    for b in report.get("micro_fingerprint", {}).get("benchmarks", []):
+        if b.get("name") == name:
+            return b.get("mb_per_s")
+    return None
+
+
+def multi_reader_qps(report: dict) -> dict:
+    out = {}
+    for r in report.get("stress_concurrency", {}).get("results", []):
+        if r.get("bench") == "multi_reader":
+            out[f"{r['mode']}_r{r['readers']}"] = r.get("queries_per_s")
+    return out
+
+
+def provenance_overhead_pct(report: dict):
+    for r in report.get("stress_concurrency", {}).get("results", []):
+        if r.get("bench") == "provenance_overhead":
+            return r.get("overhead_pct")
+    return None
+
+
+def regression_check(name: str, baseline, fresh, max_regression: float) -> dict:
+    """Higher-is-better metric: fails when fresh falls >N% below baseline."""
+    check = {"name": name, "baseline": baseline, "fresh": fresh}
+    if not baseline or fresh is None:
+        check.update(regression_pct=None, passed=True,
+                     note="metric missing on one side; not gated")
+        return check
+    pct = (baseline - fresh) / baseline * 100.0
+    check.update(regression_pct=round(pct, 2), passed=pct <= max_regression)
+    return check
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline",
+                    help="baseline report (default: newest BENCH_PR*.json)")
+    ap.add_argument("--out",
+                    help="gate artifact (default: BENCH_PR6.json; smoke "
+                         "mode defaults into the build tree)")
+    ap.add_argument("--max-regression", type=float, default=10.0,
+                    help="max tolerated throughput drop, percent")
+    ap.add_argument("--max-overhead", type=float, default=3.0,
+                    help="max tolerated provenance overhead, percent")
+    ap.add_argument("--smoke", action="store_true",
+                    help="quick run, wiring checks only (check.sh mode)")
+    args = ap.parse_args()
+
+    out_path = args.out or (
+        os.path.join(args.build_dir, "bench-gate-smoke.json") if args.smoke
+        else os.path.join(REPO_ROOT, "BENCH_PR6.json"))
+
+    baseline_path = args.baseline or newest_baseline(exclude=out_path)
+    if baseline_path is None:
+        print("bench_gate: no BENCH_PR*.json baseline found", file=sys.stderr)
+        return 1
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    fresh = run_fresh_report(args.build_dir, quick=args.smoke)
+
+    checks = [
+        regression_check(
+            f"micro_fingerprint:{MICRO_HEADLINE}:mb_per_s",
+            micro_mb_per_s(baseline, MICRO_HEADLINE),
+            micro_mb_per_s(fresh, MICRO_HEADLINE),
+            args.max_regression),
+    ]
+    base_readers = multi_reader_qps(baseline)
+    fresh_readers = multi_reader_qps(fresh)
+    for key in sorted(base_readers):
+        checks.append(regression_check(
+            f"multi_reader:{key}:queries_per_s",
+            base_readers.get(key), fresh_readers.get(key),
+            args.max_regression))
+
+    overhead = provenance_overhead_pct(fresh)
+    overhead_check = {
+        "name": "provenance_overhead_pct",
+        "fresh": overhead,
+        "budget": args.max_overhead,
+        "passed": overhead is not None and overhead < args.max_overhead,
+    }
+
+    if args.smoke:
+        # Wiring-only verdicts: every metric must be present and parseable;
+        # quick-run percentages are noise, not signal.
+        failures = [c["name"] for c in checks if c["fresh"] is None]
+        if overhead is None:
+            failures.append("provenance_overhead_pct")
+        gate_pass = not failures
+        for c in checks:
+            c["passed"] = c["fresh"] is not None
+            c["note"] = "smoke: presence only, percentage not gated"
+        overhead_check["passed"] = overhead is not None
+        overhead_check["note"] = "smoke: presence only, percentage not gated"
+    else:
+        failures = [c["name"] for c in checks if not c["passed"]]
+        if not overhead_check["passed"]:
+            failures.append(overhead_check["name"])
+        gate_pass = not failures
+
+    # The artifact IS a bf-bench-report-v1 (fresh numbers at the top level,
+    # so the next PR's gate can baseline against it) plus the gate verdicts.
+    artifact = {
+        **fresh,
+        "gate": {
+            "mode": "smoke" if args.smoke else "full",
+            "baseline_file": os.path.basename(baseline_path),
+            "max_regression_pct": args.max_regression,
+            "max_provenance_overhead_pct": args.max_overhead,
+            "provenance_overhead": overhead_check,
+            "checks": checks,
+            "pass": gate_pass,
+        },
+    }
+    with open(out_path, "w") as f:
+        json.dump(artifact, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"==> wrote {out_path}")
+
+    for c in checks + [overhead_check]:
+        status = "ok  " if c["passed"] else "FAIL"
+        detail = (f"{c.get('regression_pct')}% regression"
+                  if "regression_pct" in c else f"{c.get('fresh')}%")
+        print(f"gate {status} {c['name']}: {detail}")
+    if not gate_pass:
+        print(f"bench_gate: FAILED ({', '.join(failures)})", file=sys.stderr)
+        return 1
+    print("bench_gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

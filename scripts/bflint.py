@@ -16,6 +16,13 @@ cannot enforce:
                       and every sleep variant. The simulation is
                       deterministic; steady_clock (monotonic, measurement
                       only) is explicitly allowed.
+  raw-timing          Direct TraceLog::instance() or raw std::chrono timing
+                      inside src/core or src/flow. The decision pipeline
+                      reports time through obs (StageTimer / recordStage on
+                      util::fastTicks) and spans through obs::ScopedSpan, so
+                      per-stage attribution and trace propagation cannot be
+                      bypassed; src/obs and src/util/clock.h own the raw
+                      clocks.
   deque-scratch       std::deque inside src/text. The fingerprint kernel is
                       the hottest loop in the system; its scratch structures
                       are flat rings/vectors in a reusable workspace
@@ -82,6 +89,16 @@ WALL_CLOCK_PATTERNS = [
      "libc rand; use the seeded util::Rng"),
     (re.compile(r"\b(sleep|usleep|nanosleep)\s*\(|\bsleep_(for|until)\b"),
      "sleeping; simulate delays (SimNetwork latency model) instead"),
+]
+
+RAW_TIMING_PATTERNS = [
+    (re.compile(r"\bTraceLog\s*::\s*instance\b"),
+     "direct TraceLog access in the pipeline; emit spans via obs::ScopedSpan "
+     "so they parent-link to the ambient trace"),
+    (re.compile(r"\bstd\s*::\s*chrono\b|#\s*include\s*<chrono>"),
+     "raw std::chrono timing in the pipeline; use obs::StageTimer / "
+     "obs::recordStage (util::fastTicks) so the time is attributed to a "
+     "stage histogram and the flight recorder"),
 ]
 
 DEQUE_PATTERNS = [
@@ -153,6 +170,8 @@ def lint_file(path: str, fixture_mode: bool = False) -> list[Finding]:
          not fixture_mode and rel.startswith(RAW_MUTEX_ALLOWED_PREFIXES))
     scan(WALL_CLOCK_PATTERNS, "wall-clock",
          not fixture_mode and rel in WALL_CLOCK_ALLOWED)
+    scan(RAW_TIMING_PATTERNS, "raw-timing",
+         not fixture_mode and not rel.startswith(("src/core/", "src/flow/")))
     scan(DEQUE_PATTERNS, "deque-scratch",
          not fixture_mode and not rel.startswith("src/text/"))
     scan(STATE_FILE_IO_PATTERNS, "state-file-io",

@@ -44,13 +44,15 @@ for preset in $PRESETS; do
   fi
 done
 
-# BF_CHECK_BENCH=1 exercises the bench-report pipeline end to end with a
-# short run (noisy numbers, real wiring): every bench must start, emit
-# parseable output, and produce a well-formed report file.
+# BF_CHECK_BENCH=1 exercises the bench pipeline end to end with a short
+# run (noisy numbers, real wiring): every bench must start, emit parseable
+# output, and the regression gate must find all its metrics — including
+# the provenance-overhead phase — against the newest BENCH_PR*.json
+# baseline. Smoke mode checks wiring only; run scripts/bench_gate.py
+# without --smoke for the real >10%-regression / <3%-overhead gate.
 if [ "${BF_CHECK_BENCH:-0}" = "1" ]; then
-  echo "==> [bench] bench_report.py --quick"
-  python3 scripts/bench_report.py --quick --build-dir build \
-    --out build/bench-report-check.json
+  echo "==> [bench] bench_gate.py --smoke"
+  python3 scripts/bench_gate.py --smoke --build-dir build
 fi
 
 echo "==> all presets green: $PRESETS"

@@ -1,9 +1,14 @@
 #include "cloud/dlp_appliance.h"
 
 #include "browser/forms.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/stage.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "text/normalizer.h"
 #include "util/hashing.h"
+#include "util/stopwatch.h"
 
 namespace bf::cloud {
 
@@ -39,10 +44,15 @@ void DlpAppliance::registerSensitiveDocument(std::string_view text) {
 
 bool DlpAppliance::inspectText(std::string_view text) const {
   if (config_.mode == Mode::kExactChunks) {
-    const text::NormalizedText norm = text::normalize(text);
+    text::NormalizedText norm;
+    {
+      obs::StageTimer normTimer(obs::Stage::kNormalize);
+      norm = text::normalize(text);
+    }
     if (norm.size() < config_.chunkChars) return false;
     // Check every alignment: an appliance cannot assume chunk boundaries
     // survive the copy.
+    obs::StageTimer fpTimer(obs::Stage::kFingerprint);
     for (std::size_t i = 0; i + config_.chunkChars <= norm.size(); ++i) {
       if (chunkHashes_.count(util::fnv1a64(std::string_view(norm.text)
                                                .substr(i, config_.chunkChars)))
@@ -52,8 +62,11 @@ bool DlpAppliance::inspectText(std::string_view text) const {
     }
     return false;
   }
-  const text::Fingerprint bodyFp =
-      text::fingerprintText(text, fingerprintConfig_);
+  text::Fingerprint bodyFp;
+  {
+    obs::StageTimer fpTimer(obs::Stage::kFingerprint);
+    bodyFp = text::fingerprintText(text, fingerprintConfig_);
+  }
   for (const auto& docFp : fingerprints_) {
     if (docFp.empty()) continue;
     const double containment =
@@ -68,6 +81,15 @@ browser::HttpResponse DlpAppliance::handle(const browser::HttpRequest& req) {
   ++inspected_;
   inspectedCounter().inc();
   if (!config_.trafficEncrypted) {
+    // An appliance inspection is an ingress of its own: the request came
+    // off the wire, not from a plug-in decision path.
+    const obs::TraceContext trace = obs::ingressTrace();
+    obs::ScopedTraceContext traceScope(trace);
+    obs::StageBreakdown stages;
+    obs::ScopedStageCollector stageScope(&stages);
+    obs::ScopedSpan span("dlp.inspect");
+    span.addAttr("bytes", req.body.size());
+    util::Stopwatch watch;
     // The appliance sees wire bytes; decode the urlencoded form body the
     // way commercial DLP reverse-engineers wire formats (paper S2.2).
     std::string decoded;
@@ -75,9 +97,34 @@ browser::HttpResponse DlpAppliance::handle(const browser::HttpRequest& req) {
       decoded += value;
       decoded += '\n';
     }
-    if (inspectText(decoded) || inspectText(req.body)) {
+    const bool hit = inspectText(decoded) || inspectText(req.body);
+    if (hit) {
       ++flagged_;
       flaggedCounter().inc();
+    }
+    // bf_cloud does not link the engine, so the appliance reports to the
+    // flight recorder directly. Unretained inspections still consume an id
+    // so decision ids stay globally ordered.
+    if (obs::provenanceEnabled()) {
+      obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+      if (!trace.sampled && !hit) {
+        (void)recorder.nextDecisionId();
+      } else {
+        obs::DecisionTrace record;
+        record.traceId = trace.traceId;
+        record.spanId = trace.spanId;
+        record.sampled = trace.sampled;
+        record.ingress = "dlp.appliance";
+        record.segmentName = req.url;
+        record.documentName = req.url;
+        record.serviceId = req.url;
+        record.action = hit ? "flag" : "allow";
+        record.violation = hit;
+        record.bytesScanned = req.body.size();
+        record.stages = stages;
+        record.totalMs = watch.elapsedMillis();
+        (void)recorder.record(std::move(record));
+      }
     }
   }
   return upstream_->handle(req);

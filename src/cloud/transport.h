@@ -27,7 +27,9 @@
 #include <utility>
 
 #include "browser/http.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "util/retry.h"
 
 namespace bf::cloud {
@@ -81,44 +83,56 @@ template <typename SendFn>
 TransportResult sendWithRetry(SendFn&& send, const util::RetryPolicy& policy,
                               util::Rng* rng, util::RetryBudget* budget,
                               bool idempotent) {
-  const detail::RetryMetrics& metrics = detail::retryMetrics();
-  util::Backoff backoff(policy, rng);
-  TransportResult result;
-  for (int attempt = 1;; ++attempt) {
-    metrics.attempts->inc();
-    result.response = send();
-    result.attempts = attempt;
-    const SendOutcome outcome =
-        classifyResponse(result.response.status, result.response.body);
-    if (outcome == SendOutcome::kSuccess) {
-      if (budget != nullptr) budget->deposit();
-      return result;
+  // Every attempt of this logical upload — and any in-plugin decision the
+  // send triggers (XHR interception) — shares one trace, so the retry
+  // history can be stitched onto the decision records afterwards.
+  const obs::TraceContext trace = obs::ingressTrace();
+  obs::ScopedTraceContext traceScope(trace);
+  const TransportResult result = [&] {
+    const detail::RetryMetrics& metrics = detail::retryMetrics();
+    util::Backoff backoff(policy, rng);
+    TransportResult r;
+    for (int attempt = 1;; ++attempt) {
+      metrics.attempts->inc();
+      r.response = send();
+      r.attempts = attempt;
+      const SendOutcome outcome =
+          classifyResponse(r.response.status, r.response.body);
+      if (outcome == SendOutcome::kSuccess) {
+        if (budget != nullptr) budget->deposit();
+        return r;
+      }
+      if (outcome == SendOutcome::kFatal ||
+          (outcome == SendOutcome::kRetryIfIdempotent && !idempotent)) {
+        return r;
+      }
+      if (attempt >= policy.maxAttempts) {
+        r.exhausted = true;
+        metrics.exhausted->inc();
+        return r;
+      }
+      const double delayMs = backoff.nextDelayMs();
+      if (policy.deadlineMs > 0.0 && r.backoffMs + delayMs > policy.deadlineMs) {
+        r.exhausted = true;
+        metrics.deadlineHit->inc();
+        return r;
+      }
+      if (budget != nullptr && !budget->tryWithdraw()) {
+        r.exhausted = true;
+        metrics.budgetDenied->inc();
+        return r;
+      }
+      r.backoffMs += delayMs;
+      metrics.retries->inc();
+      metrics.backoffMs->observe(delayMs);
     }
-    if (outcome == SendOutcome::kFatal ||
-        (outcome == SendOutcome::kRetryIfIdempotent && !idempotent)) {
-      return result;
-    }
-    if (attempt >= policy.maxAttempts) {
-      result.exhausted = true;
-      metrics.exhausted->inc();
-      return result;
-    }
-    const double delayMs = backoff.nextDelayMs();
-    if (policy.deadlineMs > 0.0 &&
-        result.backoffMs + delayMs > policy.deadlineMs) {
-      result.exhausted = true;
-      metrics.deadlineHit->inc();
-      return result;
-    }
-    if (budget != nullptr && !budget->tryWithdraw()) {
-      result.exhausted = true;
-      metrics.budgetDenied->inc();
-      return result;
-    }
-    result.backoffMs += delayMs;
-    metrics.retries->inc();
-    metrics.backoffMs->observe(delayMs);
+  }();
+  if (obs::provenanceEnabled() && (result.attempts > 1 || result.exhausted)) {
+    obs::FlightRecorder::instance().annotateRetry(
+        trace.traceId, static_cast<std::uint32_t>(result.attempts),
+        result.backoffMs, result.exhausted);
   }
+  return result;
 }
 
 }  // namespace bf::cloud

@@ -1,10 +1,80 @@
 #include "core/decision_engine.h"
 
 #include "flow/wal.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "util/clock.h"
 #include "util/stopwatch.h"
 
 namespace bf::core {
+
+namespace {
+
+const char* actionName(Decision::Action action) {
+  switch (action) {
+    case Decision::Action::kAllow:
+      return "allow";
+    case Decision::Action::kWarn:
+      return "warn";
+    case Decision::Action::kBlock:
+      return "block";
+    case Decision::Action::kEncrypt:
+      return "encrypt";
+  }
+  return "unknown";
+}
+
+/// The trace a decision runs under: the request's own if the ingress set
+/// one, else a child of the caller's ambient trace, else a fresh root.
+obs::TraceContext resolveTrace(const obs::TraceContext& requested) {
+  return requested.valid() ? requested : obs::ingressTrace();
+}
+
+}  // namespace
+
+void recordDecisionProvenance(const char* ingress,
+                              std::string_view segmentName,
+                              std::string_view documentName,
+                              std::string_view serviceId,
+                              std::size_t bytesScanned,
+                              const obs::TraceContext& trace,
+                              const obs::StageBreakdown& stages,
+                              Decision& decision) {
+  if (!obs::provenanceEnabled()) return;
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  decision.traceId = trace.traceId;
+  if (!trace.sampled && !decision.degraded && !decision.violation()) {
+    // Fast path: the recorder would not retain this decision, so skip the
+    // record construction (strings/vectors) entirely.
+    decision.decisionId = recorder.nextDecisionId();
+    return;
+  }
+  obs::DecisionTrace record;
+  record.traceId = trace.traceId;
+  record.spanId = trace.spanId;
+  record.sampled = trace.sampled;
+  record.ingress = ingress;
+  record.segmentName = segmentName;
+  record.documentName = documentName;
+  record.serviceId = serviceId;
+  record.action = actionName(decision.action);
+  record.violation = decision.violation();
+  record.degraded = decision.degraded;
+  record.degradedReason = decision.degradedReason;
+  record.bytesScanned = bytesScanned;
+  record.stages = stages;
+  record.totalMs = decision.responseTimeMs;
+  record.hits.reserve(decision.hits.size());
+  for (const auto& hit : decision.hits) {
+    record.hits.push_back(obs::DecisionTraceHit{
+        hit.sourceName, hit.score, hit.threshold, hit.overlap});
+  }
+  record.violatingTags.assign(decision.violatingTags.begin(),
+                              decision.violatingTags.end());
+  record.labelsConsulted = decision.labelsConsulted;
+  record.secretHits = decision.secretHits;
+  decision.decisionId = recorder.record(std::move(record));
+}
 
 DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
                                flow::FlowTracker* tracker,
@@ -40,6 +110,9 @@ DecisionEngine::DecisionEngine(const BrowserFlowConfig& config,
                              "Disclosure-lookup circuit breaker trips");
   breakerOpenGauge_ = &r.gauge("bf_decision_breaker_open",
                                "1 while the lookup circuit breaker is open");
+  // Calibrate the stage-timer tick clock now, not under a pipeline lock on
+  // the first decision.
+  util::warmFastTicks();
 }
 
 DecisionEngine::~DecisionEngine() {
@@ -55,8 +128,22 @@ DecisionEngine::~DecisionEngine() {
 }
 
 Decision DecisionEngine::decide(const DecisionRequest& request) {
-  util::MutexLock lock(stateMutex_);
-  return decideLocked(request);
+  const obs::TraceContext trace = resolveTrace(request.trace);
+  obs::ScopedTraceContext traceScope(trace);
+  obs::StageBreakdown stages;
+  obs::ScopedStageCollector collector(&stages);
+  Decision decision;
+  {
+    util::MutexLock lock(stateMutex_);
+    decision = decideLocked(request);
+  }
+  // Provenance is reported after the pipeline lock is released: the
+  // recorder's mutex ranks above it, and record construction has no
+  // business inside the serialised section.
+  recordDecisionProvenance(request.ingress, request.segmentName,
+                           request.documentName, request.serviceId,
+                           request.text.size(), trace, stages, decision);
+  return decision;
 }
 
 Decision DecisionEngine::buildDegraded(const char* reason) {
@@ -108,7 +195,8 @@ void DecisionEngine::setResilience(const ResilienceConfig& resilience) {
 }
 
 Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
-  BF_SPAN("engine.decide");
+  obs::ScopedSpan span("engine.decide");
+  span.addAttr("bytes", request.text.size());
   const ResilienceConfig& res = config_.resilience;
   const bool breakerEnabled = res.breakerLatencyBudgetMs > 0.0;
 
@@ -117,6 +205,7 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
   // allowance is spent — then fall through once as a half-open probe.
   if (breakerEnabled && breakerIsOpen_ && breakerSkipsRemaining_ > 0) {
     --breakerSkipsRemaining_;
+    span.addAttr("degraded", 1);
     return makeDegradedLocked(request, "breaker-open: lookup skipped");
   }
 
@@ -129,7 +218,10 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
   const flow::SegmentId id = tracker_->observeSegment(
       request.kind, request.segmentName, request.documentName,
       request.serviceId, request.text);
-  policy_->onSegmentObserved(request.segmentName, request.serviceId);
+  {
+    obs::StageTimer policyTimer(obs::Stage::kPolicyEval);
+    policy_->onSegmentObserved(request.segmentName, request.serviceId);
+  }
 
   // 2. Find the sources this text discloses (cached when the fingerprint
   //    is unchanged — the per-keystroke fast path).
@@ -162,41 +254,61 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
   // 3. The segment's implicit tags become exactly the explicit tags of its
   //    CURRENT disclosing sources (paper S3.2): new disclosure attaches
   //    taint, and edits that removed all resemblance shed it.
-  std::vector<std::string> sourceNames;
-  sourceNames.reserve(decision.hits.size());
-  for (const auto& hit : decision.hits) sourceNames.push_back(hit.sourceName);
-  policy_->refreshImplicitTags(request.segmentName, sourceNames);
+  {
+    obs::StageTimer policyTimer(obs::Stage::kPolicyEval);
+    std::vector<std::string> sourceNames;
+    sourceNames.reserve(decision.hits.size());
+    for (const auto& hit : decision.hits) sourceNames.push_back(hit.sourceName);
+    policy_->refreshImplicitTags(request.segmentName, sourceNames);
 
-  // 3b. Exact-match pass for short secrets (S4.4): each hit attaches the
-  //     secret's tag as an implicit tag, sharing the refresh lifecycle —
-  //     deleting the secret from the text sheds the tag on the next edit.
-  if (guard_ != nullptr) {
-    for (const auto& hit : guard_->scan(request.text)) {
-      policy_->addImplicitTag(request.segmentName, hit.tag);
-      decision.secretHits.push_back(hit.name);
+    // 3b. Exact-match pass for short secrets (S4.4): each hit attaches the
+    //     secret's tag as an implicit tag, sharing the refresh lifecycle —
+    //     deleting the secret from the text sheds the tag on the next edit.
+    if (guard_ != nullptr) {
+      for (const auto& hit : guard_->scan(request.text)) {
+        policy_->addImplicitTag(request.segmentName, hit.tag);
+        decision.secretHits.push_back(hit.name);
+      }
+    }
+
+    // ---- Policy enforcement module -------------------------------------------
+    const tdm::UploadDecision check =
+        policy_->checkUpload(request.segmentName, request.serviceId);
+    if (check.allowed) {
+      decision.action = Decision::Action::kAllow;
+    } else {
+      decision.violatingTags = check.violatingTags;
+      switch (mode_.load(std::memory_order_relaxed)) {
+        case EnforcementMode::kWarn:
+          decision.action = Decision::Action::kWarn;
+          break;
+        case EnforcementMode::kBlock:
+          decision.action = Decision::Action::kBlock;
+          break;
+        case EnforcementMode::kEncrypt:
+          decision.action = Decision::Action::kEncrypt;
+          break;
+      }
+    }
+
+    // Capture the labels the check consulted, but only when the flight
+    // recorder will retain this decision — the TagSet copies are wasted
+    // work otherwise.
+    if (obs::provenanceEnabled() &&
+        (obs::currentTrace().sampled || decision.violation())) {
+      for (const auto& tag : check.label.effectiveTags()) {
+        decision.labelsConsulted.push_back("segment:" + tag);
+      }
+      if (const tdm::ServiceInfo* svc =
+              policy_->services().find(request.serviceId)) {
+        for (const auto& tag : svc->privilege) {
+          decision.labelsConsulted.push_back("privilege:" + tag);
+        }
+      }
     }
   }
 
-  // ---- Policy enforcement module ---------------------------------------------
-  const tdm::UploadDecision check =
-      policy_->checkUpload(request.segmentName, request.serviceId);
-  if (check.allowed) {
-    decision.action = Decision::Action::kAllow;
-  } else {
-    decision.violatingTags = check.violatingTags;
-    switch (mode_.load(std::memory_order_relaxed)) {
-      case EnforcementMode::kWarn:
-        decision.action = Decision::Action::kWarn;
-        break;
-      case EnforcementMode::kBlock:
-        decision.action = Decision::Action::kBlock;
-        break;
-      case EnforcementMode::kEncrypt:
-        decision.action = Decision::Action::kEncrypt;
-        break;
-    }
-  }
-
+  span.addAttr("segments_matched", decision.hits.size());
   decision.responseTimeMs = watch.elapsedMillis();
   latency_->observe(decision.responseTimeMs);
   actionCounters_[static_cast<int>(decision.action)]->inc();
@@ -223,6 +335,9 @@ bool DecisionEngine::durabilityHealthy() const {
 }
 
 std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
+  // Resolve the trace at the ingress (caller) side: the worker thread has
+  // no ambient context to inherit, and shed answers need an identity too.
+  request.trace = resolveTrace(request.trace);
   std::promise<Decision> promise;
   std::future<Decision> future = promise.get_future();
   const int cap = maxQueueDepth_.load(std::memory_order_relaxed);
@@ -233,7 +348,7 @@ std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
       shed = true;
     } else {
       queue_.push_back(QueueItem{std::move(request), std::move(promise),
-                                 std::chrono::steady_clock::now()});
+                                 util::fastTicks()});
       ++inFlight_;
       queueDepth_->set(static_cast<double>(queue_.size()));
       if (!workerStarted_) {
@@ -254,6 +369,12 @@ std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
       pendingAudits_.push_back(PendingAudit{
           request.segmentName, request.serviceId, d.degradedReason});
     }
+    // Shed decisions are always-keep in the flight recorder: no stages ran,
+    // but the record answers "why did this decision degrade?".
+    recordDecisionProvenance(request.ingress, request.segmentName,
+                             request.documentName, request.serviceId,
+                             request.text.size(), request.trace,
+                             obs::StageBreakdown{}, d);
     promise.set_value(std::move(d));
     return future;
   }
@@ -287,12 +408,15 @@ void DecisionEngine::workerLoop() {
     // degraded instead of burning pipeline time on a stale decision.
     const double deadlineMs =
         decisionDeadlineMs_.load(std::memory_order_relaxed);
-    bool expired = false;
-    if (deadlineMs > 0.0) {
-      const auto waited = std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - item.enqueuedAt);
-      expired = waited.count() > deadlineMs;
-    }
+    const std::uint64_t waitedNanos =
+        util::fastTicksToNanos(util::fastTicks() - item.enqueuedTicks);
+    const bool expired =
+        deadlineMs > 0.0 && static_cast<double>(waitedNanos) / 1e6 > deadlineMs;
+    const obs::TraceContext trace = resolveTrace(item.request.trace);
+    obs::ScopedTraceContext traceScope(trace);
+    obs::StageBreakdown stages;
+    obs::ScopedStageCollector collector(&stages);
+    obs::recordStage(obs::Stage::kQueueWait, waitedNanos);
     Decision d;
     {
       util::MutexLock lock(stateMutex_);
@@ -304,6 +428,9 @@ void DecisionEngine::workerLoop() {
         d = decideLocked(item.request);
       }
     }
+    recordDecisionProvenance(item.request.ingress, item.request.segmentName,
+                             item.request.documentName, item.request.serviceId,
+                             item.request.text.size(), trace, stages, d);
     item.promise.set_value(std::move(d));
     {
       util::MutexLock lock(queueMutex_);

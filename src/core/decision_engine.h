@@ -22,11 +22,11 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <deque>
 #include <future>
 #include <mutex>  // std::unique_lock over util::Mutex (lockState)
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -34,6 +34,8 @@
 #include "core/secret_guard.h"
 #include "flow/tracker.h"
 #include "obs/metrics.h"
+#include "obs/stage.h"
+#include "obs/trace_context.h"
 #include "tdm/policy.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -55,6 +57,12 @@ struct DecisionRequest {
   std::string serviceId;
   std::string text;
   flow::SegmentKind kind = flow::SegmentKind::kParagraph;
+  /// Causal trace identity. Invalid (default) means the engine adopts the
+  /// caller's ambient trace, or starts a fresh root at this ingress.
+  obs::TraceContext trace;
+  /// Ingress label recorded in the flight recorder ("plugin.paragraph",
+  /// "dlp.appliance", ...). Must be a string literal.
+  const char* ingress = "engine.decide";
 };
 
 struct Decision {
@@ -79,7 +87,32 @@ struct Decision {
   bool degraded = false;
   /// Why the decision degraded (empty when `degraded` is false).
   std::string degradedReason;
+  /// Provenance correlation ids (obs/flight_recorder.h): decisionId keys
+  /// FlightRecorder::explain(); traceId links spans and histogram
+  /// exemplars. Both 0 when provenance is disabled.
+  std::uint64_t decisionId = 0;
+  std::uint64_t traceId = 0;
+  /// Policy labels the enforcement check consulted (the segment's
+  /// effective tags and the destination's privilege), captured only for
+  /// decisions the flight recorder retains.
+  std::vector<std::string> labelsConsulted;
 };
+
+/// Stamps `decision` with provenance ids and reports a DecisionTrace to the
+/// process-wide FlightRecorder (which retains it per its sampling policy;
+/// unretained decisions only consume an id). Used by the engine after every
+/// decision, and by plugin paths that bypass decide() (XHR upload checks).
+/// Call WITHOUT stateMutex_ held — the recorder's mutex ranks above the
+/// pipeline locks, but record construction should stay off the serialised
+/// section.
+void recordDecisionProvenance(const char* ingress,
+                              std::string_view segmentName,
+                              std::string_view documentName,
+                              std::string_view serviceId,
+                              std::size_t bytesScanned,
+                              const obs::TraceContext& trace,
+                              const obs::StageBreakdown& stages,
+                              Decision& decision);
 
 class DecisionEngine {
  public:
@@ -192,7 +225,7 @@ class DecisionEngine {
   struct QueueItem {
     DecisionRequest request;
     std::promise<Decision> promise;
-    std::chrono::steady_clock::time_point enqueuedAt;
+    std::uint64_t enqueuedTicks = 0;  ///< util::fastTicks() at enqueue
   };
 
   void workerLoop() BF_EXCLUDES(queueMutex_, stateMutex_);

@@ -5,10 +5,14 @@
 #include "browser/forms.h"
 #include "browser/readability.h"
 #include "obs/metrics.h"
+#include "obs/stage.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "text/segmenter.h"
+#include "util/hashing.h"
 #include "util/json_text.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace bf::core {
@@ -127,6 +131,8 @@ void BrowserFlowPlugin::handleMutations(
   docReq.serviceId = hooks.page->origin();
   docReq.text = std::move(docText);
   docReq.kind = flow::SegmentKind::kDocument;
+  docReq.trace = obs::ingressTrace();
+  docReq.ingress = "plugin.document";
   if (config_.asyncParagraphChecks) {
     hooks.pendingDocs.push_back(engine_.decideAsync(std::move(docReq)));
   } else {
@@ -137,7 +143,11 @@ void BrowserFlowPlugin::handleMutations(
 
 Decision BrowserFlowPlugin::checkParagraphNode(PageHooks& hooks,
                                                browser::Node* paragraph) {
-  BF_SPAN("plugin.paragraph_check");
+  // Ingress point: the mutation path is where a decision's causal story
+  // starts, so the trace context is created before the span that uses it.
+  const obs::TraceContext trace = obs::ingressTrace();
+  obs::ScopedTraceContext traceScope(trace);
+  obs::ScopedSpan span("plugin.paragraph_check");
   static obs::Counter& checksCounter = obs::registry().counter(
       "bf_plugin_paragraph_checks_total",
       "Paragraph decisions triggered by DOM mutations");
@@ -153,6 +163,11 @@ Decision BrowserFlowPlugin::checkParagraphNode(PageHooks& hooks,
   req.documentName = hooks.page->url();
   req.serviceId = hooks.page->origin();
   req.text = paragraph->textContent();
+  req.trace = trace;
+  req.ingress = "plugin.paragraph";
+  span.addAttr("doc", util::fnv1a64(req.documentName));
+  span.addAttr("origin", util::fnv1a64(req.serviceId));
+  span.addAttr("bytes", req.text.size());
 
   if (config_.asyncParagraphChecks) {
     // Paper S6.2: the user keeps typing; the decision arrives off the main
@@ -292,6 +307,10 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
     static obs::Counter& xhrCounter = obs::registry().counter(
         "bf_plugin_xhr_uploads_total", "XHR uploads intercepted with user text");
     xhrCounter.inc();
+    // One trace spans the whole intercepted upload; the per-field checks
+    // below branch child spans off it.
+    const obs::TraceContext trace = obs::ingressTrace();
+    obs::ScopedTraceContext traceScope(trace);
 
     bool anyViolation = false;
     std::vector<bool> violates(fields.size(), false);
@@ -309,9 +328,14 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
     // uploaded paragraph does not.
     if (!anyViolation &&
         policy_.labelOf(pagePtr->url()) != nullptr) {
-      const auto stateLock = engine_.lockState();
-      const tdm::UploadDecision docCheck =
-          policy_.checkUpload(pagePtr->url(), pagePtr->origin());
+      obs::StageBreakdown docStages;
+      tdm::UploadDecision docCheck;
+      {
+        obs::ScopedStageCollector docCollector(&docStages);
+        obs::StageTimer policyTimer(obs::Stage::kPolicyEval);
+        const auto stateLock = engine_.lockState();
+        docCheck = policy_.checkUpload(pagePtr->url(), pagePtr->origin());
+      }
       if (!docCheck.allowed) {
         anyViolation = true;
         Decision d;
@@ -321,6 +345,10 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
                    : config_.mode == EnforcementMode::kEncrypt
                        ? Decision::Action::kEncrypt
                        : Decision::Action::kWarn;
+        recordDecisionProvenance("plugin.upload_document", pagePtr->url(),
+                                 pagePtr->url(), pagePtr->origin(),
+                                 req.body.size(), obs::ingressTrace(),
+                                 docStages, d);
         recordViolation(pagePtr->url() + "/xhr(document)", pagePtr->origin(),
                         d);
       }
@@ -372,58 +400,75 @@ void mergeInto(Decision& total, std::vector<flow::DisclosureHit> hits,
 Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
                                              const std::string& documentName,
                                              const std::string& serviceId) {
-  BF_SPAN("plugin.upload_check");
-  // This path reads the tracker/policy directly (no engine_.decide call),
-  // so it must serialise with the async decision worker.
-  const auto stateLock = engine_.lockState();
+  // This path bypasses engine_.decide(), so it builds its own provenance:
+  // trace context, stage breakdown, and flight-recorder record.
+  const obs::TraceContext trace = obs::ingressTrace();
+  obs::ScopedTraceContext traceScope(trace);
+  obs::StageBreakdown stages;
+  obs::ScopedStageCollector stageScope(&stages);
+  obs::ScopedSpan span("plugin.upload_check");
+  span.addAttr("doc", util::fnv1a64(documentName));
+  span.addAttr("origin", util::fnv1a64(serviceId));
+  span.addAttr("bytes", text.size());
+  util::Stopwatch watch;
   Decision decision;
   bool violated = false;
+  {
+    // Reads the tracker/policy directly (no engine_.decide call), so it
+    // must serialise with the async decision worker.
+    const auto stateLock = engine_.lockState();
 
-  // Checks one granularity of one text unit.
-  auto checkUnit = [&](const std::string& unit, flow::SegmentKind kind) {
-    const text::Fingerprint fp = tracker_.fingerprintOf(unit);
-    std::vector<flow::DisclosureHit> hits = tracker_.disclosedSources(
-        fp, kind, flow::kInvalidSegment, documentName);
+    // Checks one granularity of one text unit.
+    auto checkUnit = [&](const std::string& unit, flow::SegmentKind kind) {
+      text::Fingerprint fp;
+      {
+        obs::StageTimer fpTimer(obs::Stage::kFingerprint);
+        fp = tracker_.fingerprintOf(unit);
+      }
+      std::vector<flow::DisclosureHit> hits = tracker_.disclosedSources(
+          fp, kind, flow::kInvalidSegment, documentName);
 
-    tdm::UploadDecision check;
-    if (const std::optional<flow::SegmentRecord> seg =
-            tracker_.findSegmentWithFingerprint(documentName, fp, kind)) {
-      // The outgoing text is a tracked segment of this document: its
-      // registered label (implicit tags, user suppressions) decides.
-      check = policy_.checkUpload(seg->name, serviceId);
-    } else {
-      // Unregistered text: synthesize the label — the disclosing sources'
-      // explicit tags as implicit, plus the destination's Lc for text
-      // being created there.
-      tdm::Label label;
-      for (const auto& hit : hits) {
-        const tdm::Label* src = policy_.labelOf(hit.sourceName);
-        if (src != nullptr) label.addImplicitAll(src->propagatableTags());
+      obs::StageTimer policyTimer(obs::Stage::kPolicyEval);
+      tdm::UploadDecision check;
+      if (const std::optional<flow::SegmentRecord> seg =
+              tracker_.findSegmentWithFingerprint(documentName, fp, kind)) {
+        // The outgoing text is a tracked segment of this document: its
+        // registered label (implicit tags, user suppressions) decides.
+        check = policy_.checkUpload(seg->name, serviceId);
+      } else {
+        // Unregistered text: synthesize the label — the disclosing sources'
+        // explicit tags as implicit, plus the destination's Lc for text
+        // being created there.
+        tdm::Label label;
+        for (const auto& hit : hits) {
+          const tdm::Label* src = policy_.labelOf(hit.sourceName);
+          if (src != nullptr) label.addImplicitAll(src->propagatableTags());
+        }
+        if (const tdm::ServiceInfo* svc = policy_.services().find(serviceId)) {
+          for (const tdm::Tag& t : svc->confidentiality) label.addExplicit(t);
+        }
+        // Exact-match pass for short secrets (S4.4).
+        for (const auto& secretHit : secretGuard_.scan(unit)) {
+          label.addImplicit(secretHit.tag);
+          decision.secretHits.push_back(secretHit.name);
+        }
+        check = policy_.checkLabel(label, serviceId);
       }
-      if (const tdm::ServiceInfo* svc = policy_.services().find(serviceId)) {
-        for (const tdm::Tag& t : svc->confidentiality) label.addExplicit(t);
-      }
-      // Exact-match pass for short secrets (S4.4).
-      for (const auto& secretHit : secretGuard_.scan(unit)) {
-        label.addImplicit(secretHit.tag);
-        decision.secretHits.push_back(secretHit.name);
-      }
-      check = policy_.checkLabel(label, serviceId);
+      if (!check.allowed) violated = true;
+      mergeInto(decision, std::move(hits), std::move(check.violatingTags),
+                !check.allowed);
+    };
+
+    // Paragraph granularity: each paragraph of the upload individually.
+    const auto paragraphs = text::segmentParagraphs(text);
+    for (const auto& para : paragraphs) {
+      checkUnit(para.text, flow::SegmentKind::kParagraph);
     }
-    if (!check.allowed) violated = true;
-    mergeInto(decision, std::move(hits), std::move(check.violatingTags),
-              !check.allowed);
-  };
-
-  // Paragraph granularity: each paragraph of the upload individually.
-  const auto paragraphs = text::segmentParagraphs(text);
-  for (const auto& para : paragraphs) {
-    checkUnit(para.text, flow::SegmentKind::kParagraph);
-  }
-  // Document granularity for multi-paragraph uploads: catches "one
-  // sentence from each paragraph" aggregation leaks (paper S4.1).
-  if (paragraphs.size() > 1) {
-    checkUnit(text, flow::SegmentKind::kDocument);
+    // Document granularity for multi-paragraph uploads: catches "one
+    // sentence from each paragraph" aggregation leaks (paper S4.1).
+    if (paragraphs.size() > 1) {
+      checkUnit(text, flow::SegmentKind::kDocument);
+    }
   }
 
   decision.action =
@@ -431,11 +476,20 @@ Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
       : config_.mode == EnforcementMode::kBlock   ? Decision::Action::kBlock
       : config_.mode == EnforcementMode::kEncrypt ? Decision::Action::kEncrypt
                                                   : Decision::Action::kWarn;
+  decision.responseTimeMs = watch.elapsedMillis();
+  span.addAttr("segments_matched", decision.hits.size());
+  recordDecisionProvenance("plugin.upload", documentName + "#upload",
+                           documentName, serviceId, text.size(), trace, stages,
+                           decision);
   return decision;
 }
 
 Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
                                             const std::string& text) {
+  // One ingress trace covers the whole draft; every per-paragraph decide
+  // below inherits it (the engine adopts the ambient trace as parent).
+  const obs::TraceContext trace = obs::ingressTrace();
+  obs::ScopedTraceContext traceScope(trace);
   const std::string draftDoc = page.url() + "/draft";
   const std::string service = page.origin();
   Decision decision;
@@ -452,6 +506,7 @@ Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
     req.serviceId = service;
     req.text = para.text;
     req.kind = flow::SegmentKind::kParagraph;
+    req.ingress = "plugin.form";
     Decision d = engine_.decide(req);
     if (d.violation()) violated = true;
     mergeInto(decision, std::move(d.hits), std::move(d.violatingTags),
@@ -474,6 +529,7 @@ Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
     req.serviceId = service;
     req.text = text;
     req.kind = flow::SegmentKind::kDocument;
+    req.ingress = "plugin.form";
     Decision d = engine_.decide(req);
     if (d.violation()) violated = true;
     mergeInto(decision, std::move(d.hits), std::move(d.violatingTags),

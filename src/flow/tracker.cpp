@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "flow/wal.h"
+#include "obs/stage.h"
 #include "obs/trace.h"
 #include "text/segmenter.h"
 #include "util/hashing.h"
@@ -92,10 +93,16 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
   BF_SPAN("flow.observe");
   // Fingerprinting is pure CPU over immutable config: do it before taking
   // the mutex so concurrent observers only serialise on the store update.
-  text::Fingerprint fp = text::fingerprintText(text, config_.fingerprint);
+  text::Fingerprint fp;
+  {
+    obs::StageTimer fpTimer(obs::Stage::kFingerprint);
+    fp = text::fingerprintText(text, config_.fingerprint);
+  }
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
+  const std::uint64_t lockWait = obs::stageStart();
   util::SharedMutexLock lock(mutex_);
+  obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
   const SegmentId id = observeSegmentLocked(kind, name, document, service,
                                             std::move(fp), threshold);
   refreshStoreGaugesLocked();
@@ -155,6 +162,7 @@ FlowTracker::DocumentObservation FlowTracker::observeDocument(
     std::string_view fullText, std::optional<double> paragraphThreshold,
     std::optional<double> documentThreshold) {
   BF_SPAN("flow.observe_document");
+  const std::uint64_t fpStart = obs::stageStart();
   const auto paras = text::segmentParagraphs(fullText);
 
   // Fingerprint the document and every paragraph OUTSIDE the lock — pure
@@ -190,12 +198,15 @@ FlowTracker::DocumentObservation FlowTracker::observeDocument(
   stats_.fingerprintsComputed.fetch_add(paras.size() + 1,
                                         std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc(paras.size() + 1);
+  obs::stageEnd(obs::Stage::kFingerprint, fpStart);
 
   // One exclusive section applies every store update, then refreshes the
   // gauges once — the lock is taken once, not once per paragraph.
   DocumentObservation out;
   out.paragraphs.reserve(paras.size());
+  const std::uint64_t lockWait = obs::stageStart();
   util::SharedMutexLock lock(mutex_);
+  obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
   out.document =
       observeSegmentLocked(SegmentKind::kDocument, docName, docName, service,
                            std::move(docFp), documentThreshold);
@@ -239,7 +250,9 @@ void FlowTracker::removeSegmentLocked(SegmentId id) {
 std::vector<DisclosureHit> FlowTracker::disclosedSources(
     const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
     std::string_view selfDocument) const {
+  const std::uint64_t lockWait = obs::stageStart();
   util::SharedReaderLock lock(mutex_);
+  obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
   return disclosedSourcesLocked(target, sourceKind, self, selfDocument);
 }
 
@@ -247,6 +260,7 @@ std::vector<DisclosureHit> FlowTracker::disclosedSourcesLocked(
     const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
     std::string_view selfDocument) const {
   BF_SPAN("flow.query");
+  obs::StageTimer lookupTimer(obs::Stage::kTrackerLookup);
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().queries->inc();
   std::vector<DisclosureHit> hits;
@@ -315,11 +329,15 @@ std::vector<DisclosureHit> FlowTracker::disclosedSourcesLocked(
 std::vector<DisclosureHit> FlowTracker::checkText(
     std::string_view text, std::string_view excludeDocument) const {
   BF_SPAN("flow.check_text");
+  const std::uint64_t fpStart = obs::stageStart();
   const text::Fingerprint fp =
       text::fingerprintText(text, config_.fingerprint);
+  obs::stageEnd(obs::Stage::kFingerprint, fpStart);
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
+  const std::uint64_t lockWait = obs::stageStart();
   util::SharedReaderLock lock(mutex_);
+  obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
   return disclosedSourcesLocked(fp, SegmentKind::kParagraph, kInvalidSegment,
                                 excludeDocument);
 }
@@ -329,7 +347,10 @@ std::vector<DisclosureHit> FlowTracker::sourcesForSegment(SegmentId id) {
     // Fast path under a SHARED hold: an unchanged fingerprint serves the
     // cached answer without blocking concurrent queries (the per-keystroke
     // common case of S6.2).
+    const std::uint64_t lockWait = obs::stageStart();
     util::SharedReaderLock lock(mutex_);
+    obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
+    obs::StageTimer lookupTimer(obs::Stage::kTrackerLookup);
     const SegmentRecord* rec = segments_.find(id);
     if (rec == nullptr) return {};
     const auto it = cache_.find(id);
@@ -346,7 +367,9 @@ std::vector<DisclosureHit> FlowTracker::sourcesForSegment(SegmentId id) {
   // Miss (or cache disabled): recompute and store under an exclusive hold.
   // The stores may have changed between the two holds, so everything is
   // re-read — including the cache entry another thread may just have filled.
+  const std::uint64_t lockWait = obs::stageStart();
   util::SharedMutexLock lock(mutex_);
+  obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
   const SegmentRecord* rec = segments_.find(id);
   if (rec == nullptr) return {};
 

@@ -7,7 +7,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -16,8 +15,10 @@
 
 #include "flow/snapshot.h"
 #include "obs/metrics.h"
+#include "obs/stage.h"
 #include "util/binary_io.h"
 #include "util/crc32c.h"
+#include "util/stopwatch.h"
 
 namespace bf::flow {
 
@@ -102,12 +103,6 @@ bool writeAll(int fd, std::string_view data) {
   return true;
 }
 
-double millisSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 }  // namespace
 
 // ---- WriteAheadLog ----------------------------------------------------------
@@ -171,6 +166,8 @@ bool WriteAheadLog::syncEachAppend() const {
 }
 
 void WriteAheadLog::append(WalRecordType type, const std::string& body) {
+  // Covers lock wait + frame serialisation + any flush this append triggers.
+  obs::StageTimer walTimer(obs::Stage::kWalAppend);
   util::MutexLock lock(mutex_);
   if (failNext_ > 0) {
     --failNext_;
@@ -578,7 +575,7 @@ void DurabilityManager::pruneGenerations(std::uint64_t currentSeq) {
 util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
     FlowTracker& tracker) {
   using R = util::Result<RecoveryStats>;
-  const auto start = std::chrono::steady_clock::now();
+  util::Stopwatch watch;
   const WalMetrics& m = walMetrics();
   m.recoveryRuns->inc();
 
@@ -647,14 +644,14 @@ util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
   attached_ = true;
   lastCheckpointOk_ = true;
 
-  stats.replayMillis = millisSince(start);
+  stats.replayMillis = watch.elapsedMillis();
   m.recoveryLastReplayMs->set(stats.replayMillis);
   lastRecovery_ = stats;
   return stats;
 }
 
 util::Status DurabilityManager::checkpoint(const FlowTracker& tracker) {
-  const auto start = std::chrono::steady_clock::now();
+  util::Stopwatch watch;
   const WalMetrics& m = walMetrics();
   // The caller quiesced mutations, so the last assigned sequence is stable
   // and the exported state contains exactly the records up to it.
@@ -673,7 +670,7 @@ util::Status DurabilityManager::checkpoint(const FlowTracker& tracker) {
   }
   pruneGenerations(seq);
   lastCheckpointOk_ = true;
-  m.checkpointLastMs->set(millisSince(start));
+  m.checkpointLastMs->set(watch.elapsedMillis());
   return {};
 }
 

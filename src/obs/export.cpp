@@ -36,12 +36,56 @@ const char* kindName(MetricKind kind) {
   return "unknown";
 }
 
+std::string escapeWith(std::string_view in, bool escapeQuote) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        if (escapeQuote) {
+          out += "\\\"";
+          break;
+        }
+        [[fallthrough]];
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void appendStringArray(std::ostringstream& os, const char* key,
+                       const std::vector<std::string>& values) {
+  os << ",\"" << key << "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << util::escapeJsonString(values[i]) << "\"";
+  }
+  os << "]";
+}
+
 }  // namespace
+
+std::string escapeLabelValue(std::string_view value) {
+  return escapeWith(value, /*escapeQuote=*/true);
+}
+
+std::string escapeHelpText(std::string_view help) {
+  return escapeWith(help, /*escapeQuote=*/false);
+}
 
 std::string toPrometheusText(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
   for (const MetricValue& m : snapshot.metrics) {
-    if (!m.help.empty()) os << "# HELP " << m.name << " " << m.help << "\n";
+    if (!m.help.empty()) {
+      os << "# HELP " << m.name << " " << escapeHelpText(m.help) << "\n";
+    }
     os << "# TYPE " << m.name << " " << kindName(m.kind) << "\n";
     switch (m.kind) {
       case MetricKind::kCounter:
@@ -55,10 +99,16 @@ std::string toPrometheusText(const MetricsSnapshot& snapshot) {
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.bounds.size(); ++i) {
           cumulative += h.bucketCounts[i];
-          os << m.name << "_bucket{le=\"" << formatDouble(h.bounds[i])
-             << "\"} " << cumulative << "\n";
+          os << m.name << "_bucket{le=\""
+             << escapeLabelValue(formatDouble(h.bounds[i])) << "\"} "
+             << cumulative << "\n";
         }
-        os << m.name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        // The +Inf bucket must stay cumulative-monotonic even when a
+        // snapshot races concurrent observers (relaxed bucket adds can be
+        // visible before the matching count_ add).
+        cumulative += h.bucketCounts[h.bounds.size()];
+        os << m.name << "_bucket{le=\"+Inf\"} "
+           << (h.count > cumulative ? h.count : cumulative) << "\n";
         os << m.name << "_sum " << formatDouble(h.sum) << "\n";
         os << m.name << "_count " << h.count << "\n";
         break;
@@ -95,13 +145,74 @@ std::string toJson(const MetricsSnapshot& snapshot) {
         for (std::size_t i = 0; i < h.bounds.size(); ++i) {
           if (i > 0) os << ",";
           os << "{\"le\":" << formatDouble(h.bounds[i])
-             << ",\"count\":" << h.bucketCounts[i] << "}";
+             << ",\"count\":" << h.bucketCounts[i];
+          if (i < h.exemplars.size() && h.exemplars[i] != 0) {
+            os << ",\"exemplar\":" << h.exemplars[i];
+          }
+          os << "}";
         }
         os << "],\"overflow\":" << h.bucketCounts[h.bounds.size()];
+        if (h.exemplars.size() > h.bounds.size() &&
+            h.exemplars[h.bounds.size()] != 0) {
+          os << ",\"overflow_exemplar\":" << h.exemplars[h.bounds.size()];
+        }
         break;
       }
     }
     os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string toJson(const DecisionTrace& trace) {
+  std::ostringstream os;
+  os << "{\"decision_id\":" << trace.decisionId
+     << ",\"trace_id\":" << trace.traceId << ",\"span_id\":" << trace.spanId
+     << ",\"sampled\":" << (trace.sampled ? "true" : "false")
+     << ",\"ingress\":\"" << util::escapeJsonString(trace.ingress)
+     << "\",\"segment\":\"" << util::escapeJsonString(trace.segmentName)
+     << "\",\"document\":\"" << util::escapeJsonString(trace.documentName)
+     << "\",\"service\":\"" << util::escapeJsonString(trace.serviceId)
+     << "\",\"action\":\"" << util::escapeJsonString(trace.action)
+     << "\",\"violation\":" << (trace.violation ? "true" : "false")
+     << ",\"degraded\":" << (trace.degraded ? "true" : "false")
+     << ",\"degraded_reason\":\""
+     << util::escapeJsonString(trace.degradedReason)
+     << "\",\"bytes_scanned\":" << trace.bytesScanned
+     << ",\"total_ms\":" << formatDouble(trace.totalMs) << ",\"stages\":{";
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << stageName(static_cast<Stage>(i))
+       << "_ns\":" << trace.stages.nanos[i];
+  }
+  os << "},\"hits\":[";
+  for (std::size_t i = 0; i < trace.hits.size(); ++i) {
+    const DecisionTraceHit& h = trace.hits[i];
+    if (i > 0) os << ",";
+    os << "{\"source\":\"" << util::escapeJsonString(h.sourceName)
+       << "\",\"score\":" << formatDouble(h.score)
+       << ",\"threshold\":" << formatDouble(h.threshold)
+       << ",\"overlap\":" << h.overlap << "}";
+  }
+  os << "]";
+  appendStringArray(os, "violating_tags", trace.violatingTags);
+  appendStringArray(os, "labels_consulted", trace.labelsConsulted);
+  appendStringArray(os, "secret_hits", trace.secretHits);
+  os << ",\"retry\":{\"attempts\":" << trace.retryAttempts
+     << ",\"backoff_ms\":" << formatDouble(trace.retryBackoffMs)
+     << ",\"exhausted\":" << (trace.retryExhausted ? "true" : "false") << "}}";
+  return os.str();
+}
+
+std::string toJson(const FlightRecorder& recorder) {
+  std::ostringstream os;
+  os << "{\"schema\":\"bf-flight-v1\",\"decisions\":[";
+  bool first = true;
+  for (const DecisionTrace& t : recorder.recent()) {
+    if (!first) os << ",";
+    first = false;
+    os << toJson(t);
   }
   os << "]}";
   return os.str();

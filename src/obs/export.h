@@ -9,12 +9,27 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace bf::obs {
 
+/// Prometheus text-exposition escaping for label values: \ -> \\,
+/// " -> \", newline -> \n.
+[[nodiscard]] std::string escapeLabelValue(std::string_view value);
+/// Prometheus HELP-line escaping: \ -> \\, newline -> \n.
+[[nodiscard]] std::string escapeHelpText(std::string_view help);
+
 [[nodiscard]] std::string toPrometheusText(const MetricsSnapshot& snapshot);
 [[nodiscard]] std::string toJson(const MetricsSnapshot& snapshot);
+
+/// One flight-recorder decision record as a JSON object.
+[[nodiscard]] std::string toJson(const DecisionTrace& trace);
+/// Every retained record, oldest first:
+/// {"schema":"bf-flight-v1","decisions":[...]} — the input format of
+/// scripts/bf_explain.py.
+[[nodiscard]] std::string toJson(const FlightRecorder& recorder);
 
 }  // namespace bf::obs

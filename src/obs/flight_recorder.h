@@ -1,0 +1,126 @@
+// Decision flight recorder: the last N complete decision traces, retained
+// in a lock-rank-compliant ring for post-hoc explanation.
+//
+// Retention is head-sampled — every traceSampleEvery()-th trace keeps its
+// full record — plus an always-keep rule for anything a human will ask
+// about: blocked/warned (violation), degraded, and shed decisions. All
+// other decisions only consume a decision id (one atomic add), which keeps
+// the recorder off the hot path.
+//
+// FlightRecorder::explain(decisionId) answers "why was this upload allowed
+// or blocked?" with the structured record: ingress, matched segments with
+// disclosure scores vs thresholds, policy labels consulted, per-stage
+// durations, and the retry/fault history cloud::Transport annotates after
+// the fact. src/obs/export.cpp renders records as JSON for
+// scripts/bf_explain.py.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/stage.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace bf::obs {
+
+/// One matched disclosing source: the "why" of a verdict.
+struct DecisionTraceHit {
+  std::string sourceName;
+  double score = 0.0;      ///< disclosure score of the match
+  double threshold = 0.0;  ///< threshold it was compared against
+  std::uint64_t overlap = 0;
+};
+
+/// The complete causal record of one decision: ingress → stages → verdict.
+struct DecisionTrace {
+  std::uint64_t decisionId = 0;  ///< key for explain(); recorder-assigned
+  std::uint64_t traceId = 0;     ///< links spans + histogram exemplars
+  std::uint64_t spanId = 0;
+  bool sampled = false;  ///< head-sampling verdict of the trace
+
+  std::string ingress;  ///< "plugin.paragraph", "dlp.appliance", ...
+  std::string segmentName;
+  std::string documentName;
+  std::string serviceId;
+
+  std::string action = "allow";  ///< "allow"/"warn"/"block"/"encrypt"/"flag"
+  bool violation = false;
+  bool degraded = false;
+  std::string degradedReason;
+
+  std::uint64_t bytesScanned = 0;
+  StageBreakdown stages;  ///< per-stage nanoseconds
+  double totalMs = 0.0;
+
+  std::vector<DecisionTraceHit> hits;  ///< matched segments
+  std::vector<std::string> violatingTags;
+  std::vector<std::string> labelsConsulted;
+  std::vector<std::string> secretHits;
+
+  // Retry/fault history, annotated by cloud::Transport once the send that
+  // carried this decision's flow settles.
+  std::uint32_t retryAttempts = 0;
+  double retryBackoffMs = 0.0;
+  bool retryExhausted = false;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// The process-wide recorder every decision path reports to.
+  [[nodiscard]] static FlightRecorder& instance();
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Allocates the next decision id (lock-free). The fast path for
+  /// decisions that are not retained: they still get a stable id so logs
+  /// and futures can reference them.
+  std::uint64_t nextDecisionId() noexcept;
+
+  /// Retains `trace` (assigning a decision id if it has none) when its
+  /// sampling bit or always-keep rule says so; otherwise only consumes an
+  /// id. Returns the decision id either way.
+  std::uint64_t record(DecisionTrace trace);
+
+  /// The retained record for `decisionId`, if it is still in the ring.
+  [[nodiscard]] std::optional<DecisionTrace> explain(
+      std::uint64_t decisionId) const;
+  /// The newest retained record belonging to `traceId`, if any.
+  [[nodiscard]] std::optional<DecisionTrace> explainByTrace(
+      std::uint64_t traceId) const;
+
+  /// All retained records, oldest first.
+  [[nodiscard]] std::vector<DecisionTrace> recent() const;
+
+  /// Attaches retry history to every retained record of `traceId` (a send
+  /// may carry several decisions — e.g. one per upload field).
+  void annotateRetry(std::uint64_t traceId, std::uint32_t attempts,
+                     double backoffMs, bool exhausted);
+
+  /// Replaces the ring with an empty one of `capacity` slots.
+  void setCapacity(std::size_t capacity);
+  void clear();
+
+  /// Highest decision id handed out so far (0 before the first).
+  [[nodiscard]] std::uint64_t lastDecisionId() const noexcept;
+  /// Total records ever retained (including ones since overwritten).
+  [[nodiscard]] std::uint64_t retainedTotal() const;
+
+ private:
+  // Rank 88: records are written after the engine releases its pipeline
+  // locks, but explain()/annotateRetry() may run under outer locks (e.g.
+  // the transport annotates while callers hold nothing below rank 88).
+  mutable util::Mutex mutex_{util::kRankFlightRecorder,
+                             "FlightRecorder.mutex_"};
+  std::vector<DecisionTrace> ring_ BF_GUARDED_BY(mutex_);
+  std::size_t capacity_ BF_GUARDED_BY(mutex_);
+  std::uint64_t retained_ BF_GUARDED_BY(mutex_) = 0;  // next: retained_ % cap
+  std::atomic<std::uint64_t> nextId_{1};
+};
+
+}  // namespace bf::obs

@@ -72,7 +72,12 @@ Histogram::Histogram(std::vector<double> upperBounds)
       max_(-std::numeric_limits<double>::infinity()) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
   buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplars_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0);
+    exemplars_[i].store(0);
+  }
 }
 
 std::vector<double> Histogram::defaultLatencyBucketsMs() {
@@ -81,11 +86,14 @@ std::vector<double> Histogram::defaultLatencyBucketsMs() {
           25.0,   50.0,  100.0,  250.0, 500.0, 1000.0, 2500.0};
 }
 
-void Histogram::observe(double v) noexcept {
+void Histogram::observeImpl(double v, std::uint64_t exemplarTraceId) noexcept {
   // Prometheus bucket semantics: bucket i counts observations <= bounds[i].
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (exemplarTraceId != 0) {
+    exemplars_[idx].store(exemplarTraceId, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   detail::atomicAdd(sum_, v);
   detail::atomicMin(min_, v);
@@ -96,8 +104,10 @@ HistogramData Histogram::data() const {
   HistogramData out;
   out.bounds = bounds_;
   out.bucketCounts.resize(bounds_.size() + 1);
+  out.exemplars.resize(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     out.bucketCounts[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.exemplars[i] = exemplars_[i].load(std::memory_order_relaxed);
   }
   out.count = count_.load(std::memory_order_relaxed);
   out.sum = sum_.load(std::memory_order_relaxed);
@@ -111,6 +121,7 @@ HistogramData Histogram::data() const {
 void Histogram::reset() noexcept {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+    exemplars_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);

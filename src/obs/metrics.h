@@ -88,6 +88,10 @@ class Gauge {
 struct HistogramData {
   std::vector<double> bounds;
   std::vector<std::uint64_t> bucketCounts;
+  /// Per bucket (incl. overflow): trace id of the most recent observation
+  /// recorded with observeWithExemplar (0 = no exemplar). Links a slow
+  /// bucket to a concrete flight-recorder / span trace.
+  std::vector<std::uint64_t> exemplars;
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  ///< 0 when count == 0
@@ -114,7 +118,12 @@ class Histogram {
   /// millisecond-denominated latencies the pipeline records.
   [[nodiscard]] static std::vector<double> defaultLatencyBucketsMs();
 
-  void observe(double v) noexcept;
+  void observe(double v) noexcept { observeImpl(v, 0); }
+  /// observe() plus: remembers `traceId` as the exemplar of the bucket the
+  /// value lands in (last writer wins; 0 leaves the exemplar untouched).
+  void observeWithExemplar(double v, std::uint64_t traceId) noexcept {
+    observeImpl(v, traceId);
+  }
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -137,8 +146,11 @@ class Histogram {
   void reset() noexcept;
 
  private:
+  void observeImpl(double v, std::uint64_t exemplarTraceId) noexcept;
+
   std::vector<double> bounds_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1 slots
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;    // bounds_+1 slots
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplars_;  // bounds_+1 slots
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/trace_context.h"
+
 namespace bf::obs {
 
 namespace {
@@ -15,7 +17,6 @@ std::uint64_t nowNanos() noexcept {
           .count());
 }
 
-std::atomic<std::uint64_t> g_nextSpanId{1};
 std::atomic<std::uint32_t> g_nextThreadOrdinal{1};
 
 std::uint32_t thisThreadOrdinal() noexcept {
@@ -62,8 +63,12 @@ void TraceLog::setCapacity(std::size_t capacity) {
 
 void TraceLog::record(const SpanRecord& span) {
   util::MutexLock lock(mutex_);
-  ring_[total_ % capacity_] = span;
+  SpanRecord& slot = ring_[total_ % capacity_];
+  slot = span;
+  // Sequence assignment shares the mutex hold with the ring write, so ring
+  // order and sequence order agree even under concurrent recorders.
   ++total_;
+  slot.seq = total_;
 }
 
 std::vector<SpanRecord> TraceLog::events() const {
@@ -100,8 +105,13 @@ std::string TraceLog::dump() const {
   for (const SpanRecord& s : events()) {
     for (std::uint32_t i = 0; i < s.depth; ++i) os << "  ";
     os << s.name << " id=" << s.id << " parent=" << s.parentId
-       << " thread=" << s.threadId << " dur_us=" << (s.durationNanos / 1000)
-       << "\n";
+       << " thread=" << s.threadId << " dur_us=" << (s.durationNanos / 1000);
+    if (s.traceId != 0) os << " trace=" << s.traceId;
+    for (std::uint32_t i = 0; i < s.attrCount && i < SpanRecord::kMaxAttrs;
+         ++i) {
+      os << " " << s.attrs[i].key << "=" << s.attrs[i].value;
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -112,8 +122,15 @@ ScopedSpan::ScopedSpan(const char* name) noexcept {
   active_ = true;
   ThreadSpanState& state = threadState();
   span_.name = name;
-  span_.id = g_nextSpanId.fetch_add(1, std::memory_order_relaxed);
+  span_.id = allocateSpanId();
   span_.parentId = state.currentSpanId;
+  const TraceContext& ctx = currentTrace();
+  span_.traceId = ctx.traceId;
+  if (state.currentSpanId == 0 && ctx.spanId != 0) {
+    // First span on this thread within an installed trace: parent-link to
+    // the ingress span so cross-thread flows reassemble into one tree.
+    span_.parentId = ctx.spanId;
+  }
   span_.threadId = thisThreadOrdinal();
   span_.depth = state.depth;
   span_.startNanos = nowNanos();
@@ -121,6 +138,11 @@ ScopedSpan::ScopedSpan(const char* name) noexcept {
   savedDepth_ = state.depth;
   state.currentSpanId = span_.id;
   ++state.depth;
+}
+
+void ScopedSpan::addAttr(const char* key, std::uint64_t value) noexcept {
+  if (!active_ || span_.attrCount >= SpanRecord::kMaxAttrs) return;
+  span_.attrs[span_.attrCount++] = SpanAttr{key, value};
 }
 
 ScopedSpan::~ScopedSpan() {

@@ -26,15 +26,28 @@
 
 namespace bf::obs {
 
+/// One span attribute: a string-literal key and a numeric value (string
+/// values are recorded as hashes — see ScopedSpan::addAttr).
+struct SpanAttr {
+  const char* key = "";
+  std::uint64_t value = 0;
+};
+
 /// One completed span.
 struct SpanRecord {
+  static constexpr std::size_t kMaxAttrs = 4;
+
   const char* name = "";
   std::uint64_t id = 0;        ///< unique per process, 1-based
   std::uint64_t parentId = 0;  ///< 0 for root spans
+  std::uint64_t traceId = 0;   ///< ambient TraceContext at open; 0 if none
+  std::uint64_t seq = 0;       ///< global record order, 1-based (see record())
   std::uint32_t threadId = 0;  ///< small per-thread ordinal, 1-based
   std::uint32_t depth = 0;     ///< 0 for root spans
   std::uint64_t startNanos = 0;
   std::uint64_t durationNanos = 0;
+  SpanAttr attrs[kMaxAttrs];
+  std::uint32_t attrCount = 0;
 };
 
 class TraceLog {
@@ -56,6 +69,10 @@ class TraceLog {
   /// Replaces the buffer with an empty one of `capacity` slots.
   void setCapacity(std::size_t capacity);
 
+  /// Records a completed span. The log assigns `span.seq` from a global
+  /// monotonic sequence under the same mutex hold as the ring write, so
+  /// spans recorded by concurrent threads can be reassembled in order:
+  /// events() is always seq-ascending with no gaps among survivors.
   void record(const SpanRecord& span);
 
   /// Completed spans, oldest first (at most `capacity` of them).
@@ -81,7 +98,10 @@ class TraceLog {
   std::uint64_t total_ BF_GUARDED_BY(mutex_) = 0;  // next write: total_ % capacity_
 };
 
-/// RAII span. Use via BF_SPAN; constructing it directly is fine too.
+/// RAII span. Use via BF_SPAN; constructing it directly is fine too (and is
+/// the way to attach attributes). A span opened at thread depth 0 while a
+/// TraceContext is installed (obs/trace_context.h) parent-links to the
+/// context's span id, stitching cross-thread flows together.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) noexcept;
@@ -89,6 +109,10 @@ class ScopedSpan {
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric attribute (no-op when tracing is disabled or the
+  /// inline attribute slots are full). `key` must be a string literal.
+  void addAttr(const char* key, std::uint64_t value) noexcept;
 
  private:
   SpanRecord span_;

@@ -1,0 +1,68 @@
+// Causal trace identity for decision provenance.
+//
+// A TraceContext is created at every ingress (plugin hooks, the DLP
+// appliance, DecisionEngine::decideAsync) and propagated explicitly through
+// the decision path. It carries a 64-bit trace id shared by every span and
+// flight-recorder record of one causal flow, the span id of the ingress
+// span (so spans on other threads can parent-link across the queue), and a
+// head-sampling bit decided once at trace start.
+#pragma once
+
+#include <cstdint>
+
+namespace bf::obs {
+
+struct TraceContext {
+  std::uint64_t traceId = 0;  ///< 0 = no trace (invalid context)
+  std::uint64_t spanId = 0;   ///< span to parent-link children under
+  bool sampled = false;       ///< head-sampling verdict, fixed at start()
+
+  [[nodiscard]] bool valid() const noexcept { return traceId != 0; }
+
+  /// Same trace and sampling verdict, fresh span id: the context to install
+  /// for work that continues this flow in a new scope or on a new thread.
+  [[nodiscard]] TraceContext child() const noexcept;
+
+  /// Fresh root trace. The trace id is a mixed monotonic counter (never 0);
+  /// every traceSampleEvery()-th root is head-sampled.
+  [[nodiscard]] static TraceContext start() noexcept;
+};
+
+/// Head-sampling period for TraceContext::start(): 1 keeps every trace,
+/// 0 keeps none, N keeps every Nth. Process-wide; default 16.
+void setTraceSampleEvery(std::uint32_t every) noexcept;
+[[nodiscard]] std::uint32_t traceSampleEvery() noexcept;
+
+namespace detail {
+/// The thread's installed trace context; exposed so currentTrace() — read
+/// on stage-timer hot paths — inlines. Treat as private to this header.
+extern thread_local TraceContext t_currentTrace;
+}  // namespace detail
+
+/// The calling thread's ambient trace context (invalid if none installed).
+[[nodiscard]] inline const TraceContext& currentTrace() noexcept {
+  return detail::t_currentTrace;
+}
+
+/// Allocates a process-unique span id (shared id space with ScopedSpan).
+[[nodiscard]] std::uint64_t allocateSpanId() noexcept;
+
+/// Installs `ctx` as the thread's ambient trace for the scope's lifetime,
+/// restoring the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) noexcept;
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// The context to install at an ingress: continues the ambient trace as a
+/// child when one exists (e.g. upload checks triggered inside a retrying
+/// transport send), otherwise starts a fresh root.
+[[nodiscard]] TraceContext ingressTrace() noexcept;
+
+}  // namespace bf::obs

@@ -51,4 +51,18 @@ class WallClock final : public Clock {
   Timestamp now() override;
 };
 
+/// Cycle-accurate monotonic tick counter for per-stage latency attribution
+/// (obs/stage.h). On x86-64 this is a single rdtsc; elsewhere it falls back
+/// to the steady clock. Tick units are unspecified — only deltas converted
+/// through fastTicksToNanos() are meaningful.
+[[nodiscard]] std::uint64_t fastTicks() noexcept;
+
+/// Converts a fastTicks() delta to nanoseconds. The first call calibrates
+/// the tick rate against the steady clock (~0.2 ms busy-wait, once per
+/// process); call warmFastTicks() at startup to pay that cost eagerly.
+[[nodiscard]] std::uint64_t fastTicksToNanos(std::uint64_t ticks) noexcept;
+
+/// Forces fastTicksToNanos() calibration now, outside any lock.
+void warmFastTicks() noexcept;
+
 }  // namespace bf::util

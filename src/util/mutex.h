@@ -25,6 +25,9 @@
 //   kRankRetryBudget   (70)  util::RetryBudget::mutex_
 //   kRankMetrics       (80)  obs::MetricsRegistry::mutex_
 //   kRankTrace         (85)  obs::TraceLog::mutex_ (spans close under any lock)
+//   kRankFlightRecorder(88)  obs::FlightRecorder::mutex_ (decision records
+//                            are retained after outer locks are released,
+//                            but explain() may run under engine read locks)
 //   kRankLogging       (95)  util logging sink (innermost: any code may log)
 //
 // Rank checking is compiled in when BF_LOCK_RANK_CHECKS is 1 (the CMake
@@ -60,6 +63,7 @@ inline constexpr int kRankFaultInjector = 60;
 inline constexpr int kRankRetryBudget = 70;
 inline constexpr int kRankMetrics = 80;
 inline constexpr int kRankTrace = 85;
+inline constexpr int kRankFlightRecorder = 88;
 inline constexpr int kRankLogging = 95;
 
 /// Called when a thread acquires a ranked mutex while already holding one

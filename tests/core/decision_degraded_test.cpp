@@ -11,6 +11,9 @@
 
 #include "core/decision_engine.h"
 #include "corpus/text_generator.h"
+#include "obs/flight_recorder.h"
+#include "obs/stage.h"
+#include "obs/trace_context.h"
 #include "tdm/audit.h"
 #include "util/clock.h"
 
@@ -26,7 +29,13 @@ class DegradedTest : public ::testing::Test {
         policy_(&clock_) {
     policy_.services().upsert(
         {"gdocs", "Google Docs", tdm::TagSet{}, tdm::TagSet{}});
+    // Sample every trace so the degraded-path assertions below can demand
+    // full stage breakdowns, not just the always-keep skeleton.
+    savedSampleEvery_ = obs::traceSampleEvery();
+    obs::setTraceSampleEvery(1);
   }
+
+  ~DegradedTest() override { obs::setTraceSampleEvery(savedSampleEvery_); }
 
   DecisionRequest requestFor(const std::string& text, int index = 0) {
     DecisionRequest req;
@@ -49,6 +58,7 @@ class DegradedTest : public ::testing::Test {
   BrowserFlowConfig config_;
   flow::FlowTracker tracker_;
   tdm::TdmPolicy policy_;
+  std::uint32_t savedSampleEvery_ = 16;
 };
 
 TEST_F(DegradedTest, QueueOverflowShedsWithAuditRecords) {
@@ -215,6 +225,89 @@ TEST_F(DegradedTest, DegradedMetricTracksAuditLog) {
       obs::registry().counter("bf_decision_degraded_total").value();
   EXPECT_EQ(after - before, 3u);
   EXPECT_EQ(degradedAuditCount(), 3u);
+}
+
+TEST_F(DegradedTest, ShedDecisionsResolveInFlightRecorder) {
+  config_.resilience.maxQueueDepth = 1;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  std::vector<std::future<Decision>> futures;
+  {
+    auto stall = engine.lockState();
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(engine.decideAsync(requestFor(gen_.paragraph(3, 5), i)));
+    }
+  }
+  engine.drain();
+
+  int shed = 0;
+  for (auto& f : futures) {
+    const Decision d = f.get();
+    if (!d.degraded) continue;
+    ++shed;
+    // Every degraded decision must carry provenance ids...
+    EXPECT_NE(d.decisionId, 0u);
+    EXPECT_NE(d.traceId, 0u);
+    // ...that resolve to a complete flight-recorder record.
+    const auto record = obs::FlightRecorder::instance().explain(d.decisionId);
+    ASSERT_TRUE(record.has_value()) << "shed decision " << d.decisionId
+                                    << " missing from the flight recorder";
+    EXPECT_TRUE(record->degraded);
+    EXPECT_EQ(record->degradedReason, d.degradedReason);
+    EXPECT_EQ(record->traceId, d.traceId);
+    EXPECT_FALSE(record->ingress.empty());
+  }
+  EXPECT_GE(shed, 3);
+}
+
+TEST_F(DegradedTest, DeadlineDecisionRecordsQueueWaitStage) {
+  config_.resilience.decisionDeadlineMs = 5.0;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  std::future<Decision> first, second;
+  {
+    auto stall = engine.lockState();
+    first = engine.decideAsync(requestFor(gen_.paragraph(3, 5), 0));
+    second = engine.decideAsync(requestFor(gen_.paragraph(3, 5), 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  engine.drain();
+  (void)first.get();
+
+  const Decision d = second.get();
+  ASSERT_TRUE(d.degraded);
+  const auto record = obs::FlightRecorder::instance().explain(d.decisionId);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->degraded);
+  EXPECT_NE(record->degradedReason.find("deadline"), std::string::npos);
+  // The record must attribute where the time went: this decision aged in
+  // the queue, so queue-wait dominates its breakdown.
+  EXPECT_GT(record->stages.nanos[static_cast<std::size_t>(
+                obs::Stage::kQueueWait)],
+            0u);
+  EXPECT_EQ(obs::FlightRecorder::instance().explainByTrace(d.traceId)
+                ->decisionId,
+            d.decisionId);
+}
+
+TEST_F(DegradedTest, BreakerDecisionsResolveInFlightRecorder) {
+  config_.resilience.breakerLatencyBudgetMs = 1e-12;
+  config_.resilience.breakerTripThreshold = 1;
+  config_.resilience.breakerOpenDecisions = 2;
+  DecisionEngine engine(config_, &tracker_, &policy_);
+
+  engine.decide(requestFor(gen_.paragraph(3, 5), 0));  // trips
+  ASSERT_TRUE(engine.breakerOpen());
+  for (int i = 1; i <= 2; ++i) {
+    const Decision d = engine.decide(requestFor(gen_.paragraph(3, 5), i));
+    ASSERT_TRUE(d.degraded);
+    const auto record = obs::FlightRecorder::instance().explain(d.decisionId);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_TRUE(record->degraded);
+    EXPECT_NE(record->degradedReason.find("breaker"), std::string::npos);
+    EXPECT_EQ(record->traceId, d.traceId);
+    EXPECT_EQ(record->serviceId, "gdocs");
+  }
 }
 
 }  // namespace

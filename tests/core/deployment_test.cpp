@@ -48,8 +48,12 @@ TEST_F(DeploymentTest, FullRoundTripKeepsEnforcementAndSuppression) {
     plugin.observeServiceDocument("itool", "itool/eval", secret);
     // A declassified copy lives in gdocs.
     plugin.observeServiceDocument("gdocs", "gdocs/copy", suppressedCopy);
-    plugin.engine().decide({"gdocs/copy2#p0", "gdocs/copy2", "gdocs", secret,
-                            flow::SegmentKind::kParagraph});
+    DecisionRequest copyReq;
+    copyReq.segmentName = "gdocs/copy2#p0";
+    copyReq.documentName = "gdocs/copy2";
+    copyReq.serviceId = "gdocs";
+    copyReq.text = secret;
+    plugin.engine().decide(copyReq);
     ASSERT_TRUE(plugin.suppressTag("alice", "gdocs/copy2#p0", "ti", "ok").ok());
     ASSERT_TRUE(saveDeployment(plugin, path, "org-secret").ok());
   }
@@ -61,15 +65,21 @@ TEST_F(DeploymentTest, FullRoundTripKeepsEnforcementAndSuppression) {
   clock2.advanceTo(maxTs.value() + 1);
 
   // Enforcement still works from restored fingerprints + labels.
-  const Decision blocked = plugin.engine().decide(
-      {"gdocs/new#p0", "gdocs/new", "gdocs", secret,
-       flow::SegmentKind::kParagraph});
+  DecisionRequest newReq;
+  newReq.segmentName = "gdocs/new#p0";
+  newReq.documentName = "gdocs/new";
+  newReq.serviceId = "gdocs";
+  newReq.text = secret;
+  const Decision blocked = plugin.engine().decide(newReq);
   EXPECT_TRUE(blocked.violation());
 
   // The restored suppression still holds for the declassified copy.
-  const Decision allowed = plugin.engine().decide(
-      {"gdocs/copy2#p0", "gdocs/copy2", "gdocs", secret,
-       flow::SegmentKind::kParagraph});
+  DecisionRequest restoredReq;
+  restoredReq.segmentName = "gdocs/copy2#p0";
+  restoredReq.documentName = "gdocs/copy2";
+  restoredReq.serviceId = "gdocs";
+  restoredReq.text = secret;
+  const Decision allowed = plugin.engine().decide(restoredReq);
   EXPECT_FALSE(allowed.violation());
 
   // Audit trail restored.

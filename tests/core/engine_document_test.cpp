@@ -65,8 +65,12 @@ TEST_F(EngineDocumentTest, DocumentKindRequestChecksDocumentSources) {
 
 TEST_F(EngineDocumentTest, DocumentDecisionDoesNotPolluteParagraphQueries) {
   const std::string doc = gen_.paragraph(6, 8) + "\n\n" + gen_.paragraph(6, 8);
-  DecisionRequest req{"gdocs/d", "gdocs/d", "gdocs", doc,
-                      flow::SegmentKind::kDocument};
+  DecisionRequest req;
+  req.segmentName = "gdocs/d";
+  req.documentName = "gdocs/d";
+  req.serviceId = "gdocs";
+  req.text = doc;
+  req.kind = flow::SegmentKind::kDocument;
   engine_.decide(req);
   // No paragraph-kind segment named gdocs/d exists.
   const flow::SegmentRecord* rec = tracker_.segmentByName("gdocs/d");
@@ -99,9 +103,12 @@ TEST_F(EngineDocumentTest, ConcurrentAsyncProducersAreSerialised) {
   std::thread a(worker, 1);
   std::thread b(worker, 2);
   for (int i = 0; i < 25; ++i) {
-    engine_.decide({"main-" + std::to_string(i) + "#p0",
-                    "main-" + std::to_string(i), "gdocs", base,
-                    flow::SegmentKind::kParagraph});
+    DecisionRequest req;
+    req.segmentName = "main-" + std::to_string(i) + "#p0";
+    req.documentName = "main-" + std::to_string(i);
+    req.serviceId = "gdocs";
+    req.text = base;
+    (void)engine_.decide(req);
   }
   a.join();
   b.join();

@@ -70,9 +70,12 @@ TEST_F(PolicyConfigTest, LoadedPolicyEnforces) {
   const std::string secret = gen.paragraph(7, 9);
   plugin_.observeServiceDocument("https://itool.corp",
                                  "https://itool.corp/doc", secret);
-  const Decision d = plugin_.engine().decide(
-      {"https://ext.example/x#p0", "https://ext.example/x",
-       "https://ext.example", secret, flow::SegmentKind::kParagraph});
+  DecisionRequest req;
+  req.segmentName = "https://ext.example/x#p0";
+  req.documentName = "https://ext.example/x";
+  req.serviceId = "https://ext.example";
+  req.text = secret;
+  const Decision d = plugin_.engine().decide(req);
   EXPECT_EQ(d.action, Decision::Action::kBlock) << "mode=block must apply";
 }
 

@@ -11,6 +11,10 @@
 // A third phase trips the decision engine's circuit breaker and checks the
 // degradation accounting: the bf_decision_degraded_total delta matches the
 // kDecisionDegraded audit records exactly.
+//
+// Provenance acceptance rides on this file: every blocked and degraded
+// decision produced under chaos must resolve to a complete causal record in
+// the flight recorder (ingress → stages → verdict).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -20,7 +24,9 @@
 #include "cloud/notes_client.h"
 #include "core/plugin.h"
 #include "corpus/text_generator.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace bf {
 namespace {
@@ -45,12 +51,34 @@ class ChaosTest : public ::testing::Test {
                                         "Interview Tool", tdm::TagSet{"ti"},
                                         tdm::TagSet{"ti"}});
     browser_.addExtension(&plugin_);
+    // Provenance acceptance: sample every trace and widen the ring so the
+    // explainability sweeps below can demand 100% of blocked/degraded
+    // decisions resolve, even with other suites sharing the process ring.
+    savedSampleEvery_ = obs::traceSampleEvery();
+    obs::setTraceSampleEvery(1);
+    obs::FlightRecorder::instance().setCapacity(4096);
+  }
+
+  ~ChaosTest() override {
+    obs::setTraceSampleEvery(savedSampleEvery_);
+    obs::FlightRecorder::instance().setCapacity(
+        obs::FlightRecorder::kDefaultCapacity);
   }
 
   static core::BrowserFlowConfig blockConfig() {
     core::BrowserFlowConfig c;
     c.mode = core::EnforcementMode::kBlock;
     return c;
+  }
+
+  /// Flight-recorder records appended after `sinceDecisionId`, oldest first.
+  static std::vector<obs::DecisionTrace> recordsSince(
+      std::uint64_t sinceDecisionId) {
+    std::vector<obs::DecisionTrace> out;
+    for (auto& record : obs::FlightRecorder::instance().recent()) {
+      if (record.decisionId > sinceDecisionId) out.push_back(std::move(record));
+    }
+    return out;
   }
 
   util::LogicalClock clock_;
@@ -61,6 +89,7 @@ class ChaosTest : public ::testing::Test {
   cloud::NotesBackend notesBackend_;
   core::BrowserFlowPlugin plugin_;
   browser::Browser browser_;
+  std::uint32_t savedSampleEvery_ = 16;
 };
 
 TEST_F(ChaosTest, AllowedUploadsLandBlockedUploadsNever) {
@@ -76,6 +105,8 @@ TEST_F(ChaosTest, AllowedUploadsLandBlockedUploadsNever) {
   // Phase 1 — goodput: 30 clean paragraph edits, each auto-saving the whole
   // note through the faulty network. Every save must eventually succeed.
   const std::uint64_t faultsBefore = faultNet_.faultCount();
+  const std::uint64_t idsBefore =
+      obs::FlightRecorder::instance().lastDecisionId();
   for (int i = 0; i < 30; ++i) {
     const int status = notes.appendParagraph(gen_.paragraph(4, 6));
     ASSERT_EQ(status, 200) << "allowed save " << i
@@ -106,6 +137,35 @@ TEST_F(ChaosTest, AllowedUploadsLandBlockedUploadsNever) {
     EXPECT_EQ(entry.request.body.find(marker), std::string::npos)
         << "sensitive text leaked into the network log";
   }
+
+  // Phase 3 — explainability: every blocked decision from phase 2 resolves
+  // in the flight recorder to a complete causal record, and the retried
+  // phase-1 saves left their retry history on the retained traces.
+  const std::vector<obs::DecisionTrace> records = recordsSince(idsBefore);
+  std::size_t blocked = 0;
+  bool sawRetries = false;
+  for (const auto& record : records) {
+    if (record.retryAttempts > 1) sawRetries = true;
+    if (!record.violation) continue;
+    ++blocked;
+    const auto explained =
+        obs::FlightRecorder::instance().explain(record.decisionId);
+    ASSERT_TRUE(explained.has_value());
+    EXPECT_NE(explained->traceId, 0u) << "blocked decision missing its trace";
+    EXPECT_FALSE(explained->ingress.empty());
+    EXPECT_EQ(explained->action, "block");
+    EXPECT_GT(explained->stages.total(), 0u)
+        << "blocked decision carries no per-stage attribution";
+    EXPECT_FALSE(explained->hits.empty() && explained->violatingTags.empty())
+        << "a block must name what it matched";
+    EXPECT_EQ(obs::FlightRecorder::instance()
+                  .explainByTrace(explained->traceId)
+                  ->traceId,
+              explained->traceId);
+  }
+  EXPECT_GE(blocked, 1u) << "the phase-2 block must be in the recorder";
+  EXPECT_TRUE(sawRetries)
+      << "24% faults over 30 saves must leave retry annotations";
 }
 
 TEST_F(ChaosTest, DegradedDecisionsMatchAuditTrail) {
@@ -125,6 +185,8 @@ TEST_F(ChaosTest, DegradedDecisionsMatchAuditTrail) {
           .audit()
           .byKind(tdm::AuditRecord::Kind::kDecisionDegraded)
           .size();
+  const std::uint64_t idsBefore =
+      obs::FlightRecorder::instance().lastDecisionId();
 
   browser::Page& tab = browser_.openTab(std::string(kNotesOrigin) + "/n/2");
   cloud::NotesClient notes(tab, "n2");
@@ -145,6 +207,22 @@ TEST_F(ChaosTest, DegradedDecisionsMatchAuditTrail) {
   EXPECT_GT(degradedDelta, 0u) << "the tripped breaker must degrade decisions";
   EXPECT_EQ(degradedDelta, auditDelta)
       << "every degraded decision appears in the TDM audit log";
+
+  // 100% explainability: one flight-recorder record per degraded decision,
+  // each resolving to a causal record that names the breaker.
+  std::size_t degradedRecords = 0;
+  for (const auto& record : recordsSince(idsBefore)) {
+    if (!record.degraded) continue;
+    ++degradedRecords;
+    const auto explained =
+        obs::FlightRecorder::instance().explain(record.decisionId);
+    ASSERT_TRUE(explained.has_value());
+    EXPECT_NE(explained->traceId, 0u);
+    EXPECT_FALSE(explained->ingress.empty());
+    EXPECT_NE(explained->degradedReason.find("breaker"), std::string::npos);
+  }
+  EXPECT_EQ(degradedRecords, degradedDelta)
+      << "every degraded decision must be retained, not just counted";
 }
 
 }  // namespace

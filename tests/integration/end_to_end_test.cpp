@@ -169,10 +169,12 @@ TEST_F(EndToEndTest, Figure6TransitiveStaleTaintDoesNotPropagate) {
   const std::string textB1 = textB + " " + textA;
   plugin_.observeServiceDocument("https://wiki.corp",
                                  "https://wiki.corp/B", textB1);
-  auto d1 = plugin_.engine().decide({"https://wiki.corp/B#p0",
-                                     "https://wiki.corp/B",
-                                     "https://wiki.corp", textB1,
-                                     flow::SegmentKind::kParagraph});
+  core::DecisionRequest reqB;
+  reqB.segmentName = "https://wiki.corp/B#p0";
+  reqB.documentName = "https://wiki.corp/B";
+  reqB.serviceId = "https://wiki.corp";
+  reqB.text = textB1;
+  auto d1 = plugin_.engine().decide(reqB);
   EXPECT_FALSE(d1.violation()) << "Wiki holds ti in Lp";
   const tdm::Label* labelB = plugin_.policy().labelOf("https://wiki.corp/B#p0");
   ASSERT_NE(labelB, nullptr);

@@ -1,6 +1,8 @@
 // Fixture: wall-clock time and unseeded randomness outside util/clock.* /
 // util/rng.* must be flagged. Not compiled; selftest input only.
-// bflint-expect: wall-clock
+// (The <chrono> include also trips raw-timing: fixture mode applies every
+// rule with path exemptions off.)
+// bflint-expect: wall-clock, raw-timing
 #include <chrono>
 #include <cstdlib>
 

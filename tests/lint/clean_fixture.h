@@ -3,21 +3,21 @@
 // std::lock_guard, system_clock, rand().
 #pragma once
 
-#include <chrono>
 #include <string>
 
+#include "util/clock.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace bf::lintfixture {
 
-/// steady_clock is monotonic measurement time and explicitly allowed.
-inline long monotonicNanos() {
-  return std::chrono::steady_clock::now().time_since_epoch().count();
-}
+/// Monotonic measurement time through the project clock shim: raw
+/// std::chrono would trip raw-timing in fixture mode.
+inline unsigned long long monotonicTicks() { return util::fastTicks(); }
 
 inline std::string bannedTokensInStrings() {
-  return "std::mutex, std::condition_variable, rand(, system_clock";
+  return "std::mutex, std::condition_variable, rand(, system_clock, "
+         "std::chrono, TraceLog::instance";
 }
 
 class Guarded {

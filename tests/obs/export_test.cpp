@@ -96,5 +96,158 @@ TEST(Export, RegistryMetricsAppearInProcessWideExposition) {
   EXPECT_NE(text.find("bf_export_smoke_total 1"), std::string::npos);
 }
 
+TEST(Export, EscapeLabelValueGolden) {
+  EXPECT_EQ(escapeLabelValue("plain"), "plain");
+  EXPECT_EQ(escapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escapeLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(escapeLabelValue("new\nline"), "new\\nline");
+  EXPECT_EQ(escapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(Export, EscapeHelpTextGolden) {
+  // HELP lines escape backslash and newline but NOT quotes (Prometheus
+  // exposition format: quotes are only special inside label values).
+  EXPECT_EQ(escapeHelpText("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escapeHelpText("quo\"te"), "quo\"te");
+  EXPECT_EQ(escapeHelpText("new\nline"), "new\\nline");
+}
+
+TEST(Export, HelpWithNewlineAndBackslashIsEscapedInExposition) {
+  MetricsSnapshot snap;
+  MetricValue m;
+  m.name = "bf_esc_total";
+  m.help = "first line\nC:\\path";
+  m.kind = MetricKind::kCounter;
+  m.counterValue = 1;
+  snap.metrics.push_back(std::move(m));
+  EXPECT_EQ(toPrometheusText(snap),
+            "# HELP bf_esc_total first line\\nC:\\\\path\n"
+            "# TYPE bf_esc_total counter\n"
+            "bf_esc_total 1\n");
+}
+
+TEST(Export, EmptyBoundsHistogramStillEmitsInfBucket) {
+  // A histogram with no finite buckets must still expose the mandatory
+  // +Inf bucket (every observation is an overflow).
+  MetricsSnapshot snap;
+  MetricValue m;
+  m.name = "bf_unbounded_ms";
+  m.kind = MetricKind::kHistogram;
+  m.histogram.bounds = {};
+  m.histogram.bucketCounts = {5};  // overflow slot only
+  m.histogram.count = 5;
+  m.histogram.sum = 50.0;
+  snap.metrics.push_back(std::move(m));
+  EXPECT_EQ(toPrometheusText(snap),
+            "# TYPE bf_unbounded_ms histogram\n"
+            "bf_unbounded_ms_bucket{le=\"+Inf\"} 5\n"
+            "bf_unbounded_ms_sum 50\n"
+            "bf_unbounded_ms_count 5\n");
+}
+
+TEST(Export, InfBucketClampsUpToCountOnRacySnapshot) {
+  // Relaxed per-bucket adds can lag the count add in a concurrent
+  // snapshot; the +Inf line must never report less than _count, or
+  // Prometheus clients reject the family as non-monotonic.
+  MetricsSnapshot snap;
+  MetricValue m;
+  m.name = "bf_racy_ms";
+  m.kind = MetricKind::kHistogram;
+  m.histogram.bounds = {1.0};
+  m.histogram.bucketCounts = {1, 0};  // bucket adds not yet visible
+  m.histogram.count = 3;
+  m.histogram.sum = 3.0;
+  snap.metrics.push_back(std::move(m));
+  const std::string text = toPrometheusText(snap);
+  EXPECT_NE(text.find("bf_racy_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bf_racy_ms_count 3\n"), std::string::npos);
+}
+
+TEST(Export, MetricOrderingIsStableRegardlessOfRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("bf_zzz_total").inc();
+  reg.counter("bf_aaa_total").inc();
+  reg.counter("bf_mmm_total").inc();
+  const std::string text = toPrometheusText(reg.snapshot());
+  const std::size_t a = text.find("bf_aaa_total");
+  const std::size_t mPos = text.find("bf_mmm_total");
+  const std::size_t z = text.find("bf_zzz_total");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(mPos, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, mPos);
+  EXPECT_LT(mPos, z);
+  // Re-snapshotting yields byte-identical output (stable ordering).
+  EXPECT_EQ(toPrometheusText(reg.snapshot()), text);
+}
+
+TEST(Export, HistogramExemplarsAppearInJson) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("bf_exemplar_ms", "", {1.0, 2.0});
+  h.observe(0.5);                     // no exemplar on this bucket
+  h.observeWithExemplar(1.5, 77);     // bucket le=2
+  h.observeWithExemplar(9.0, 88);     // overflow bucket
+  const std::string json = toJson(reg.snapshot());
+  EXPECT_EQ(json.find("{\"le\":1,\"count\":1}") == std::string::npos, false)
+      << json;
+  EXPECT_NE(json.find("{\"le\":2,\"count\":1,\"exemplar\":77}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"overflow\":1,\"overflow_exemplar\":88"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Export, DecisionTraceJsonCarriesFullCausalRecord) {
+  DecisionTrace t;
+  t.decisionId = 9;
+  t.traceId = 1234;
+  t.spanId = 5;
+  t.sampled = true;
+  t.ingress = "plugin.paragraph";
+  t.segmentName = "doc#p1";
+  t.documentName = "doc";
+  t.serviceId = "https://itool.corp";
+  t.action = "block";
+  t.violation = true;
+  t.bytesScanned = 64;
+  t.stages.nanos[static_cast<int>(Stage::kFingerprint)] = 1500;
+  t.totalMs = 0.25;
+  t.hits.push_back({"hr/interview.txt", 0.82, 0.3, 11});
+  t.violatingTags = {"ti"};
+  t.labelsConsulted = {"segment:ti", "privilege:public"};
+  t.retryAttempts = 2;
+  t.retryBackoffMs = 40.0;
+  const std::string json = toJson(t);
+  EXPECT_NE(json.find("\"decision_id\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"ingress\":\"plugin.paragraph\""), std::string::npos);
+  EXPECT_NE(json.find("\"action\":\"block\""), std::string::npos);
+  EXPECT_NE(json.find("\"violation\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint_ns\":1500"), std::string::npos);
+  EXPECT_NE(json.find("{\"source\":\"hr/interview.txt\",\"score\":0.82,"
+                      "\"threshold\":0.3,\"overlap\":11}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"violating_tags\":[\"ti\"]"), std::string::npos);
+  EXPECT_NE(
+      json.find("\"retry\":{\"attempts\":2,\"backoff_ms\":40,"
+                "\"exhausted\":false}"),
+      std::string::npos);
+}
+
+TEST(Export, FlightRecorderJsonHasSchemaAndDecisions) {
+  FlightRecorder recorder(4);
+  DecisionTrace t;
+  t.traceId = 1;
+  t.sampled = true;
+  t.ingress = "test";
+  recorder.record(std::move(t));
+  const std::string json = toJson(recorder);
+  EXPECT_EQ(json.rfind("{\"schema\":\"bf-flight-v1\",\"decisions\":[", 0), 0u)
+      << json;
+  EXPECT_NE(json.find("\"ingress\":\"test\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bf::obs

@@ -1,9 +1,13 @@
 // bf::obs tracing: span nesting, ring-buffer wraparound, enable gating.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace bf::obs {
 namespace {
@@ -119,6 +123,92 @@ TEST_F(ScopedSpanTest, WraparoundKeepsMostRecentSpans) {
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_EQ(events[i].id, events[i - 1].id + 1);  // consecutive, newest kept
   }
+}
+
+TEST(TraceLogTest, SeqIsAssignedInRecordOrder) {
+  TraceLog log(8);
+  for (int i = 0; i < 5; ++i) log.record(SpanRecord{});
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);  // 1-based, gap-free
+  }
+}
+
+TEST(TraceLogTest, SeqSurvivesWraparoundUnderConcurrentWriters) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  TraceLog log(kCapacity);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) log.record(SpanRecord{});
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(log.totalRecorded(), total);
+  EXPECT_EQ(log.droppedCount(), total - kCapacity);
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), kCapacity);
+  // The survivors are exactly the newest kCapacity records: seq ascending
+  // with no gaps, ending at the global total. A seq assigned outside the
+  // ring-write critical section would leave holes or duplicates here.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, total - kCapacity + 1 + i);
+  }
+}
+
+TEST_F(ScopedSpanTest, SpanPicksUpAmbientTraceId) {
+  const TraceContext root = TraceContext::start();
+  {
+    ScopedTraceContext scope(root);
+    BF_SPAN("traced");
+  }
+  { BF_SPAN("untraced"); }
+  const auto events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].traceId, root.traceId);
+  EXPECT_EQ(events[1].traceId, 0u);
+}
+
+TEST_F(ScopedSpanTest, RootSpanParentLinksToContextSpanAcrossThreads) {
+  const TraceContext ingress = TraceContext::start();
+  std::thread worker([&ingress] {
+    ScopedTraceContext scope(ingress);
+    BF_SPAN("worker.decide");
+  });
+  worker.join();
+  const auto events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  // The worker's depth-0 span stitched itself under the ingress span even
+  // though the ingress ran on another thread.
+  EXPECT_EQ(events[0].parentId, ingress.spanId);
+  EXPECT_EQ(events[0].traceId, ingress.traceId);
+}
+
+TEST_F(ScopedSpanTest, AttributesAreRecordedAndCapped) {
+  {
+    ScopedSpan span("attrs");
+    span.addAttr("bytes", 128);
+    span.addAttr("segments", 3);
+    span.addAttr("c", 1);
+    span.addAttr("d", 2);
+    span.addAttr("overflow", 99);  // fifth attr: dropped
+  }
+  const auto events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].attrCount, SpanRecord::kMaxAttrs);
+  EXPECT_STREQ(events[0].attrs[0].key, "bytes");
+  EXPECT_EQ(events[0].attrs[0].value, 128u);
+  EXPECT_STREQ(events[0].attrs[1].key, "segments");
+  EXPECT_EQ(events[0].attrs[1].value, 3u);
+  const std::string dump = TraceLog::instance().dump();
+  EXPECT_NE(dump.find("bytes=128"), std::string::npos);
+  EXPECT_EQ(dump.find("overflow"), std::string::npos);
 }
 
 TEST_F(ScopedSpanTest, DumpRendersIndentedTree) {
