@@ -94,12 +94,44 @@ def run_micro(build_dir, quick):
     }
 
 
-def run_results_bench(binary, env, quick_env):
-    out, wall, rss = run_child([binary], env={**env, **quick_env})
+def run_results_bench(binary, env, quick_env, repeats=1):
+    """Runs a RESULT-line bench, optionally `repeats` times.
+
+    With repeats > 1 the runs are merged per metric: throughput-style
+    numbers (queries_per_s, decisions_per_s, goodput_per_s) keep their
+    MAX across runs, measured-overhead percentages keep their MIN — the
+    least-interference estimate of what the machine can actually do.
+    On a single-core container a lone sample swings ±30% with scheduler
+    luck; best-of-N is the same noise-control philosophy as the
+    provenance phase's interleaved min-estimator, one level up.
+    """
+    runs = []
+    for _ in range(max(1, repeats)):
+        out, wall, rss = run_child([binary], env={**env, **quick_env})
+        runs.append((parse_result_lines(out), wall, rss))
+    merged = runs[0][0]
+    for results, _, _ in runs[1:]:
+        by_key = {
+            (r.get("bench"), r.get("mode"), r.get("readers"),
+             r.get("users"), r.get("rate")): r
+            for r in results
+        }
+        for m in merged:
+            r = by_key.get((m.get("bench"), m.get("mode"), m.get("readers"),
+                            m.get("users"), m.get("rate")))
+            if r is None:
+                continue
+            for field in ("queries_per_s", "decisions_per_s",
+                          "goodput_per_s", "observes_per_s"):
+                if field in m and field in r:
+                    m[field] = max(m[field], r[field])
+            if "overhead_pct" in m and "overhead_pct" in r:
+                m["overhead_pct"] = min(m["overhead_pct"], r["overhead_pct"])
     return {
-        "results": parse_result_lines(out),
-        "wall_s": round(wall, 2),
-        "peak_rss_bytes": rss,
+        "results": merged,
+        "wall_s": round(sum(w for _, w, _ in runs), 2),
+        "peak_rss_bytes": max(r for _, _, r in runs),
+        "repeats": len(runs),
     }
 
 
@@ -127,6 +159,22 @@ def summarize(report):
             for r in readers
         }
         summary["hw_cores"] = readers[0].get("hw_cores")
+    faults = [
+        r
+        for r in report.get("recovery", {}).get("results", [])
+        if r.get("bench") == "durability_faults"
+    ]
+    if faults:
+        # Goodput vs injected-fault rate: shows what the self-healing WAL
+        # costs under storage pressure (rate 0 = inert FaultVfs control).
+        summary["durability_faults"] = {
+            f"rate_{r['rate']:g}": {
+                "goodput_per_s": round(r["goodput_per_s"]),
+                "records_lost": r["records_lost"],
+                "repairs": r["repairs"],
+            }
+            for r in faults
+        }
     return summary
 
 
@@ -138,7 +186,11 @@ def main():
     ap.add_argument("--quick", action="store_true",
                     help="reduced iteration counts (check.sh wiring test)")
     ap.add_argument("--skip", default="",
-                    help="comma-separated benches to skip (micro,fig13,stress)")
+                    help="comma-separated benches to skip "
+                         "(micro,fig13,stress,recovery)")
+    ap.add_argument("--stress-repeats", type=int, default=1,
+                    help="run the stress bench N times and keep the "
+                         "per-metric best (noise control on loaded hosts)")
     args = ap.parse_args()
 
     skip = {s for s in args.skip.split(",") if s}
@@ -167,6 +219,13 @@ def main():
         )
         report["stress_concurrency"] = run_results_bench(
             os.path.join(args.build_dir, "bench", "bench_stress_concurrency"),
+            {}, quick_env, repeats=args.stress_repeats)
+
+    if "recovery" not in skip:
+        print("==> bench_recovery", flush=True)
+        quick_env = {"BF_RECOVERY_SEGMENTS": "500"} if args.quick else {}
+        report["recovery"] = run_results_bench(
+            os.path.join(args.build_dir, "bench", "bench_recovery"),
             {}, quick_env)
 
     report["summary"] = summarize(report)

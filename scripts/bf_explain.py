@@ -48,6 +48,8 @@ def explain_decision(d: dict, out) -> None:
         flags.append("VIOLATION")
     if d.get("degraded"):
         flags.append(f"DEGRADED ({d.get('degraded_reason', '?')})")
+    if d.get("durability_degraded"):
+        flags.append("DURABILITY-DEGRADED")
     headline = f"decision #{d.get('decision_id')}  ->  {verdict}"
     if flags:
         headline += "  [" + ", ".join(flags) + "]"

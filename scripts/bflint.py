@@ -28,12 +28,16 @@ cannot enforce:
                       are flat rings/vectors in a reusable workspace
                       (text/fingerprint_kernel.h). A deque's chunked nodes
                       reintroduce pointer-chasing and per-call allocation.
-  state-file-io       std::ofstream / std::fstream inside src/flow outside
-                      snapshot.cpp and wal.cpp. Durable disclosure state has
-                      exactly two writers: checkpoints (snapshot.cpp, CRC
-                      trailer + keyed tag) and the WAL (wal.cpp, CRC-framed
-                      records). A direct stream write would bypass the
-                      framing that makes crash recovery trustworthy.
+  state-file-io       Direct file I/O (std::ofstream / std::ifstream /
+                      std::fstream, bare ::open/::write/::fsync syscalls,
+                      opendir/mkdir, std::rename/std::remove) anywhere in
+                      src/flow. ALL durable-state I/O flows through the
+                      bf::io VFS seam (src/io/vfs.h): snapshot.cpp and
+                      wal.cpp take an io::Vfs, which is what lets the
+                      storage-chaos suites inject ENOSPC / torn writes /
+                      fsync failures. A direct stream or syscall would
+                      bypass both the seam and the framing that makes
+                      crash recovery trustworthy.
   missing-pragma-once Headers must use `#pragma once`.
   include-hygiene     No `#include "../..."` / `#include "./..."` path
                       escapes, no <bits/...> internals, and every quoted
@@ -107,16 +111,26 @@ DEQUE_PATTERNS = [
      "FingerprintWorkspace (text/fingerprint_kernel.h)"),
 ]
 
-STATE_FILE_IO_ALLOWED = (
-    "src/flow/snapshot.cpp",
-    "src/flow/wal.cpp",
-)
+# Empty since the bf::io VFS seam landed: snapshot.cpp and wal.cpp now do
+# all their I/O through io::Vfs, so no file in src/flow is exempt.
+STATE_FILE_IO_ALLOWED = ()
 
 STATE_FILE_IO_PATTERNS = [
-    (re.compile(r"\bstd::(ofstream|fstream)\b"),
-     "direct state-file write; durable disclosure state is written only by "
-     "flow/snapshot.cpp (checksummed checkpoints) and flow/wal.cpp "
-     "(CRC-framed log appends) — route writes through them"),
+    (re.compile(r"\bstd::(ofstream|ifstream|fstream)\b"),
+     "direct state-file stream; route file I/O through the bf::io VFS seam "
+     "(src/io/vfs.h) so the storage-chaos suites can inject faults"),
+    (re.compile(r"\bstd::(rename|remove)\s*\("),
+     "direct filesystem mutation; use io::Vfs::rename / io::Vfs::remove "
+     "(src/io/vfs.h)"),
+    # Bare global-namespace POSIX calls (`::open(...)`). The negative
+    # char class keeps `WriteAheadLog::open(` method definitions/calls
+    # from matching: those have an identifier before the `::`.
+    (re.compile(r"(^|[^\w)])::(open|openat|creat|write|pwrite|read|pread|"
+                r"fsync|fdatasync|unlink|rename|mkdir|ftruncate)\s*\("),
+     "raw POSIX file syscall; route file I/O through the bf::io VFS seam "
+     "(src/io/vfs.h)"),
+    (re.compile(r"\b(opendir|readdir|closedir|fopen|fwrite|fread)\s*\("),
+     "raw libc file I/O; use io::Vfs (listDir/open*) from src/io/vfs.h"),
 ]
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')

@@ -40,7 +40,16 @@ for preset in $PRESETS; do
     # the default configuration; this leg pins it explicitly).
     echo "==> [default] recovery fuzz, fixed seed"
     BF_RECOVERY_FUZZ_SEED=20260805 BF_RECOVERY_FUZZ_TRIALS=500 \
-      "build/tests/recovery_fuzz_test"
+      "build/tests/recovery_fuzz_test" \
+      --gtest_filter='RecoveryFuzzTest.RecoveredStateIsAlwaysAPrefixOfHistory'
+    # Storage chaos at a pinned seed: 300 trials that open a runtime fault
+    # window (ENOSPC / torn writes / fsync failures via FaultVfs) mid-run,
+    # require the WAL health state machine to self-heal, then crash and
+    # demand byte-equal recovery at the last durable sequence.
+    echo "==> [default] storage chaos, fixed seed"
+    BF_STORAGE_FUZZ_SEED=20260809 BF_STORAGE_FUZZ_TRIALS=300 \
+      "build/tests/recovery_fuzz_test" \
+      --gtest_filter='RecoveryFuzzTest.SelfHealsAfterInjectedStorageFaultWindow'
   fi
 done
 

@@ -43,7 +43,8 @@ void recordDecisionProvenance(const char* ingress,
   if (!obs::provenanceEnabled()) return;
   obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
   decision.traceId = trace.traceId;
-  if (!trace.sampled && !decision.degraded && !decision.violation()) {
+  if (!trace.sampled && !decision.degraded && !decision.durabilityDegraded &&
+      !decision.violation()) {
     // Fast path: the recorder would not retain this decision, so skip the
     // record construction (strings/vectors) entirely.
     decision.decisionId = recorder.nextDecisionId();
@@ -61,6 +62,7 @@ void recordDecisionProvenance(const char* ingress,
   record.violation = decision.violation();
   record.degraded = decision.degraded;
   record.degradedReason = decision.degradedReason;
+  record.durabilityDegraded = decision.durabilityDegraded;
   record.bytesScanned = bytesScanned;
   record.stages = stages;
   record.totalMs = decision.responseTimeMs;
@@ -313,13 +315,24 @@ Decision DecisionEngine::decideLocked(const DecisionRequest& request) {
   latency_->observe(decision.responseTimeMs);
   actionCounters_[static_cast<int>(decision.action)]->inc();
 
-  // Periodic durability checkpoint, driven from the decision path while
-  // stateMutex_ is still held (pipeline mutations quiesced — the contract
-  // DurabilityManager::checkpoint requires). A failed checkpoint is counted
-  // by bf_checkpoint_failures_total and surfaces via durabilityHealthy();
-  // the decision itself is already made and is returned regardless.
+  // Durability maintenance, driven from the decision path while stateMutex_
+  // is still held (pipeline mutations quiesced — the contract
+  // DurabilityManager::checkpoint requires). maintain() rolls due
+  // checkpoints when healthy and paces backed-off repair attempts when
+  // degraded; either way the decision is already made and is returned
+  // regardless. Each boolean health flip writes exactly one audit record,
+  // and every decision made inside a degraded window is flagged so the
+  // flight recorder retains it.
   if (durability_ != nullptr) {
-    (void)durability_->checkpointIfDue(*tracker_);
+    (void)durability_->maintain(*tracker_);
+    const bool durable = durability_->healthy();
+    decision.durabilityDegraded = !durable;
+    if (durable != lastDurabilityHealthy_) {
+      lastDurabilityHealthy_ = durable;
+      policy_->recordDegradedDecision(
+          request.segmentName, request.serviceId,
+          durable ? kDurabilityRestored : kDurabilityDegraded);
+    }
   }
   return decision;
 }

@@ -46,6 +46,13 @@ class DurabilityManager;
 
 namespace bf::core {
 
+/// Audit reason recorded when the durability manager's health flips to
+/// degraded (and its counterpart when repair restores it). Decisions made
+/// while degraded carry Decision::durabilityDegraded so the flight
+/// recorder can explain every durability-degraded window.
+inline constexpr const char kDurabilityDegraded[] = "durability-degraded";
+inline constexpr const char kDurabilityRestored[] = "durability-restored";
+
 /// One unit of work: "this text now exists in segment X of service Y; may
 /// it be uploaded there?"
 struct DecisionRequest {
@@ -87,6 +94,12 @@ struct Decision {
   bool degraded = false;
   /// Why the decision degraded (empty when `degraded` is false).
   std::string degradedReason;
+  /// True when the decision was made while the attached durability manager
+  /// was unhealthy (WAL poisoned or last checkpoint failed). The pipeline
+  /// still ran fully — `degraded` stays false — but a crash before repair
+  /// completes could lose the mutations this decision observed, so the
+  /// flight recorder retains these decisions (reason kDurabilityDegraded).
+  bool durabilityDegraded = false;
   /// Provenance correlation ids (obs/flight_recorder.h): decisionId keys
   /// FlightRecorder::explain(); traceId links spans and histogram
   /// exemplars. Both 0 when provenance is disabled.
@@ -198,12 +211,16 @@ class DecisionEngine {
   [[nodiscard]] bool breakerOpen() const BF_EXCLUDES(stateMutex_);
 
   /// Attaches the durability manager (flow/wal.h; not owned, may be null).
-  /// The engine then drives periodic checkpointing from the decision path:
+  /// The engine then drives durability maintenance from the decision path:
   /// after each decision — while still holding stateMutex_, which quiesces
-  /// pipeline mutations — it rolls a checkpoint once the manager reports
-  /// one due. Durability failures NEVER degrade decisions (availability
-  /// over durability): the WAL/checkpoint metrics record them and
-  /// durabilityHealthy() turns false, but the pipeline keeps answering.
+  /// pipeline mutations — it calls DurabilityManager::maintain(), which
+  /// rolls due checkpoints when healthy and paces repair attempts when
+  /// degraded. Durability failures NEVER block decisions (availability
+  /// over durability): the WAL/checkpoint metrics record them,
+  /// durabilityHealthy() turns false, decisions carry
+  /// Decision::durabilityDegraded, and each health flip writes one
+  /// kDecisionDegraded audit record (kDurabilityDegraded /
+  /// kDurabilityRestored) — but the pipeline keeps answering.
   void setDurability(flow::DurabilityManager* durability)
       BF_EXCLUDES(stateMutex_);
 
@@ -261,6 +278,9 @@ class DecisionEngine {
   tdm::TdmPolicy* policy_;
   SecretGuard* guard_ = nullptr;
   flow::DurabilityManager* durability_ BF_GUARDED_BY(stateMutex_) = nullptr;
+  /// Last durability health observed on the decision path; a flip in
+  /// either direction writes one audit record (not one per decision).
+  bool lastDurabilityHealthy_ BF_GUARDED_BY(stateMutex_) = true;
 
   // One mutex serialises tracker/policy access between the caller thread
   // and the worker; the paper's engine likewise processes decisions one at

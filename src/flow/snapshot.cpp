@@ -1,14 +1,11 @@
 #include "flow/snapshot.h"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <vector>
 
 #include "crypto/chacha20.h"
@@ -194,40 +191,38 @@ std::string parseStateBody(util::BinaryReader& r, StagedState& staged) {
 /// Crash-safe whole-file write: full content to a sibling temp file,
 /// fsync, atomic rename over the target, then fsync the directory so the
 /// rename itself is durable. A crash or disk-full mid-write can never
-/// leave a truncated file at `path`. The temp name is unique per process
-/// and per call: concurrent saves to the same path must never share a
-/// temp file, or interleaved writes could be renamed over the target.
-util::Status atomicWriteFile(const std::string& path,
+/// leave a truncated file at `path`, and EVERY failure path removes the
+/// temp file — a save that fails (ENOSPC, short write, fsync error) leaves
+/// no orphan and never clobbers the previous good snapshot, which only the
+/// final rename replaces. The temp name is unique per process and per
+/// call: concurrent saves to the same path must never share a temp file,
+/// or interleaved writes could be renamed over the target.
+util::Status atomicWriteFile(io::Vfs& vfs, const std::string& path,
                              std::string_view fileData) {
   static std::atomic<std::uint64_t> tmpCounter{0};
   const std::string tmpPath =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
       std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
-  const int fd = ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return util::Status::error("cannot open for writing: " + tmpPath);
-  const char* p = fileData.data();
-  std::size_t remaining = fileData.size();
-  while (remaining > 0) {
-    const ssize_t n = ::write(fd, p, remaining);
-    if (n <= 0) {
-      ::close(fd);
-      std::remove(tmpPath.c_str());
-      return util::Status::error("write failed: " + tmpPath);
-    }
-    p += n;
-    remaining -= static_cast<std::size_t>(n);
+  std::unique_ptr<io::File> file = vfs.openForWrite(tmpPath);
+  if (file == nullptr) {
+    return util::Status::error("cannot open for writing: " + tmpPath);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    std::remove(tmpPath.c_str());
+  if (!file->write(fileData).ok) {
+    (void)file->close();
+    (void)vfs.remove(tmpPath);
+    return util::Status::error("write failed: " + tmpPath);
+  }
+  if (!file->sync()) {
+    (void)file->close();
+    (void)vfs.remove(tmpPath);
     return util::Status::error("fsync failed: " + tmpPath);
   }
-  if (::close(fd) != 0) {
-    std::remove(tmpPath.c_str());
+  if (!file->close()) {
+    (void)vfs.remove(tmpPath);
     return util::Status::error("close failed: " + tmpPath);
   }
-  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
-    std::remove(tmpPath.c_str());
+  if (!vfs.rename(tmpPath, path)) {
+    (void)vfs.remove(tmpPath);
     return util::Status::error("rename failed: " + tmpPath + " -> " + path);
   }
   // Durable rename: fsync the containing directory (best effort — some
@@ -235,11 +230,7 @@ util::Status atomicWriteFile(const std::string& path,
   // atomic, just not yet journalled).
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    (void)::fsync(dfd);
-    ::close(dfd);
-  }
+  vfs.syncDir(dir);
   return {};
 }
 
@@ -325,7 +316,8 @@ util::Result<util::Timestamp> importState(FlowTracker& tracker,
 }
 
 util::Status saveSnapshot(const FlowTracker& tracker, const std::string& path,
-                          std::string_view secret, std::uint64_t sequence) {
+                          std::string_view secret, std::uint64_t sequence,
+                          io::Vfs* vfs) {
   std::string blob = exportStateV2(tracker, sequence);
   std::string fileData;
   if (secret.empty()) {
@@ -356,17 +348,19 @@ util::Status saveSnapshot(const FlowTracker& tracker, const std::string& path,
     const crypto::Tag128 tag = crypto::keyedTag(deriveMacKey(secret), fileData);
     fileData.append(reinterpret_cast<const char*>(tag.data()), tag.size());
   }
-  return atomicWriteFile(path, fileData);
+  return atomicWriteFile(vfs != nullptr ? *vfs : io::defaultVfs(), path,
+                         fileData);
 }
 
 util::Result<SnapshotInfo> loadSnapshotEx(FlowTracker& tracker,
                                           const std::string& path,
-                                          std::string_view secret) {
+                                          std::string_view secret,
+                                          io::Vfs* vfs) {
   using R = util::Result<SnapshotInfo>;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return R::error("cannot open: " + path);
-  std::string fileData((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
+  util::Result<std::string> read =
+      (vfs != nullptr ? *vfs : io::defaultVfs()).readFile(path);
+  if (!read.ok()) return R::error("cannot open: " + path);
+  const std::string fileData = std::move(read.value());
 
   if (fileData.substr(0, kEncMagicV2.size()) == kEncMagicV2) {
     if (secret.empty()) return R::error("snapshot is encrypted; secret needed");

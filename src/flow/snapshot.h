@@ -34,6 +34,7 @@
 #include <string>
 
 #include "flow/tracker.h"
+#include "io/vfs.h"
 #include "util/result.h"
 
 namespace bf::flow {
@@ -73,19 +74,23 @@ struct SnapshotInfo {
 
 /// Writes the tracker state to `path` in v2 format, encrypted with a key
 /// derived from `secret` (empty secret = plaintext snapshot). Crash-safe:
-/// full temp-file write + fsync + atomic rename. `sequence` is the
-/// checkpoint sequence stored in the blob (0 outside the durability
-/// manager).
+/// full temp-file write + fsync + atomic rename — on ANY failure the temp
+/// file is removed and the previous snapshot at `path` is untouched.
+/// `sequence` is the checkpoint sequence stored in the blob (0 outside the
+/// durability manager). `vfs` routes the file I/O (null = defaultVfs()).
 [[nodiscard]] util::Status saveSnapshot(const FlowTracker& tracker,
                                         const std::string& path,
                                         std::string_view secret,
-                                        std::uint64_t sequence = 0);
+                                        std::uint64_t sequence = 0,
+                                        io::Vfs* vfs = nullptr);
 
 /// Loads a snapshot written by saveSnapshot() — any format version — into
 /// an empty tracker. Encrypted v2 files are authenticated before parsing:
-/// a bit-flipped blob fails the tag check and is rejected.
+/// a bit-flipped blob fails the tag check and is rejected. `vfs` routes
+/// the read (null = defaultVfs()).
 [[nodiscard]] util::Result<SnapshotInfo> loadSnapshotEx(
-    FlowTracker& tracker, const std::string& path, std::string_view secret);
+    FlowTracker& tracker, const std::string& path, std::string_view secret,
+    io::Vfs* vfs = nullptr);
 
 /// loadSnapshotEx() returning only the timestamp (compatibility shim).
 [[nodiscard]] util::Result<util::Timestamp> loadSnapshot(

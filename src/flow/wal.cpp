@@ -1,15 +1,8 @@
 #include "flow/wal.h"
 
-#include <dirent.h>
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <optional>
 #include <utility>
 
@@ -40,9 +33,16 @@ struct WalMetrics {
   obs::Counter* appendFailures;
   obs::Counter* bytesWritten;
   obs::Counter* syncs;
+  obs::Counter* recordsLost;
+  obs::Gauge* health;
+  obs::Counter* repairs;
+  obs::Counter* repairFailures;
   obs::Counter* checkpoints;
   obs::Counter* checkpointFailures;
   obs::Gauge* checkpointLastMs;
+  obs::Histogram* checkpointDurationUs;
+  obs::Gauge* storageBytes;
+  obs::Counter* pressurePrunes;
   obs::Counter* recoveryRuns;
   obs::Counter* recoveryReplayedRecords;
   obs::Counter* recoveryDiscardedBytes;
@@ -63,12 +63,36 @@ const WalMetrics& walMetrics() {
     out.bytesWritten =
         &r.counter("bf_wal_bytes_written_total", "Bytes appended to the WAL");
     out.syncs = &r.counter("bf_wal_syncs_total", "WAL fsync calls");
+    out.recordsLost = &r.counter(
+        "bf_wal_records_lost_total",
+        "Tracker mutations whose WAL record could not be made durable "
+        "(upper bound; the repair checkpoint re-covers the state)");
+    out.health = &r.gauge(
+        "bf_wal_health",
+        "Durability health: 0 healthy, 1 degraded, 2 recovering");
+    out.repairs = &r.counter(
+        "bf_wal_repairs_total",
+        "Successful durability repairs (emergency checkpoint + rotation)");
+    out.repairFailures = &r.counter("bf_wal_repair_failures_total",
+                                    "Durability repair attempts that failed");
     out.checkpoints =
         &r.counter("bf_checkpoints_total", "Durability checkpoints written");
     out.checkpointFailures = &r.counter("bf_checkpoint_failures_total",
                                         "Durability checkpoints that failed");
     out.checkpointLastMs = &r.gauge(
         "bf_checkpoint_last_ms", "Wall time of the last checkpoint write");
+    out.checkpointDurationUs = &r.histogram(
+        "bf_checkpoint_duration_us",
+        "Checkpoint wall time in microseconds (runs on the decision path "
+        "under the engine state lock, so the tail here is decision latency)",
+        {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+         250000, 500000, 1000000, 5000000});
+    out.storageBytes = &r.gauge(
+        "bf_storage_bytes",
+        "Bytes across checkpoint + WAL files at the last maintenance scan");
+    out.pressurePrunes = &r.counter(
+        "bf_storage_pressure_prunes_total",
+        "Aggressive prunes triggered by the byte quota (disk pressure)");
     out.recoveryRuns =
         &r.counter("bf_recovery_runs_total", "Crash recoveries performed");
     out.recoveryReplayedRecords =
@@ -88,21 +112,6 @@ const WalMetrics& walMetrics() {
   return m;
 }
 
-bool writeAll(int fd, std::string_view data) {
-  const char* p = data.data();
-  std::size_t remaining = data.size();
-  while (remaining > 0) {
-    const ssize_t n = ::write(fd, p, remaining);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    p += n;
-    remaining -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
 // ---- WriteAheadLog ----------------------------------------------------------
@@ -111,19 +120,20 @@ WriteAheadLog::~WriteAheadLog() { close(); }
 
 util::Status WriteAheadLog::open(const std::string& path,
                                  std::uint64_t baseSequence,
-                                 bool syncEachAppend) {
+                                 bool syncEachAppend, io::Vfs* vfs) {
   util::MutexLock lock(mutex_);
   closeLocked();
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd_ < 0) {
+  vfs_ = vfs != nullptr ? vfs : &io::defaultVfs();
+  file_ = vfs_->openForWrite(path);
+  if (file_ == nullptr) {
     healthy_ = false;
     return util::Status::error("cannot open WAL: " + path);
   }
   std::string header;
   header.append(kWalMagic);
   util::putU64(header, baseSequence);
-  if (!writeAll(fd_, header) || ::fsync(fd_) != 0) {
-    closeLocked();
+  if (!file_->write(header).ok || !file_->sync()) {
+    poisonLocked();
     healthy_ = false;
     return util::Status::error("cannot write WAL header: " + path);
   }
@@ -143,21 +153,41 @@ void WriteAheadLog::close() {
 }
 
 void WriteAheadLog::closeLocked() {
-  if (fd_ >= 0) {
-    (void)flushLocked();
-    (void)::fsync(fd_);
-    ::close(fd_);
-    fd_ = -1;
+  if (file_ != nullptr) {
+    (void)flushLocked();  // may poison the file on failure
+    if (file_ != nullptr) {
+      (void)file_->sync();
+      (void)file_->close();
+      file_.reset();
+    }
   }
   buffer_.clear();
   bufferedRecords_ = 0;
 }
 
+void WriteAheadLog::poisonLocked() {
+  // Abandon the file: its tail may be torn, which is exactly the shape
+  // recovery's CRC/continuity checks discard. The next rotation supersedes
+  // it with a fresh segment.
+  if (file_ != nullptr) {
+    (void)file_->close();
+    file_.reset();
+  }
+}
+
 util::Status WriteAheadLog::rotate(const std::string& path,
                                    std::uint64_t baseSequence) {
   // open() already closes the previous file after taking the lock; rotate
-  // is just open() with checkpoint-supplied parameters.
-  return open(path, baseSequence, syncEachAppend());
+  // is just open() with checkpoint-supplied parameters (and the Vfs the
+  // log was opened with).
+  io::Vfs* vfs;
+  bool sea;
+  {
+    util::MutexLock lock(mutex_);
+    vfs = vfs_;
+    sea = syncEachAppend_;
+  }
+  return open(path, baseSequence, sea, vfs);
 }
 
 bool WriteAheadLog::syncEachAppend() const {
@@ -168,15 +198,20 @@ bool WriteAheadLog::syncEachAppend() const {
 void WriteAheadLog::append(WalRecordType type, const std::string& body) {
   // Covers lock wait + frame serialisation + any flush this append triggers.
   obs::StageTimer walTimer(obs::Stage::kWalAppend);
+  const WalMetrics& m = walMetrics();
   util::MutexLock lock(mutex_);
-  if (failNext_ > 0) {
-    --failNext_;
+  if (failNext_ > 0 || !healthy_ || file_ == nullptr) {
+    // Dropped — but the sequence is still consumed. Sequences are the
+    // bridge between the in-memory state and the durable record; keeping
+    // them monotonic means the repair checkpoint (taken at the last
+    // assigned sequence) provably covers every dropped record, and an
+    // already-written prefix never collides with a reused sequence.
+    if (failNext_ > 0) --failNext_;
     healthy_ = false;
-    walMetrics().appendFailures->inc();
-    return;
-  }
-  if (fd_ < 0) {
-    walMetrics().appendFailures->inc();
+    ++nextSeq_;
+    ++lost_;
+    m.appendFailures->inc();
+    m.recordsLost->inc();
     return;
   }
   // Serialise the frame directly into the flush buffer, then patch the
@@ -198,8 +233,8 @@ void WriteAheadLog::append(WalRecordType type, const std::string& body) {
   ++bufferedRecords_;
   ++nextSeq_;
   ++appended_;
-  walMetrics().appends->inc();
-  walMetrics().bytesWritten->inc(frameSize);
+  m.appends->inc();
+  m.bytesWritten->inc(frameSize);
 
   // One write() per kFlushBytes keeps the syscall off the per-keystroke
   // path; the fsync boundary (checkpoint / sync() / syncEachAppend) is
@@ -208,28 +243,35 @@ void WriteAheadLog::append(WalRecordType type, const std::string& body) {
     if (!flushLocked()) return;
   }
   if (syncEachAppend_) {
-    if (::fsync(fd_) != 0) {
+    if (!file_->sync()) {
+      // The record reached the kernel but maybe not the device: count it
+      // lost (lost is an upper bound) and poison the file.
       healthy_ = false;
-      walMetrics().appendFailures->inc();
+      ++lost_;
+      m.appendFailures->inc();
+      m.recordsLost->inc();
+      poisonLocked();
       return;
     }
-    walMetrics().syncs->inc();
+    m.syncs->inc();
   }
 }
 
 bool WriteAheadLog::flushLocked() {
   if (buffer_.empty()) return true;
-  const bool wrote = fd_ >= 0 && writeAll(fd_, buffer_);
+  const bool wrote = file_ != nullptr && file_->write(buffer_).ok;
   if (!wrote) {
     // The tracker mutations already happened; durability degrades, the
     // mutations do not roll back (availability over durability). The
-    // sequences of the dropped frames ARE rolled back: the next accepted
-    // record reuses them, so replay never meets a gap, and the next
-    // checkpoint re-bases the log wholesale.
+    // buffered records are counted lost (an upper bound — a prefix may in
+    // fact have reached the device) and the file is poisoned; sequences
+    // stay monotonic so the repair checkpoint at the last assigned
+    // sequence re-covers everything dropped here.
     healthy_ = false;
+    lost_ += bufferedRecords_;
     walMetrics().appendFailures->inc(bufferedRecords_);
-    nextSeq_ -= bufferedRecords_;
-    appended_ -= bufferedRecords_;
+    walMetrics().recordsLost->inc(bufferedRecords_);
+    poisonLocked();
   }
   buffer_.clear();
   bufferedRecords_ = 0;
@@ -290,12 +332,13 @@ void WriteAheadLog::logAssociationsEvicted(util::Timestamp cutoff) {
 
 util::Status WriteAheadLog::sync() {
   util::MutexLock lock(mutex_);
-  if (fd_ < 0) return util::Status::error("WAL not open");
+  if (file_ == nullptr) return util::Status::error("WAL not open");
   if (!flushLocked()) {
     return util::Status::error("WAL flush failed: " + path_);
   }
-  if (::fsync(fd_) != 0) {
+  if (!file_->sync()) {
     healthy_ = false;
+    poisonLocked();
     return util::Status::error("WAL fsync failed: " + path_);
   }
   walMetrics().syncs->inc();
@@ -315,6 +358,16 @@ std::uint64_t WriteAheadLog::nextSequence() const {
 std::uint64_t WriteAheadLog::appendedRecords() const {
   util::MutexLock lock(mutex_);
   return appended_;
+}
+
+std::uint64_t WriteAheadLog::lostRecords() const {
+  util::MutexLock lock(mutex_);
+  return lost_;
+}
+
+WriteAheadLog::Stats WriteAheadLog::stats() const {
+  util::MutexLock lock(mutex_);
+  return {healthy_, nextSeq_, appended_, lost_};
 }
 
 void WriteAheadLog::failNextAppends(int n) {
@@ -411,17 +464,18 @@ bool applyRecord(FlowTracker& tracker, WalRecordType type,
 }  // namespace
 
 WalReplayResult replayWalFile(FlowTracker& tracker, const std::string& path,
-                              std::uint64_t nextExpected, std::uint64_t cap) {
+                              std::uint64_t nextExpected, std::uint64_t cap,
+                              io::Vfs* vfs) {
   WalReplayResult out;
   out.lastSequence = nextExpected == 0 ? 0 : nextExpected - 1;
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  io::Vfs& v = vfs != nullptr ? *vfs : io::defaultVfs();
+  util::Result<std::string> read = v.readFile(path);
+  if (!read.ok()) {
     out.sawCorruption = true;
     return out;
   }
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+  const std::string data = std::move(read.value());
 
   if (data.size() < kWalHeaderBytes ||
       std::string_view(data).substr(0, kWalMagic.size()) != kWalMagic) {
@@ -514,34 +568,35 @@ std::string seqName(std::string_view prefix, std::uint64_t seq,
 
 /// Sequences of all files named <prefix><seq><suffix> in `dir`, sorted
 /// ascending.
-std::vector<std::uint64_t> listSeqFiles(const std::string& dir,
+std::vector<std::uint64_t> listSeqFiles(io::Vfs& vfs, const std::string& dir,
                                         std::string_view prefix,
                                         std::string_view suffix) {
   std::vector<std::uint64_t> out;
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return out;
-  while (const dirent* e = ::readdir(d)) {
-    if (auto seq = parseSeqName(e->d_name, prefix, suffix)) {
+  for (const std::string& name : vfs.listDir(dir)) {
+    if (auto seq = parseSeqName(name, prefix, suffix)) {
       out.push_back(*seq);
     }
   }
-  ::closedir(d);
   std::sort(out.begin(), out.end());
   return out;
-}
-
-std::uint64_t fileSize(const std::string& path) {
-  struct stat st{};
-  if (::stat(path.c_str(), &st) != 0) return 0;
-  return static_cast<std::uint64_t>(st.st_size);
 }
 
 }  // namespace
 
 DurabilityManager::DurabilityManager(DurabilityConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)), repairRng_(config_.repairSeed) {
+  util::RetryPolicy policy;
+  policy.baseDelayMs = config_.repairBaseDelayMs;
+  policy.maxDelayMs = config_.repairMaxDelayMs;
+  policy.deadlineMs = 0.0;  // repair retries indefinitely; no deadline
+  repairBackoff_ = util::Backoff(policy, &repairRng_);
+}
 
 DurabilityManager::~DurabilityManager() { wal_.close(); }
+
+io::Vfs& DurabilityManager::vfs() const noexcept {
+  return config_.vfs != nullptr ? *config_.vfs : io::defaultVfs();
+}
 
 std::string DurabilityManager::checkpointPath(std::uint64_t seq) const {
   return config_.directory + "/" + seqName("checkpoint-", seq, ".bfc");
@@ -554,7 +609,7 @@ std::string DurabilityManager::walPath(std::uint64_t seq) const {
 void DurabilityManager::pruneGenerations(std::uint64_t currentSeq) {
   if (config_.keepGenerations == 0) return;  // keep everything
   const auto checkpoints =
-      listSeqFiles(config_.directory, "checkpoint-", ".bfc");
+      listSeqFiles(vfs(), config_.directory, "checkpoint-", ".bfc");
   // Keep the newest keepGenerations checkpoints; every WAL whose base
   // sequence is >= the oldest kept checkpoint is still needed to roll that
   // checkpoint forward (logs rotate AT checkpoints, so wal-<S> holds only
@@ -563,13 +618,49 @@ void DurabilityManager::pruneGenerations(std::uint64_t currentSeq) {
   const std::uint64_t oldestKept =
       checkpoints[checkpoints.size() - config_.keepGenerations];
   for (std::uint64_t seq : checkpoints) {
-    if (seq < oldestKept) std::remove(checkpointPath(seq).c_str());
+    if (seq < oldestKept) (void)vfs().remove(checkpointPath(seq));
   }
-  for (std::uint64_t seq : listSeqFiles(config_.directory, "wal-", ".bfw")) {
+  for (std::uint64_t seq :
+       listSeqFiles(vfs(), config_.directory, "wal-", ".bfw")) {
     if (seq < oldestKept && seq != currentSeq) {
-      std::remove(walPath(seq).c_str());
+      (void)vfs().remove(walPath(seq));
     }
   }
+}
+
+std::uint64_t DurabilityManager::measureStorageBytes() {
+  std::uint64_t total = 0;
+  for (const std::string& name : vfs().listDir(config_.directory)) {
+    total += vfs().fileSize(config_.directory + "/" + name);
+  }
+  walMetrics().storageBytes->set(static_cast<double>(total));
+  return total;
+}
+
+void DurabilityManager::enforceStorageQuota(std::uint64_t currentSeq) {
+  const std::uint64_t total = measureStorageBytes();
+  if (config_.maxStorageBytes == 0 || total <= config_.maxStorageBytes) {
+    return;
+  }
+  // Disk pressure: the quota outranks keepGenerations — only the newest
+  // generation (checkpoint + its live log) survives. Losing fallback depth
+  // is the right trade: an over-quota directory is how the NEXT checkpoint
+  // starts failing with ENOSPC, which costs durability entirely.
+  walMetrics().pressurePrunes->inc();
+  const auto checkpoints =
+      listSeqFiles(vfs(), config_.directory, "checkpoint-", ".bfc");
+  if (checkpoints.empty()) return;
+  const std::uint64_t newest = checkpoints.back();
+  for (std::uint64_t seq : checkpoints) {
+    if (seq < newest) (void)vfs().remove(checkpointPath(seq));
+  }
+  for (std::uint64_t seq :
+       listSeqFiles(vfs(), config_.directory, "wal-", ".bfw")) {
+    if (seq < newest && seq != currentSeq) {
+      (void)vfs().remove(walPath(seq));
+    }
+  }
+  (void)measureStorageBytes();
 }
 
 util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
@@ -579,17 +670,18 @@ util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
   const WalMetrics& m = walMetrics();
   m.recoveryRuns->inc();
 
-  ::mkdir(config_.directory.c_str(), 0755);  // EEXIST is fine
+  (void)vfs().mkdir(config_.directory);
 
   RecoveryStats stats;
 
   // 1. Newest checkpoint that loads (import is all-or-nothing, so a failed
   //    attempt leaves the tracker empty for the next candidate).
   const auto checkpoints =
-      listSeqFiles(config_.directory, "checkpoint-", ".bfc");
+      listSeqFiles(vfs(), config_.directory, "checkpoint-", ".bfc");
   bool loaded = false;
   for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
-    auto info = loadSnapshotEx(tracker, checkpointPath(*it), config_.secret);
+    auto info = loadSnapshotEx(tracker, checkpointPath(*it), config_.secret,
+                               config_.vfs);
     if (info.ok()) {
       stats.checkpointSequence = info.value().sequence;
       stats.maxTimestamp = info.value().maxTimestamp;
@@ -601,23 +693,26 @@ util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
   }
   if (!loaded) stats.checkpointSequence = 0;  // cold start / all corrupt
 
-  // 2. Replay every log in base-sequence order until the first torn frame
-  //    or gap. Logs entirely below the checkpoint just skip through.
+  // 2. Replay every log in base-sequence order. A log wal-<S> holds
+  //    records S+1..; it can only extend the replay frontier when S+1 is
+  //    at or below the next expected sequence — otherwise the records
+  //    between the frontier and S are missing (torn tail of the previous
+  //    log, or records lost while degraded) and everything in it is an
+  //    unreachable suffix. Logs entirely below the checkpoint skip
+  //    through via the in-file sequence checks.
   std::uint64_t next = stats.checkpointSequence + 1;
-  const auto wals = listSeqFiles(config_.directory, "wal-", ".bfw");
-  bool stopped = false;
-  for (std::size_t i = 0; i < wals.size(); ++i) {
-    if (stopped) {
-      // Unreachable tail: a later log cannot continue a broken prefix.
-      stats.discardedBytes += fileSize(walPath(wals[i]));
+  for (std::uint64_t s :
+       listSeqFiles(vfs(), config_.directory, "wal-", ".bfw")) {
+    if (s + 1 > next) {
+      stats.discardedBytes += vfs().fileSize(walPath(s));
       continue;
     }
-    const WalReplayResult r = replayWalFile(tracker, walPath(wals[i]), next);
+    const WalReplayResult r = replayWalFile(tracker, walPath(s), next,
+                                            ~std::uint64_t{0}, config_.vfs);
     stats.replayedRecords += r.applied;
     stats.discardedBytes += r.discardedBytes;
     stats.maxTimestamp = std::max(stats.maxTimestamp, r.maxTimestamp);
     if (r.applied > 0) next = r.lastSequence + 1;
-    if (r.sawCorruption) stopped = true;
   }
   stats.lastSequence = next - 1;
   m.recoveryReplayedRecords->inc(stats.replayedRecords);
@@ -626,8 +721,9 @@ util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
   // 3. Make the recovered state durable NOW: fresh checkpoint at the
   //    recovered sequence, fresh log continuing from it. Old generations
   //    (including any corrupt files) are pruned per config.
-  if (util::Status s = saveSnapshot(tracker, checkpointPath(stats.lastSequence),
-                                    config_.secret, stats.lastSequence);
+  if (util::Status s =
+          saveSnapshot(tracker, checkpointPath(stats.lastSequence),
+                       config_.secret, stats.lastSequence, config_.vfs);
       !s.ok()) {
     m.checkpointFailures->inc();
     return R::error("post-recovery checkpoint failed: " + s.errorMessage());
@@ -635,14 +731,18 @@ util::Result<RecoveryStats> DurabilityManager::recoverAndAttach(
   m.checkpoints->inc();
   if (util::Status s =
           wal_.open(walPath(stats.lastSequence), stats.lastSequence,
-                    config_.syncEachAppend);
+                    config_.syncEachAppend, config_.vfs);
       !s.ok()) {
     return R::error(s.errorMessage());
   }
   pruneGenerations(stats.lastSequence);
+  enforceStorageQuota(stats.lastSequence);
   tracker.attachWal(&wal_);
   attached_ = true;
   lastCheckpointOk_ = true;
+  health_ = DurabilityHealth::kHealthy;
+  repairAttempts_ = 0;
+  m.health->set(0.0);
 
   stats.replayMillis = watch.elapsedMillis();
   m.recoveryLastReplayMs->set(stats.replayMillis);
@@ -654,23 +754,36 @@ util::Status DurabilityManager::checkpoint(const FlowTracker& tracker) {
   util::Stopwatch watch;
   const WalMetrics& m = walMetrics();
   // The caller quiesced mutations, so the last assigned sequence is stable
-  // and the exported state contains exactly the records up to it.
+  // and the exported state contains exactly the records up to it — the
+  // full in-memory state, including any records the WAL dropped, which is
+  // what makes this checkpoint double as the degraded-mode repair.
   const std::uint64_t seq = wal_.nextSequence() - 1;
-  if (util::Status s =
-          saveSnapshot(tracker, checkpointPath(seq), config_.secret, seq);
+  if (util::Status s = saveSnapshot(tracker, checkpointPath(seq),
+                                    config_.secret, seq, config_.vfs);
       !s.ok()) {
     m.checkpointFailures->inc();
+    m.checkpointDurationUs->observe(watch.elapsedMicros());
     lastCheckpointOk_ = false;
+    enterDegraded();
     return s;
   }
   m.checkpoints->inc();
   if (util::Status s = wal_.rotate(walPath(seq), seq); !s.ok()) {
+    m.checkpointDurationUs->observe(watch.elapsedMicros());
     lastCheckpointOk_ = false;
+    enterDegraded();
     return s;
   }
   pruneGenerations(seq);
+  enforceStorageQuota(seq);
   lastCheckpointOk_ = true;
+  // A successful checkpoint + rotation IS a durable prefix: whatever the
+  // WAL lost before is now inside the snapshot, so health is restored.
+  health_ = DurabilityHealth::kHealthy;
+  repairAttempts_ = 0;
+  m.health->set(0.0);
   m.checkpointLastMs->set(watch.elapsedMillis());
+  m.checkpointDurationUs->observe(watch.elapsedMicros());
   return {};
 }
 
@@ -684,8 +797,63 @@ util::Status DurabilityManager::checkpointIfDue(const FlowTracker& tracker) {
   return checkpoint(tracker);
 }
 
+void DurabilityManager::enterDegraded() {
+  if (health_ == DurabilityHealth::kHealthy) {
+    // New degraded episode: fresh backoff sequence.
+    repairBackoff_.reset();
+    repairAttempts_ = 0;
+  }
+  health_ = DurabilityHealth::kDegraded;
+  nextRepairDelayMs_ = repairBackoff_.nextDelayMs();
+  repairWatch_.reset();
+  walMetrics().health->set(1.0);
+}
+
+util::Status DurabilityManager::attemptRepair(const FlowTracker& tracker) {
+  health_ = DurabilityHealth::kRecovering;
+  walMetrics().health->set(2.0);
+  ++repairAttempts_;
+  // Under disk pressure the repair itself needs room: shed old
+  // generations before writing, not after.
+  enforceStorageQuota(wal_.nextSequence() - 1);
+  // The repair is an emergency checkpoint: snapshot the full in-memory
+  // state at the last assigned sequence (covering every lost record) and
+  // rotate onto a fresh segment. checkpoint() restores kHealthy on
+  // success and re-enters kDegraded (advancing the backoff) on failure.
+  util::Status s = checkpoint(tracker);
+  if (s.ok()) {
+    walMetrics().repairs->inc();
+  } else {
+    walMetrics().repairFailures->inc();
+  }
+  return s;
+}
+
+util::Status DurabilityManager::maintain(const FlowTracker& tracker) {
+  if (!attached_) return {};
+  if (health_ == DurabilityHealth::kHealthy) {
+    // Fast path: one WAL lock acquisition to learn everything we need.
+    const WriteAheadLog::Stats s = wal_.stats();
+    if (!s.healthy || !lastCheckpointOk_) {
+      enterDegraded();
+      return {};
+    }
+    if (s.appended >= config_.checkpointEveryRecords) {
+      return checkpoint(tracker);
+    }
+    return {};
+  }
+  // Degraded (or a previous repair still marked recovering): pace repair
+  // attempts on the decorrelated-jitter backoff — a dying disk gets
+  // breathing room, and the decision path pays one stopwatch read per
+  // decision while waiting.
+  if (repairWatch_.elapsedMillis() < nextRepairDelayMs_) return {};
+  return attemptRepair(tracker);
+}
+
 bool DurabilityManager::healthy() const {
-  return attached_ && lastCheckpointOk_ && wal_.healthy();
+  return attached_ && health_ == DurabilityHealth::kHealthy &&
+         lastCheckpointOk_ && wal_.healthy();
 }
 
 }  // namespace bf::flow

@@ -1,4 +1,4 @@
-// Write-ahead log + checkpointing for the flow tracker (DESIGN.md §11).
+// Write-ahead log + checkpointing for the flow tracker (DESIGN.md §11, §13).
 //
 // The snapshot layer (flow/snapshot.h) persists state only when someone
 // calls saveSnapshot(); everything observed since the last save dies with
@@ -33,23 +33,35 @@
 // syncEachAppend (bench_recovery measures the fsync cost); fsync runs at
 // those same boundaries. The guarantee was always fsync-granularity —
 // buffering narrows only the window against a SIGKILL between checkpoints,
-// and keeps the append cost off the per-keystroke decision path. A failed
-// append or flush NEVER fails the tracker mutation — availability over
-// durability: the log latches unhealthy, bf_wal_append_failures_total
-// counts, sequences of unwritten frames are rolled back so the log never
-// carries a gap, and the next successful checkpoint makes the state
-// durable again.
+// and keeps the append cost off the per-keystroke decision path.
+//
+// Failure model (DESIGN.md §13): a failed append, flush or fsync NEVER
+// fails the tracker mutation — availability over durability. The log
+// latches unhealthy, the file is POISONED (closed and abandoned; a
+// partially-written tail is exactly what recovery's CRC/continuity checks
+// are built to discard) and every record that could not be made durable is
+// counted in lostRecords(). Sequences stay MONOTONIC: a dropped record
+// still consumes its sequence number, so the in-memory tracker and the
+// sequence space never diverge — the repair checkpoint (DurabilityManager)
+// snapshots the full in-memory state at the last assigned sequence, which
+// re-covers the lost records and re-establishes a durable prefix. All file
+// I/O flows through the bf::io Vfs seam so storage faults are injectable.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "flow/segment_db.h"
 #include "flow/tracker.h"
+#include "io/vfs.h"
 #include "util/mutex.h"
 #include "util/result.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/thread_annotations.h"
 
 namespace bf::flow {
@@ -73,11 +85,22 @@ class WriteAheadLog {
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
+  /// One-lock view of the log for the decision-path maintenance check.
+  struct Stats {
+    bool healthy = false;
+    std::uint64_t nextSequence = 0;  ///< sequence the NEXT record will get
+    std::uint64_t appended = 0;      ///< records accepted since open/rotate
+    std::uint64_t lost = 0;          ///< records dropped since process start
+  };
+
   /// Creates (or truncates) the log file at `path` and writes the header.
   /// Records appended afterwards get sequences baseSequence+1, +2, ...
+  /// `vfs` routes the file I/O (null = io::defaultVfs()); it must outlive
+  /// the log.
   [[nodiscard]] util::Status open(const std::string& path,
                                   std::uint64_t baseSequence,
-                                  bool syncEachAppend) BF_EXCLUDES(mutex_);
+                                  bool syncEachAppend,
+                                  io::Vfs* vfs = nullptr) BF_EXCLUDES(mutex_);
 
   /// fsync + close; further appends are dropped (and counted as failures).
   void close() BF_EXCLUDES(mutex_);
@@ -104,12 +127,22 @@ class WriteAheadLog {
   // ---- Introspection ------------------------------------------------------
 
   /// False after any append/open failure since the last successful
-  /// open/rotate. An unhealthy log keeps accepting (and dropping) appends.
+  /// open/rotate. An unhealthy log keeps accepting (and dropping) appends;
+  /// dropped appends still consume sequence numbers (see lostRecords()).
   [[nodiscard]] bool healthy() const BF_EXCLUDES(mutex_);
-  /// Sequence the NEXT appended record will get.
+  /// Sequence the NEXT appended record will get. Monotonic across
+  /// failures: dropped records consume sequences too.
   [[nodiscard]] std::uint64_t nextSequence() const BF_EXCLUDES(mutex_);
   /// Records appended (successfully) since open/rotate.
   [[nodiscard]] std::uint64_t appendedRecords() const BF_EXCLUDES(mutex_);
+  /// Records dropped since process start (upper bound: when a buffered
+  /// flush fails, a prefix of the buffer may in fact have reached disk).
+  /// Never reset — this is the process's cumulative durability debt; the
+  /// repair checkpoint re-covers the records but keeps the count.
+  [[nodiscard]] std::uint64_t lostRecords() const BF_EXCLUDES(mutex_);
+  /// healthy/nextSequence/appendedRecords/lostRecords in one lock
+  /// acquisition — the decision-path maintenance fast path.
+  [[nodiscard]] Stats stats() const BF_EXCLUDES(mutex_);
   [[nodiscard]] bool syncEachAppend() const BF_EXCLUDES(mutex_);
 
   /// Test hook: force the next `n` appends to fail without touching the
@@ -120,16 +153,22 @@ class WriteAheadLog {
   void append(WalRecordType type, const std::string& body)
       BF_EXCLUDES(mutex_);
   /// write()s the user-space frame buffer. On failure the buffered frames
-  /// are dropped and their sequences rolled back (the log stays gap-free);
-  /// the log latches unhealthy. Returns false on failure.
+  /// are counted lost, the file is poisoned (closed and abandoned — its
+  /// tail may be torn) and the log latches unhealthy. Sequences are NOT
+  /// rolled back. Returns false on failure.
   bool flushLocked() BF_REQUIRES(mutex_);
   void closeLocked() BF_REQUIRES(mutex_);
+  /// Drops the current file after a write/fsync failure: the next
+  /// checkpoint rotation supersedes it, and replay handles its torn tail.
+  void poisonLocked() BF_REQUIRES(mutex_);
 
   mutable util::Mutex mutex_{util::kRankWal, "WriteAheadLog.mutex_"};
-  int fd_ BF_GUARDED_BY(mutex_) = -1;
+  io::Vfs* vfs_ BF_GUARDED_BY(mutex_) = nullptr;
+  std::unique_ptr<io::File> file_ BF_GUARDED_BY(mutex_);
   std::string path_ BF_GUARDED_BY(mutex_);
   std::uint64_t nextSeq_ BF_GUARDED_BY(mutex_) = 1;
   std::uint64_t appended_ BF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t lost_ BF_GUARDED_BY(mutex_) = 0;
   bool syncEachAppend_ BF_GUARDED_BY(mutex_) = false;
   bool healthy_ BF_GUARDED_BY(mutex_) = false;
   int failNext_ BF_GUARDED_BY(mutex_) = 0;
@@ -153,10 +192,18 @@ struct WalReplayResult {
 /// covered by the checkpoint). Stops at the first torn/corrupt frame or
 /// sequence gap; everything after it is counted in discardedBytes. The
 /// tracker's WAL should be detached while replaying (recovery must not
-/// re-log its own replay).
+/// re-log its own replay). `vfs` routes the read (null = defaultVfs()).
 [[nodiscard]] WalReplayResult replayWalFile(
     FlowTracker& tracker, const std::string& path, std::uint64_t nextExpected,
-    std::uint64_t cap = ~std::uint64_t{0});
+    std::uint64_t cap = ~std::uint64_t{0}, io::Vfs* vfs = nullptr);
+
+/// Durability health (DESIGN.md §13). Values double as the bf_wal_health
+/// gauge encoding, so keep them stable.
+enum class DurabilityHealth : std::uint8_t {
+  kHealthy = 0,    ///< appends durable, checkpoints succeeding
+  kDegraded = 1,   ///< storage failing; mutations continue, durability lost
+  kRecovering = 2, ///< a repair attempt is in flight
+};
 
 /// Configuration of the durability manager.
 struct DurabilityConfig {
@@ -176,6 +223,21 @@ struct DurabilityConfig {
   /// both logs replay to the same state). 0 keeps everything (the fuzz
   /// harness's oracle mode).
   std::size_t keepGenerations = 2;
+  /// Routes all checkpoint/WAL/directory I/O (null = io::defaultVfs());
+  /// must outlive the manager. FaultVfs goes here in the chaos suites.
+  io::Vfs* vfs = nullptr;
+  /// Decorrelated-jitter backoff between repair attempts while degraded
+  /// (util/retry.h discipline; measured on a monotonic stopwatch, never
+  /// slept). Repair retries indefinitely — self-healing is the contract —
+  /// but never faster than this.
+  double repairBaseDelayMs = 50.0;
+  double repairMaxDelayMs = 2000.0;
+  /// Seed for the repair backoff jitter.
+  std::uint64_t repairSeed = 0x62665F7265706169ull;  // "bf_repai"
+  /// Byte quota across WAL segments + checkpoint generations; when the
+  /// directory exceeds it at a checkpoint/repair boundary, pruning gets
+  /// aggressive (only the newest generation survives). 0 = unlimited.
+  std::uint64_t maxStorageBytes = 0;
 };
 
 /// What recovery found and did.
@@ -191,11 +253,21 @@ struct RecoveryStats {
 
 /// Owns the WAL + checkpoint lifecycle for one tracker.
 ///
-/// Thread safety: recoverAndAttach() and checkpoint*() require QUIESCED
-/// tracker mutations — the same external-serialisation contract as
-/// flow::exportState() (the engine's lockState() provides it on the
+/// Thread safety: recoverAndAttach(), checkpoint*() and maintain() require
+/// QUIESCED tracker mutations — the same external-serialisation contract
+/// as flow::exportState() (the engine's lockState() provides it on the
 /// decision path). The WAL itself is internally synchronised, so tracker
 /// mutations from any thread log safely between those calls.
+///
+/// Self-healing (DESIGN.md §13): health() runs the state machine
+/// Healthy → Degraded → Recovering → Healthy. A WAL append/flush/fsync
+/// failure or a failed checkpoint degrades the manager; maintain() then
+/// schedules repair attempts on decorrelated-jitter backoff. A repair IS
+/// an emergency checkpoint: the full in-memory state — including every
+/// record the WAL dropped — is snapshotted at the last assigned sequence
+/// and the log rotates to a fresh segment, re-establishing a durable
+/// prefix. Repair retries indefinitely; an unrecoverable store degrades
+/// durability forever but never blocks a tracker mutation.
 class DurabilityManager {
  public:
   explicit DurabilityManager(DurabilityConfig config);
@@ -213,7 +285,8 @@ class DurabilityManager {
       FlowTracker& tracker);
 
   /// Writes a checkpoint of the tracker's current state, rotates the WAL
-  /// and prunes old generations. Mutations must be quiesced.
+  /// and prunes old generations. Mutations must be quiesced. Success
+  /// re-establishes a durable prefix and restores kHealthy.
   [[nodiscard]] util::Status checkpoint(const FlowTracker& tracker);
 
   /// True once checkpointEveryRecords appends have accumulated.
@@ -222,9 +295,25 @@ class DurabilityManager {
   /// checkpoint() when due, no-op otherwise.
   [[nodiscard]] util::Status checkpointIfDue(const FlowTracker& tracker);
 
-  /// Healthy = WAL accepting appends and the last checkpoint attempt (if
-  /// any) succeeded. An unhealthy manager never blocks tracker mutations.
+  /// The decision-path maintenance hook: periodic checkpoints while
+  /// healthy, backoff-paced repair attempts while degraded. Cheap when
+  /// nothing is due (one WAL lock acquisition). Mutations must be
+  /// quiesced, same as checkpoint(). Returns the repair/checkpoint
+  /// outcome (ok when nothing was attempted).
+  [[nodiscard]] util::Status maintain(const FlowTracker& tracker);
+
+  /// Current durability health (the bf_wal_health gauge value).
+  [[nodiscard]] DurabilityHealth health() const noexcept { return health_; }
+
+  /// Healthy = attached, WAL accepting appends, last checkpoint succeeded
+  /// and no repair pending. An unhealthy manager never blocks tracker
+  /// mutations.
   [[nodiscard]] bool healthy() const;
+
+  /// Repair attempts made in the current degraded episode (0 when healthy).
+  [[nodiscard]] std::uint64_t repairAttempts() const noexcept {
+    return repairAttempts_;
+  }
 
   [[nodiscard]] WriteAheadLog& wal() noexcept { return wal_; }
   [[nodiscard]] const RecoveryStats& lastRecovery() const noexcept {
@@ -235,9 +324,17 @@ class DurabilityManager {
   }
 
  private:
+  [[nodiscard]] io::Vfs& vfs() const noexcept;
   [[nodiscard]] std::string checkpointPath(std::uint64_t seq) const;
   [[nodiscard]] std::string walPath(std::uint64_t seq) const;
   void pruneGenerations(std::uint64_t keepFromSeq);
+  /// Total bytes across checkpoint + WAL files; updates bf_storage_bytes.
+  [[nodiscard]] std::uint64_t measureStorageBytes();
+  /// Shrinks to the newest generation when over maxStorageBytes.
+  void enforceStorageQuota(std::uint64_t currentSeq);
+  void enterDegraded();
+  /// One repair attempt: emergency checkpoint + rotation.
+  [[nodiscard]] util::Status attemptRepair(const FlowTracker& tracker);
 
   DurabilityConfig config_;
   WriteAheadLog wal_;
@@ -245,6 +342,15 @@ class DurabilityManager {
   bool attached_ = false;
   bool lastCheckpointOk_ = true;
   RecoveryStats lastRecovery_;
+
+  // Repair state machine (driven from maintain(); same quiesced-caller
+  // contract as checkpoint(), so plain members suffice).
+  DurabilityHealth health_ = DurabilityHealth::kHealthy;
+  util::Rng repairRng_{0};
+  util::Backoff repairBackoff_{{}, nullptr};
+  util::Stopwatch repairWatch_;
+  double nextRepairDelayMs_ = 0.0;
+  std::uint64_t repairAttempts_ = 0;
 };
 
 }  // namespace bf::flow

@@ -1,0 +1,121 @@
+#include "io/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace bf::io {
+namespace {
+
+class PosixFile final : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override { (void)close(); }
+
+  WriteResult write(std::string_view data) override {
+    WriteResult r;
+    if (fd_ < 0) return r;
+    while (r.written < data.size()) {
+      ssize_t n =
+          ::write(fd_, data.data() + r.written, data.size() - r.written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return r;  // genuine storage error; r.written is the durable prefix
+      }
+      r.written += static_cast<std::size_t>(n);
+    }
+    r.ok = true;
+    return r;
+  }
+
+  bool sync() override { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+  bool close() override {
+    if (fd_ < 0) return true;
+    const int fd = fd_;
+    fd_ = -1;
+    return ::close(fd) == 0;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::unique_ptr<File> PosixVfs::openForWrite(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return nullptr;
+  return std::make_unique<PosixFile>(fd);
+}
+
+util::Result<std::string> PosixVfs::readFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Result<std::string>::error("open failed: " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return util::Result<std::string>::error("read failed: " + path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool PosixVfs::rename(const std::string& from, const std::string& to) {
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool PosixVfs::remove(const std::string& path) {
+  return std::remove(path.c_str()) == 0;
+}
+
+bool PosixVfs::mkdir(const std::string& path) {
+  return ::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST;
+}
+
+std::vector<std::string> PosixVfs::listDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+std::uint64_t PosixVfs::fileSize(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void PosixVfs::syncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+Vfs& defaultVfs() {
+  static PosixVfs vfs;
+  return vfs;
+}
+
+}  // namespace bf::io

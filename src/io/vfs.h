@@ -1,0 +1,115 @@
+// bf::io — the VFS seam every piece of durable state flows through.
+//
+// The WAL and snapshot code used to call ::open/::write/::fsync directly,
+// which made storage failures untestable: the only way to exercise an
+// ENOSPC or a failed fsync was to actually fill a disk. This interface
+// pair (Vfs for path-level operations, File for an open write handle)
+// is the storage counterpart of browser::RequestSink on the network
+// path — a seam narrow enough to decorate. PosixVfs is the production
+// implementation; FaultVfs (fault_vfs.h) wraps any Vfs and injects
+// seeded storage faults for the chaos suites.
+//
+// Contract notes:
+//   * openForWrite creates-or-truncates; a null return means open failed.
+//   * File::write reports how many bytes the storage accepted. A short
+//     count with ok=false is a detectable failure (ENOSPC mid-buffer); a
+//     lying disk that claims success for a torn write is modelled by the
+//     fault layer and only detectable by recovery-time CRC checks.
+//   * PosixFile::write retries EINTR and partial writes internally, so a
+//     short count from PosixVfs is a genuine storage error, not noise.
+//   * All operations are thread-compatible: callers serialise access to
+//     one File; distinct Files/paths may be used concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bf::io {
+
+/// Outcome of a File::write: `written` counts bytes the storage accepted
+/// (a prefix of the input); `ok` is false on any error, including a short
+/// write that could not be completed.
+struct WriteResult {
+  bool ok = false;
+  std::size_t written = 0;
+};
+
+/// An open, writable file handle. Destruction closes (best effort) if the
+/// caller did not; close() is idempotent.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `data` at the current offset.
+  [[nodiscard]] virtual WriteResult write(std::string_view data) = 0;
+
+  /// Durably flushes written data to the device (fsync).
+  [[nodiscard]] virtual bool sync() = 0;
+
+  /// Closes the handle; false if the close itself failed. Idempotent.
+  virtual bool close() = 0;
+};
+
+/// Path-level storage operations. Implementations must be safe to share
+/// across threads.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Create-or-truncate `path` for writing; null on failure.
+  [[nodiscard]] virtual std::unique_ptr<File> openForWrite(
+      const std::string& path) = 0;
+
+  /// Whole-file read; error when the file is missing or unreadable.
+  [[nodiscard]] virtual util::Result<std::string> readFile(
+      const std::string& path) = 0;
+
+  /// Atomic replace (rename(2) semantics on POSIX).
+  [[nodiscard]] virtual bool rename(const std::string& from,
+                                    const std::string& to) = 0;
+
+  /// Unlink; false when the file existed but could not be removed.
+  virtual bool remove(const std::string& path) = 0;
+
+  /// Create a directory; an already-existing directory is success.
+  [[nodiscard]] virtual bool mkdir(const std::string& path) = 0;
+
+  /// Names (not paths) of regular entries in `dir`; empty on error.
+  [[nodiscard]] virtual std::vector<std::string> listDir(
+      const std::string& dir) = 0;
+
+  /// Size in bytes of `path`; 0 when missing or unreadable.
+  [[nodiscard]] virtual std::uint64_t fileSize(const std::string& path) = 0;
+
+  /// Durably flushes the directory entry table (rename durability).
+  /// Best-effort: failures are ignored by callers.
+  virtual void syncDir(const std::string& dir) = 0;
+};
+
+/// The real filesystem, via POSIX fds.
+class PosixVfs final : public Vfs {
+ public:
+  [[nodiscard]] std::unique_ptr<File> openForWrite(
+      const std::string& path) override;
+  [[nodiscard]] util::Result<std::string> readFile(
+      const std::string& path) override;
+  [[nodiscard]] bool rename(const std::string& from,
+                            const std::string& to) override;
+  bool remove(const std::string& path) override;
+  [[nodiscard]] bool mkdir(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> listDir(
+      const std::string& dir) override;
+  [[nodiscard]] std::uint64_t fileSize(const std::string& path) override;
+  void syncDir(const std::string& dir) override;
+};
+
+/// Process-wide PosixVfs; the default when callers pass no Vfs.
+[[nodiscard]] Vfs& defaultVfs();
+
+}  // namespace bf::io

@@ -179,7 +179,9 @@ std::string toJson(const DecisionTrace& trace) {
      << ",\"degraded\":" << (trace.degraded ? "true" : "false")
      << ",\"degraded_reason\":\""
      << util::escapeJsonString(trace.degradedReason)
-     << "\",\"bytes_scanned\":" << trace.bytesScanned
+     << "\",\"durability_degraded\":"
+     << (trace.durabilityDegraded ? "true" : "false")
+     << ",\"bytes_scanned\":" << trace.bytesScanned
      << ",\"total_ms\":" << formatDouble(trace.totalMs) << ",\"stages\":{";
   for (std::size_t i = 0; i < kStageCount; ++i) {
     if (i > 0) os << ",";

@@ -42,7 +42,8 @@ std::uint64_t FlightRecorder::nextDecisionId() noexcept {
 std::uint64_t FlightRecorder::record(DecisionTrace trace) {
   if (trace.decisionId == 0) trace.decisionId = nextDecisionId();
   const std::uint64_t id = trace.decisionId;
-  const bool keep = trace.degraded || trace.violation || trace.sampled;
+  const bool keep = trace.degraded || trace.durabilityDegraded ||
+                    trace.violation || trace.sampled;
   if (keep) {
     recorderMetrics().retained->inc();
     util::MutexLock lock(mutex_);

@@ -51,6 +51,9 @@ struct DecisionTrace {
   bool violation = false;
   bool degraded = false;
   std::string degradedReason;
+  /// The durability manager was unhealthy when this decision was made
+  /// (core/decision_engine.h kDurabilityDegraded). Always retained.
+  bool durabilityDegraded = false;
 
   std::uint64_t bytesScanned = 0;
   StageBreakdown stages;  ///< per-stage nanoseconds

@@ -22,6 +22,8 @@
 //   kRankWal           (50)  flow::WriteAheadLog::mutex_ (appends run under
 //                            the tracker's exclusive sections)
 //   kRankFaultInjector (60)  cloud::FaultInjector::mutex_
+//   kRankStorageFault  (65)  io::FaultVfs::mutex_ (fault picks run under the
+//                            WAL mutex during appends/checkpoints)
 //   kRankRetryBudget   (70)  util::RetryBudget::mutex_
 //   kRankMetrics       (80)  obs::MetricsRegistry::mutex_
 //   kRankTrace         (85)  obs::TraceLog::mutex_ (spans close under any lock)
@@ -60,6 +62,7 @@ inline constexpr int kRankPendingAudits = 30;
 inline constexpr int kRankTracker = 40;
 inline constexpr int kRankWal = 50;
 inline constexpr int kRankFaultInjector = 60;
+inline constexpr int kRankStorageFault = 65;
 inline constexpr int kRankRetryBudget = 70;
 inline constexpr int kRankMetrics = 80;
 inline constexpr int kRankTrace = 85;

@@ -11,7 +11,9 @@
 #include "corpus/text_generator.h"
 #include "flow/snapshot.h"
 #include "flow/wal.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "util/clock.h"
 
 namespace bf::core {
@@ -144,6 +146,85 @@ TEST_F(EngineDurabilityTest, WalFailureTurnsUnhealthyButDecisionsContinue) {
   // Detaching restores the no-manager default.
   engine_.setDurability(nullptr);
   EXPECT_TRUE(engine_.durabilityHealthy());
+  tracker_.attachWal(nullptr);
+}
+
+TEST_F(EngineDurabilityTest, CheckpointDurationHistogramStaysBounded) {
+  flow::DurabilityManager mgr(configFor(/*checkpointEvery=*/3));
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  engine_.setDurability(&mgr);
+  const auto before = obs::registry().snapshot();
+  for (int i = 0; i < 10; ++i) {
+    (void)engine_.decide(
+        requestFor("hist" + std::to_string(i), gen_.paragraph(4, 6)));
+  }
+  const auto delta = obs::registry().snapshot().diff(before);
+  const obs::MetricValue* m = delta.find("bf_checkpoint_duration_us");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GE(m->histogram.count, 3u);
+  // The checkpoint runs on the decision path under stateMutex_: its cost
+  // for this small state must stay bounded (worst observation < 250 ms).
+  EXPECT_LT(m->histogram.max, 250000.0);
+  engine_.setDurability(nullptr);
+  tracker_.attachWal(nullptr);
+}
+
+TEST_F(EngineDurabilityTest, DurabilityDegradedFlagAndAuditOnHealthFlips) {
+  flow::DurabilityConfig cfg = configFor(1u << 30);
+  cfg.repairBaseDelayMs = 0.0;  // repair on the next decision
+  cfg.repairMaxDelayMs = 0.0;
+  flow::DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  engine_.setDurability(&mgr);
+
+  mgr.wal().failNextAppends(1);
+  const Decision hit = engine_.decide(requestFor("d1", gen_.paragraph(4, 6)));
+  EXPECT_FALSE(hit.degraded);  // the pipeline ran fully
+  EXPECT_TRUE(hit.durabilityDegraded);
+  EXPECT_FALSE(engine_.durabilityHealthy());
+
+  // The next decision's maintenance pass repairs (backoff 0) and flips
+  // health back; the decision itself reports the restored state.
+  const Decision healed =
+      engine_.decide(requestFor("d2", gen_.paragraph(4, 6)));
+  EXPECT_FALSE(healed.durabilityDegraded);
+  EXPECT_TRUE(engine_.durabilityHealthy());
+
+  // Exactly one audit record per flip, not one per degraded decision.
+  const auto degradedAudits =
+      policy_.audit().byKind(tdm::AuditRecord::Kind::kDecisionDegraded);
+  ASSERT_EQ(degradedAudits.size(), 2u);
+  EXPECT_EQ(degradedAudits[0].justification, kDurabilityDegraded);
+  EXPECT_EQ(degradedAudits[1].justification, kDurabilityRestored);
+  engine_.setDurability(nullptr);
+  tracker_.attachWal(nullptr);
+}
+
+TEST_F(EngineDurabilityTest, FlightRecorderRetainsDurabilityDegradedWindow) {
+  obs::setTraceSampleEvery(1u << 30);  // head sampling off: keep rule only
+  flow::DurabilityConfig cfg = configFor(1u << 30);
+  cfg.repairBaseDelayMs = 3600000.0;  // stay degraded for the whole test
+  cfg.repairMaxDelayMs = 3600000.0;
+  flow::DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  engine_.setDurability(&mgr);
+
+  const Decision ok = engine_.decide(requestFor("ok", gen_.paragraph(4, 6)));
+  EXPECT_FALSE(
+      obs::FlightRecorder::instance().explain(ok.decisionId).has_value());
+
+  mgr.wal().failNextAppends(1);
+  const Decision bad = engine_.decide(requestFor("bad", gen_.paragraph(4, 6)));
+  ASSERT_TRUE(bad.durabilityDegraded);
+  const auto record = obs::FlightRecorder::instance().explain(bad.decisionId);
+  ASSERT_TRUE(record.has_value())
+      << "durability-degraded decisions are always-keep";
+  EXPECT_TRUE(record->durabilityDegraded);
+  EXPECT_FALSE(record->degraded);
+  EXPECT_EQ(record->action, "allow");
+
+  obs::setTraceSampleEvery(16);  // restore the default for other tests
+  engine_.setDurability(nullptr);
   tracker_.attachWal(nullptr);
 }
 

@@ -32,6 +32,8 @@
 #include "corpus/text_generator.h"
 #include "flow/snapshot.h"
 #include "flow/wal.h"
+#include "io/fault_vfs.h"
+#include "io/vfs.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -294,6 +296,167 @@ TEST(RecoveryFuzzTest, RecoveredStateIsAlwaysAPrefixOfHistory) {
   if (trials >= 100) {
     EXPECT_GT(cleanTrials, 0u);
     EXPECT_GT(corruptTrials, 0u);
+  }
+}
+
+// ---- Runtime storage-fault fuzz (ISSUE 7) ---------------------------------
+//
+// The trial above corrupts files AT REST; this one makes the storage lie
+// WHILE the workload runs. Each trial opens a seeded fault window (ENOSPC,
+// short writes, torn writes, fsync failures at a random rate), keeps
+// mutating through it, then closes the window and drives maintain() until
+// the manager self-heals. Invariants per trial:
+//   * the manager returns to healthy() once storage recovers;
+//   * post-heal mutations are provably durable across a crash;
+//   * recovery lands byte-for-byte on the oracle state at its reported
+//     sequence — never a partial import, faults or not.
+//
+// Trials and seed are overridable for soak runs:
+//   BF_STORAGE_FUZZ_TRIALS (default 300)
+//   BF_STORAGE_FUZZ_SEED   (default 20260809)
+TEST(RecoveryFuzzTest, SelfHealsAfterInjectedStorageFaultWindow) {
+  const std::uint64_t trials = envU64("BF_STORAGE_FUZZ_TRIALS", 300);
+  const std::uint64_t baseSeed = envU64("BF_STORAGE_FUZZ_SEED", 20260809);
+  const std::string baseDir =
+      "/tmp/bf_storage_fuzz_" + std::to_string(static_cast<long>(::getpid()));
+
+  std::uint64_t trialsWithFaults = 0;
+  std::uint64_t trialsWithLostRecords = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = baseSeed + trial;
+    util::Rng rng(seed);
+    corpus::TextGenerator gen(&rng, /*vocabularySize=*/2000);
+    const std::string dir = baseDir + "_" + std::to_string(trial);
+    (void)std::system(("rm -rf '" + dir + "'").c_str());
+
+    io::FaultVfs fault(&io::defaultVfs(), seed ^ 0x73746f7261676521ull);
+    DurabilityConfig cfg;
+    cfg.directory = dir;
+    cfg.vfs = &fault;
+    cfg.secret = rng.chance(0.5) ? "fuzz-secret" : "";
+    cfg.checkpointEveryRecords = rng.uniform(5, 14);
+    cfg.keepGenerations = 0;  // keep every generation: any prefix replayable
+    cfg.syncEachAppend = rng.chance(0.5);  // surface faults on appends too
+    cfg.repairBaseDelayMs = 0.0;  // fuzz never waits on the backoff clock
+    cfg.repairMaxDelayMs = 0.0;
+
+    util::LogicalClock clock;
+    FlowTracker tracker(TrackerConfig{}, &clock);
+    auto mgr = std::make_unique<DurabilityManager>(cfg);
+    {
+      auto boot = mgr->recoverAndAttach(tracker);
+      ASSERT_TRUE(boot.ok()) << boot.errorMessage() << " (trial " << trial
+                             << ", seed " << seed << ")";
+    }
+
+    std::map<std::uint64_t, std::string> oracle;
+    oracle[0] = exportState(tracker);
+    std::vector<std::string> liveNames;
+
+    const std::uint64_t ops = rng.uniform(14, 30);
+    // Fault window [faultFrom, faultTo): storage misbehaves at `rate`.
+    const std::uint64_t faultFrom = rng.uniform(1, ops / 2);
+    const std::uint64_t faultTo = rng.uniform(faultFrom + 1, ops - 1);
+    const double rates[] = {0.05, 0.15, 0.4};
+    const double rate = rates[rng.uniform(0, 2)];
+
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      if (op == faultFrom) {
+        fault.setDefaults(io::StorageFaultConfig::uniformRate(rate));
+      }
+      if (op == faultTo) fault.setDefaults(io::StorageFaultConfig{});
+      const double dice = rng.uniform01();
+      if (dice < 0.60 || liveNames.empty()) {
+        const std::string name = "f#p" + std::to_string(rng.uniform(0, 9));
+        tracker.observeSegment(SegmentKind::kParagraph, name, "fuzz", "svc",
+                               gen.paragraph(2, 4));
+        if (std::find(liveNames.begin(), liveNames.end(), name) ==
+            liveNames.end()) {
+          liveNames.push_back(name);
+        }
+      } else if (dice < 0.75) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniform(0, liveNames.size() - 1));
+        tracker.removeSegmentByName(liveNames[at]);
+        liveNames.erase(liveNames.begin() + static_cast<std::ptrdiff_t>(at));
+      } else if (dice < 0.88) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniform(0, liveNames.size() - 1));
+        (void)tracker.setSegmentThreshold(liveNames[at], rng.uniform01());
+      } else {
+        (void)tracker.evictAssociationsOlderThan(rng.uniform(0, 60));
+      }
+      // maintain() is the production driver: due checkpoints while
+      // healthy, repair attempts while degraded. Failures inside the
+      // fault window are the point — never assert on its status there.
+      (void)mgr->maintain(tracker);
+      oracle[mgr->wal().nextSequence() - 1] = exportState(tracker);
+    }
+
+    if (fault.faultCount() > 0) ++trialsWithFaults;
+    if (mgr->wal().lostRecords() > 0) ++trialsWithLostRecords;
+
+    // The window is closed: the manager must self-heal in a few
+    // maintenance rounds (notice → repair, possibly once more after a
+    // straggling torn tail).
+    int spins = 0;
+    while (!mgr->healthy() && spins++ < 32) (void)mgr->maintain(tracker);
+    ASSERT_TRUE(mgr->healthy())
+        << "manager failed to self-heal after the fault window (trial "
+        << trial << ", seed " << seed << ", rate " << rate << ", faults "
+        << fault.faultCount() << ")";
+
+    // Post-heal mutations must be durable across a crash.
+    for (int extra = 0; extra < 3; ++extra) {
+      tracker.observeSegment(SegmentKind::kParagraph,
+                             "heal#p" + std::to_string(extra), "fuzz", "svc",
+                             gen.paragraph(2, 4));
+      oracle[mgr->wal().nextSequence() - 1] = exportState(tracker);
+    }
+    {
+      auto final = mgr->checkpoint(tracker);
+      ASSERT_TRUE(final.ok()) << final.errorMessage() << " (trial " << trial
+                              << ", seed " << seed << ")";
+    }
+    const std::uint64_t durableSeq = mgr->wal().nextSequence() - 1;
+
+    // Crash, then recover with a CLEAN vfs (the process restarts on a
+    // machine whose disk behaves again).
+    tracker.attachWal(nullptr);
+    mgr.reset();
+    DurabilityConfig cleanCfg = cfg;
+    cleanCfg.vfs = nullptr;
+    util::LogicalClock clock2;
+    FlowTracker recovered(TrackerConfig{}, &clock2);
+    DurabilityManager mgr2(cleanCfg);
+    auto stats = mgr2.recoverAndAttach(recovered);
+    ASSERT_TRUE(stats.ok()) << stats.errorMessage() << " (trial " << trial
+                            << ", seed " << seed << ")";
+    const std::uint64_t s = stats.value().lastSequence;
+    recovered.attachWal(nullptr);
+
+    ASSERT_EQ(s, durableSeq)
+        << "post-heal checkpoint did not stick (trial " << trial << ", seed "
+        << seed << ", rate " << rate << ")";
+    ASSERT_EQ(oracle.count(s), 1u)
+        << "recovered to sequence " << s << " which is not an op boundary"
+        << " (trial " << trial << ", seed " << seed << ")";
+    EXPECT_TRUE(exportState(recovered) == oracle[s])
+        << "recovered state at sequence " << s << " diverges from history"
+        << " (trial " << trial << ", seed " << seed << ", rate " << rate
+        << ", faults " << fault.faultCount() << ")";
+    expectNoDanglingAssociations(recovered);
+
+    if (::testing::Test::HasFailure()) {
+      return;  // keep the failing trial's files for inspection
+    }
+    (void)std::system(("rm -rf '" + dir + "'").c_str());
+  }
+  // The fault rates are high enough that a run of this size must actually
+  // have exercised the machinery, including real record loss.
+  if (trials >= 100) {
+    EXPECT_GT(trialsWithFaults, trials / 3);
+    EXPECT_GT(trialsWithLostRecords, 0u);
   }
 }
 

@@ -12,6 +12,8 @@
 #include "corpus/text_generator.h"
 #include "crypto/chacha20.h"
 #include "flow/snapshot.h"
+#include "io/fault_vfs.h"
+#include "io/vfs.h"
 #include "util/binary_io.h"
 #include "util/hashing.h"
 
@@ -498,6 +500,94 @@ TEST_F(SnapshotTest, EvictionDropsOldAssociations) {
   // The old paragraph's hashes are gone; the new one's survive.
   EXPECT_TRUE(tracker_.checkText(oldText, "probe").empty());
   EXPECT_FALSE(tracker_.checkText(newText, "probe").empty());
+}
+
+// ---- Injected storage faults (ISSUE 7 regression) -------------------------
+// saveSnapshot under a failing disk must behave like the failure never
+// started: no orphan .tmp sibling, previous good snapshot untouched.
+
+TEST_F(SnapshotTest, SaveUnderEnospcLeavesNoOrphanAndKeepsOldSnapshot) {
+  const std::string probe = populate();
+  const std::string path = tempPath("enospc");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "").ok());
+
+  tracker_.observeSegment(SegmentKind::kParagraph, "late#p0", "late", "svc",
+                          gen_.paragraph(8, 8));
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/11);
+  fault.failNext(".tmp", 1, io::StorageFaultKind::kEnospc);
+  EXPECT_FALSE(saveSnapshot(tracker_, path, "", 0, &fault).ok());
+
+  EXPECT_TRUE(leftoverTempFiles(path).empty())
+      << "failed save must unlink its temp file";
+  // The previous snapshot still loads and reflects the OLD state.
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  const auto maxTs = loadSnapshot(restored, path, "");
+  ASSERT_TRUE(maxTs.ok()) << maxTs.errorMessage();
+  clock2.advanceTo(maxTs.value() + 1);
+  EXPECT_FALSE(restored.checkText(probe, "probe").empty());
+  EXPECT_EQ(restored.segmentDb().findByName("late#p0"), nullptr);
+}
+
+TEST_F(SnapshotTest, SaveUnderShortWriteLeavesNoOrphanAndKeepsOldSnapshot) {
+  populate();
+  const std::string path = tempPath("shortwrite");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "sekrit").ok());
+  const std::string before = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }();
+
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/12);
+  fault.failNext(".tmp", 1, io::StorageFaultKind::kShortWrite);
+  EXPECT_FALSE(saveSnapshot(tracker_, path, "sekrit", 7, &fault).ok());
+
+  EXPECT_TRUE(leftoverTempFiles(path).empty());
+  const std::string after = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }();
+  EXPECT_EQ(before, after) << "previous snapshot bytes must be untouched";
+}
+
+TEST_F(SnapshotTest, SaveUnderFsyncFailureLeavesNoOrphan) {
+  populate();
+  const std::string path = tempPath("fsyncfail");
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/13);
+  fault.failNext(".tmp", 1, io::StorageFaultKind::kFsyncFail);
+  // No previous snapshot: the failed save must not materialise one either.
+  EXPECT_FALSE(saveSnapshot(tracker_, path, "", 0, &fault).ok());
+  EXPECT_TRUE(leftoverTempFiles(path).empty());
+  std::ifstream fin(path);
+  EXPECT_FALSE(fin.good()) << "no target file may appear on failure";
+}
+
+TEST_F(SnapshotTest, SaveUnderOpenFailureReportsErrorCleanly) {
+  populate();
+  const std::string path = tempPath("openfail");
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/14);
+  fault.failNext(".tmp", 1, io::StorageFaultKind::kOpenFail);
+  EXPECT_FALSE(saveSnapshot(tracker_, path, "", 0, &fault).ok());
+  EXPECT_TRUE(leftoverTempFiles(path).empty());
+  // Retry with the schedule drained succeeds.
+  EXPECT_TRUE(saveSnapshot(tracker_, path, "", 0, &fault).ok());
+}
+
+TEST_F(SnapshotTest, LoadDetectsReadCorruptionViaVfs) {
+  populate();
+  const std::string path = tempPath("readcorrupt");
+  ASSERT_TRUE(saveSnapshot(tracker_, path, "sekrit", 3).ok());
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/15);
+  fault.failNext("readcorrupt", 1, io::StorageFaultKind::kReadCorrupt);
+  util::LogicalClock clock2;
+  FlowTracker restored(TrackerConfig{}, &clock2);
+  // Encrypt-then-MAC: the flipped byte fails authentication outright.
+  EXPECT_FALSE(loadSnapshotEx(restored, path, "sekrit", &fault).ok());
+  EXPECT_EQ(restored.segmentDb().size(), 0u);
+  // A clean read still round-trips.
+  EXPECT_TRUE(loadSnapshotEx(restored, path, "sekrit", &fault).ok());
 }
 
 }  // namespace

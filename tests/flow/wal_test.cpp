@@ -13,6 +13,8 @@
 #include "corpus/text_generator.h"
 #include "flow/snapshot.h"
 #include "flow/wal.h"
+#include "io/fault_vfs.h"
+#include "io/vfs.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/rng.h"
@@ -366,6 +368,192 @@ TEST_F(WalTest, WalFileWithBadMagicIsDiscardedEntirely) {
   util::LogicalClock clock3;
   FlowTracker empty(TrackerConfig{}, &clock3);
   EXPECT_EQ(recovered, canon(empty));
+}
+
+// ---- Fault injection + self-healing (ISSUE 7) -----------------------------
+
+TEST_F(WalTest, DroppedAppendsConsumeSequencesAndCountLost) {
+  DurabilityManager mgr(configFor());
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  const std::uint64_t seqBefore = mgr.wal().nextSequence();
+  mgr.wal().failNextAppends(1);
+  // The first append drops and latches unhealthy; the two after it drop
+  // too (no sequence gap can ever appear inside one segment file).
+  for (int i = 0; i < 3; ++i) {
+    tracker_.observeSegment(SegmentKind::kParagraph,
+                            "l#p" + std::to_string(i), "l", "svc",
+                            gen_.paragraph(4, 6));
+  }
+  EXPECT_EQ(mgr.wal().lostRecords(), 3u);
+  EXPECT_EQ(mgr.wal().nextSequence(), seqBefore + 3);  // monotonic
+  EXPECT_FALSE(mgr.wal().healthy());
+  // The repair checkpoint at nextSequence-1 provably covers the lost
+  // records: recovery reproduces the full in-memory state.
+  ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+  EXPECT_TRUE(mgr.healthy());
+  EXPECT_EQ(mgr.wal().lostRecords(), 3u);  // durability debt is never reset
+  EXPECT_EQ(recoverFresh(), canon(tracker_));
+}
+
+TEST_F(WalTest, InjectedWriteFaultDegradesAndMaintainSelfHeals) {
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/41);
+  DurabilityConfig cfg = configFor();
+  cfg.vfs = &fault;
+  cfg.syncEachAppend = true;  // surface the write fault on the append itself
+  cfg.repairBaseDelayMs = 0.0;  // tests never wait on the backoff clock
+  cfg.repairMaxDelayMs = 0.0;
+  DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  EXPECT_EQ(mgr.health(), DurabilityHealth::kHealthy);
+
+  fault.failNext(".bfw", 1, io::StorageFaultKind::kEnospc);
+  tracker_.observeSegment(SegmentKind::kParagraph, "f#p0", "f", "svc",
+                          gen_.paragraph(5, 8));
+  EXPECT_GE(mgr.wal().lostRecords(), 1u);
+  // maintain() first notices the degradation, then (backoff elapsed,
+  // delay 0) repairs with an emergency checkpoint + rotation.
+  int spins = 0;
+  while (!mgr.healthy() && spins++ < 16) (void)mgr.maintain(tracker_);
+  EXPECT_TRUE(mgr.healthy());
+  EXPECT_EQ(mgr.health(), DurabilityHealth::kHealthy);
+  EXPECT_EQ(mgr.repairAttempts(), 0u);  // reset on successful repair
+
+  // Post-heal mutations are durable again across a clean recovery.
+  tracker_.observeSegment(SegmentKind::kParagraph, "post#p0", "post", "svc",
+                          gen_.paragraph(5, 8));
+  ASSERT_TRUE(mgr.wal().sync().ok());
+  EXPECT_EQ(recoverFresh(), canon(tracker_));
+}
+
+TEST_F(WalTest, RepairKeepsRetryingWhileStorageStaysBroken) {
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/42);
+  DurabilityConfig cfg = configFor();
+  cfg.vfs = &fault;
+  cfg.syncEachAppend = true;  // append failures surface immediately
+  cfg.repairBaseDelayMs = 0.0;
+  cfg.repairMaxDelayMs = 0.0;
+  DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+
+  // Break every write: appends drop AND repair checkpoints fail.
+  io::StorageFaultConfig broken;
+  broken.enospcProb = 1.0;
+  fault.setDefaults(broken);
+  tracker_.observeSegment(SegmentKind::kParagraph, "b#p0", "b", "svc",
+                          gen_.paragraph(5, 8));
+  const auto before = obs::registry().snapshot();
+  for (int i = 0; i < 4; ++i) (void)mgr.maintain(tracker_);
+  EXPECT_FALSE(mgr.healthy());
+  EXPECT_GE(mgr.repairAttempts(), 2u);
+  const auto delta = obs::registry().snapshot().diff(before);
+  EXPECT_GE(delta.counterValue("bf_wal_repair_failures_total"), 2u);
+
+  // Mutations keep succeeding the whole time (availability contract).
+  const SegmentId id = tracker_.observeSegment(
+      SegmentKind::kParagraph, "b#p1", "b", "svc", gen_.paragraph(5, 8));
+  EXPECT_NE(id, kInvalidSegment);
+
+  // Storage comes back: the next maintain() heals.
+  fault.setDefaults(io::StorageFaultConfig{});
+  int spins = 0;
+  while (!mgr.healthy() && spins++ < 16) (void)mgr.maintain(tracker_);
+  EXPECT_TRUE(mgr.healthy());
+  ASSERT_TRUE(mgr.wal().sync().ok());
+  EXPECT_EQ(recoverFresh(), canon(tracker_));
+}
+
+TEST_F(WalTest, RepairWaitsForBackoffBeforeRetrying) {
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/43);
+  DurabilityConfig cfg = configFor();
+  cfg.vfs = &fault;
+  cfg.syncEachAppend = true;
+  cfg.repairBaseDelayMs = 3600000.0;  // an hour: no test-time retry
+  cfg.repairMaxDelayMs = 3600000.0;
+  DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  fault.failNext(".bfw", 1, io::StorageFaultKind::kEnospc);
+  tracker_.observeSegment(SegmentKind::kParagraph, "w#p0", "w", "svc",
+                          gen_.paragraph(5, 8));
+  for (int i = 0; i < 4; ++i) (void)mgr.maintain(tracker_);
+  // Degraded was noticed, but the hour-long backoff gates the attempt.
+  EXPECT_EQ(mgr.health(), DurabilityHealth::kDegraded);
+  EXPECT_EQ(mgr.repairAttempts(), 0u);
+}
+
+TEST_F(WalTest, HealthGaugeAndLostCounterTrackTheStateMachine) {
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/44);
+  DurabilityConfig cfg = configFor();
+  cfg.vfs = &fault;
+  cfg.repairBaseDelayMs = 0.0;
+  cfg.repairMaxDelayMs = 0.0;
+  DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  EXPECT_EQ(obs::registry().snapshot().gaugeValue("bf_wal_health"), 0.0);
+
+  const auto before = obs::registry().snapshot();
+  mgr.wal().failNextAppends(1);
+  tracker_.observeSegment(SegmentKind::kParagraph, "g#p0", "g", "svc",
+                          gen_.paragraph(5, 8));
+  (void)mgr.maintain(tracker_);  // notices → kDegraded
+  EXPECT_EQ(obs::registry().snapshot().gaugeValue("bf_wal_health"), 1.0);
+  int spins = 0;
+  while (!mgr.healthy() && spins++ < 16) (void)mgr.maintain(tracker_);
+  EXPECT_EQ(obs::registry().snapshot().gaugeValue("bf_wal_health"), 0.0);
+  const auto delta = obs::registry().snapshot().diff(before);
+  EXPECT_GE(delta.counterValue("bf_wal_records_lost_total"), 1u);
+  EXPECT_GE(delta.counterValue("bf_wal_repairs_total"), 1u);
+}
+
+TEST_F(WalTest, StorageQuotaPrunesToNewestGenerationUnderPressure) {
+  DurabilityConfig cfg = configFor();
+  cfg.keepGenerations = 0;  // keep everything...
+  cfg.maxStorageBytes = 1;  // ...but the quota forces aggressive pruning
+  DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  const auto before = obs::registry().snapshot();
+  for (int round = 0; round < 4; ++round) {
+    tracker_.observeSegment(SegmentKind::kParagraph,
+                            "q#p" + std::to_string(round), "q", "svc",
+                            gen_.paragraph(4, 6));
+    ASSERT_TRUE(mgr.checkpoint(tracker_).ok());
+  }
+  int checkpoints = 0;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(seq));
+    std::ifstream probe(dir_ + "/checkpoint-" + hex + ".bfc");
+    if (probe.good()) ++checkpoints;
+  }
+  EXPECT_EQ(checkpoints, 1);  // only the newest generation survives
+  const auto delta = obs::registry().snapshot().diff(before);
+  EXPECT_GE(delta.counterValue("bf_storage_pressure_prunes_total"), 1u);
+  EXPECT_GT(obs::registry().snapshot().gaugeValue("bf_storage_bytes"), 0.0);
+  EXPECT_EQ(recoverFresh(), canon(tracker_));
+}
+
+TEST_F(WalTest, TornAppendWriteIsCaughtByRecoveryCrc) {
+  io::FaultVfs fault(&io::defaultVfs(), /*seed=*/45);
+  DurabilityConfig cfg = configFor();
+  cfg.vfs = &fault;
+  cfg.syncEachAppend = true;
+  DurabilityManager mgr(cfg);
+  ASSERT_TRUE(mgr.recoverAndAttach(tracker_).ok());
+  tracker_.observeSegment(SegmentKind::kParagraph, "t#p0", "t", "svc",
+                          gen_.paragraph(5, 8));
+  const std::string durablePrefix = canon(tracker_);
+  // The NEXT append is torn: a prefix lands, success is reported, the WAL
+  // believes the record is durable. Only recovery-time CRC can catch it.
+  fault.failNext(".bfw", 1, io::StorageFaultKind::kTornWrite);
+  tracker_.observeSegment(SegmentKind::kParagraph, "t#p1", "t", "svc",
+                          gen_.paragraph(5, 8));
+  EXPECT_TRUE(mgr.wal().healthy());  // the lie holds in-process
+
+  // Crash now (no checkpoint): recovery lands on the durable prefix.
+  tracker_.attachWal(nullptr);
+  RecoveryStats stats;
+  const std::string recovered = recoverFresh(&stats);
+  EXPECT_EQ(recovered, durablePrefix);
 }
 
 }  // namespace

@@ -1,7 +1,6 @@
-// bflint fixture: durable disclosure state has exactly two writers —
-// flow/snapshot.cpp (checksummed checkpoints) and flow/wal.cpp (CRC-framed
-// log appends). A bare std::ofstream in src/flow would write state bytes
-// no recovery path can validate.
+// bflint fixture: all durable-state I/O in src/flow goes through the
+// bf::io VFS seam (src/io/vfs.h). A bare std::ofstream would write state
+// bytes no recovery path can validate and no fault injector can reach.
 // bflint-expect: state-file-io
 #include <fstream>
 #include <string>

@@ -1,0 +1,30 @@
+// bflint fixture: raw POSIX file syscalls in src/flow bypass the bf::io
+// VFS seam (src/io/vfs.h), so storage-chaos runs could never inject
+// ENOSPC / torn writes / fsync failures into them. Note the rule must NOT
+// fire on class-qualified method names like `WriteAheadLog::open(...)` —
+// only on bare global-namespace calls.
+// bflint-expect: state-file-io
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace bf::flow {
+
+class NotTheWal {
+ public:
+  // Class-qualified declaration: must not trip the bare-`::open` pattern.
+  bool open(const std::string& path);
+};
+
+inline bool NotTheWal::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char byte = 'x';
+  (void)::write(fd, &byte, 1);
+  (void)::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+}  // namespace bf::flow

@@ -234,6 +234,63 @@ TEST(Export, DecisionTraceJsonCarriesFullCausalRecord) {
       json.find("\"retry\":{\"attempts\":2,\"backoff_ms\":40,"
                 "\"exhausted\":false}"),
       std::string::npos);
+  EXPECT_NE(json.find("\"durability_degraded\":false"), std::string::npos);
+}
+
+TEST(Export, DecisionTraceJsonMarksDurabilityDegradedWindow) {
+  DecisionTrace t;
+  t.decisionId = 10;
+  t.action = "allow";
+  t.durabilityDegraded = true;
+  const std::string json = toJson(t);
+  EXPECT_NE(json.find("\"durability_degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
+}
+
+TEST(Export, WalHealthMetricsGolden) {
+  // The durability dashboard's two load-bearing series (DESIGN.md §13):
+  // the health gauge (0 healthy / 1 degraded / 2 recovering) and the
+  // cumulative records-lost counter. Pin their exposition shape.
+  MetricsRegistry reg;
+  reg.gauge("bf_wal_health",
+            "Durability health (0 healthy, 1 degraded, 2 recovering)")
+      .set(1.0);
+  reg.counter("bf_wal_records_lost_total",
+              "WAL records dropped while storage was failing")
+      .inc(7);
+  const std::string expected =
+      "# HELP bf_wal_health Durability health (0 healthy, 1 degraded, 2 "
+      "recovering)\n"
+      "# TYPE bf_wal_health gauge\n"
+      "bf_wal_health 1\n"
+      "# HELP bf_wal_records_lost_total WAL records dropped while storage "
+      "was failing\n"
+      "# TYPE bf_wal_records_lost_total counter\n"
+      "bf_wal_records_lost_total 7\n";
+  EXPECT_EQ(toPrometheusText(reg.snapshot()), expected);
+  const std::string expectedJson =
+      "{\"metrics\":["
+      "{\"name\":\"bf_wal_health\",\"kind\":\"gauge\","
+      "\"help\":\"Durability health (0 healthy, 1 degraded, 2 recovering)\","
+      "\"value\":1},"
+      "{\"name\":\"bf_wal_records_lost_total\",\"kind\":\"counter\","
+      "\"help\":\"WAL records dropped while storage was failing\","
+      "\"value\":7}"
+      "]}";
+  EXPECT_EQ(toJson(reg.snapshot()), expectedJson);
+}
+
+TEST(Export, WalHealthSeriesAppearInProcessExposition) {
+  // The real series registered by flow/wal.cpp must show up in the
+  // process-wide exposition once a WAL exists. Registering here is
+  // idempotent with wal.cpp's registration (create-or-get by name).
+  registry().gauge("bf_wal_health",
+                   "Durability health (0 healthy, 1 degraded, 2 recovering)");
+  registry().counter("bf_wal_records_lost_total",
+                     "WAL records dropped while storage was failing");
+  const std::string text = toPrometheusText(registry().snapshot());
+  EXPECT_NE(text.find("bf_wal_health "), std::string::npos);
+  EXPECT_NE(text.find("bf_wal_records_lost_total "), std::string::npos);
 }
 
 TEST(Export, FlightRecorderJsonHasSchemaAndDecisions) {
