@@ -47,6 +47,7 @@ cannot enforce:
 Usage:
   scripts/bflint.py [root ...]      # lint trees/files (default: src)
   scripts/bflint.py --selftest      # run the rule fixtures in tests/lint
+  scripts/bflint.py --json ...      # machine-readable findings
 
 Exit status: 0 when clean, 1 when any rule fires (or a selftest
 expectation is not met). Findings print as `path:line: [rule] message`.
@@ -54,6 +55,7 @@ expectation is not met). Findings print as `path:line: [rule] message`.
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import sys
@@ -163,6 +165,10 @@ class Finding:
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
+    def to_json(self) -> dict:
+        return {"file": self.path, "line": self.line, "rule": self.rule,
+                "severity": "error", "message": self.message}
+
 
 def lint_file(path: str, fixture_mode: bool = False) -> list[Finding]:
     rel = relpath(path)
@@ -271,13 +277,21 @@ def selftest() -> int:
 
 
 def main(argv: list[str]) -> int:
-    if argv and argv[0] == "--selftest":
+    if "--selftest" in argv:
         return selftest()
-    roots = argv or [os.path.join(REPO_ROOT, "src")]
+    as_json = "--json" in argv
+    roots = [a for a in argv if a != "--json"]
+    roots = roots or [os.path.join(REPO_ROOT, "src")]
     findings: list[Finding] = []
     files = collect_sources(roots)
     for path in files:
         findings.extend(lint_file(path))
+    if as_json:
+        print(json.dumps({"tool": "bflint",
+                          "files": len(files),
+                          "findings": [f.to_json() for f in findings]},
+                         indent=2))
+        return 1 if findings else 0
     for finding in findings:
         print(finding)
     if findings:

@@ -20,6 +20,12 @@ echo "==> [lint] bflint self-test"
 python3 scripts/bflint.py --selftest
 echo "==> [lint] bflint over src/ bench/ examples/"
 python3 scripts/bflint.py src bench examples
+echo "==> [lint] bftaint self-test"
+python3 scripts/bftaint.py --selftest
+echo "==> [lint] bftaint over src/ bench/ examples/"
+python3 scripts/bftaint.py src bench examples
+echo "==> [lint] negative-compile harness (sec type layer)"
+python3 scripts/negcompile.py --compiler "${CXX:-c++}" --std c++20 -I src
 
 for preset in $PRESETS; do
   echo "==> [$preset] configure"

@@ -10,9 +10,8 @@
 //  footer or meta and high number of links over text length."
 #pragma once
 
-#include <string>
-
 #include "browser/dom.h"
+#include "sec/sensitive.h"
 
 namespace bf::browser {
 
@@ -21,7 +20,9 @@ struct ExtractionResult {
   Node* element = nullptr;
   double score = 0.0;
   /// Plain text of the winning element with all HTML structure removed.
-  std::string text;
+  /// This is the moment page content enters the tracking plane, so it is
+  /// sensitive by type from here on (DESIGN.md §14).
+  sec::SensitiveText text;
 };
 
 /// Score of a single element under the Readability-style heuristics.

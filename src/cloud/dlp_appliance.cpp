@@ -28,9 +28,9 @@ obs::Counter& flaggedCounter() {
 DlpAppliance::DlpAppliance(browser::RequestSink* upstream, Config config)
     : upstream_(upstream), config_(config) {}
 
-void DlpAppliance::registerSensitiveDocument(std::string_view text) {
+void DlpAppliance::registerSensitiveDocument(sec::SensitiveView text) {
   if (config_.mode == Mode::kExactChunks) {
-    const text::NormalizedText norm = text::normalize(text);
+    const text::NormalizedText norm = text::normalize(text.raw());
     if (norm.size() < config_.chunkChars) return;
     for (std::size_t i = 0; i + config_.chunkChars <= norm.size();
          i += config_.chunkStride) {
@@ -38,16 +38,17 @@ void DlpAppliance::registerSensitiveDocument(std::string_view text) {
           std::string_view(norm.text).substr(i, config_.chunkChars)));
     }
   } else {
-    fingerprints_.push_back(text::fingerprintText(text, fingerprintConfig_));
+    fingerprints_.push_back(
+        text::fingerprintText(text.raw(), fingerprintConfig_));
   }
 }
 
-bool DlpAppliance::inspectText(std::string_view text) const {
+bool DlpAppliance::inspectText(sec::SensitiveView text) const {
   if (config_.mode == Mode::kExactChunks) {
     text::NormalizedText norm;
     {
       obs::StageTimer normTimer(obs::Stage::kNormalize);
-      norm = text::normalize(text);
+      norm = text::normalize(text.raw());
     }
     if (norm.size() < config_.chunkChars) return false;
     // Check every alignment: an appliance cannot assume chunk boundaries
@@ -65,7 +66,7 @@ bool DlpAppliance::inspectText(std::string_view text) const {
   text::Fingerprint bodyFp;
   {
     obs::StageTimer fpTimer(obs::Stage::kFingerprint);
-    bodyFp = text::fingerprintText(text, fingerprintConfig_);
+    bodyFp = text::fingerprintText(text.raw(), fingerprintConfig_);
   }
   for (const auto& docFp : fingerprints_) {
     if (docFp.empty()) continue;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "browser/http.h"
+#include "sec/sensitive.h"
 #include "text/winnower.h"
 
 namespace bf::cloud {
@@ -50,14 +51,15 @@ class DlpAppliance final : public browser::RequestSink {
   /// measured on detection, like BrowserFlow's advisory mode). Not owned.
   DlpAppliance(browser::RequestSink* upstream, Config config);
 
-  /// Registers a sensitive document the appliance must watch for.
-  void registerSensitiveDocument(std::string_view text);
+  /// Registers a sensitive document the appliance must watch for. Only
+  /// chunk hashes / fingerprints of the content are retained.
+  void registerSensitiveDocument(sec::SensitiveView text);
 
   browser::HttpResponse handle(const browser::HttpRequest& req) override;
 
   /// Inspection primitive, exposed for benches that bypass HTTP: would
   /// this text trip the appliance?
-  [[nodiscard]] bool inspectText(std::string_view text) const;
+  [[nodiscard]] bool inspectText(sec::SensitiveView text) const;
 
   [[nodiscard]] std::size_t flaggedCount() const noexcept { return flagged_; }
   [[nodiscard]] std::size_t inspectedCount() const noexcept {

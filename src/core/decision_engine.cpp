@@ -36,7 +36,7 @@ void recordDecisionProvenance(const char* ingress,
                               std::string_view segmentName,
                               std::string_view documentName,
                               std::string_view serviceId,
-                              std::size_t bytesScanned,
+                              sec::SensitiveView content,
                               const obs::TraceContext& trace,
                               const obs::StageBreakdown& stages,
                               Decision& decision) {
@@ -63,7 +63,8 @@ void recordDecisionProvenance(const char* ingress,
   record.degraded = decision.degraded;
   record.degradedReason = decision.degradedReason;
   record.durabilityDegraded = decision.durabilityDegraded;
-  record.bytesScanned = bytesScanned;
+  record.bytesScanned = content.size();
+  record.contentPreview = sec::redact(content).text;
   record.stages = stages;
   record.totalMs = decision.responseTimeMs;
   record.hits.reserve(decision.hits.size());
@@ -144,7 +145,7 @@ Decision DecisionEngine::decide(const DecisionRequest& request) {
   // business inside the serialised section.
   recordDecisionProvenance(request.ingress, request.segmentName,
                            request.documentName, request.serviceId,
-                           request.text.size(), trace, stages, decision);
+                           request.text, trace, stages, decision);
   return decision;
 }
 
@@ -386,7 +387,7 @@ std::future<Decision> DecisionEngine::decideAsync(DecisionRequest request) {
     // but the record answers "why did this decision degrade?".
     recordDecisionProvenance(request.ingress, request.segmentName,
                              request.documentName, request.serviceId,
-                             request.text.size(), request.trace,
+                             request.text, request.trace,
                              obs::StageBreakdown{}, d);
     promise.set_value(std::move(d));
     return future;
@@ -443,7 +444,7 @@ void DecisionEngine::workerLoop() {
     }
     recordDecisionProvenance(item.request.ingress, item.request.segmentName,
                              item.request.documentName, item.request.serviceId,
-                             item.request.text.size(), trace, stages, d);
+                             item.request.text, trace, stages, d);
     item.promise.set_value(std::move(d));
     {
       util::MutexLock lock(queueMutex_);
@@ -454,7 +455,7 @@ void DecisionEngine::workerLoop() {
 }
 
 tdm::Label DecisionEngine::lookupLabelForText(
-    const std::string& text, const std::string& excludeDocument) const {
+    sec::SensitiveView text, const std::string& excludeDocument) const {
   util::MutexLock lock(stateMutex_);
   tdm::Label label;
   for (const auto& hit : tracker_->checkText(text, excludeDocument)) {

@@ -36,6 +36,7 @@
 #include "obs/metrics.h"
 #include "obs/stage.h"
 #include "obs/trace_context.h"
+#include "sec/sensitive.h"
 #include "tdm/policy.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -62,7 +63,9 @@ struct DecisionRequest {
   std::string documentName;
   /// Destination service id (the tab's origin).
   std::string serviceId;
-  std::string text;
+  /// The raw content being uploaded. Sensitive by type: the engine may
+  /// fingerprint, hash or redact it, but cannot log/audit/export it whole.
+  sec::SensitiveText text;
   flow::SegmentKind kind = flow::SegmentKind::kParagraph;
   /// Causal trace identity. Invalid (default) means the engine adopts the
   /// caller's ambient trace, or starts a fresh root at this ingress.
@@ -117,12 +120,13 @@ struct Decision {
 /// decision, and by plugin paths that bypass decide() (XHR upload checks).
 /// Call WITHOUT stateMutex_ held — the recorder's mutex ranks above the
 /// pipeline locks, but record construction should stay off the serialised
-/// section.
+/// section. `content` is the checked text; only its redact() preview is
+/// retained in the trace (declassification gate, DESIGN.md §14).
 void recordDecisionProvenance(const char* ingress,
                               std::string_view segmentName,
                               std::string_view documentName,
                               std::string_view serviceId,
-                              std::size_t bytesScanned,
+                              sec::SensitiveView content,
                               const obs::TraceContext& trace,
                               const obs::StageBreakdown& stages,
                               Decision& decision);
@@ -151,7 +155,7 @@ class DecisionEngine {
   /// the label similarity implies, without registering any segment. Used
   /// for form submissions where the text only exists in an <input>.
   [[nodiscard]] tdm::Label lookupLabelForText(
-      const std::string& text, const std::string& excludeDocument = {}) const
+      sec::SensitiveView text, const std::string& excludeDocument = {}) const
       BF_EXCLUDES(stateMutex_);
 
   /// Latency statistics over every decision made so far, derived from the

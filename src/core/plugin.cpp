@@ -137,7 +137,7 @@ void BrowserFlowPlugin::handleMutations(
     hooks.pendingDocs.push_back(engine_.decideAsync(std::move(docReq)));
   } else {
     const Decision d = engine_.decide(docReq);
-    if (d.violation()) recordViolation(url, docReq.serviceId, d);
+    if (d.violation()) recordViolation(url, docReq.serviceId, d, docReq.text);
   }
 }
 
@@ -189,7 +189,9 @@ void BrowserFlowPlugin::applyParagraphDecision(browser::Node* paragraph,
   paragraph->setAttribute(kStateAttr, d.violation() ? kViolation : kClean);
   paragraph->setAttribute(
       "style", d.violation() ? "background-color:#ffd6d6" : "");
-  if (d.violation()) recordViolation(segmentName, serviceId, d);
+  if (d.violation()) {
+    recordViolation(segmentName, serviceId, d, paragraph->textContent());
+  }
 }
 
 void BrowserFlowPlugin::drainPendingDecisions() {
@@ -209,7 +211,9 @@ void BrowserFlowPlugin::drainPendingDecisions() {
     for (auto& future : hooks->pendingDocs) {
       const Decision d = future.get();
       if (d.violation()) {
-        recordViolation(hooks->page->url(), hooks->page->origin(), d);
+        // Content is no longer in flight here; the preview is empty rather
+        // than re-reading the (possibly changed) DOM.
+        recordViolation(hooks->page->url(), hooks->page->origin(), d, "");
       }
     }
     hooks->pendingDocs.clear();
@@ -253,7 +257,8 @@ void BrowserFlowPlugin::installFormListener(PageHooks& hooks,
       return;  // default submission proceeds; drafts are already tracked
     }
 
-    recordViolation(page.url() + "/draft", page.origin(), d);
+    recordViolation(page.url() + "/draft", page.origin(), d, combined);
+    const std::string preview = sec::redact(combined).text;
     switch (config_.mode) {
       case EnforcementMode::kWarn:
         // Advisory model: surface the warning, let the upload proceed.
@@ -262,7 +267,7 @@ void BrowserFlowPlugin::installFormListener(PageHooks& hooks,
         event.preventDefault();
         policy_.audit().append(
             {tdm::AuditRecord::Kind::kUploadBlocked, clock_->now(), "",
-             tdm::Tag{}, page.url() + "/form", page.origin(), ""});
+             tdm::Tag{}, page.url() + "/form", page.origin(), preview});
         break;
       case EnforcementMode::kEncrypt:
         // Seal every non-hidden value; the default submission then carries
@@ -273,7 +278,7 @@ void BrowserFlowPlugin::installFormListener(PageHooks& hooks,
         }
         policy_.audit().append(
             {tdm::AuditRecord::Kind::kUploadEncrypted, clock_->now(), "",
-             tdm::Tag{}, page.url() + "/form", page.origin(), ""});
+             tdm::Tag{}, page.url() + "/form", page.origin(), preview});
         break;
     }
   });
@@ -320,7 +325,8 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
       if (d.violation()) {
         anyViolation = true;
         violates[i] = true;
-        recordViolation(pagePtr->url() + "/xhr", pagePtr->origin(), d);
+        recordViolation(pagePtr->url() + "/xhr", pagePtr->origin(), d,
+                        fields[i].text);
       }
     }
     // Cumulative document-level check: the page's document segment (kept
@@ -347,10 +353,10 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
                        : Decision::Action::kWarn;
         recordDecisionProvenance("plugin.upload_document", pagePtr->url(),
                                  pagePtr->url(), pagePtr->origin(),
-                                 req.body.size(), obs::ingressTrace(),
+                                 req.body, obs::ingressTrace(),
                                  docStages, d);
         recordViolation(pagePtr->url() + "/xhr(document)", pagePtr->origin(),
-                        d);
+                        d, req.body);
       }
     }
     if (!anyViolation) return original(xhr, req);
@@ -361,7 +367,8 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
       case EnforcementMode::kBlock:
         policy_.audit().append(
             {tdm::AuditRecord::Kind::kUploadBlocked, clock_->now(), "",
-             tdm::Tag{}, pagePtr->url() + "/xhr", pagePtr->origin(), ""});
+             tdm::Tag{}, pagePtr->url() + "/xhr", pagePtr->origin(),
+             sec::redact(req.body).text});
         return {403, "BrowserFlow: upload blocked by data disclosure policy"};
       case EnforcementMode::kEncrypt: {
         for (std::size_t i = 0; i < fields.size(); ++i) {
@@ -371,7 +378,8 @@ void BrowserFlowPlugin::installXhrInterceptor(browser::Page& page) {
         sealed.body = adapter.rebuildBody(req, fields);
         policy_.audit().append(
             {tdm::AuditRecord::Kind::kUploadEncrypted, clock_->now(), "",
-             tdm::Tag{}, pagePtr->url() + "/xhr", pagePtr->origin(), ""});
+             tdm::Tag{}, pagePtr->url() + "/xhr", pagePtr->origin(),
+             sec::redact(req.body).text});
         return original(xhr, sealed);
       }
     }
@@ -397,7 +405,7 @@ void mergeInto(Decision& total, std::vector<flow::DisclosureHit> hits,
 
 }  // namespace
 
-Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
+Decision BrowserFlowPlugin::decideUploadText(sec::SensitiveView text,
                                              const std::string& documentName,
                                              const std::string& serviceId) {
   // This path bypasses engine_.decide(), so it builds its own provenance:
@@ -419,7 +427,7 @@ Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
     const auto stateLock = engine_.lockState();
 
     // Checks one granularity of one text unit.
-    auto checkUnit = [&](const std::string& unit, flow::SegmentKind kind) {
+    auto checkUnit = [&](sec::SensitiveView unit, flow::SegmentKind kind) {
       text::Fingerprint fp;
       {
         obs::StageTimer fpTimer(obs::Stage::kFingerprint);
@@ -460,7 +468,7 @@ Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
     };
 
     // Paragraph granularity: each paragraph of the upload individually.
-    const auto paragraphs = text::segmentParagraphs(text);
+    const auto paragraphs = text::segmentParagraphs(text.raw());
     for (const auto& para : paragraphs) {
       checkUnit(para.text, flow::SegmentKind::kParagraph);
     }
@@ -479,13 +487,13 @@ Decision BrowserFlowPlugin::decideUploadText(const std::string& text,
   decision.responseTimeMs = watch.elapsedMillis();
   span.addAttr("segments_matched", decision.hits.size());
   recordDecisionProvenance("plugin.upload", documentName + "#upload",
-                           documentName, serviceId, text.size(), trace, stages,
+                           documentName, serviceId, text, trace, stages,
                            decision);
   return decision;
 }
 
 Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
-                                            const std::string& text) {
+                                            sec::SensitiveView text) {
   // One ingress trace covers the whole draft; every per-paragraph decide
   // below inherits it (the engine adopts the ambient trace as parent).
   const obs::TraceContext trace = obs::ingressTrace();
@@ -498,7 +506,7 @@ Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
   // Each paragraph of the draft runs the full engine pipeline: it is
   // observed as a segment of this service (Lc assignment), disclosure is
   // looked up, implicit tags refresh, and the flow rule is checked.
-  const auto paragraphs = text::segmentParagraphs(text);
+  const auto paragraphs = text::segmentParagraphs(text.raw());
   for (const auto& para : paragraphs) {
     DecisionRequest req;
     req.segmentName = draftDoc + "#p" + std::to_string(para.index);
@@ -527,7 +535,7 @@ Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
     req.segmentName = draftDoc;
     req.documentName = draftDoc;
     req.serviceId = service;
-    req.text = text;
+    req.text = sec::SensitiveText(text);
     req.kind = flow::SegmentKind::kDocument;
     req.ingress = "plugin.form";
     Decision d = engine_.decide(req);
@@ -546,14 +554,17 @@ Decision BrowserFlowPlugin::decideFormDraft(browser::Page& page,
 
 void BrowserFlowPlugin::recordViolation(const std::string& segmentName,
                                         const std::string& serviceId,
-                                        const Decision& d) {
+                                        const Decision& d,
+                                        sec::SensitiveView content) {
   static obs::Counter& violationsCounter = obs::registry().counter(
       "bf_plugin_violations_total",
       "Violations surfaced to the user (warn/block/encrypt)");
   violationsCounter.inc();
+  // Only the redacted preview crosses into the audit trail; redact() is a
+  // declassification gate (first/last few chars + length, DESIGN.md §14).
   policy_.audit().append({tdm::AuditRecord::Kind::kViolationWarned,
                           clock_->now(), "", tdm::Tag{}, segmentName,
-                          serviceId, ""});
+                          serviceId, sec::redact(content).text});
   warnings_.push_back(Warning{segmentName, serviceId, d});
   BF_LOG(util::LogLevel::kInfo, "browserflow")
       << "violation: segment " << segmentName << " -> " << serviceId;
@@ -568,7 +579,7 @@ void BrowserFlowPlugin::scanPage(browser::Page& page) {
 
 void BrowserFlowPlugin::observeServiceDocument(
     const std::string& serviceId, const std::string& docName,
-    const std::string& text, std::optional<double> paragraphThreshold,
+    sec::SensitiveView text, std::optional<double> paragraphThreshold,
     std::optional<double> documentThreshold) {
   const auto stateLock = engine_.lockState();
   auto obs = tracker_.observeDocument(docName, serviceId, text,

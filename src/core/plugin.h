@@ -24,6 +24,7 @@
 #include "core/decision_engine.h"
 #include "core/service_adapter.h"
 #include "crypto/sealer.h"
+#include "sec/sensitive.h"
 #include "flow/tracker.h"
 #include "tdm/policy.h"
 #include "util/clock.h"
@@ -71,7 +72,7 @@ class BrowserFlowPlugin final : public browser::Extension {
   /// paragraph").
   void observeServiceDocument(
       const std::string& serviceId, const std::string& docName,
-      const std::string& text,
+      sec::SensitiveView text,
       std::optional<double> paragraphThreshold = std::nullopt,
       std::optional<double> documentThreshold = std::nullopt);
 
@@ -113,7 +114,7 @@ class BrowserFlowPlugin final : public browser::Extension {
   /// granularity too (paper S4.1 tracks both independently). When a
   /// paragraph matches a registered segment of `documentName`, that
   /// segment's label — with any user suppressions — is authoritative.
-  Decision decideUploadText(const std::string& text,
+  Decision decideUploadText(sec::SensitiveView text,
                             const std::string& documentName,
                             const std::string& serviceId);
 
@@ -163,10 +164,13 @@ class BrowserFlowPlugin final : public browser::Extension {
   /// draft paragraphs from earlier, longer drafts. Draft segment names are
   /// "<url>/draft#p<i>", which is what suppressTag() takes to declassify
   /// form content.
-  Decision decideFormDraft(browser::Page& page, const std::string& text);
+  Decision decideFormDraft(browser::Page& page, sec::SensitiveView text);
 
+  /// `content` is the violating text; only its redact() preview reaches
+  /// the audit trail (justification field) — never the raw characters.
   void recordViolation(const std::string& segmentName,
-                       const std::string& serviceId, const Decision& d);
+                       const std::string& serviceId, const Decision& d,
+                       sec::SensitiveView content);
 
   /// Adapter used for a request to `origin`: the registered one, else a
   /// generic adapter chosen by body shape.

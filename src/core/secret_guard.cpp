@@ -29,11 +29,11 @@ bool SecretGuard::addSecret(std::string name, std::string_view value,
   return true;
 }
 
-std::vector<SecretGuard::Hit> SecretGuard::scan(std::string_view text) {
+std::vector<SecretGuard::Hit> SecretGuard::scan(sec::SensitiveView text) {
   std::vector<Hit> out;
   if (secrets_.empty()) return out;
   scansCounter().inc();
-  const text::NormalizedText normalized = text::normalize(text);
+  const text::NormalizedText normalized = text::normalize(text.raw());
   std::vector<bool> seen(secrets_.size(), false);
   for (const auto& match : automaton_.findAll(normalized.text)) {
     if (match.id < seen.size() && !seen[match.id]) {
@@ -45,9 +45,9 @@ std::vector<SecretGuard::Hit> SecretGuard::scan(std::string_view text) {
   return out;
 }
 
-bool SecretGuard::containsSecret(std::string_view text) {
+bool SecretGuard::containsSecret(sec::SensitiveView text) {
   if (secrets_.empty()) return false;
-  return automaton_.containsAny(text::normalize(text).text);
+  return automaton_.containsAny(text::normalize(text.raw()).text);
 }
 
 }  // namespace bf::core

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sec/sensitive.h"
 #include "tdm/tag_set.h"
 #include "text/aho_corasick.h"
 
@@ -46,11 +47,12 @@ class SecretGuard {
   };
 
   /// Scans `text` (normalized internally) for all registered secrets.
-  /// Distinct secrets are reported once each.
-  [[nodiscard]] std::vector<Hit> scan(std::string_view text);
+  /// Distinct secrets are reported once each. Only the registered secret
+  /// NAMES ever leave this call — never the scanned content.
+  [[nodiscard]] std::vector<Hit> scan(sec::SensitiveView text);
 
   /// True if any secret occurs in `text`.
-  [[nodiscard]] bool containsSecret(std::string_view text);
+  [[nodiscard]] bool containsSecret(sec::SensitiveView text);
 
   [[nodiscard]] std::size_t size() const noexcept { return secrets_.size(); }
 

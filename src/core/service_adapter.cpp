@@ -31,7 +31,7 @@ std::string FormEncodedAdapter::rebuildBody(
     const browser::HttpRequest& request,
     const std::vector<UploadField>& fields) const {
   auto pairs = browser::parseFormBody(request.body);
-  for (const auto& f : fields) pairs[f.key] = f.text;
+  for (const auto& f : fields) pairs[f.key] = std::string(f.text.raw());
   return browser::encodeFormPairs(pairs);
 }
 
@@ -66,7 +66,7 @@ std::string JsonFieldAdapter::rebuildBody(
   std::size_t next = 0;
   for (std::size_t i = 0; i < scanned.size() && next < fields.size(); ++i) {
     if (isTextKey(scanned[i].key) && !scanned[i].value.empty()) {
-      replacements.emplace_back(i, fields[next].text);
+      replacements.emplace_back(i, std::string(fields[next].text.raw()));
       ++next;
     }
   }

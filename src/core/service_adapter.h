@@ -17,14 +17,16 @@
 #include <vector>
 
 #include "browser/http.h"
+#include "sec/sensitive.h"
 
 namespace bf::core {
 
-/// One user-text unit extracted from a request.
+/// One user-text unit extracted from a request. The field VALUE is raw
+/// user content and therefore sensitive by type; the key is wire metadata.
 struct UploadField {
   /// Identifier within the body (form key, JSON key, ...).
   std::string key;
-  std::string text;
+  sec::SensitiveText text;
 };
 
 class ServiceAdapter {

@@ -6,22 +6,22 @@
 
 namespace bf::corpus {
 
-std::string Paragraph::render() const {
+sec::SensitiveText Paragraph::render() const {
   std::string out;
   for (std::size_t i = 0; i < sentences.size(); ++i) {
     if (i > 0) out += ' ';
     out += sentences[i].text;
   }
-  return out;
+  return sec::SensitiveText(std::move(out));
 }
 
-std::string VersionedDoc::render() const {
+sec::SensitiveText VersionedDoc::render() const {
   std::string out;
   for (std::size_t i = 0; i < paragraphs.size(); ++i) {
     if (i > 0) out += "\n\n";
-    out += paragraphs[i].render();
+    out += paragraphs[i].render().raw();
   }
-  return out;
+  return sec::SensitiveText(std::move(out));
 }
 
 std::size_t VersionedDoc::renderedSize() const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "corpus/text_generator.h"
+#include "sec/sensitive.h"
 #include "util/rng.h"
 
 namespace bf::corpus {
@@ -34,16 +35,18 @@ struct Sentence {
 /// A paragraph: ordered sentences.
 struct Paragraph {
   std::vector<Sentence> sentences;
-  /// Plain-text rendering (sentences joined by spaces).
-  [[nodiscard]] std::string render() const;
+  /// Plain-text rendering (sentences joined by spaces). Rendered corpus
+  /// text stands in for real user documents, so it is sensitive by type.
+  [[nodiscard]] sec::SensitiveText render() const;
 };
 
 /// A document version.
 struct VersionedDoc {
   std::string id;
   std::vector<Paragraph> paragraphs;
-  /// Plain-text rendering (paragraphs separated by blank lines).
-  [[nodiscard]] std::string render() const;
+  /// Plain-text rendering (paragraphs separated by blank lines). Sensitive
+  /// by type — this is the simulated user document content.
+  [[nodiscard]] sec::SensitiveText render() const;
   /// Total rendered size in bytes.
   [[nodiscard]] std::size_t renderedSize() const;
 };

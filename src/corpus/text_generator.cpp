@@ -71,13 +71,13 @@ std::string TextGenerator::paragraph(std::size_t minSentences,
   return out;
 }
 
-std::string TextGenerator::document(std::size_t paragraphs) {
+sec::SensitiveText TextGenerator::document(std::size_t paragraphs) {
   std::string out;
   for (std::size_t i = 0; i < paragraphs; ++i) {
     if (i > 0) out += "\n\n";
     out += paragraph();
   }
-  return out;
+  return sec::SensitiveText(std::move(out));
 }
 
 }  // namespace bf::corpus

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sec/sensitive.h"
 #include "util/rng.h"
 
 namespace bf::corpus {
@@ -33,7 +34,10 @@ class TextGenerator {
                                       std::size_t maxSentences = 7);
 
   /// A document of `paragraphs` paragraphs separated by blank lines.
-  [[nodiscard]] std::string document(std::size_t paragraphs);
+  /// Documents model user content entering the pipeline, so the rendering
+  /// is sensitive by type (words/sentences/paragraphs stay plain — they
+  /// are building blocks, not documents).
+  [[nodiscard]] sec::SensitiveText document(std::size_t paragraphs);
 
   [[nodiscard]] std::size_t vocabularySize() const noexcept {
     return vocab_.size();

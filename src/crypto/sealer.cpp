@@ -57,13 +57,13 @@ Sealer::Sealer(std::string_view orgSecret) {
   }
 }
 
-std::string Sealer::seal(std::string_view plaintext) {
+std::string Sealer::seal(sec::SensitiveView plaintext) {
   Nonce96 nonce{};
   const std::uint64_t n = ++nonceCounter_;
   for (int i = 0; i < 8; ++i) {
     nonce[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
   }
-  const std::string ct = chacha20Xor(plaintext, key_, nonce);
+  const std::string ct = chacha20Xor(plaintext.raw(), key_, nonce);
   std::string nonceBytes(reinterpret_cast<const char*>(nonce.data()),
                          nonce.size());
   return std::string(kMagic) + toHex(nonceBytes) + ":" + toHex(ct);

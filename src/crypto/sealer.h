@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "crypto/chacha20.h"
+#include "sec/sensitive.h"
 
 namespace bf::crypto {
 
@@ -24,8 +25,10 @@ class Sealer {
   explicit Sealer(std::string_view orgSecret);
 
   /// Encrypts `plaintext` into a printable envelope. Each call uses a fresh
-  /// nonce from an internal counter.
-  [[nodiscard]] std::string seal(std::string_view plaintext);
+  /// nonce from an internal counter. Sealing is a declassification gate
+  /// (DESIGN.md §14): the envelope is ciphertext, so the return type drops
+  /// the sensitivity wrapper.
+  [[nodiscard]] std::string seal(sec::SensitiveView plaintext);
 
   /// Decrypts an envelope produced by seal(). Returns nullopt if the input
   /// is not a well-formed envelope.

@@ -88,7 +88,7 @@ std::uint64_t FlowTracker::digestOf(const text::Fingerprint& fp) {
 SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
                                       std::string_view document,
                                       std::string_view service,
-                                      std::string_view text,
+                                      sec::SensitiveView text,
                                       std::optional<double> threshold) {
   BF_SPAN("flow.observe");
   // Fingerprinting is pure CPU over immutable config: do it before taking
@@ -96,7 +96,7 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
   text::Fingerprint fp;
   {
     obs::StageTimer fpTimer(obs::Stage::kFingerprint);
-    fp = text::fingerprintText(text, config_.fingerprint);
+    fp = text::fingerprintText(text.raw(), config_.fingerprint);
   }
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
@@ -159,17 +159,17 @@ SegmentId FlowTracker::observeSegmentLocked(SegmentKind kind,
 
 FlowTracker::DocumentObservation FlowTracker::observeDocument(
     std::string_view docName, std::string_view service,
-    std::string_view fullText, std::optional<double> paragraphThreshold,
+    sec::SensitiveView fullText, std::optional<double> paragraphThreshold,
     std::optional<double> documentThreshold) {
   BF_SPAN("flow.observe_document");
   const std::uint64_t fpStart = obs::stageStart();
-  const auto paras = text::segmentParagraphs(fullText);
+  const auto paras = text::segmentParagraphs(fullText.raw());
 
   // Fingerprint the document and every paragraph OUTSIDE the lock — pure
   // CPU over immutable config. Large documents fan the paragraphs out over
   // a few threads, each hashing through its own thread-local workspace.
   text::Fingerprint docFp =
-      text::fingerprintText(fullText, config_.fingerprint);
+      text::fingerprintText(fullText.raw(), config_.fingerprint);
   std::vector<text::Fingerprint> paraFps(paras.size());
   const std::size_t workers =
       std::min({paras.size() / kMinParagraphsPerWorker,
@@ -327,11 +327,11 @@ std::vector<DisclosureHit> FlowTracker::disclosedSourcesLocked(
 }
 
 std::vector<DisclosureHit> FlowTracker::checkText(
-    std::string_view text, std::string_view excludeDocument) const {
+    sec::SensitiveView text, std::string_view excludeDocument) const {
   BF_SPAN("flow.check_text");
   const std::uint64_t fpStart = obs::stageStart();
   const text::Fingerprint fp =
-      text::fingerprintText(text, config_.fingerprint);
+      text::fingerprintText(text.raw(), config_.fingerprint);
   obs::stageEnd(obs::Stage::kFingerprint, fpStart);
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();

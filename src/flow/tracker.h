@@ -26,6 +26,7 @@
 #include "flow/ids.h"
 #include "flow/segment_db.h"
 #include "obs/metrics.h"
+#include "sec/sensitive.h"
 #include "text/winnower.h"
 #include "util/clock.h"
 #include "util/mutex.h"
@@ -105,9 +106,11 @@ class FlowTracker {
   /// Creates or updates a segment identified by its unique `name` with the
   /// given text. Fingerprints the text, records new hashes in DBhash, and
   /// stores the fingerprint in DBpar. Returns the segment id.
+  /// `text` is raw document content: it enters as sec::SensitiveView and
+  /// only its fingerprint (a declassification gate) is ever stored.
   SegmentId observeSegment(SegmentKind kind, std::string_view name,
                            std::string_view document,
-                           std::string_view service, std::string_view text,
+                           std::string_view service, sec::SensitiveView text,
                            std::optional<double> threshold = std::nullopt)
       BF_EXCLUDES(mutex_);
 
@@ -122,7 +125,7 @@ class FlowTracker {
   };
   DocumentObservation observeDocument(
       std::string_view docName, std::string_view service,
-      std::string_view fullText,
+      sec::SensitiveView fullText,
       std::optional<double> paragraphThreshold = std::nullopt,
       std::optional<double> documentThreshold = std::nullopt)
       BF_EXCLUDES(mutex_);
@@ -151,7 +154,7 @@ class FlowTracker {
   /// Fingerprints `text` and queries paragraph-kind sources without
   /// registering anything — the "would uploading this leak?" path.
   [[nodiscard]] std::vector<DisclosureHit> checkText(
-      std::string_view text, std::string_view excludeDocument = {}) const
+      sec::SensitiveView text, std::string_view excludeDocument = {}) const
       BF_EXCLUDES(mutex_);
 
   /// Cached per-segment query: disclosing sources of the segment's current
@@ -243,9 +246,10 @@ class FlowTracker {
     stats_.fingerprintsComputed.store(0, std::memory_order_relaxed);
   }
 
-  /// Fingerprint helper using this tracker's configuration.
-  [[nodiscard]] text::Fingerprint fingerprintOf(std::string_view text) const {
-    return text::fingerprintText(text, config_.fingerprint);
+  /// Fingerprint helper using this tracker's configuration. A declassification
+  /// gate (sec/sensitive.h): the winnowed hash set is non-invertible.
+  [[nodiscard]] text::Fingerprint fingerprintOf(sec::SensitiveView text) const {
+    return text::fingerprintText(text.raw(), config_.fingerprint);
   }
 
   // ---- Maintenance & snapshot support ---------------------------------------

@@ -201,6 +201,10 @@ std::string toJson(const DecisionTrace& trace) {
   appendStringArray(os, "violating_tags", trace.violatingTags);
   appendStringArray(os, "labels_consulted", trace.labelsConsulted);
   appendStringArray(os, "secret_hits", trace.secretHits);
+  // contentPreview is already the redacted form (sec::redact output); the
+  // raw text never reaches a DecisionTrace.
+  os << ",\"content_preview\":\""
+     << util::escapeJsonString(trace.contentPreview) << "\"";
   os << ",\"retry\":{\"attempts\":" << trace.retryAttempts
      << ",\"backoff_ms\":" << formatDouble(trace.retryBackoffMs)
      << ",\"exhausted\":" << (trace.retryExhausted ? "true" : "false") << "}}";

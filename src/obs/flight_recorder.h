@@ -63,6 +63,11 @@ struct DecisionTrace {
   std::vector<std::string> violatingTags;
   std::vector<std::string> labelsConsulted;
   std::vector<std::string> secretHits;
+  /// Redacted preview of the checked content (sec::redact output: a few
+  /// edge characters plus the length). NEVER raw text — the sec type layer
+  /// plus scripts/bftaint.py enforce that only declassified forms land
+  /// here.
+  std::string contentPreview;
 
   // Retry/fault history, annotated by cloud::Transport once the send that
   // carried this decision's flow settles.

@@ -1,0 +1,61 @@
+#include "sec/sensitive.h"
+
+#include "util/hashing.h"
+
+namespace bf::sec {
+
+namespace {
+
+/// True for UTF-8 continuation bytes (10xxxxxx).
+[[nodiscard]] constexpr bool isContinuation(unsigned char c) noexcept {
+  return (c & 0xC0u) == 0x80u;
+}
+
+/// Largest prefix length <= `limit` that ends on a code-point boundary.
+[[nodiscard]] std::size_t prefixBoundary(std::string_view s,
+                                         std::size_t limit) noexcept {
+  std::size_t n = limit;
+  while (n > 0 && isContinuation(static_cast<unsigned char>(s[n]))) --n;
+  return n;
+}
+
+/// Smallest suffix start >= `start` that begins on a code-point boundary.
+[[nodiscard]] std::size_t suffixBoundary(std::string_view s,
+                                         std::size_t start) noexcept {
+  std::size_t n = start;
+  while (n < s.size() && isContinuation(static_cast<unsigned char>(s[n]))) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Redacted redact(SensitiveView text, std::size_t keep) {
+  const std::string_view s = text.raw();
+  Redacted out;
+  if (s.empty()) {
+    out.text = "(0 chars)";
+    return out;
+  }
+  // Never reveal more than half the content: clamp to a quarter per side.
+  const std::size_t side = std::min(keep, s.size() / 4);
+  const std::size_t head = prefixBoundary(s, side);
+  // The tail must not overlap the head even after boundary adjustment.
+  const std::size_t tailStart =
+      suffixBoundary(s, std::max(s.size() - side, head));
+  out.text.reserve(head + (s.size() - tailStart) + 24);
+  out.text.append(s, 0, head);
+  out.text.append("\xE2\x80\xA6");  // U+2026 HORIZONTAL ELLIPSIS
+  out.text.append(s, tailStart, s.size() - tailStart);
+  out.text.append(" (");
+  out.text.append(std::to_string(s.size()));
+  out.text.append(" chars)");
+  return out;
+}
+
+std::uint64_t contentHash(SensitiveView text) noexcept {
+  return util::fnv1a64(text.raw());
+}
+
+}  // namespace bf::sec

@@ -11,6 +11,9 @@
 //      changes little and is insensitive to reordering distant content.
 #pragma once
 
+#include <type_traits>
+
+#include "sec/sensitive.h"
 #include "text/fingerprint.h"
 
 namespace bf::text {
@@ -34,6 +37,31 @@ namespace bf::text {
 /// it as the pre-fusion baseline.
 [[nodiscard]] Fingerprint fingerprintTextReference(
     std::string_view input, const FingerprintConfig& config);
+
+/// Declassification gates (sec/sensitive.h): a winnowed fingerprint is a
+/// sparse set of 32-bit hashes — non-invertible, safe to store, compare
+/// and export. These overloads are how sensitive content legitimately
+/// leaves the sec type system. Constrained to the sec types only (raw
+/// strings take the std::string_view overloads above), so a std::string
+/// argument never sees two viable candidates.
+template <typename Sensitive,
+          std::enable_if_t<
+              std::is_convertible_v<const Sensitive&, sec::SensitiveView> &&
+                  !std::is_convertible_v<const Sensitive&, std::string_view>,
+              int> = 0>
+[[nodiscard]] Fingerprint fingerprintText(const Sensitive& input,
+                                          const FingerprintConfig& config) {
+  return fingerprintText(sec::SensitiveView(input).raw(), config);
+}
+template <typename Sensitive,
+          std::enable_if_t<
+              std::is_convertible_v<const Sensitive&, sec::SensitiveView> &&
+                  !std::is_convertible_v<const Sensitive&, std::string_view>,
+              int> = 0>
+[[nodiscard]] Fingerprint fingerprintTextReference(
+    const Sensitive& input, const FingerprintConfig& config) {
+  return fingerprintTextReference(sec::SensitiveView(input).raw(), config);
+}
 
 /// Winnows an already-hashed gram sequence. Exposed for tests and for the
 /// document-level pass, which reuses the paragraph gram streams.

@@ -39,7 +39,7 @@ TEST_F(RevisionTest, ConceptIdsAreUnique) {
 
 TEST_F(RevisionTest, RenderUsesBlankLineSeparators) {
   const VersionedDoc doc = model_.createDocument("d", 3);
-  const std::string text = doc.render();
+  const std::string text = sec::declassifyForTest(doc.render());
   EXPECT_NE(text.find("\n\n"), std::string::npos);
   EXPECT_EQ(doc.renderedSize(), text.size());
 }

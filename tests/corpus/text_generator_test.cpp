@@ -50,7 +50,7 @@ TEST(TextGenerator, ParagraphSentenceCount) {
 TEST(TextGenerator, DocumentHasRequestedParagraphs) {
   util::Rng rng(9);
   TextGenerator gen(&rng);
-  const std::string doc = gen.document(6);
+  const std::string doc = sec::declassifyForTest(gen.document(6));
   EXPECT_EQ(util::splitParagraphs(doc).size(), 6u);
 }
 

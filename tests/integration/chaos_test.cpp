@@ -18,12 +18,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "cloud/fault_injector.h"
 #include "cloud/network.h"
 #include "cloud/notes_client.h"
 #include "core/plugin.h"
 #include "corpus/text_generator.h"
+#include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace_context.h"
@@ -223,6 +225,59 @@ TEST_F(ChaosTest, DegradedDecisionsMatchAuditTrail) {
   }
   EXPECT_EQ(degradedRecords, degradedDelta)
       << "every degraded decision must be retained, not just counted";
+}
+
+TEST_F(ChaosTest, ExportsCarryNoCorpusPlaintext) {
+  // Full run: clean edits land, a sensitive upload is blocked — then every
+  // observability export (Prometheus text, metrics JSON, flight-recorder
+  // JSON) is swept for corpus plaintext. The sec type layer plus
+  // scripts/bftaint.py claim raw content cannot reach these sinks; this
+  // test is the runtime witness of that claim.
+  browser::Page& tab = browser_.openTab(std::string(kNotesOrigin) + "/n/3");
+  cloud::NotesClient notes(tab, "n3");
+  notes.openNote();
+  util::RetryPolicy retry;
+  retry.maxAttempts = 8;
+  retry.deadlineMs = 0.0;
+  notes.enableRetries(retry, /*seed=*/13, /*budgetCapacity=*/50.0);
+
+  std::vector<std::string> corpusTexts;
+  for (int i = 0; i < 8; ++i) {
+    corpusTexts.push_back(gen_.paragraph(5, 7));
+    ASSERT_EQ(notes.appendParagraph(corpusTexts.back()), 200);
+  }
+  const std::string evaluation = gen_.paragraph(7, 9);
+  corpusTexts.push_back(evaluation);
+  plugin_.observeServiceDocument("https://itool.corp",
+                                 "https://itool.corp/eval/3", evaluation);
+  EXPECT_EQ(notes.appendParagraph(evaluation), 403);
+
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const std::string exports[] = {
+      obs::toPrometheusText(snap),
+      obs::toJson(snap),
+      obs::toJson(obs::FlightRecorder::instance()),
+  };
+  // No 24-char window of any corpus paragraph may appear in any export.
+  // Windows step by 8 so a leak of any aligned or unaligned substring of
+  // meaningful length is caught.
+  for (const std::string& text : corpusTexts) {
+    for (std::size_t off = 0; off + 24 <= text.size(); off += 8) {
+      const std::string window = text.substr(off, 24);
+      for (const std::string& out : exports) {
+        ASSERT_EQ(out.find(window), std::string::npos)
+            << "corpus plaintext leaked into an export: \"" << window
+            << "\"";
+      }
+    }
+  }
+
+  // Positive check: the blocked decision's flight record carries a
+  // REDACTED preview (ellipsis + char count), so the exports are scrubbed
+  // because of redaction, not because previews are missing entirely.
+  const std::string& flightJson = exports[2];
+  EXPECT_NE(flightJson.find("content_preview"), std::string::npos);
+  EXPECT_NE(flightJson.find("chars)"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+// bftaint fixture: raw content lands in a span attribute and an audit
+// record literal — the two structured sinks the pipeline exports.
+// bftaint-expect: taint-to-sink
+#include <string>
+
+#include "obs/trace.h"
+#include "sec/sensitive.h"
+#include "tdm/audit.h"
+
+namespace bf {
+
+void leakToAttr(sec::SensitiveView para) {
+  obs::ScopedSpan span("demo");
+  span.addAttr("content", para.raw().size() + 0);
+  std::string captured(para.raw());
+  span.addAttr("body", captured.length() + 1);
+  // The scalar observers above are fine; this one is not:
+  tdm::AuditRecord rec{tdm::AuditRecord::Kind::kViolationWarned,
+                       0, "", tdm::Tag{}, std::string(para.raw()), "", ""};
+}
+
+}  // namespace bf

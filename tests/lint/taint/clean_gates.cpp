@@ -1,0 +1,39 @@
+// bftaint fixture: every declassification gate in one file — all of these
+// emissions are safe by construction, so the file must be CLEAN.
+// (No bftaint-expect line: the selftest asserts zero findings.)
+#include <cstdio>
+#include <string>
+
+#include "crypto/sealer.h"
+#include "sec/sensitive.h"
+#include "text/winnower.h"
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace bf {
+
+void emitSafely(sec::SensitiveText doc, crypto::Sealer& sealer) {
+  // Length/emptiness are harmless scalars.
+  BF_LOG(util::LogLevel::kInfo, "demo")
+      << "bytes=" << doc.size() << " empty=" << doc.empty();
+
+  // redact(): a few edge characters plus the length.
+  BF_LOG(util::LogLevel::kInfo, "demo")
+      << "preview=" << sec::redact(doc).text;
+
+  // One-way hashes.
+  std::printf("hash=%llu fnv=%llu\n",
+              static_cast<unsigned long long>(sec::contentHash(doc)),
+              static_cast<unsigned long long>(util::fnv1a64(doc.raw())));
+
+  // Winnowed fingerprints are hash sets, not text.
+  text::FingerprintConfig cfg;
+  const text::Fingerprint fp = text::fingerprintText(doc, cfg);
+  std::printf("fingerprints=%zu\n", fp.size());
+
+  // Ciphertext envelope.
+  const std::string envelope = sealer.seal(doc);
+  std::printf("sealed=%s\n", envelope.c_str());
+}
+
+}  // namespace bf

@@ -1,0 +1,28 @@
+// bftaint fixture: legitimate pipeline use of .raw() — the unwrapped text
+// feeds fingerprinting and stays inside the process. Must be CLEAN: the
+// sink statements only carry declassified values.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sec/sensitive.h"
+#include "text/segmenter.h"
+#include "text/winnower.h"
+#include "util/logging.h"
+
+namespace bf {
+
+void trackDocument(sec::SensitiveView fullText) {
+  // Unwrapping for the kernel is what .raw() is FOR; segment text remains
+  // tainted but never reaches a sink here.
+  const auto paragraphs = text::segmentParagraphs(fullText.raw());
+  text::FingerprintConfig cfg;
+  std::size_t hashes = 0;
+  for (const auto& para : paragraphs) {
+    hashes += text::fingerprintText(para.text, cfg).size();
+  }
+  BF_LOG(util::LogLevel::kInfo, "demo")
+      << "paragraphs=" << paragraphs.size() << " hashes=" << hashes;
+}
+
+}  // namespace bf

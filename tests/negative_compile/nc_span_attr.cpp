@@ -1,0 +1,17 @@
+// Leak shape 5: attaching sensitive content to a trace span attribute.
+// addAttr takes only numeric values; a SensitiveView does not convert.
+// Control: attach the one-way content hash.
+#include "obs/trace.h"
+#include "sec/sensitive.h"
+
+namespace bf {
+
+void annotateSpan(obs::ScopedSpan& span, sec::SensitiveView para) {
+#ifdef BF_NC_CONTROL
+  span.addAttr("content", sec::contentHash(para));
+#else
+  span.addAttr("content", para);
+#endif
+}
+
+}  // namespace bf

@@ -1,0 +1,20 @@
+// Leak shape 3: materializing sensitive text as an ordinary std::string.
+// SensitiveText has no conversion to std::string. Control: keep the
+// value in the sensitive domain.
+#include <string>
+
+#include "sec/sensitive.h"
+
+namespace bf {
+
+void copyOut(const sec::SensitiveText& doc) {
+#ifdef BF_NC_CONTROL
+  sec::SensitiveText copy = doc;
+  (void)copy;
+#else
+  std::string copy = doc;
+  (void)copy;
+#endif
+}
+
+}  // namespace bf

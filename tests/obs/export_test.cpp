@@ -219,6 +219,7 @@ TEST(Export, DecisionTraceJsonCarriesFullCausalRecord) {
   t.labelsConsulted = {"segment:ti", "privilege:public"};
   t.retryAttempts = 2;
   t.retryBackoffMs = 40.0;
+  t.contentPreview = "We regretâ¦decision (64 chars)";
   const std::string json = toJson(t);
   EXPECT_NE(json.find("\"decision_id\":9"), std::string::npos);
   EXPECT_NE(json.find("\"trace_id\":1234"), std::string::npos);
@@ -235,6 +236,11 @@ TEST(Export, DecisionTraceJsonCarriesFullCausalRecord) {
                 "\"exhausted\":false}"),
       std::string::npos);
   EXPECT_NE(json.find("\"durability_degraded\":false"), std::string::npos);
+  // The preview field carries ONLY the redacted form (sec::redact output).
+  EXPECT_NE(
+      json.find("\"content_preview\":\"We regretâ¦"
+                "decision (64 chars)\""),
+      std::string::npos);
 }
 
 TEST(Export, DecisionTraceJsonMarksDurabilityDegradedWindow) {

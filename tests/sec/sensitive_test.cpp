@@ -1,0 +1,143 @@
+// Tests for the sensitivity type layer and its declassification gates
+// (src/sec/sensitive.h, DESIGN.md §14).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "cloud/dlp_appliance.h"
+#include "corpus/text_generator.h"
+#include "flow/tracker.h"
+#include "sec/sensitive.h"
+#include "util/clock.h"
+#include "util/hashing.h"
+#include "util/rng.h"
+
+namespace bf::sec {
+namespace {
+
+// ---- redact() ---------------------------------------------------------------
+
+TEST(Redact, EmptyInput) {
+  EXPECT_EQ(redact("").text, "(0 chars)");
+}
+
+TEST(Redact, SingleCharRevealsNothing) {
+  // 1 / 4 == 0 chars per side: only the length escapes.
+  EXPECT_EQ(redact("x").text, "\xE2\x80\xA6 (1 chars)");
+}
+
+TEST(Redact, ShortStringsNeverRoundTripWhole) {
+  // A 10-byte secret keeps at most 2 chars per side regardless of `keep`.
+  const Redacted r = redact("hunter2pwd", /*keep=*/100);
+  EXPECT_EQ(r.text, "hu\xE2\x80\xA6wd (10 chars)");
+}
+
+TEST(Redact, LongStringKeepsRequestedEdges) {
+  const std::string s(100, 'a');
+  const Redacted r = redact(s);  // default keep = 8
+  EXPECT_EQ(r.text, std::string(8, 'a') + "\xE2\x80\xA6" +
+                        std::string(8, 'a') + " (100 chars)");
+}
+
+TEST(Redact, Utf8NeverSplitAtCutPoint) {
+  // "aaa€€€€€€bbb" with cut points landing inside the 3-byte '€'
+  // sequences: both edges must retreat to code-point boundaries.
+  const std::string s = "aaa" + std::string("\xE2\x82\xAC") +
+                        "\xE2\x82\xAC\xE2\x82\xAC\xE2\x82\xAC"
+                        "\xE2\x82\xAC\xE2\x82\xAC" + "bbb";
+  for (std::size_t keep = 1; keep <= 12; ++keep) {
+    const Redacted r = redact(s, keep);
+    // Re-decoding must find no dangling continuation bytes at the seams:
+    // every byte with the 10xxxxxx pattern must follow a UTF-8 lead byte.
+    const std::string& t = r.text;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if ((static_cast<unsigned char>(t[i]) & 0xC0u) == 0x80u) {
+        ASSERT_GT(i, 0u) << "keep=" << keep << " text=" << t;
+        const unsigned char prev = static_cast<unsigned char>(t[i - 1]);
+        ASSERT_TRUE(prev >= 0x80u) << "keep=" << keep << " text=" << t;
+      }
+    }
+  }
+}
+
+TEST(Redact, NeverContainsMiddleOfContent) {
+  const std::string secret =
+      "the merger with initech closes on friday at nine";
+  const Redacted r = redact(secret);
+  EXPECT_EQ(r.text.find("initech"), std::string::npos);
+  EXPECT_NE(r.text.find("(48 chars)"), std::string::npos);
+}
+
+// ---- contentHash() ------------------------------------------------------------
+
+TEST(ContentHash, StableAcrossCallsAndEqualToFnv) {
+  const SensitiveText doc("quarterly revenue figures");
+  EXPECT_EQ(contentHash(doc), contentHash(doc));
+  EXPECT_EQ(contentHash(doc), util::fnv1a64(doc.raw()));
+  EXPECT_NE(contentHash(doc), contentHash(SensitiveText("other text")));
+}
+
+// ---- wrapper semantics ---------------------------------------------------------
+
+TEST(SensitiveText, MoveDoesNotCopyBytes) {
+  SensitiveText a(std::string(1024, 'z'));
+  const char* data = a.raw().data();
+  SensitiveText b(std::move(a));
+  EXPECT_EQ(b.raw().data(), data);  // same buffer: moved, not copied
+  EXPECT_EQ(b.size(), 1024u);
+}
+
+TEST(SensitiveText, AppendStaysSensitive) {
+  SensitiveText doc("alpha");
+  doc += SensitiveView(" beta");
+  doc += '!';
+  EXPECT_EQ(doc, SensitiveView("alpha beta!"));
+}
+
+TEST(SensitiveView, EqualityComparesContent) {
+  const std::string s = "same content";
+  EXPECT_EQ(SensitiveView(s), SensitiveView("same content"));
+  EXPECT_NE(SensitiveView(s), SensitiveView("different"));
+}
+
+TEST(DeclassifyForTest, RoundTripsUnderTestDefine) {
+  // This TU compiles with BF_SEC_ENABLE_TEST_DECLASSIFY (tests/ only);
+  // tests/negative_compile/nc_declassify_release.cpp proves production
+  // code cannot call this.
+  const SensitiveText doc("visible to tests");
+  EXPECT_EQ(declassifyForTest(doc), "visible to tests");
+}
+
+// ---- annotation lock-in ---------------------------------------------------------
+// These calls pass OWNING SensitiveText values straight into the two APIs
+// the issue names. SensitiveText does not convert to std::string_view, so
+// removing the Sensitive annotation from either signature breaks this
+// compile — the type threading cannot be silently unwound.
+
+TEST(AnnotationLockIn, TrackerCheckTextTakesSensitive) {
+  util::LogicalClock clock;
+  util::Rng rng(7);
+  corpus::TextGenerator gen(&rng);
+  flow::FlowTracker tracker(flow::TrackerConfig{}, &clock);
+
+  const SensitiveText doc = gen.document(2);
+  tracker.observeDocument("doc-a", "svc", doc);
+  const auto hits = tracker.checkText(doc, "doc-b");
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(AnnotationLockIn, DlpInspectTextTakesSensitive) {
+  util::Rng rng(11);
+  corpus::TextGenerator gen(&rng);
+  cloud::DlpAppliance::Config cfg;
+  cfg.mode = cloud::DlpAppliance::Mode::kFingerprint;
+  cloud::DlpAppliance dlp(nullptr, cfg);
+
+  const SensitiveText doc = gen.document(1);
+  dlp.registerSensitiveDocument(doc);
+  EXPECT_TRUE(dlp.inspectText(doc));
+}
+
+}  // namespace
+}  // namespace bf::sec
