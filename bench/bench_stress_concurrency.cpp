@@ -4,9 +4,11 @@
 // engine's serialisation kept the stores coherent.
 //
 // A second phase measures multi-reader QUERY throughput against a loaded
-// tracker, comparing the reader-writer lock's shared path against an
-// emulation of the pre-PR exclusive mutex (every query gated through one
-// bench-side mutex). RESULT lines feed scripts/bench_report.py.
+// tracker, comparing the lock-free left-right read path (no shared mutex
+// per query; see flow/tracker.h and DESIGN.md section 15) against an emulation
+// of the pre-PR exclusive mutex (every query gated through one bench-side
+// mutex). Run with --multi-reader to execute only this sweep. RESULT
+// lines feed scripts/bench_report.py.
 //
 // (Beyond the paper: its prototype serves one user per browser; an
 // enterprise proxy deployment would multiplex users over one store.)
@@ -35,8 +37,8 @@ namespace {
 /// disclosure queries with precomputed fingerprints. With serialise=true,
 /// every query first takes one bench-side mutex, emulating the pre-PR
 /// tracker whose single exclusive mutex serialised all readers; with
-/// serialise=false the queries go straight to the tracker's shared lock.
-/// Returns sustained queries/second.
+/// serialise=false the queries go straight to the tracker's lock-free
+/// left-right read path. Returns sustained queries/second.
 double runReaderPhase(bf::flow::FlowTracker& tracker,
                       const std::vector<bf::text::Fingerprint>& queries,
                       std::size_t readers, std::size_t queriesEach,
@@ -71,10 +73,75 @@ double runReaderPhase(bf::flow::FlowTracker& tracker,
          (seconds > 0 ? seconds : 1e-9);
 }
 
+/// The multi-reader query sweep: precomputed fingerprints, pure
+/// Algorithm-1 queries — this isolates the tracker's read-path
+/// synchronisation from fingerprinting cost. "exclusive" gates every
+/// query through one bench-side mutex (the pre-PR behaviour: a single
+/// exclusive tracker mutex serialised all readers); "shared" exercises
+/// the left-right lock-free read path. Reports per-width speedup vs r1 so
+/// the scaling claim is machine-checkable (bench_gate.py asserts
+/// shared_r8 >= 2x shared_r1 on >= 8-core hosts).
+void runMultiReaderSweep(bf::flow::FlowTracker& tracker,
+                         const std::vector<std::string>& secrets) {
+  using namespace bf;
+  bench::printHeader("Readers", "multi-reader query throughput");
+  std::vector<text::Fingerprint> queries;
+  queries.reserve(secrets.size());
+  for (const std::string& s : secrets) {
+    queries.push_back(tracker.fingerprintOf(s));
+  }
+  const std::size_t queriesEach = bench::paperScale() ? 2000 : 500;
+  const unsigned cores = std::thread::hardware_concurrency();
+  for (const bool serialise : {true, false}) {
+    double r1Qps = 0.0;
+    for (const std::size_t readers : {1u, 2u, 4u, 8u}) {
+      const double qps =
+          runReaderPhase(tracker, queries, readers, queriesEach, serialise);
+      const char* mode = serialise ? "exclusive" : "shared";
+      if (readers == 1) r1Qps = qps;
+      const double speedup = r1Qps > 0 ? qps / r1Qps : 0.0;
+      std::printf(
+          "mode: %-9s readers: %zu  queries/s: %10.0f  speedup vs r1: "
+          "%.2fx\n",
+          mode, readers, qps, speedup);
+      bench::result("{\"bench\":\"multi_reader\",\"mode\":\"" +
+                    std::string(mode) +
+                    "\",\"readers\":" + std::to_string(readers) +
+                    ",\"queries_per_s\":" + std::to_string(qps) +
+                    ",\"speedup_vs_r1\":" + std::to_string(speedup) +
+                    ",\"hw_cores\":" + std::to_string(cores) + "}");
+    }
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bf;
+
+  // --multi-reader: run ONLY the reader-count sweep against a freshly
+  // seeded tracker — the fast feedback loop for read-path work (and the
+  // mode bench_gate.py's scaling check documents).
+  const bool multiReaderOnly =
+      argc > 1 && std::string(argv[1]) == "--multi-reader";
+  if (multiReaderOnly) {
+    util::LogicalClock mrClock;
+    flow::FlowTracker mrTracker(flow::TrackerConfig{}, &mrClock);
+    util::Rng mrRng(99);
+    corpus::TextGenerator mrGen(&mrRng);
+    std::vector<std::string> mrSecrets;
+    for (int i = 0; i < 50; ++i) {
+      mrSecrets.push_back(mrGen.paragraph(6, 8));
+      mrTracker.observeSegment(flow::SegmentKind::kParagraph,
+                               "secret" + std::to_string(i) + "#p0",
+                               "secret" + std::to_string(i), "internal",
+                               mrSecrets.back());
+    }
+    runMultiReaderSweep(mrTracker, mrSecrets);
+    bench::dumpMetrics();
+    return 0;
+  }
+
   bench::printHeader("Stress", "concurrent async decisions");
 
   // BF_STRESS_USERS / BF_STRESS_DECISIONS override the scale: the tsan
@@ -171,31 +238,7 @@ int main() {
                 ",\"p99_ms\":" + std::to_string(latency.p99Ms) + "}");
 
   // ---- Multi-reader query scaling ------------------------------------------
-  // Precomputed fingerprints, pure Algorithm-1 queries: this isolates the
-  // tracker's lock from fingerprinting cost. "exclusive" gates every query
-  // through one bench-side mutex (the pre-PR behaviour: a single exclusive
-  // tracker mutex serialised all readers); "shared" exercises the
-  // reader-writer lock's concurrent read path.
-  bench::printHeader("Readers", "multi-reader query throughput");
-  std::vector<text::Fingerprint> queries;
-  queries.reserve(secrets.size());
-  for (const std::string& s : secrets) queries.push_back(tracker.fingerprintOf(s));
-  const std::size_t queriesEach = bench::paperScale() ? 2000 : 500;
-  const unsigned cores = std::thread::hardware_concurrency();
-  for (const bool serialise : {true, false}) {
-    for (const std::size_t readers : {1u, 2u, 4u, 8u}) {
-      const double qps =
-          runReaderPhase(tracker, queries, readers, queriesEach, serialise);
-      const char* mode = serialise ? "exclusive" : "shared";
-      std::printf("mode: %-9s readers: %zu  queries/s: %10.0f\n", mode,
-                  readers, qps);
-      bench::result("{\"bench\":\"multi_reader\",\"mode\":\"" +
-                    std::string(mode) +
-                    "\",\"readers\":" + std::to_string(readers) +
-                    ",\"queries_per_s\":" + std::to_string(qps) +
-                    ",\"hw_cores\":" + std::to_string(cores) + "}");
-    }
-  }
+  runMultiReaderSweep(tracker, secrets);
 
   // ---- WAL append overhead -------------------------------------------------
   // The stress workload's decision loop (keystroke edits + periodic secret

@@ -63,7 +63,14 @@ def parse_result_lines(stdout):
 
 
 def run_micro(build_dir, quick):
-    """bench_micro_fingerprint via google-benchmark's JSON reporter."""
+    """bench_micro_fingerprint via google-benchmark's JSON reporter.
+
+    Full (non-quick) runs take the best of 3 invocations per benchmark —
+    highest throughput, lowest times — the same least-interference
+    estimator run_results_bench applies to the stress benches: on a
+    loaded single-core host a lone google-benchmark mean swings with
+    scheduler luck, which a kernel-speedup gate would otherwise inherit.
+    """
     binary = os.path.join(build_dir, "bench", "bench_micro_fingerprint")
     cmd = [binary, "--benchmark_format=json"]
     if quick:
@@ -71,24 +78,42 @@ def run_micro(build_dir, quick):
             "--benchmark_filter=BM_Fingerprint(Text|TextReference|"
             "TextFusedWorkspace)/16384"
         )
-    out, wall, rss = run_child(cmd)
-    data = json.loads(out)
-    benchmarks = []
-    for b in data.get("benchmarks", []):
-        entry = {
-            "name": b["name"],
-            "real_time_ns": b.get("real_time"),
-            "cpu_time_ns": b.get("cpu_time"),
-        }
-        if "bytes_per_second" in b:
-            entry["mb_per_s"] = b["bytes_per_second"] / 1e6
-        benchmarks.append(entry)
+    best = {}
+    order = []
+    wall_total = 0.0
+    rss_peak = 0
+    context = {}
+    for _ in range(1 if quick else 3):
+        out, wall, rss = run_child(cmd)
+        wall_total += wall
+        rss_peak = max(rss_peak, rss)
+        data = json.loads(out)
+        context = data.get("context", {})
+        for b in data.get("benchmarks", []):
+            entry = {
+                "name": b["name"],
+                "real_time_ns": b.get("real_time"),
+                "cpu_time_ns": b.get("cpu_time"),
+            }
+            if "bytes_per_second" in b:
+                entry["mb_per_s"] = b["bytes_per_second"] / 1e6
+            prev = best.get(b["name"])
+            if prev is None:
+                best[b["name"]] = entry
+                order.append(b["name"])
+            else:
+                for field in ("real_time_ns", "cpu_time_ns"):
+                    if prev.get(field) and entry.get(field):
+                        prev[field] = min(prev[field], entry[field])
+                if "mb_per_s" in prev and "mb_per_s" in entry:
+                    prev["mb_per_s"] = max(prev["mb_per_s"],
+                                           entry["mb_per_s"])
     return {
-        "benchmarks": benchmarks,
-        "wall_s": round(wall, 2),
-        "peak_rss_bytes": rss,
+        "benchmarks": [best[name] for name in order],
+        "wall_s": round(wall_total, 2),
+        "peak_rss_bytes": rss_peak,
         "context": {
-            k: data.get("context", {}).get(k)
+            k: context.get(k)
             for k in ("num_cpus", "mhz_per_cpu", "library_build_type")
         },
     }

@@ -135,6 +135,21 @@ STATE_FILE_IO_PATTERNS = [
      "raw libc file I/O; use io::Vfs (listDir/open*) from src/io/vfs.h"),
 ]
 
+# Raw SIMD intrinsics live ONLY behind the runtime dispatcher
+# (src/text/simd/, see text/simd/kernel.h) or crc32c's existing SSE4.2
+# dispatch — everywhere else they bypass cpuid gating and the scalar
+# fallback contract.
+SIMD_INTRINSICS_ALLOWED_PREFIXES = ("src/text/simd/",)
+SIMD_INTRINSICS_ALLOWED = ("src/util/crc32c.cpp",)
+
+SIMD_INTRINSICS_PATTERNS = [
+    (re.compile(r"\b_mm(?:256|512)?_\w+"),
+     "raw SIMD intrinsic outside src/text/simd/ (or util/crc32c.cpp); "
+     "implement it as a kernel behind the runtime dispatcher "
+     "(text/simd/kernel.h) so cpuid gating, BF_FORCE_SCALAR_KERNEL, and "
+     "the scalar fallback stay enforceable"),
+]
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 _STRIP_RE = re.compile(
@@ -194,6 +209,10 @@ def lint_file(path: str, fixture_mode: bool = False) -> list[Finding]:
          not fixture_mode and not rel.startswith(("src/core/", "src/flow/")))
     scan(DEQUE_PATTERNS, "deque-scratch",
          not fixture_mode and not rel.startswith("src/text/"))
+    scan(SIMD_INTRINSICS_PATTERNS, "simd-intrinsics",
+         not fixture_mode and
+         (rel.startswith(SIMD_INTRINSICS_ALLOWED_PREFIXES) or
+          rel in SIMD_INTRINSICS_ALLOWED))
     scan(STATE_FILE_IO_PATTERNS, "state-file-io",
          not fixture_mode and (not rel.startswith("src/flow/") or
                                rel in STATE_FILE_IO_ALLOWED))

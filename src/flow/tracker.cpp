@@ -66,15 +66,16 @@ constexpr std::size_t kMaxFingerprintWorkers = 8;
 }  // namespace
 
 FlowTracker::FlowTracker(TrackerConfig config, util::Clock* clock)
-    : config_(config), clock_(clock) {}
+    : config_(config), tape_(clock) {}
 
-void FlowTracker::refreshStoreGaugesLocked() const noexcept {
+void FlowTracker::refreshStoreGauges() const noexcept {
+  const Stores& s = stores_[static_cast<std::size_t>(lr_.activeInstance())];
   const TrackerMetrics& m = trackerMetrics();
   m.dbhashParagraphHashes->set(static_cast<double>(
-      hashDbLocked(SegmentKind::kParagraph).distinctHashCount()));
+      s.hashes[idx(SegmentKind::kParagraph)].distinctHashCount()));
   m.dbhashDocumentHashes->set(static_cast<double>(
-      hashDbLocked(SegmentKind::kDocument).distinctHashCount()));
-  m.dbparSegments->set(static_cast<double>(segments_.size()));
+      s.hashes[idx(SegmentKind::kDocument)].distinctHashCount()));
+  m.dbparSegments->set(static_cast<double>(s.segments.size()));
 }
 
 std::uint64_t FlowTracker::digestOf(const text::Fingerprint& fp) {
@@ -92,7 +93,8 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
                                       std::optional<double> threshold) {
   BF_SPAN("flow.observe");
   // Fingerprinting is pure CPU over immutable config: do it before taking
-  // the mutex so concurrent observers only serialise on the store update.
+  // the writer mutex so concurrent observers only serialise on the store
+  // update.
   text::Fingerprint fp;
   {
     obs::StageTimer fpTimer(obs::Stage::kFingerprint);
@@ -101,57 +103,62 @@ SegmentId FlowTracker::observeSegment(SegmentKind kind, std::string_view name,
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
   const std::uint64_t lockWait = obs::stageStart();
-  util::SharedMutexLock lock(mutex_);
+  util::MutexLock lock(mutex_);
   obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
-  const SegmentId id = observeSegmentLocked(kind, name, document, service,
-                                            std::move(fp), threshold);
-  refreshStoreGaugesLocked();
+  const SegmentId id = mutateStores([&](Stores& s, WriteAheadLog* wal) {
+    return observeSegmentIn(s, wal, kind, name, document, service, fp,
+                            threshold);
+  });
+  refreshStoreGauges();
   return id;
 }
 
-SegmentId FlowTracker::observeSegmentLocked(SegmentKind kind,
-                                            std::string_view name,
-                                            std::string_view document,
-                                            std::string_view service,
-                                            text::Fingerprint fp,
-                                            std::optional<double> threshold) {
+SegmentId FlowTracker::observeSegmentIn(Stores& s, WriteAheadLog* wal,
+                                        SegmentKind kind,
+                                        std::string_view name,
+                                        std::string_view document,
+                                        std::string_view service,
+                                        const text::Fingerprint& fp,
+                                        std::optional<double> threshold) {
   const double defaultThreshold = kind == SegmentKind::kParagraph
                                       ? config_.defaultParagraphThreshold
                                       : config_.defaultDocumentThreshold;
-  const SegmentRecord* existing = segments_.findByName(name);
+  const SegmentRecord* existing = s.segments.findByName(name);
   SegmentId id;
   if (existing == nullptr) {
-    id = segments_.create(kind, std::string(name), std::string(document),
-                          std::string(service),
-                          threshold.value_or(defaultThreshold), clock_->now());
+    id = s.segments.create(kind, std::string(name), std::string(document),
+                           std::string(service),
+                           threshold.value_or(defaultThreshold), tape_.now());
   } else {
     id = existing->id;
-    if (threshold) segments_.setThreshold(id, *threshold);
+    if (threshold) s.segments.setThreshold(id, *threshold);
     // Unchanged fingerprint: nothing to record and the cached disclosure
     // answer stays valid (the per-keystroke fast path of S6.2). A threshold
     // change is still durable state, so it is the one thing logged.
     if (existing->fingerprint.sameHashes(fp)) {
-      if (wal_ != nullptr && threshold) {
-        wal_->logThresholdChanged(name, *threshold);
+      if (wal != nullptr && threshold) {
+        wal->logThresholdChanged(name, *threshold);
       }
       return id;
     }
   }
 
-  const util::Timestamp now = clock_->now();
-  HashDb& db = hashDbFor(kind);
+  const util::Timestamp now = tape_.now();
+  HashDb& db = s.hashes[idx(kind)];
   for (std::uint64_t h : fp.hashes()) {
     db.recordObservation(h, id, now);
   }
-  segments_.updateFingerprint(id, std::move(fp), now);
-  if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
-  if (wal_ != nullptr) {
+  s.segments.updateFingerprint(id, fp, now);
+  if (auto it = s.cache.find(id); it != s.cache.end()) {
+    it->second.valid = false;
+  }
+  if (wal != nullptr) {
     // Log the POST-mutation record: replaying it recreates the segment with
     // its effective threshold and timestamps, and re-records its hash
     // associations at updatedAt (HashDb idempotency keeps earlier
     // first-seen timestamps, exactly as the live path did).
-    if (const SegmentRecord* rec = segments_.find(id); rec != nullptr) {
-      wal_->logSegmentObserved(*rec);
+    if (const SegmentRecord* rec = s.segments.find(id); rec != nullptr) {
+      wal->logSegmentObserved(*rec);
     }
   }
   return id;
@@ -200,65 +207,72 @@ FlowTracker::DocumentObservation FlowTracker::observeDocument(
   trackerMetrics().fingerprints->inc(paras.size() + 1);
   obs::stageEnd(obs::Stage::kFingerprint, fpStart);
 
-  // One exclusive section applies every store update, then refreshes the
-  // gauges once — the lock is taken once, not once per paragraph.
-  DocumentObservation out;
-  out.paragraphs.reserve(paras.size());
+  // One writer section applies every store update (to both replicas), then
+  // refreshes the gauges once — the lock is taken once, not once per
+  // paragraph.
   const std::uint64_t lockWait = obs::stageStart();
-  util::SharedMutexLock lock(mutex_);
+  util::MutexLock lock(mutex_);
   obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
-  out.document =
-      observeSegmentLocked(SegmentKind::kDocument, docName, docName, service,
-                           std::move(docFp), documentThreshold);
-  for (std::size_t i = 0; i < paras.size(); ++i) {
-    std::string pname =
-        std::string(docName) + "#p" + std::to_string(paras[i].index);
-    out.paragraphs.push_back(observeSegmentLocked(
-        SegmentKind::kParagraph, pname, docName, service,
-        std::move(paraFps[i]), paragraphThreshold));
-  }
-  refreshStoreGaugesLocked();
+  DocumentObservation out = mutateStores([&](Stores& s, WriteAheadLog* wal) {
+    DocumentObservation o;
+    o.paragraphs.reserve(paras.size());
+    o.document = observeSegmentIn(s, wal, SegmentKind::kDocument, docName,
+                                  docName, service, docFp, documentThreshold);
+    for (std::size_t i = 0; i < paras.size(); ++i) {
+      std::string pname =
+          std::string(docName) + "#p" + std::to_string(paras[i].index);
+      o.paragraphs.push_back(observeSegmentIn(s, wal, SegmentKind::kParagraph,
+                                              pname, docName, service,
+                                              paraFps[i], paragraphThreshold));
+    }
+    return o;
+  });
+  refreshStoreGauges();
   return out;
 }
 
 void FlowTracker::removeSegmentByName(std::string_view name) {
-  util::SharedMutexLock lock(mutex_);
-  const SegmentRecord* rec = segments_.findByName(name);
-  if (rec != nullptr) removeSegmentLocked(rec->id);
-  refreshStoreGaugesLocked();
+  util::MutexLock lock(mutex_);
+  mutateStores([&](Stores& s, WriteAheadLog* wal) {
+    const SegmentRecord* rec = s.segments.findByName(name);
+    if (rec != nullptr) removeSegmentIn(s, wal, rec->id);
+  });
+  refreshStoreGauges();
 }
 
 void FlowTracker::removeSegment(SegmentId id) {
-  util::SharedMutexLock lock(mutex_);
-  removeSegmentLocked(id);
-  refreshStoreGaugesLocked();
+  util::MutexLock lock(mutex_);
+  mutateStores([&](Stores& s, WriteAheadLog* wal) {
+    removeSegmentIn(s, wal, id);
+  });
+  refreshStoreGauges();
 }
 
-void FlowTracker::removeSegmentLocked(SegmentId id) {
-  const SegmentRecord* rec = segments_.find(id);
+void FlowTracker::removeSegmentIn(Stores& s, WriteAheadLog* wal,
+                                  SegmentId id) {
+  const SegmentRecord* rec = s.segments.find(id);
   if (rec != nullptr) {
-    hashDbFor(rec->kind).removeSegment(id);
+    s.hashes[idx(rec->kind)].removeSegment(id);
   } else {
-    hashDbFor(SegmentKind::kParagraph).removeSegment(id);
-    hashDbFor(SegmentKind::kDocument).removeSegment(id);
+    s.hashes[idx(SegmentKind::kParagraph)].removeSegment(id);
+    s.hashes[idx(SegmentKind::kDocument)].removeSegment(id);
   }
-  segments_.remove(id);
-  cache_.erase(id);
-  if (wal_ != nullptr) wal_->logSegmentRemoved(id);
+  s.segments.remove(id);
+  s.cache.erase(id);
+  if (wal != nullptr) wal->logSegmentRemoved(id);
 }
 
 std::vector<DisclosureHit> FlowTracker::disclosedSources(
     const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
     std::string_view selfDocument) const {
-  const std::uint64_t lockWait = obs::stageStart();
-  util::SharedReaderLock lock(mutex_);
-  obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
-  return disclosedSourcesLocked(target, sourceKind, self, selfDocument);
+  util::LeftRightReadGuard guard(lr_);
+  return disclosedSourcesIn(readerStores(guard), target, sourceKind, self,
+                            selfDocument);
 }
 
-std::vector<DisclosureHit> FlowTracker::disclosedSourcesLocked(
-    const text::Fingerprint& target, SegmentKind sourceKind, SegmentId self,
-    std::string_view selfDocument) const {
+std::vector<DisclosureHit> FlowTracker::disclosedSourcesIn(
+    const Stores& st, const text::Fingerprint& target, SegmentKind sourceKind,
+    SegmentId self, std::string_view selfDocument) const {
   BF_SPAN("flow.query");
   obs::StageTimer lookupTimer(obs::Stage::kTrackerLookup);
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
@@ -272,7 +286,7 @@ std::vector<DisclosureHit> FlowTracker::disclosedSourcesLocked(
   // so the candidate set is bounded by |F(target)| regardless of database
   // size. This is what makes response time scale sub-linearly with the
   // hash count (paper Fig. 13).
-  const HashDb& db = hashDbLocked(sourceKind);
+  const HashDb& db = st.hashes[idx(sourceKind)];
   std::unordered_set<SegmentId> candidates;
   if (config_.useAuthoritative) {
     for (std::uint64_t h : target.hashes()) {
@@ -289,7 +303,7 @@ std::vector<DisclosureHit> FlowTracker::disclosedSourcesLocked(
 
   for (SegmentId c : candidates) {
     if (c == self) continue;  // "if p = P then continue"
-    const SegmentRecord* rec = segments_.find(c);
+    const SegmentRecord* rec = st.segments.find(c);
     if (rec == nullptr || rec->kind != sourceKind) continue;
     if (config_.excludeSameDocument && !selfDocument.empty() &&
         rec->document == selfDocument) {
@@ -335,72 +349,83 @@ std::vector<DisclosureHit> FlowTracker::checkText(
   obs::stageEnd(obs::Stage::kFingerprint, fpStart);
   stats_.fingerprintsComputed.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().fingerprints->inc();
-  const std::uint64_t lockWait = obs::stageStart();
-  util::SharedReaderLock lock(mutex_);
-  obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
-  return disclosedSourcesLocked(fp, SegmentKind::kParagraph, kInvalidSegment,
-                                excludeDocument);
+  util::LeftRightReadGuard guard(lr_);
+  return disclosedSourcesIn(readerStores(guard), fp, SegmentKind::kParagraph,
+                            kInvalidSegment, excludeDocument);
 }
 
 std::vector<DisclosureHit> FlowTracker::sourcesForSegment(SegmentId id) {
   if (config_.enableCache) {
-    // Fast path under a SHARED hold: an unchanged fingerprint serves the
-    // cached answer without blocking concurrent queries (the per-keystroke
+    // Fast path: a lock-free left-right read — an unchanged fingerprint
+    // serves the cached answer without any mutex, so concurrent cached
+    // queries neither serialise nor wait for writers (the per-keystroke
     // common case of S6.2).
-    const std::uint64_t lockWait = obs::stageStart();
-    util::SharedReaderLock lock(mutex_);
-    obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
     obs::StageTimer lookupTimer(obs::Stage::kTrackerLookup);
-    const SegmentRecord* rec = segments_.find(id);
+    util::LeftRightReadGuard guard(lr_);
+    const Stores& st = readerStores(guard);
+    const SegmentRecord* rec = st.segments.find(id);
     if (rec == nullptr) return {};
-    const auto it = cache_.find(id);
-    if (it != cache_.end() && it->second.valid &&
+    const auto it = st.cache.find(id);
+    if (it != st.cache.end() && it->second.valid &&
         it->second.fingerprintDigest == digestOf(rec->fingerprint) &&
         it->second.removalGeneration ==
-            hashDbLocked(rec->kind).removalGeneration()) {
+            st.hashes[idx(rec->kind)].removalGeneration()) {
       stats_.cacheHits.fetch_add(1, std::memory_order_relaxed);
       trackerMetrics().cacheHits->inc();
       return it->second.hits;
     }
   }
 
-  // Miss (or cache disabled): recompute and store under an exclusive hold.
-  // The stores may have changed between the two holds, so everything is
-  // re-read — including the cache entry another thread may just have filled.
+  // Miss (or cache disabled): recompute from the active replica under the
+  // writer mutex, then install the entry into both replicas. The stores may
+  // have changed since the guard was dropped, so everything is re-read —
+  // including the cache entry another thread may just have filled.
   const std::uint64_t lockWait = obs::stageStart();
-  util::SharedMutexLock lock(mutex_);
+  util::MutexLock lock(mutex_);
   obs::stageEnd(obs::Stage::kTrackerLockWait, lockWait);
-  const SegmentRecord* rec = segments_.find(id);
+  const Stores& active =
+      stores_[static_cast<std::size_t>(lr_.activeInstance())];
+  const SegmentRecord* rec = active.segments.find(id);
   if (rec == nullptr) return {};
 
-  CacheEntry& entry = cache_[id];
   const std::uint64_t digest = digestOf(rec->fingerprint);
-  const std::uint64_t removalGen = hashDbLocked(rec->kind).removalGeneration();
-  if (config_.enableCache && entry.valid &&
-      entry.fingerprintDigest == digest &&
-      entry.removalGeneration == removalGen) {
-    stats_.cacheHits.fetch_add(1, std::memory_order_relaxed);
-    trackerMetrics().cacheHits->inc();
-    return entry.hits;
+  const std::uint64_t removalGen =
+      active.hashes[idx(rec->kind)].removalGeneration();
+  if (config_.enableCache) {
+    const auto it = active.cache.find(id);
+    if (it != active.cache.end() && it->second.valid &&
+        it->second.fingerprintDigest == digest &&
+        it->second.removalGeneration == removalGen) {
+      stats_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+      trackerMetrics().cacheHits->inc();
+      return it->second.hits;
+    }
   }
   stats_.cacheMisses.fetch_add(1, std::memory_order_relaxed);
   trackerMetrics().cacheMisses->inc();
-  entry.hits =
-      disclosedSourcesLocked(rec->fingerprint, rec->kind, id, rec->document);
-  entry.fingerprintDigest = digest;
-  entry.removalGeneration = removalGen;
-  entry.valid = true;
-  return entry.hits;
+  std::vector<DisclosureHit> hits = disclosedSourcesIn(
+      active, rec->fingerprint, rec->kind, id, rec->document);
+  // The fill only touches the replicated cache maps, never the segment and
+  // hash tables `rec` points into, so `rec`/`active` stay valid across it.
+  mutateStores([&](Stores& s, WriteAheadLog*) {
+    CacheEntry& entry = s.cache[id];
+    entry.hits = hits;
+    entry.fingerprintDigest = digest;
+    entry.removalGeneration = removalGen;
+    entry.valid = true;
+  });
+  return hits;
 }
 
 double FlowTracker::pairwiseDisclosure(SegmentId source,
                                        SegmentId target) const {
-  util::SharedReaderLock lock(mutex_);
-  const SegmentRecord* src = segments_.find(source);
-  const SegmentRecord* tgt = segments_.find(target);
+  util::LeftRightReadGuard guard(lr_);
+  const Stores& st = readerStores(guard);
+  const SegmentRecord* src = st.segments.find(source);
+  const SegmentRecord* tgt = st.segments.find(target);
   if (src == nullptr || tgt == nullptr) return 0.0;
   if (config_.useAuthoritative) {
-    return disclosureScore(*src, tgt->fingerprint, hashDbLocked(src->kind));
+    return disclosureScore(*src, tgt->fingerprint, st.hashes[idx(src->kind)]);
   }
   const std::size_t total = src->fingerprint.size();
   if (total == 0) return 0.0;
@@ -411,32 +436,40 @@ double FlowTracker::pairwiseDisclosure(SegmentId source,
 
 bool FlowTracker::setSegmentThreshold(std::string_view name,
                                       double threshold) {
-  util::SharedMutexLock lock(mutex_);
-  const SegmentRecord* rec = segments_.findByName(name);
-  if (rec == nullptr) return false;
-  segments_.setThreshold(rec->id, threshold);
-  // A source's threshold changes every other segment's query outcome.
-  cache_.clear();
-  if (wal_ != nullptr) wal_->logThresholdChanged(name, threshold);
-  return true;
+  util::MutexLock lock(mutex_);
+  return mutateStores([&](Stores& s, WriteAheadLog* wal) {
+    const SegmentRecord* rec = s.segments.findByName(name);
+    if (rec == nullptr) return false;
+    s.segments.setThreshold(rec->id, threshold);
+    // A source's threshold changes every other segment's query outcome.
+    s.cache.clear();
+    if (wal != nullptr) wal->logThresholdChanged(name, threshold);
+    return true;
+  });
 }
 
 std::size_t FlowTracker::evictAssociationsOlderThan(util::Timestamp cutoff) {
-  util::SharedMutexLock lock(mutex_);
-  std::size_t dropped = 0;
-  dropped += hashDbFor(SegmentKind::kParagraph).evictOlderThan(cutoff);
-  dropped += hashDbFor(SegmentKind::kDocument).evictOlderThan(cutoff);
-  cache_.clear();  // authority may have shifted wholesale
-  if (wal_ != nullptr) wal_->logAssociationsEvicted(cutoff);
-  refreshStoreGaugesLocked();
+  util::MutexLock lock(mutex_);
+  const std::size_t dropped =
+      mutateStores([&](Stores& s, WriteAheadLog* wal) {
+        std::size_t n = 0;
+        n += s.hashes[idx(SegmentKind::kParagraph)].evictOlderThan(cutoff);
+        n += s.hashes[idx(SegmentKind::kDocument)].evictOlderThan(cutoff);
+        s.cache.clear();  // authority may have shifted wholesale
+        if (wal != nullptr) wal->logAssociationsEvicted(cutoff);
+        return n;
+      });
+  refreshStoreGauges();
   return dropped;
 }
 
 void FlowTracker::restoreSegment(SegmentRecord record) {
-  util::SharedMutexLock lock(mutex_);
-  if (wal_ != nullptr) wal_->logSegmentObserved(record);
-  segments_.restore(std::move(record));
-  refreshStoreGaugesLocked();
+  util::MutexLock lock(mutex_);
+  mutateStores([&](Stores& s, WriteAheadLog* wal) {
+    if (wal != nullptr) wal->logSegmentObserved(record);
+    s.segments.restore(record);  // by-value copy; applied to both replicas
+  });
+  refreshStoreGauges();
 }
 
 void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
@@ -444,43 +477,54 @@ void FlowTracker::restoreAssociation(SegmentKind kind, std::uint64_t hash,
                                      util::Timestamp firstSeen) {
   // Called once per association during snapshot import; the store gauges
   // are refreshed by restoreSegment / the next observation instead of here.
-  util::SharedMutexLock lock(mutex_);
-  hashDbFor(kind).recordObservation(hash, segment, firstSeen);
-  if (wal_ != nullptr) wal_->logAssociationAdded(kind, hash, segment, firstSeen);
+  util::MutexLock lock(mutex_);
+  mutateStores([&](Stores& s, WriteAheadLog* wal) {
+    s.hashes[idx(kind)].recordObservation(hash, segment, firstSeen);
+    if (wal != nullptr) {
+      wal->logAssociationAdded(kind, hash, segment, firstSeen);
+    }
+  });
 }
 
 void FlowTracker::attachWal(WriteAheadLog* wal) {
-  util::SharedMutexLock lock(mutex_);
+  util::MutexLock lock(mutex_);
   wal_ = wal;
 }
 
 void FlowTracker::replaySegmentObserved(SegmentRecord record) {
-  util::SharedMutexLock lock(mutex_);
-  const SegmentRecord* existing = segments_.findByName(record.name);
-  const SegmentId id = existing != nullptr ? existing->id : record.id;
-  HashDb& db = hashDbFor(record.kind);
-  for (std::uint64_t h : record.fingerprint.hashes()) {
-    db.recordObservation(h, id, record.updatedAt);
-  }
-  if (existing == nullptr) {
-    segments_.restore(std::move(record));
-  } else {
-    segments_.setThreshold(id, record.threshold);
-    segments_.updateFingerprint(id, std::move(record.fingerprint),
-                                record.updatedAt);
-  }
-  if (auto it = cache_.find(id); it != cache_.end()) it->second.valid = false;
-  refreshStoreGaugesLocked();
+  util::MutexLock lock(mutex_);
+  // Replay runs with the WAL detached (see attachWal); the record already
+  // carries its timestamps, so the closure draws nothing from the tape and
+  // both replica applications are trivially identical.
+  mutateStores([&](Stores& s, WriteAheadLog*) {
+    const SegmentRecord* existing = s.segments.findByName(record.name);
+    const SegmentId id = existing != nullptr ? existing->id : record.id;
+    HashDb& db = s.hashes[idx(record.kind)];
+    for (std::uint64_t h : record.fingerprint.hashes()) {
+      db.recordObservation(h, id, record.updatedAt);
+    }
+    if (existing == nullptr) {
+      s.segments.restore(record);
+    } else {
+      s.segments.setThreshold(id, record.threshold);
+      s.segments.updateFingerprint(id, record.fingerprint, record.updatedAt);
+    }
+    if (auto it = s.cache.find(id); it != s.cache.end()) {
+      it->second.valid = false;
+    }
+  });
+  refreshStoreGauges();
 }
 
 std::vector<std::pair<std::size_t, std::size_t>>
 FlowTracker::attributeDisclosure(SegmentId source,
                                  const text::Fingerprint& target) const {
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  util::SharedReaderLock lock(mutex_);
-  const SegmentRecord* rec = segments_.find(source);
+  util::LeftRightReadGuard guard(lr_);
+  const Stores& st = readerStores(guard);
+  const SegmentRecord* rec = st.segments.find(source);
   if (rec == nullptr || target.empty()) return ranges;
-  const HashDb& db = hashDbLocked(rec->kind);
+  const HashDb& db = st.hashes[idx(rec->kind)];
   // Each matched gram covers roughly one n-gram of source text; adjacent
   // matches merge into readable passages. The window guarantee means a
   // copied passage of >= windowChars yields at least one gram here.
@@ -508,9 +552,9 @@ std::optional<SegmentRecord> FlowTracker::findSegmentWithFingerprint(
     std::string_view document, const text::Fingerprint& fp,
     SegmentKind kind) const {
   if (fp.empty()) return std::nullopt;
-  util::SharedReaderLock lock(mutex_);
+  util::LeftRightReadGuard guard(lr_);
   std::optional<SegmentRecord> found;
-  segments_.forEach([&](const SegmentRecord& rec) {
+  readerStores(guard).segments.forEach([&](const SegmentRecord& rec) {
     if (!found && rec.kind == kind && rec.document == document &&
         rec.fingerprint.sameHashes(fp)) {
       found = rec;

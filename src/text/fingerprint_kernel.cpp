@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
+#include "text/simd/kernel.h"
 #include "util/hashing.h"
 
 namespace bf::text {
@@ -18,10 +20,9 @@ std::size_t roundPow2(std::size_t v) {
 
 /// Normalization as a 256-entry table: 0 means "drop this byte", anything
 /// else is the normalized character. One load + one predictable branch per
-/// byte instead of a compare chain. Must match text::normalize exactly
-/// (lowercase letters and digits kept, uppercase folded, non-ASCII bytes
-/// kept verbatim, everything else dropped) — the differential tests pin
-/// this.
+/// byte instead of a compare chain (the SIMD kernels evaluate the same
+/// classification with compare/shuffle masks; detail::normTable() shares
+/// this table with their scalar head/tail code).
 constexpr std::array<unsigned char, 256> kNormTab = [] {
   std::array<unsigned char, 256> t{};
   for (int c = 0; c < 256; ++c) {
@@ -39,7 +40,167 @@ constexpr std::array<unsigned char, 256> kNormTab = [] {
   return t;
 }();
 
+/// Monotone bucket remap for finalizeSelectedFingerprint's MSD pass.
+/// Index = top 13 bits of the (range-spread) hash; value = one of 2048
+/// buckets placed along the CDF of a 16-window minimum, 1 - (1 - u)^16
+/// evaluated in 0.32 fixed point (four squarings). Winnow picks ARE
+/// window minima, so remapped keys land near-uniformly across buckets;
+/// monotonicity keeps the bucket order a valid sort order for any input.
+constexpr std::array<std::uint16_t, 8192> kMinCdfBucket = [] {
+  std::array<std::uint16_t, 8192> t{};
+  for (std::size_t i = 0; i < 8192; ++i) {
+    std::uint64_t p = static_cast<std::uint64_t>(8192 - i) << 19;  // 1 - u
+    if (p > 0xFFFFFFFFULL) p = 0xFFFFFFFFULL;
+    for (int s = 0; s < 4; ++s) p = (p * p) >> 32;  // (1 - u)^16
+    t[i] = static_cast<std::uint16_t>((0xFFFFFFFFULL - p) >> 21);
+  }
+  return t;
+}();
+
 }  // namespace
+
+namespace detail {
+
+const std::array<unsigned char, 256>& normTable() noexcept { return kNormTab; }
+
+Fingerprint finalizeSelectedFingerprint(FingerprintWorkspace& ws) {
+  // Winnowing emits strictly increasing pick indices, so selected_ is
+  // already in position order and becomes the fingerprint's gram vector
+  // wholesale — the workspace re-reserves a like-sized buffer for the
+  // next call instead of copying this one out. The hash set is sorted
+  // with a bucket radix (ping-ponging through the workspace scratch):
+  // the selected hashes are effectively random, so a comparison sort
+  // would mispredict on nearly every compare and dominate the whole
+  // kernel.
+  std::vector<HashedGram> grams = std::move(ws.selected_);
+  ws.selected_.clear();  // moved-from: make the state definite
+  ws.selected_.reserve(grams.size() + grams.size() / 8 + 64);
+  std::vector<std::uint64_t> hashes;
+  const std::size_t count = grams.size();
+  hashes.reserve(count);
+  std::uint64_t maxBits = 0;  // OR of all hashes: bounds the radix passes
+  for (const auto& g : grams) {
+    maxBits |= g.hash;
+  }
+  if (maxBits <= 0xFFFFFFFFULL) {
+    if (ws.radixTmp32_.size() < 2 * count) ws.radixTmp32_.resize(2 * count);
+    std::uint32_t* src = ws.radixTmp32_.data();
+    std::uint32_t* dst = src + count;
+    if (count <= 2048) {
+      // Small sets (every default-config call: ~2 picks per window of 30
+      // chars) sort with ONE MSD bucket pass + insertion repair instead
+      // of three LSD passes: with at least as many buckets as elements
+      // the scatter output is already globally ordered by bucket and
+      // buckets average under one element, so insertion sort only fixes
+      // local inversions. A third of the histogram traffic (the
+      // histogram clears are the radix bottleneck at this size) and one
+      // data pass instead of three. Buckets come from kMinCdfBucket so
+      // window-minimum-shaped values spread evenly; the spread shift
+      // widens narrow hashes (hashBits < 32) to the table's range. A
+      // crafted input (or a window width far from 16) could still pile
+      // picks into one bucket and make the insertion quadratic, so the
+      // histogram pass tracks the fullest bucket and falls through to
+      // the pass-count-oblivious LSD radix past 64.
+      const auto top = static_cast<std::uint32_t>(maxBits) | 1U;
+      const auto spread = static_cast<unsigned>(std::countl_zero(top));
+      std::uint16_t h[2049] = {0};
+      std::uint16_t maxBucket = 0;
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto x = static_cast<std::uint32_t>(grams[k].hash);
+        src[k] = x;
+        maxBucket =
+            std::max(maxBucket, ++h[kMinCdfBucket[(x << spread) >> 19] + 1]);
+      }
+      if (maxBucket <= 64) {
+        for (int b = 0; b < 2048; ++b) h[b + 1] += h[b];
+        for (std::size_t k = 0; k < count; ++k) {
+          dst[h[kMinCdfBucket[(src[k] << spread) >> 19]]++] = src[k];
+        }
+        for (std::size_t k = 1; k < count; ++k) {
+          const std::uint32_t x = dst[k];
+          std::size_t j = k;
+          while (j > 0 && dst[j - 1] > x) {
+            dst[j] = dst[j - 1];
+            --j;
+          }
+          dst[j] = x;
+        }
+        // Dedup while widening, branchless: duplicates are rare (random
+        // 32-bit values), so always store and advance conditionally
+        // instead of a per-element push_back.
+        hashes.resize(count);
+        std::uint64_t* out = hashes.data();
+        std::size_t m = 0;
+        std::uint64_t prev = ~0ULL;  // > any 32-bit hash: never matches
+        for (std::size_t k = 0; k < count; ++k) {
+          const std::uint32_t x = dst[k];
+          out[m] = x;
+          m += static_cast<std::size_t>(x != prev);
+          prev = x;
+        }
+        hashes.resize(m);
+        return Fingerprint::fromSortedParts(std::move(grams),
+                                            std::move(hashes));
+      }
+    }
+    // All three 11-bit histograms in one data pass: the counter
+    // read-modify-writes are the radix bottleneck, and interleaving three
+    // independent streams gives the core parallel chains to retire.
+    std::uint32_t h0[2049] = {0}, h1[2049] = {0}, h2[1025] = {0};
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::uint32_t x = static_cast<std::uint32_t>(grams[k].hash);
+      src[k] = x;
+      ++h0[(x & 0x7FF) + 1];
+      ++h1[((x >> 11) & 0x7FF) + 1];
+      ++h2[(x >> 22) + 1];
+    }
+    for (int b = 0; b < 2048; ++b) h0[b + 1] += h0[b];
+    for (int b = 0; b < 2048; ++b) h1[b + 1] += h1[b];
+    for (int b = 0; b < 1024; ++b) h2[b + 1] += h2[b];
+    for (std::size_t k = 0; k < count; ++k) {
+      dst[h0[src[k] & 0x7FF]++] = src[k];
+    }
+    std::swap(src, dst);
+    for (std::size_t k = 0; k < count; ++k) {
+      dst[h1[(src[k] >> 11) & 0x7FF]++] = src[k];
+    }
+    std::swap(src, dst);
+    for (std::size_t k = 0; k < count; ++k) {
+      dst[h2[src[k] >> 22]++] = src[k];
+    }
+    std::swap(src, dst);
+    std::uint64_t prev = ~0ULL;  // > any 32-bit hash: never matches
+    for (std::size_t k = 0; k < count; ++k) {  // dedup while widening
+      const std::uint32_t h = src[k];
+      if (h != prev) hashes.push_back(h);
+      prev = h;
+    }
+    return Fingerprint::fromSortedParts(std::move(grams), std::move(hashes));
+  }
+  for (const auto& g : grams) {
+    hashes.push_back(g.hash);
+  }
+  if (ws.radixTmp_.size() < count) ws.radixTmp_.resize(count);
+  std::uint64_t* src = hashes.data();
+  std::uint64_t* dst = ws.radixTmp_.data();
+  for (unsigned shift = 0; shift < 64 && (maxBits >> shift) != 0;
+       shift += 8) {
+    std::uint32_t buckets[257] = {0};
+    for (std::size_t k = 0; k < count; ++k) {
+      ++buckets[((src[k] >> shift) & 0xFF) + 1];
+    }
+    for (int b = 0; b < 256; ++b) buckets[b + 1] += buckets[b];
+    for (std::size_t k = 0; k < count; ++k) {
+      dst[buckets[(src[k] >> shift) & 0xFF]++] = src[k];
+    }
+    std::swap(src, dst);
+  }
+  if (src != hashes.data()) std::copy(src, src + count, hashes.data());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return Fingerprint::fromSortedParts(std::move(grams), std::move(hashes));
+}
+
+}  // namespace detail
 
 void FingerprintWorkspace::prepare(std::size_t n, std::size_t w) {
   // The deepest lookback into the character ring is a winnow pick's start
@@ -68,6 +229,24 @@ void FingerprintWorkspace::prepare(std::size_t n, std::size_t w) {
 Fingerprint fingerprintTextFused(std::string_view input,
                                  const FingerprintConfig& config,
                                  FingerprintWorkspace& ws) {
+#if defined(BF_TEXT_SIMD_X86)
+  switch (simd::activeKernelTier()) {
+    case simd::KernelTier::kAvx512:
+      return simd::fingerprintTextAvx512(input, config, ws);
+    case simd::KernelTier::kAvx2:
+      return simd::fingerprintTextAvx2(input, config, ws);
+    case simd::KernelTier::kSse42:
+      return simd::fingerprintTextSse42(input, config, ws);
+    case simd::KernelTier::kScalar:
+      break;
+  }
+#endif
+  return fingerprintTextFusedScalar(input, config, ws);
+}
+
+Fingerprint fingerprintTextFusedScalar(std::string_view input,
+                                       const FingerprintConfig& config,
+                                       FingerprintWorkspace& ws) {
   const std::size_t n = config.ngramChars;
   const std::size_t w = config.windowHashes();
   // The normalized text is never longer than the input, so a short input
@@ -206,40 +385,7 @@ Fingerprint fingerprintTextFused(std::string_view input,
   if (normCount < config.windowChars || ws.selected_.empty()) {
     return Fingerprint{};
   }
-
-  // Epilogue. Winnowing emits strictly increasing pick indices, so
-  // selected_ is already in position order and the fingerprint's gram
-  // vector is a straight copy. The hash set is sorted with an LSD radix
-  // over the significant bytes (ping-ponging through radixTmp_): the
-  // selected hashes are effectively random, so a comparison sort would
-  // mispredict on nearly every compare and dominate the whole kernel.
-  std::vector<HashedGram> grams(ws.selected_.begin(), ws.selected_.end());
-  std::vector<std::uint64_t> hashes;
-  const std::size_t count = grams.size();
-  hashes.reserve(count);
-  std::uint64_t maxBits = 0;  // OR of all hashes: bounds the radix passes
-  for (const auto& g : grams) {
-    hashes.push_back(g.hash);
-    maxBits |= g.hash;
-  }
-  if (ws.radixTmp_.size() < count) ws.radixTmp_.resize(count);
-  std::uint64_t* src = hashes.data();
-  std::uint64_t* dst = ws.radixTmp_.data();
-  for (unsigned shift = 0; shift < 64 && (maxBits >> shift) != 0;
-       shift += 8) {
-    std::uint32_t buckets[257] = {0};
-    for (std::size_t k = 0; k < count; ++k) {
-      ++buckets[((src[k] >> shift) & 0xFF) + 1];
-    }
-    for (int b = 0; b < 256; ++b) buckets[b + 1] += buckets[b];
-    for (std::size_t k = 0; k < count; ++k) {
-      dst[buckets[(src[k] >> shift) & 0xFF]++] = src[k];
-    }
-    std::swap(src, dst);
-  }
-  if (src != hashes.data()) std::copy(src, src + count, hashes.data());
-  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
-  return Fingerprint::fromSortedParts(std::move(grams), std::move(hashes));
+  return detail::finalizeSelectedFingerprint(ws);
 }
 
 FingerprintWorkspace& threadLocalFingerprintWorkspace() {

@@ -15,10 +15,16 @@
 // typically thread-local, so steady-state fingerprinting performs no
 // scratch allocation at all.
 //
-// The two implementations are differentially tested to be byte-identical
-// (hashes AND original-offset positions) in tests/text/fused_kernel_test.
+// fingerprintTextFused is a runtime dispatcher: on x86-64 hosts with AVX2
+// or SSE4.2 it routes to the batch SIMD kernels in src/text/simd/ (cpuid
+// selection modeled on util/crc32c; see text/simd/kernel.h), falling back
+// to the portable scalar kernel fingerprintTextFusedScalar everywhere
+// else. Every dispatch target is differentially tested to be
+// byte-identical (hashes AND original-offset positions) to the staged
+// reference in tests/text/fused_kernel_test and tests/text/simd_kernel_test.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -26,6 +32,27 @@
 #include "text/fingerprint.h"
 
 namespace bf::text {
+
+class FingerprintWorkspace;
+
+namespace simd {
+struct BatchPipeline;
+}  // namespace simd
+
+namespace detail {
+/// The 256-entry normalization table shared by the scalar and SIMD
+/// kernels: 0 means "drop this byte", anything else is the normalized
+/// character. Must match text::normalize exactly (lowercase letters and
+/// digits kept, uppercase folded, non-ASCII bytes kept verbatim,
+/// everything else dropped) — the differential tests pin this.
+[[nodiscard]] const std::array<unsigned char, 256>& normTable() noexcept;
+
+/// Shared epilogue: turns the workspace's winnow-selected grams into a
+/// Fingerprint (position-ordered grams + LSD-radix-sorted deduplicated
+/// hash set). Used by the scalar kernel and the SIMD batch pipeline.
+[[nodiscard]] Fingerprint finalizeSelectedFingerprint(
+    FingerprintWorkspace& ws);
+}  // namespace detail
 
 /// Reusable scratch for fingerprintTextFused. Buffers grow to fit the
 /// largest (ngramChars, windowChars) configuration seen and are then
@@ -39,7 +66,9 @@ class FingerprintWorkspace {
   FingerprintWorkspace& operator=(const FingerprintWorkspace&) = delete;
 
   /// Capacity currently held by the scratch buffers, in bytes (telemetry /
-  /// tests only).
+  /// tests only). The SIMD batch buffers are chunk-bounded (the batch
+  /// kernels process the input in fixed-size rounds), so this stays O(n +
+  /// w + chunk) — never O(input).
   [[nodiscard]] std::size_t scratchBytes() const noexcept {
     return chars_.capacity() * sizeof(char) +
            charOff_.capacity() * sizeof(std::uint32_t) +
@@ -47,13 +76,21 @@ class FingerprintWorkspace {
            blockKeys_.capacity() * sizeof(std::uint64_t) +
            suffixMin_.capacity() * sizeof(std::uint64_t) +
            radixTmp_.capacity() * sizeof(std::uint64_t) +
-           selected_.capacity() * sizeof(HashedGram);
+           radixTmp32_.capacity() * sizeof(std::uint32_t) +
+           selected_.capacity() * sizeof(HashedGram) +
+           batchChars_.capacity() * sizeof(unsigned char) +
+           batchOff_.capacity() * sizeof(std::uint32_t) +
+           batchHashes_.capacity() * sizeof(std::uint64_t) +
+           batchWinKeys_.capacity() * sizeof(std::uint64_t);
   }
 
  private:
-  friend Fingerprint fingerprintTextFused(std::string_view input,
-                                          const FingerprintConfig& config,
-                                          FingerprintWorkspace& ws);
+  friend Fingerprint fingerprintTextFusedScalar(
+      std::string_view input, const FingerprintConfig& config,
+      FingerprintWorkspace& ws);
+  friend Fingerprint detail::finalizeSelectedFingerprint(
+      FingerprintWorkspace& ws);
+  friend struct simd::BatchPipeline;
 
   /// One n-gram hash inside the winnowing window.
   struct Candidate {
@@ -89,22 +126,44 @@ class FingerprintWorkspace {
   std::vector<std::uint64_t> blockKeys_;
   std::vector<std::uint64_t> suffixMin_;
 
-  // Ping-pong buffer for the epilogue's LSD radix sort of the selected
-  // hash set.
+  // Ping-pong buffers for the epilogue's LSD radix sort of the selected
+  // hash set (dword pair for hashes that fit 32 bits, qword otherwise).
   std::vector<std::uint64_t> radixTmp_;
+  std::vector<std::uint32_t> radixTmp32_;
 
   // Winnow-selected grams (original-offset positions). The only buffer
   // whose size scales with the fingerprint, not the input.
   std::vector<HashedGram> selected_;
+
+  // SIMD batch-pipeline scratch (src/text/simd/batch_pipeline.h): one
+  // chunk of normalized characters with a small inter-chunk carryover,
+  // their original byte offsets, the chunk's masked gram hashes, and the
+  // packed winnow's per-window winner keys.
+  // Chunk-bounded, reused across rounds and calls.
+  std::vector<unsigned char> batchChars_;
+  std::vector<std::uint32_t> batchOff_;
+  std::vector<std::uint64_t> batchHashes_;
+  std::vector<std::uint64_t> batchWinKeys_;
 };
 
 /// Computes the winnowed fingerprint of `input` under `config` in a single
-/// streaming pass using `ws` for all scratch. Produces a fingerprint
-/// byte-identical to the reference fingerprintTextReference (same hashes,
-/// same original-offset positions, same tie-breaks).
+/// streaming pass using `ws` for all scratch. Dispatches to the best
+/// kernel the host supports (AVX2 → SSE4.2 → scalar; see
+/// text/simd/kernel.h for forcing and introspection). Every target
+/// produces a fingerprint byte-identical to the reference
+/// fingerprintTextReference (same hashes, same original-offset positions,
+/// same tie-breaks).
 [[nodiscard]] Fingerprint fingerprintTextFused(std::string_view input,
                                                const FingerprintConfig& config,
                                                FingerprintWorkspace& ws);
+
+/// The portable scalar kernel — fingerprintTextFused's fallback dispatch
+/// target, and the baseline the SIMD kernels are differentially tested
+/// against. Exposed so tests and benches can pin the scalar path
+/// regardless of host capabilities.
+[[nodiscard]] Fingerprint fingerprintTextFusedScalar(
+    std::string_view input, const FingerprintConfig& config,
+    FingerprintWorkspace& ws);
 
 /// The calling thread's workspace. Lets call sites that cannot thread a
 /// workspace through (FlowTracker's public fingerprint paths) still reuse

@@ -1,0 +1,281 @@
+// AVX2 + BMI2 batch fingerprint kernel (see kernel.h). This TU is
+// compiled with -mavx2 -mbmi2 (per-file flags in src/text/CMakeLists.txt)
+// and must only be ENTERED after dispatch.cpp's cpuid probe — nothing in
+// it may run at static-initialization time on a non-AVX2 host.
+//
+// Round structure (BatchPipeline drives the chunk/carry bookkeeping):
+//
+//   normalize  32 input bytes per vector: classify with unsigned range
+//              compares (max/min + cmpeq), fold case with OR 0x20, then
+//              compact each 8-byte group with PEXT — one _pext_u64 packs
+//              the kept characters, a second packs the byte-index ramp
+//              0x0706050403020100 into the kept chars' source offsets.
+//   hash       4 Karp-Rabin lanes stepped by a stride-4 block recurrence
+//              (bit-exact mod 2^64, valid for n >= 4):
+//                H(g+4) = H(g)*B^4
+//                         - sum_i c[g+i]   * B^{n-1+4-i}
+//                         + sum_i c[g+n+i] * B^{3-i}
+//              followed by a 4-lane mix64 and the hash-width mask.
+//   winnow     BatchPipeline::consumeHashes — the scalar kernel's exact
+//              winnow, unchanged.
+#include "text/simd/kernel.h"
+
+#if defined(BF_TEXT_SIMD_X86)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "text/simd/batch_pipeline.h"
+#include "text/simd/normalize_avx2.h"
+#include "util/hashing.h"
+
+namespace bf::text::simd {
+
+namespace {
+
+constexpr std::size_t kLanes = 4;
+
+/// a * K mod 2^64 per 64-bit lane, with K split into 32-bit halves
+/// broadcast in kLo/kHi. Three PMULUDQ: lo(a)*lo(K) + ((lo(a)*hi(K) +
+/// hi(a)*lo(K)) << 32); the hi(a)*hi(K) term shifts out of 64 bits.
+[[gnu::always_inline]] inline __m256i mulConst64(__m256i a, __m256i kLo, __m256i kHi) {
+  const __m256i lo = _mm256_mul_epu32(a, kLo);
+  const __m256i mid = _mm256_add_epi64(
+      _mm256_mul_epu32(a, kHi),
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), kLo));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+/// c * K mod 2^64 where every lane of c is a byte value (< 2^8), so the
+/// hi(c) half is zero and two PMULUDQ suffice.
+[[gnu::always_inline]] inline __m256i mulByteConst(__m256i c, __m256i kLo, __m256i kHi) {
+  return _mm256_add_epi64(_mm256_mul_epu32(c, kLo),
+                          _mm256_slli_epi64(_mm256_mul_epu32(c, kHi), 32));
+}
+
+/// Splits K for mulConst64/mulByteConst.
+struct SplitConst {
+  __m256i lo, hi;
+  explicit SplitConst(std::uint64_t k)
+      : lo(_mm256_set1_epi64x(
+            static_cast<long long>(k & 0xFFFFFFFFULL))),
+        hi(_mm256_set1_epi64x(static_cast<long long>(k >> 32))) {}
+};
+
+/// 4-lane util::mix64 (the SplitMix64 finalizer), bit-exact.
+[[gnu::always_inline]] inline __m256i mix64x4(__m256i x, const SplitConst& m1, const SplitConst& m2) {
+  x = _mm256_add_epi64(x, _mm256_set1_epi64x(
+                              static_cast<long long>(0x9e3779b97f4a7c15ULL)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+  x = mulConst64(x, m1.lo, m1.hi);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+  x = mulConst64(x, m2.lo, m2.hi);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+/// 4 consecutive bytes at p, zero-extended to the 4 hash lanes.
+[[gnu::always_inline]] inline __m256i loadBytes4(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(v)));
+}
+
+using text::simd::detail::normalizeAvx2;  // normalize_avx2.h, shared with
+                                          // the AVX-512 kernel
+
+/// Per-call hash constants, all powers of KarpRabin::kBase mod 2^64.
+struct HashConsts {
+  std::uint64_t topPow;              // B^{n-1} (scalar-tail rolling)
+  std::uint64_t bL;                  // B^kLanes
+  std::uint64_t outP[kLanes];        // B^{n-1+kLanes-i}
+  std::uint64_t inP[kLanes];         // B^{kLanes-1-i}
+  explicit HashConsts(std::size_t n) {
+    constexpr std::uint64_t B = util::KarpRabin::kBase;
+    std::uint64_t p = 1;
+    for (std::size_t i = 1; i < n; ++i) p *= B;
+    topPow = p;
+    std::uint64_t q = 1;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      inP[kLanes - 1 - i] = q;  // B^i
+      q *= B;
+    }
+    bL = q;  // B^kLanes
+    // outP[i] = B^{n-1} * B^{kLanes-i}
+    q = B;
+    for (std::size_t i = kLanes; i-- > 0;) {
+      outP[i] = topPow * q;
+      q *= B;
+    }
+  }
+};
+
+/// Hashes `count` grams of length n starting at chars[first], writing the
+/// masked mix64 outputs to out. Bit-exact with the scalar roller.
+///
+/// The stride-4 recurrence is a loop-carried dependency (each advance
+/// needs the previous V), so a single 4-lane chain is latency-bound on
+/// the 64-bit multiply cascade. The round is therefore split into
+/// kStreams independent contiguous gram ranges, each with its own
+/// scalar-seeded lane vector; interleaving their advances keeps the
+/// multipliers saturated instead of waiting on one chain.
+void hashRoundAvx2(const unsigned char* chars, std::size_t first,
+                   std::size_t count, std::size_t n, std::uint64_t mask,
+                   const HashConsts& hc, std::uint64_t* out) {
+  if (count == 0) return;
+  const char* base = reinterpret_cast<const char*>(chars) + first;
+  constexpr std::uint64_t B = util::KarpRabin::kBase;
+  constexpr std::size_t kStreams = 4;
+
+  // Grams each stream owns: equal shares rounded to whole vectors.
+  const std::size_t per = (count / kStreams) & ~(kLanes - 1);
+  if (n < kLanes || per < 2 * kLanes) {
+    // Tiny round or n too short for the stride-4 recurrence: plain
+    // scalar rolling (identical arithmetic to util::KarpRabin).
+    util::KarpRabin roller(n);
+    std::uint64_t h = roller.init(std::string_view(base, n));
+    out[0] = util::mix64(h) & mask;
+    for (std::size_t k = 1; k < count; ++k) {
+      h -= hc.topPow * chars[first + k - 1];
+      h = h * B + chars[first + k - 1 + n];
+      out[k] = util::mix64(h) & mask;
+    }
+    return;
+  }
+
+  const SplitConst m1(0xbf58476d1ce4e5b9ULL);
+  const SplitConst m2(0x94d049bb133111ebULL);
+  const SplitConst cBL(hc.bL);
+  const SplitConst cOut0(hc.outP[0]), cOut1(hc.outP[1]), cOut2(hc.outP[2]),
+      cOut3(hc.outP[3]);
+  const SplitConst cIn0(hc.inP[0]), cIn1(hc.inP[1]), cIn2(hc.inP[2]),
+      cIn3(hc.inP[3]);
+  const __m256i vMask = _mm256_set1_epi64x(static_cast<long long>(mask));
+
+  // Seeds a stream's first 4 lanes (grams g0..g0+3) scalar and emits
+  // their outputs; returns the raw lane vector.
+  auto seedStream = [&](std::size_t g0) {
+    util::KarpRabin roller(n);
+    alignas(32) std::uint64_t lane[kLanes];
+    std::uint64_t h = roller.init(std::string_view(base + g0, n));
+    lane[0] = h;
+    out[g0] = util::mix64(h) & mask;
+    for (std::size_t j = 1; j < kLanes; ++j) {
+      h = roller.roll(base[g0 + j - 1], base[g0 + j - 1 + n]);
+      lane[j] = h;
+      out[g0 + j] = util::mix64(h) & mask;
+    }
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(lane));
+  };
+
+  // One stride-4 advance. Every 64-bit product splits into a low part
+  // (pmuludq result used as-is) and a high part ((x*Khi mod 2^32) << 32).
+  // Because the shift distributes over addition mod 2^64, ALL high parts
+  // — the taps' and the V*B^4 cross terms' — are summed first and shifted
+  // once: shifts share ports 0/1 with the multiplies, so trading 9 shifts
+  // for 1 directly buys multiplier throughput. inP[3] == 1 makes the last
+  // incoming tap free (the byte value joins the low sum unscaled).
+  auto advance = [&](__m256i V, const unsigned char* p) __attribute__((always_inline)) {
+    const __m256i o0 = loadBytes4(p), o1 = loadBytes4(p + 1),
+                  o2 = loadBytes4(p + 2), o3 = loadBytes4(p + 3);
+    const __m256i i0 = loadBytes4(p + n), i1 = loadBytes4(p + n + 1),
+                  i2 = loadBytes4(p + n + 2), i3 = loadBytes4(p + n + 3);
+    const __m256i oLo = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_mul_epu32(o0, cOut0.lo),
+                         _mm256_mul_epu32(o1, cOut1.lo)),
+        _mm256_add_epi64(_mm256_mul_epu32(o2, cOut2.lo),
+                         _mm256_mul_epu32(o3, cOut3.lo)));
+    const __m256i oHi = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_mul_epu32(o0, cOut0.hi),
+                         _mm256_mul_epu32(o1, cOut1.hi)),
+        _mm256_add_epi64(_mm256_mul_epu32(o2, cOut2.hi),
+                         _mm256_mul_epu32(o3, cOut3.hi)));
+    const __m256i iLo = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_mul_epu32(i0, cIn0.lo),
+                         _mm256_mul_epu32(i1, cIn1.lo)),
+        _mm256_add_epi64(_mm256_mul_epu32(i2, cIn2.lo), i3));
+    const __m256i iHi = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_mul_epu32(i0, cIn0.hi),
+                         _mm256_mul_epu32(i1, cIn1.hi)),
+        _mm256_mul_epu32(i2, cIn2.hi));
+    const __m256i lo = _mm256_add_epi64(
+        _mm256_mul_epu32(V, cBL.lo), _mm256_sub_epi64(iLo, oLo));
+    const __m256i hi = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_mul_epu32(V, cBL.hi),
+                         _mm256_mul_epu32(_mm256_srli_epi64(V, 32), cBL.lo)),
+        _mm256_sub_epi64(iHi, oHi));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(hi, 32));
+  };
+  auto emit = [&](__m256i V, std::uint64_t* dst) __attribute__((always_inline)) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                        _mm256_and_si256(mix64x4(V, m1, m2), vMask));
+  };
+
+  __m256i V0 = seedStream(0);
+  __m256i V1 = seedStream(per);
+  __m256i V2 = seedStream(2 * per);
+  __m256i V3 = seedStream(3 * per);
+  const unsigned char* p0 = chars + first;
+  const std::size_t iters = per / kLanes;
+  for (std::size_t t = 1; t < iters; ++t) {
+    const std::size_t k = t * kLanes;
+    V0 = advance(V0, p0 + (k - kLanes));
+    V1 = advance(V1, p0 + per + (k - kLanes));
+    V2 = advance(V2, p0 + 2 * per + (k - kLanes));
+    V3 = advance(V3, p0 + 3 * per + (k - kLanes));
+    emit(V0, out + k);
+    emit(V1, out + per + k);
+    emit(V2, out + 2 * per + k);
+    emit(V3, out + 3 * per + k);
+  }
+
+  // Tail grams [4*per, count): resume scalar rolling from stream 3's
+  // newest lane (gram 4*per - 1).
+  std::size_t k = kStreams * per;
+  if (k < count) {
+    alignas(32) std::uint64_t lane[kLanes];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), V3);
+    std::uint64_t h = lane[kLanes - 1];
+    for (; k < count; ++k) {
+      h -= hc.topPow * chars[first + k - 1];
+      h = h * B + chars[first + k - 1 + n];
+      out[k] = util::mix64(h) & mask;
+    }
+  }
+}
+
+}  // namespace
+
+Fingerprint fingerprintTextAvx2(std::string_view input,
+                                const FingerprintConfig& config,
+                                FingerprintWorkspace& ws) {
+  const std::size_t n = config.ngramChars;
+  if (input.size() < config.windowChars) return Fingerprint{};
+  if (n == 0) return Fingerprint{};
+
+  BatchPipeline bp(ws);
+  if (!bp.init(config)) return fingerprintTextFusedScalar(input, config, ws);
+  const HashConsts hc(n);
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(input.data());
+  for (std::size_t pos = 0; pos < input.size();
+       pos += BatchPipeline::kChunkChars) {
+    const std::size_t len =
+        std::min(BatchPipeline::kChunkChars, input.size() - pos);
+    const std::size_t added =
+        normalizeAvx2(bytes + pos, len, pos, bp.charAppend(), bp.offAppend());
+    const BatchPipeline::Round round = bp.beginRound(added);
+    if (round.grams > 0) {
+      hashRoundAvx2(bp.charsBase(), round.firstGramLocal, round.grams,
+                    n, bp.mask, hc, bp.hashOut());
+      bp.consumeHashes(round.grams);
+    }
+    bp.endRound();
+  }
+  return bp.finish(config);
+}
+
+}  // namespace bf::text::simd
+
+#endif  // BF_TEXT_SIMD_X86

@@ -1,0 +1,182 @@
+// Left-right concurrency control — wait-free reads over replicated state.
+//
+// The pattern (Ramalhete & Correia's "left-right") keeps TWO complete
+// instances of a data structure. Readers always read a fully-constructed,
+// quiescent instance and never retry; the single writer (serialised by the
+// caller's own mutex) applies every mutation twice:
+//
+//   1. mutate the INACTIVE instance (no reader can be in it),
+//   2. flip the active-instance switch (new readers go to the fresh copy),
+//   3. toggle the version index and wait for both read indicators to
+//      drain in canonical order (old readers finish),
+//   4. mutate the now-inactive old instance, re-converging the replicas.
+//
+// Why this over a seqlock: BrowserFlow's tracker stores are pointer-rich
+// (unordered_map, vector, string). A seqlock reader that observes a torn
+// snapshot dereferences freed memory before it can notice the sequence
+// mismatch — undefined behaviour, and a data race ThreadSanitizer rightly
+// flags. Left-right readers only ever touch an instance no writer is
+// mutating, so reads are plain loads, TSan-clean, wait-free, and never
+// retried. The price is 2x memory and double-applied writes — the right
+// trade for read-mostly stores like DBhash/DBpar. The full memory-ordering
+// argument lives in DESIGN.md §15.
+//
+// The protocol atomics are seq_cst on the reader's arrive/instance loads
+// and the writer's flip/drain loads. The load-bearing property is the
+// single total order: a reader whose instance-switch load precedes the
+// writer's flip has its indicator increment visible to every subsequent
+// drain scan, so the writer cannot start re-mutating the old instance
+// while that reader is still inside it. depart() is a release so the
+// reader's last loads happen-before the writer's next writes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace bf::util {
+
+/// Striped reader-presence counter. arrive/depart touch one cache line
+/// chosen per thread, so concurrent readers do not ping-pong a single
+/// counter; empty() is the writer-side drain scan.
+class ReadIndicator {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  /// Registers the calling thread as reading. Returns the stripe to pass
+  /// to depart(). seq_cst: the increment must precede the reader's
+  /// subsequent instance-switch load in the single total order.
+  std::size_t arrive() noexcept {
+    const std::size_t s = threadStripe();
+    stripes_[s].count.fetch_add(1, std::memory_order_seq_cst);
+    return s;
+  }
+
+  /// Deregisters the reader. Release: everything the reader read
+  /// happens-before the writer that observes the decrement.
+  void depart(std::size_t stripe) noexcept {
+    stripes_[stripe].count.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// True when no reader is registered. Scanning stripe by stripe is
+  /// sound: any reader endangered by the writer's next step arrived (in
+  /// the seq_cst total order) before the writer's flip, hence before
+  /// every load of this scan, so its increment is visible unless it
+  /// already departed.
+  [[nodiscard]] bool empty() const noexcept {
+    for (const Stripe& s : stripes_) {
+      if (s.count.load(std::memory_order_seq_cst) != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  /// Stable per-thread stripe assignment (round-robin at first use).
+  static std::size_t threadStripe() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+  }
+
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> count{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// The left-right switch: two read indicators (one per version), the
+/// active-instance index readers consult, and the writer-side
+/// flip-and-drain step. The data instances themselves live in the owner
+/// (e.g. FlowTracker's Stores stores_[2]); this class only arbitrates
+/// which index readers and the writer may touch.
+///
+/// Thread safety: any number of concurrent readers; at most ONE thread in
+/// the writer protocol at a time (callers hold their own writer mutex).
+class LeftRightControl {
+ public:
+  /// Opaque reader registration; pass back to depart().
+  struct ReadTicket {
+    int version;
+    std::size_t stripe;
+    int instance;  ///< which data instance this reader may read
+  };
+
+  /// Reader entry: registers on the current version's indicator, then
+  /// loads the instance to read. Wait-free, no retry. The order matters:
+  /// registering BEFORE the instance load is what lets the writer's drain
+  /// scan see every reader that might be in the old instance.
+  [[nodiscard]] ReadTicket arrive() const noexcept {
+    ReadTicket t;
+    t.version = versionIndex_.load(std::memory_order_seq_cst);
+    t.stripe = indicators_[t.version].arrive();
+    t.instance = activeInstance_.load(std::memory_order_seq_cst);
+    return t;
+  }
+
+  /// Reader exit.
+  void depart(const ReadTicket& t) const noexcept {
+    indicators_[t.version].depart(t.stripe);
+  }
+
+  /// The instance the writer may currently mutate (no reader is directed
+  /// at it). Writer-side only, under the caller's writer mutex.
+  [[nodiscard]] int inactiveInstance() const noexcept {
+    return 1 - activeInstance_.load(std::memory_order_relaxed);
+  }
+
+  /// The instance new readers are directed at. Safe to read directly only
+  /// under the caller's writer mutex (or externally-serialised sections).
+  [[nodiscard]] int activeInstance() const noexcept {
+    return activeInstance_.load(std::memory_order_acquire);
+  }
+
+  /// Writer step between the two mutation applications: publish the
+  /// freshly-mutated instance and wait until no reader remains in the old
+  /// one. The two drains run in canonical left-right order — next version
+  /// first, then the previous — so a reader re-registering on the new
+  /// version can never extend the wait forever (no writer starvation).
+  void flipAndWait() noexcept {
+    activeInstance_.store(1 - activeInstance_.load(std::memory_order_relaxed),
+                          std::memory_order_seq_cst);
+    const int prevVersion = versionIndex_.load(std::memory_order_relaxed);
+    const int nextVersion = 1 - prevVersion;
+    waitForEmpty(indicators_[nextVersion]);
+    versionIndex_.store(nextVersion, std::memory_order_seq_cst);
+    waitForEmpty(indicators_[prevVersion]);
+  }
+
+ private:
+  static void waitForEmpty(const ReadIndicator& ri) noexcept {
+    // Readers hold their registration only across plain in-memory reads,
+    // so the drain is expected to be short; spin briefly, then yield.
+    for (int spins = 0; !ri.empty(); ++spins) {
+      if (spins >= 128) std::this_thread::yield();
+    }
+  }
+
+  mutable ReadIndicator indicators_[2];
+  std::atomic<int> activeInstance_{0};
+  std::atomic<int> versionIndex_{0};
+};
+
+/// RAII reader registration over a LeftRightControl.
+class LeftRightReadGuard {
+ public:
+  explicit LeftRightReadGuard(const LeftRightControl& lr) noexcept
+      : lr_(lr), ticket_(lr.arrive()) {}
+  ~LeftRightReadGuard() { lr_.depart(ticket_); }
+
+  LeftRightReadGuard(const LeftRightReadGuard&) = delete;
+  LeftRightReadGuard& operator=(const LeftRightReadGuard&) = delete;
+
+  /// Index of the data instance this reader may read.
+  [[nodiscard]] int instance() const noexcept { return ticket_.instance; }
+
+ private:
+  const LeftRightControl& lr_;
+  LeftRightControl::ReadTicket ticket_;
+};
+
+}  // namespace bf::util

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -81,6 +82,18 @@ using LockRankViolationHandler = void (*)(const char* heldName, int heldRank,
 /// previous one. Test-only; not synchronised with concurrent lock traffic.
 LockRankViolationHandler setLockRankViolationHandler(
     LockRankViolationHandler handler) noexcept;
+
+/// True when the build carries lock-rank bookkeeping (BF_LOCK_RANK_CHECKS).
+[[nodiscard]] constexpr bool lockRankChecksEnabled() noexcept {
+  return BF_LOCK_RANK_CHECKS != 0;
+}
+
+/// Process-wide count of ranked-mutex acquisitions of `rank` (shared and
+/// exclusive alike) since start-up. Always 0 when lockRankChecksEnabled()
+/// is false. Test hook: proving a code path is lock-free at a given rank
+/// means running it and asserting this count did not move (e.g. the
+/// tracker's read path never takes kRankTracker).
+[[nodiscard]] std::uint64_t lockRankAcquireCount(int rank) noexcept;
 
 namespace detail {
 /// Bookkeeping hooks behind Mutex; no-ops unless BF_LOCK_RANK_CHECKS.

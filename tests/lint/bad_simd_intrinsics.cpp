@@ -1,0 +1,16 @@
+// bflint fixture: raw SIMD intrinsics are banned outside src/text/simd/
+// and src/util/crc32c.cpp — ad-hoc vector code bypasses the cpuid runtime
+// dispatcher (text/simd/kernel.h), the BF_FORCE_SCALAR_KERNEL override,
+// and the scalar-fallback guarantee.
+// bflint-expect: simd-intrinsics
+#include <immintrin.h>
+
+namespace bf::flow {
+
+inline int sneakyVectorSum(const int* p) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m128i lo = _mm256_castsi256_si128(v);
+  return _mm_cvtsi128_si32(lo);
+}
+
+}  // namespace bf::flow

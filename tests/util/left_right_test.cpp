@@ -1,0 +1,125 @@
+// Tests for the left-right concurrency primitive (util/left_right.h):
+// protocol state-machine checks single-threaded, a writer-drain blocking
+// check, and a replicated-invariant stress that TSan watches for races
+// (suite name matches the tsan preset's concurrency test filter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/left_right.h"
+
+namespace bf::util {
+namespace {
+
+TEST(LeftRightConcurrency, ReadersFollowTheActiveInstance) {
+  LeftRightControl lr;
+  EXPECT_EQ(lr.activeInstance(), 0);
+  EXPECT_EQ(lr.inactiveInstance(), 1);
+  {
+    LeftRightReadGuard guard(lr);
+    EXPECT_EQ(guard.instance(), 0);
+  }
+  lr.flipAndWait();  // no readers: returns immediately
+  EXPECT_EQ(lr.activeInstance(), 1);
+  EXPECT_EQ(lr.inactiveInstance(), 0);
+  {
+    LeftRightReadGuard guard(lr);
+    EXPECT_EQ(guard.instance(), 1);
+  }
+  lr.flipAndWait();
+  EXPECT_EQ(lr.activeInstance(), 0);
+}
+
+TEST(LeftRightConcurrency, FlipWaitsForInFlightReaders) {
+  LeftRightControl lr;
+  std::atomic<bool> readerIn{false};
+  std::atomic<bool> releaseReader{false};
+  std::atomic<bool> flipDone{false};
+
+  std::thread reader([&] {
+    LeftRightReadGuard guard(lr);
+    readerIn.store(true, std::memory_order_release);
+    while (!releaseReader.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!readerIn.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  std::thread writer([&] {
+    lr.flipAndWait();
+    flipDone.store(true, std::memory_order_release);
+  });
+  // The writer must not complete while the reader is registered on the
+  // old version. Give it ample chance to (incorrectly) race ahead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(flipDone.load(std::memory_order_acquire));
+
+  releaseReader.store(true, std::memory_order_release);
+  reader.join();
+  writer.join();
+  EXPECT_TRUE(flipDone.load(std::memory_order_acquire));
+  EXPECT_EQ(lr.activeInstance(), 1);
+}
+
+TEST(LeftRightConcurrency, ReplicatedInvariantHoldsUnderChurn) {
+  // The canonical left-right correctness check: two replicas of a
+  // structure with an internal invariant (here a pair that must be equal),
+  // a writer that breaks the invariant mid-mutation on one replica at a
+  // time, and readers that must NEVER observe the broken state. A seqlock
+  // without retry — or a protocol bug — fails this under TSan and by
+  // assertion.
+  struct Pair {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  Pair replicas[2];
+  LeftRightControl lr;
+
+  constexpr int kWrites = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        LeftRightReadGuard guard(lr);
+        const Pair& p = replicas[guard.instance()];
+        const std::uint64_t a = p.a;
+        const std::uint64_t b = p.b;
+        ASSERT_EQ(a, b) << "torn read: replica observed mid-mutation";
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (int i = 1; i <= kWrites; ++i) {
+      // First application: the inactive replica is transiently torn
+      // (a updated before b) — no reader may be inside it.
+      Pair& first = replicas[lr.inactiveInstance()];
+      first.a = static_cast<std::uint64_t>(i);
+      first.b = static_cast<std::uint64_t>(i);
+      lr.flipAndWait();
+      Pair& second = replicas[lr.inactiveInstance()];
+      second.a = static_cast<std::uint64_t>(i);
+      second.b = static_cast<std::uint64_t>(i);
+    }
+  });
+  writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(replicas[0].a, static_cast<std::uint64_t>(kWrites));
+  EXPECT_EQ(replicas[1].a, static_cast<std::uint64_t>(kWrites));
+}
+
+}  // namespace
+}  // namespace bf::util
